@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation of the compiler's design choices (DESIGN.md section 4):
+ *
+ *  1. constant propagation — the paper's fundamental minimization —
+ *     versus the naive Figure-2a structure with AND gates and full
+ *     trees;
+ *  2. balanced (logarithmic) reduction trees versus a linear adder
+ *     chain;
+ *  3. PN split versus CSD for signed weights.
+ *
+ * Reports mapped resources and measured stream latency for each
+ * variant; all variants remain functionally exact (the tests enforce
+ * it), so this isolates pure cost.
+ */
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "common/table.h"
+#include "core/latency.h"
+
+int
+main()
+{
+    using namespace spatial;
+
+    Table table("Generator ablation (8-bit signed, 95% sparse)",
+                {"dim", "variant", "LUT", "FF", "LUTRAM", "drain cycles",
+                 "Fmax MHz"});
+
+    struct Variant
+    {
+        const char *name;
+        core::SignMode mode;
+        bool constantProp;
+        bool balanced;
+        std::uint32_t fanoutLimit;
+    };
+    const Variant variants[] = {
+        {"naive (no const-prop)", core::SignMode::PnSplit, false, true, 0},
+        {"chain reduction", core::SignMode::PnSplit, true, false, 0},
+        {"pn (paper)", core::SignMode::PnSplit, true, true, 0},
+        {"csd (paper best)", core::SignMode::Csd, true, true, 0},
+        {"csd + piped broadcast", core::SignMode::Csd, true, true, 32},
+    };
+
+    for (const std::size_t dim : {64u, 256u}) {
+        const auto workload = bench::makeWorkload(dim, 0.95);
+        for (const auto &variant : variants) {
+            core::CompileOptions options;
+            options.inputBits = 8;
+            options.signMode = variant.mode;
+            options.constantPropagation = variant.constantProp;
+            options.balancedTree = variant.balanced;
+            options.broadcastFanoutLimit = variant.fanoutLimit;
+            const auto design =
+                core::MatrixCompiler(options).compile(workload.weights);
+            const auto point = fpga::evaluateDesign(design);
+
+            table.addRow({Table::cell(dim), std::string(variant.name),
+                          Table::cell(point.resources.luts),
+                          Table::cell(point.resources.ffs),
+                          Table::cell(point.resources.lutrams),
+                          Table::cell(std::uint64_t{design.drainCycles()}),
+                          Table::cell(point.fmaxMhz, 4)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: const-prop buys orders of magnitude of "
+                 "area; balanced trees buy latency; CSD shaves ~17% off "
+                 "PN.\n";
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 5: hardware utilization vs bit-sparsity of a 64x64 matrix at
+ * 8-bit precision.  Each bit of the weight matrix is a Bernoulli draw
+ * with p = 1 - bit_sparsity; the mapped LUT/FF/LUTRAM counts must be
+ * linear in the number of set bits.
+ */
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "matrix/generate.h"
+
+int
+main()
+{
+    using namespace spatial;
+
+    Table table("Figure 5: utilization vs bit-sparsity (64x64, 8-bit)",
+                {"bit-sparsity %", "ones", "LUT", "FF", "LUTRAM"});
+
+    Rng rng(505);
+    for (int pct = 0; pct <= 100; pct += 10) {
+        const auto weights =
+            makeBitSparseMatrix(64, 64, 8, pct / 100.0, rng);
+        const auto point =
+            bench::evalFpga(weights, core::SignMode::Unsigned);
+        table.addRow({Table::cell(pct), Table::cell(weights.onesCount()),
+                      Table::cell(point.resources.luts),
+                      Table::cell(point.resources.ffs),
+                      Table::cell(point.resources.lutrams)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: LUT ~ ones (linear), FF ~ 2x LUT, "
+                 "LUTRAM roughly flat wrapper cost.\n";
+    return 0;
+}

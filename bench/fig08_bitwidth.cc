@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 8: hardware utilization of a 64x64 random matrix for weight
+ * bitwidths 1 through 32.  The architecture builds one 1-bit dot
+ * product per bit position, so cost is linear in bitwidth with no
+ * cross-bit optimization.
+ */
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "matrix/generate.h"
+
+int
+main()
+{
+    using namespace spatial;
+
+    Table table("Figure 8: utilization vs weight bitwidth (64x64)",
+                {"bitwidth", "ones", "LUT", "FF", "LUT/bit"});
+
+    Rng rng(808);
+    for (const int bits : {1, 2, 4, 8, 16, 32}) {
+        const auto weights =
+            makeElementSparseMatrix(64, 64, bits, 0.0, rng);
+        const auto point =
+            bench::evalFpga(weights, core::SignMode::Unsigned);
+        const double per_bit = static_cast<double>(point.resources.luts) /
+                               static_cast<double>(bits);
+        table.addRow({Table::cell(bits), Table::cell(weights.onesCount()),
+                      Table::cell(point.resources.luts),
+                      Table::cell(point.resources.ffs),
+                      Table::cell(per_bit, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: LUT and FF linear in bitwidth "
+                 "(constant LUT/bit).\n";
+    return 0;
+}

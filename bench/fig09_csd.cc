@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 9: CSD resource utilization for 64x64 element-sparse matrices.
+ * Compares the naive binary implementation (V) against the canonical
+ * signed digit transform across element sparsity; CSD is strictly
+ * better, ~17% at 8 bits for any sparsity level.
+ */
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "matrix/generate.h"
+
+int
+main()
+{
+    using namespace spatial;
+
+    Table table("Figure 9: CSD vs naive (V) utilization "
+                "(64x64 element-sparse, 8-bit)",
+                {"element-sparsity %", "LUT (V)", "FF (V)", "LUTRAM (V)",
+                 "LUT (CSD)", "FF (CSD)", "LUTRAM (CSD)", "saving %"});
+
+    Rng rng(909);
+    for (const int pct : {0, 25, 50, 75, 90, 98, 100}) {
+        const auto weights =
+            makeElementSparseMatrix(64, 64, 8, pct / 100.0, rng);
+        const auto naive =
+            bench::evalFpga(weights, core::SignMode::Unsigned);
+        const auto csd = bench::evalFpga(weights, core::SignMode::Csd);
+
+        const double saving =
+            naive.resources.luts == 0
+                ? 0.0
+                : 100.0 * (1.0 - static_cast<double>(csd.resources.luts) /
+                                     static_cast<double>(
+                                         naive.resources.luts));
+        table.addRow({Table::cell(pct), Table::cell(naive.resources.luts),
+                      Table::cell(naive.resources.ffs),
+                      Table::cell(naive.resources.lutrams),
+                      Table::cell(csd.resources.luts),
+                      Table::cell(csd.resources.ffs),
+                      Table::cell(csd.resources.lutrams),
+                      Table::cell(saving, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: CSD strictly below V at every "
+                 "sparsity, ~17% LUT saving for uniform 8-bit data.\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 10: large-scale area results.  LUT and register counts as a
+ * function of the ones in the matrix for 512/1024-dim designs, PN vs
+ * CSD: "LUTs are essentially equivalent to the number of ones, and
+ * there are two registers per LUT."
+ */
+
+#include <iostream>
+
+#include "bench/large_scale.h"
+#include "common/table.h"
+
+int
+main()
+{
+    using namespace spatial;
+
+    Table table("Figure 10: large-scale area vs matrix ones",
+                {"dim", "sparsity %", "mode", "ones", "LUT", "FF",
+                 "LUT/ones", "FF/LUT", "fits"});
+
+    double lut_ratio_sum = 0.0;
+    double ff_ratio_sum = 0.0;
+    std::size_t count = 0;
+    for (const auto &entry : bench::runLargeScaleSweep()) {
+        const auto &p = entry.point;
+        const double lut_per_one =
+            static_cast<double>(p.resources.luts) /
+            static_cast<double>(p.ones);
+        const double ff_per_lut =
+            static_cast<double>(p.resources.ffs) /
+            static_cast<double>(p.resources.luts);
+        lut_ratio_sum += lut_per_one;
+        ff_ratio_sum += ff_per_lut;
+        ++count;
+        table.addRow({Table::cell(entry.dim),
+                      Table::cell(entry.sparsity * 100.0, 3),
+                      std::string(core::signModeName(entry.mode)),
+                      Table::cell(p.ones), Table::cell(p.resources.luts),
+                      Table::cell(p.resources.ffs),
+                      Table::cell(lut_per_one, 4),
+                      Table::cell(ff_per_lut, 4),
+                      std::string(p.fits ? "yes" : "NO")});
+    }
+    table.print(std::cout);
+    std::cout << "\nTrend lines: LUT/ones ~ "
+              << lut_ratio_sum / static_cast<double>(count)
+              << ", FF/LUT ~ " << ff_ratio_sum / static_cast<double>(count)
+              << " (paper: ~1 and ~2; CSD shifts points left along the "
+                 "ones axis).\n";
+    return 0;
+}

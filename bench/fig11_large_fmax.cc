@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 11: large-scale frequency results.  Achieved Fmax of each
+ * Section VI design after the model's place-and-route accounting: the
+ * first-stage broadcast fanout and SLR spanning set the critical path.
+ * One-SLR designs land in 445-597 MHz, two-SLR in 296-400 MHz, larger
+ * in 225-250 MHz.
+ */
+
+#include <iostream>
+
+#include "bench/large_scale.h"
+#include "common/table.h"
+
+int
+main()
+{
+    using namespace spatial;
+
+    Table table("Figure 11: large-scale Fmax",
+                {"dim", "sparsity %", "mode", "LUT", "SLRs", "max fanout",
+                 "Fmax MHz"});
+
+    for (const auto &entry : bench::runLargeScaleSweep()) {
+        const auto &p = entry.point;
+        table.addRow({Table::cell(entry.dim),
+                      Table::cell(entry.sparsity * 100.0, 3),
+                      std::string(core::signModeName(entry.mode)),
+                      Table::cell(p.resources.luts), Table::cell(p.slrs),
+                      Table::cell(std::uint64_t{p.maxFanout}),
+                      Table::cell(p.fmaxMhz, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected bands: 1 SLR 445-597 MHz, 2 SLRs 296-400 "
+                 "MHz, >2 SLRs 225-250 MHz; bigger matrices run slower.\n";
+    return 0;
+}

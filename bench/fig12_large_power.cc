@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 12: large-scale power results.  Estimated total power of each
+ * Section VI design scaled to run at its maximum achievable frequency.
+ * Growth is sublinear in design size because Fmax falls as designs
+ * spill across SLRs; the biggest designs approach the 150 W thermal
+ * limit.
+ */
+
+#include <iostream>
+
+#include "bench/large_scale.h"
+#include "common/table.h"
+#include "fpga/device.h"
+
+int
+main()
+{
+    using namespace spatial;
+
+    Table table("Figure 12: large-scale power at Fmax",
+                {"dim", "sparsity %", "mode", "ones", "Fmax MHz",
+                 "power W", "thermal"});
+
+    for (const auto &entry : bench::runLargeScaleSweep()) {
+        const auto &p = entry.point;
+        table.addRow({Table::cell(entry.dim),
+                      Table::cell(entry.sparsity * 100.0, 3),
+                      std::string(core::signModeName(entry.mode)),
+                      Table::cell(p.ones), Table::cell(p.fmaxMhz, 4),
+                      Table::cell(p.powerWatts, 4),
+                      std::string(fpga::exceedsThermalLimit(p.powerWatts)
+                                      ? "OVER"
+                                      : "ok")});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: sublinear growth with ones (falling "
+                 "Fmax); high dimension + low sparsity approaches the "
+              << fpga::Xcvu13p::thermalLimitWatts << " W limit.\n";
+    return 0;
+}

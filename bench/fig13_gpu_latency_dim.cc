@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 13: latency (ns) of 98% element-sparse matrices, dimension 64
+ * through 4096: cuSPARSE and the optimized kernel on the modelled V100
+ * versus the FPGA design running at its achieved Fmax.
+ */
+
+#include <iostream>
+
+#include "baselines/gpu_model.h"
+#include "bench/harness.h"
+#include "common/table.h"
+
+int
+main()
+{
+    using namespace spatial;
+    using baselines::GpuLibrary;
+    using baselines::GpuModel;
+
+    const GpuModel cusparse(GpuLibrary::CuSparse);
+    const GpuModel optimized(GpuLibrary::OptimizedKernel);
+
+    Table table("Figure 13: latency vs dimension (98% sparse)",
+                {"dim", "nnz", "cuSPARSE ns", "OptKernel ns", "FPGA ns",
+                 "FPGA Fmax MHz"});
+
+    for (const std::size_t dim : {64u, 128u, 256u, 512u, 1024u, 2048u,
+                                  4096u}) {
+        const auto workload = bench::makeWorkload(dim, 0.98);
+        const auto nnz = workload.csr.nnz();
+        const auto fpga_point = bench::evalFpga(workload.weights);
+
+        table.addRow({Table::cell(dim), Table::cell(nnz),
+                      Table::cell(cusparse.latencyNs(dim, dim, nnz), 5),
+                      Table::cell(optimized.latencyNs(dim, dim, nnz), 5),
+                      Table::cell(fpga_point.latencyNs, 5),
+                      Table::cell(fpga_point.fmaxMhz, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: FPGA < 150 ns everywhere; both GPU "
+                 "libraries above 1 us, flat below 512 (latency-bound) "
+                 "then growing with nnz.\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 19: latency of the FPGA and the SIGMA-style accelerator for
+ * 98% sparse matrices, dimension 64..4096.  Small matrices fit SIGMA's
+ * PE grid (nanosecond-scale); past ~1024 the nonzeros must be tiled and
+ * SIGMA goes memory-bound with linear scaling.
+ */
+
+#include <iostream>
+
+#include "baselines/sigma.h"
+#include "bench/harness.h"
+#include "common/table.h"
+#include "matrix/generate.h"
+
+int
+main()
+{
+    using namespace spatial;
+    baselines::SigmaSim sigma;
+
+    Table table("Figure 19: FPGA vs SIGMA latency vs dimension "
+                "(98% sparse)",
+                {"dim", "nnz", "tiles", "SIGMA ns", "FPGA ns"});
+
+    Rng rng(1919);
+    for (const std::size_t dim : {64u, 128u, 256u, 512u, 1024u, 2048u,
+                                  4096u}) {
+        const auto workload = bench::makeWorkload(dim, 0.98);
+        const auto fpga_point = bench::evalFpga(workload.weights);
+        const auto input = makeSignedVector(dim, 8, rng);
+        const auto result = sigma.runVector(workload.csr, input);
+
+        table.addRow({Table::cell(dim), Table::cell(workload.csr.nnz()),
+                      Table::cell(result.tiles),
+                      Table::cell(result.latencyNs, 5),
+                      Table::cell(fpga_point.latencyNs, 5)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: SIGMA ns-scale while fitting the "
+                 "128x128 grid, then linear memory-bound growth once "
+                 "tiled (past ~1024).\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 23: FPGA speedup over SIGMA for batched multiplication
+ * (1024x1024, 95% sparse, batch 1..64).  SIGMA amortizes tile loads
+ * over the batch but pays per-vector streaming and accumulation per
+ * tile, so the speedup decays from ~12x at batch 1 and saturates in the
+ * single digits.
+ */
+
+#include <iostream>
+
+#include "baselines/sigma.h"
+#include "bench/harness.h"
+#include "common/table.h"
+#include "matrix/generate.h"
+
+int
+main()
+{
+    using namespace spatial;
+    baselines::SigmaSim sigma;
+    const std::size_t dim = 1024;
+
+    const auto workload = bench::makeWorkload(dim, 0.95);
+    const auto fpga_point = bench::evalFpga(workload.weights);
+
+    Table table("Figure 23: batched speedup over SIGMA "
+                "(1024x1024, 95% sparse)",
+                {"batch", "SIGMA ns", "FPGA ns", "speedup"});
+
+    Rng rng(2323);
+    for (const std::size_t batch : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        const auto inputs = makeSignedBatch(batch, dim, 8, rng);
+        const auto result = sigma.run(workload.csr, inputs);
+        const double fpga_ns = fpga_point.batchLatencyNs(batch);
+
+        table.addRow({Table::cell(batch),
+                      Table::cell(result.latencyNs, 5),
+                      Table::cell(fpga_ns, 5),
+                      Table::cell(result.latencyNs / fpga_ns, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: speedup decays from ~12x at batch 1 "
+                 "and saturates in the single digits.\n";
+    return 0;
+}

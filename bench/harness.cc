@@ -1,0 +1,32 @@
+#include "bench/harness.h"
+
+#include "common/rng.h"
+#include "matrix/generate.h"
+
+namespace spatial::bench
+{
+
+Workload
+makeWorkload(std::size_t dim, double sparsity, std::uint64_t seed)
+{
+    Rng rng(seed + dim * 31 +
+            static_cast<std::uint64_t>(sparsity * 1000.0));
+    Workload workload;
+    workload.weights =
+        makeSignedElementSparseMatrix(dim, dim, 8, sparsity, rng);
+    workload.csr = CsrMatrix<std::int64_t>::fromDense(workload.weights);
+    return workload;
+}
+
+fpga::DesignPoint
+evalFpga(const IntMatrix &weights, core::SignMode mode)
+{
+    core::CompileOptions options;
+    options.inputBits = 8;
+    options.inputsSigned = true;
+    options.signMode = mode;
+    const auto design = core::MatrixCompiler(options).compile(weights);
+    return fpga::evaluateDesign(design);
+}
+
+} // namespace spatial::bench

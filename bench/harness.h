@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries: workload
+ * construction matching the paper's generation scheme, FPGA design-point
+ * evaluation, and consistent table output.
+ */
+
+#ifndef SPATIAL_BENCH_HARNESS_H
+#define SPATIAL_BENCH_HARNESS_H
+
+#include <cstdint>
+
+#include "core/compiler.h"
+#include "fpga/report.h"
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+
+namespace spatial::bench
+{
+
+/** One evaluation workload: the fixed matrix in dense and CSR form. */
+struct Workload
+{
+    IntMatrix weights;
+    CsrMatrix<std::int64_t> csr;
+};
+
+/**
+ * Signed 8-bit element-sparse matrix per Section VI's scheme, shared by
+ * the FPGA, GPU, and SIGMA sides of each figure.
+ */
+Workload makeWorkload(std::size_t dim, double sparsity,
+                      std::uint64_t seed = 99);
+
+/**
+ * Compile and evaluate the FPGA implementation of a workload.  The
+ * evaluation figures use the CSD form (the paper's best configuration);
+ * Figures 9-10 pass PnSplit explicitly for the comparison.
+ */
+fpga::DesignPoint evalFpga(const IntMatrix &weights,
+                           core::SignMode mode = core::SignMode::Csd);
+
+} // namespace spatial::bench
+
+#endif // SPATIAL_BENCH_HARNESS_H

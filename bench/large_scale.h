@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The Section VI large-scale sweep shared by Figures 10, 11, and 12:
+ * square matrices of dimension 512 and 1024, 8-bit signed weights,
+ * element sparsity 40%..98%, compiled with both the PN split and the
+ * CSD transform.
+ */
+
+#ifndef SPATIAL_BENCH_LARGE_SCALE_H
+#define SPATIAL_BENCH_LARGE_SCALE_H
+
+#include <functional>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace spatial::bench
+{
+
+/** One large-scale design point. */
+struct LargeScalePoint
+{
+    std::size_t dim;
+    double sparsity;
+    core::SignMode mode;
+    fpga::DesignPoint point;
+};
+
+/** Run the Section VI sweep, invoking `consume` per design point. */
+inline std::vector<LargeScalePoint>
+runLargeScaleSweep()
+{
+    std::vector<LargeScalePoint> points;
+    for (const std::size_t dim : {512u, 1024u}) {
+        for (const double sparsity :
+             {0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.98}) {
+            const auto workload = makeWorkload(dim, sparsity);
+            for (const auto mode :
+                 {core::SignMode::PnSplit, core::SignMode::Csd}) {
+                points.push_back(LargeScalePoint{
+                    dim, sparsity, mode,
+                    evalFpga(workload.weights, mode)});
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace spatial::bench
+
+#endif // SPATIAL_BENCH_LARGE_SCALE_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the toolchain itself: matrix
+ * compilation throughput, cycle-accurate simulation speed, and the CSD
+ * transform.  These time *our* software, not the modelled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "matrix/csd.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+
+void
+BM_CompileMatrix(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    const auto weights =
+        makeSignedElementSparseMatrix(dim, dim, 8, 0.9, rng);
+    core::CompileOptions options;
+    for (auto _ : state) {
+        auto design = core::MatrixCompiler(options).compile(weights);
+        benchmark::DoNotOptimize(design.netlist().numNodes());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim * dim));
+}
+BENCHMARK(BM_CompileMatrix)->Arg(64)->Arg(256)->Arg(512);
+
+void
+BM_SimulateGemv(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    const auto weights =
+        makeSignedElementSparseMatrix(dim, dim, 8, 0.9, rng);
+    const auto design =
+        core::MatrixCompiler(core::CompileOptions{}).compile(weights);
+    circuit::Simulator sim(design.netlist());
+    const auto a = makeSignedVector(dim, 8, rng);
+    for (auto _ : state) {
+        auto out = design.multiplyWith(sim, a);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(design.netlist().numNodes()) *
+        design.drainCycles());
+}
+BENCHMARK(BM_SimulateGemv)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_CsdTransform(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    const auto weights =
+        makeSignedElementSparseMatrix(dim, dim, 8, 0.5, rng);
+    const auto pn = pnSplit(weights);
+    for (auto _ : state) {
+        Rng coin(7);
+        auto csd = csdTransform(pn, coin);
+        benchmark::DoNotOptimize(csd.p.data().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim * dim));
+}
+BENCHMARK(BM_CsdTransform)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_ReferenceGemv(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(4);
+    const auto weights =
+        makeSignedElementSparseMatrix(dim, dim, 8, 0.9, rng);
+    const auto a = makeSignedVector(dim, 8, rng);
+    for (auto _ : state) {
+        auto out = gemvRef(a, weights);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim * dim));
+}
+BENCHMARK(BM_ReferenceGemv)->Arg(64)->Arg(256)->Arg(1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

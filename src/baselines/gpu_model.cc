@@ -1,0 +1,98 @@
+#include "baselines/gpu_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spatial::baselines
+{
+
+const char *
+gpuLibraryName(GpuLibrary library)
+{
+    switch (library) {
+      case GpuLibrary::CuSparse:
+        return "cuSPARSE";
+      case GpuLibrary::OptimizedKernel:
+        return "Optimized Kernel";
+    }
+    return "?";
+}
+
+GpuModelParams
+GpuModelParams::cuSparse()
+{
+    GpuModelParams params;
+    // cuSPARSE launches several kernels and walks general CSR metadata:
+    // a higher floor and more per-nonzero indexing traffic at lower
+    // sustained efficiency.
+    params.kernelFloorNs = 10'000.0;
+    params.bytesPerNnz = 20.0;
+    params.bandwidthEfficiency = 0.45;
+    return params;
+}
+
+GpuModelParams
+GpuModelParams::optimizedKernel()
+{
+    GpuModelParams params;
+    // Gale et al.: single fused kernel, vectorized gathers —
+    // "comparatively spends less time indexing and has higher
+    // performance at lower sparsity".
+    params.kernelFloorNs = 2900.0;
+    params.bytesPerNnz = 6.0;
+    params.bandwidthEfficiency = 0.70;
+    return params;
+}
+
+GpuModel::GpuModel(GpuLibrary library)
+    : GpuModel(library, library == GpuLibrary::CuSparse
+                            ? GpuModelParams::cuSparse()
+                            : GpuModelParams::optimizedKernel())
+{}
+
+GpuModel::GpuModel(GpuLibrary library, GpuModelParams params)
+    : library_(library), params_(params)
+{
+    SPATIAL_ASSERT(params_.peakBandwidthGBs > 0 &&
+                       params_.bandwidthEfficiency > 0 &&
+                       params_.occupancyRows > 0,
+                   "bad GPU parameters");
+}
+
+double
+GpuModel::occupancy(std::size_t rows) const
+{
+    return std::clamp(static_cast<double>(rows) / params_.occupancyRows,
+                      params_.minOccupancy, 1.0);
+}
+
+double
+GpuModel::latencyNs(std::size_t rows, std::size_t cols, std::size_t nnz,
+                    std::size_t batch) const
+{
+    SPATIAL_ASSERT(batch >= 1, "batch ", batch);
+    const double occ = occupancy(rows);
+    const double achieved_gbs =
+        params_.peakBandwidthGBs * params_.bandwidthEfficiency * occ;
+
+    // The stationary matrix crosses the memory system once per
+    // iteration (values + indices); batching does not re-read it.
+    const double weight_bytes =
+        static_cast<double>(nnz) * params_.bytesPerNnz;
+    // Dense input/output vectors move once per batch column.
+    const double vector_bytes = static_cast<double>(batch) *
+                                static_cast<double>(rows + cols) *
+                                params_.vectorBytes;
+    const double memory_ns =
+        (weight_bytes + vector_bytes) / achieved_gbs; // GB/s == bytes/ns
+
+    // fp16 FMA term; never binding for the paper's shapes.
+    const double flops = 2.0 * static_cast<double>(nnz) *
+                         static_cast<double>(batch);
+    const double compute_ns = flops / params_.computeGflops;
+
+    return params_.kernelFloorNs + memory_ns + compute_ns;
+}
+
+} // namespace spatial::baselines

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cycle-level simulator of a SIGMA-style sparse GEMM accelerator
+ * (Qin et al., HPCA 2020), the paper's DNN-accelerator comparator
+ * (Section VII.B).
+ *
+ * Modelled microarchitecture, at the fidelity the comparison needs:
+ *
+ *  - a 128x128 grid of processing elements holding nonzero weights
+ *    stationary (only useful weight/activation pairs are mapped, SIGMA's
+ *    headline feature);
+ *  - a Benes-style pipelined distribution network for input broadcast
+ *    and a FAN reduction tree, giving logarithmic-depth pipelines;
+ *  - when the nonzeros exceed the grid, the computation is tiled: each
+ *    tile's weights are reloaded from SRAM through a fixed-width port,
+ *    partial sums are accumulated in banked accumulation SRAM, and the
+ *    reduction pipeline drains between tiles — this is the transition
+ *    into the memory-bound region the paper observes past 1024x1024;
+ *  - batching streams extra vectors through each resident tile, so
+ *    weight loads amortize but per-vector streaming and accumulation do
+ *    not.
+ *
+ * The clock is 1 GHz, the paper's process/precision-normalized assumption
+ * ("we assume that SIGMA can be clocked at 1GHz").  The simulator also
+ * computes the actual integer outputs so tests can check them against
+ * the reference gemv.
+ */
+
+#ifndef SPATIAL_BASELINES_SIGMA_H
+#define SPATIAL_BASELINES_SIGMA_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+
+namespace spatial::baselines
+{
+
+/** Microarchitectural parameters of the modelled accelerator. */
+struct SigmaConfig
+{
+    /** PE grid shape (the paper's instance is 128x128). */
+    std::size_t gridRows = 128;
+    std::size_t gridCols = 128;
+
+    /** Clock in GHz (1 GHz per the paper's normalization). */
+    double clockGhz = 1.0;
+
+    /** Weights loaded from SRAM into the grid per cycle. */
+    std::size_t weightLoadPerCycle = 128;
+
+    /** Input/output elements streamed per cycle. */
+    std::size_t ioPortsPerCycle = 64;
+
+    /** Accumulation-SRAM lanes for per-tile partial sums. */
+    std::size_t accumLanesPerCycle = 128;
+
+    /** Distribution (Benes) network pipeline depth: 2*log2(128). */
+    std::uint32_t benesDepth = 14;
+
+    /** Multiplier pipeline stages. */
+    std::uint32_t multiplyDepth = 1;
+
+    /** Fixed SRAM round-trip and control overhead per invocation. */
+    std::uint32_t fixedOverheadCycles = 150;
+
+    /** Total PEs. */
+    std::size_t peCapacity() const { return gridRows * gridCols; }
+};
+
+/** Outcome of one simulated (batched) multiplication. */
+struct SigmaResult
+{
+    IntMatrix outputs; //!< batch x cols integer results
+
+    std::uint64_t cycles = 0;
+    double latencyNs = 0.0;
+
+    std::size_t tiles = 0;         //!< grid refills needed
+    std::size_t mappedNnz = 0;     //!< nonzeros mapped to PEs
+    double peUtilization = 0.0;    //!< mean mapped fraction per tile
+    std::uint64_t sramWeightReads = 0;
+    bool tiled = false;            //!< entered the memory-bound regime
+};
+
+/** Cycle-level SIGMA simulator. */
+class SigmaSim
+{
+  public:
+    explicit SigmaSim(SigmaConfig config = {});
+
+    const SigmaConfig &config() const { return config_; }
+
+    /**
+     * Multiply a dense batch (batch x rows) against the stationary
+     * sparse matrix, counting cycles phase-by-phase.
+     */
+    SigmaResult run(const CsrMatrix<std::int64_t> &matrix,
+                    const IntMatrix &batch) const;
+
+    /** Single-vector convenience wrapper (batch of one). */
+    SigmaResult runVector(const CsrMatrix<std::int64_t> &matrix,
+                          const std::vector<std::int64_t> &a) const;
+
+  private:
+    SigmaConfig config_;
+};
+
+} // namespace spatial::baselines
+
+#endif // SPATIAL_BASELINES_SIGMA_H

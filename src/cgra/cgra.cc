@@ -1,0 +1,70 @@
+#include "cgra/cgra.h"
+
+#include "common/logging.h"
+#include "core/latency.h"
+
+namespace spatial::cgra
+{
+
+CgraPoint
+projectDesign(const core::CompiledMatrix &design,
+              const fpga::DesignPoint &fpga_point, const CgraConfig &config)
+{
+    const auto counts = circuit::collectCounts(design.netlist());
+
+    CgraPoint point;
+    const std::size_t arith = counts.adders + counts.subs;
+    const std::size_t gates = counts.ands + counts.nots;
+    point.cells = arith + counts.dffs + gates;
+
+    // Fabric cost: function transistors plus per-cell configuration.
+    // Each arithmetic cell carries a full adder and its two registers.
+    point.transistors =
+        static_cast<double>(arith) *
+            (config.transistorsPerFullAdder +
+             2.0 * config.transistorsPerFf) +
+        static_cast<double>(counts.dffs) * config.transistorsPerFf +
+        static_cast<double>(gates) * config.transistorsPerGate +
+        static_cast<double>(point.cells) * config.configTransistorsPerCell;
+
+    // The same design on the FPGA, in transistors: LUTs (including
+    // LUTRAM-mapped shift registers) plus flip-flops.
+    point.fpgaTransistors =
+        static_cast<double>(fpga_point.resources.luts +
+                            fpga_point.resources.lutrams) *
+            config.transistorsPerLut +
+        static_cast<double>(fpga_point.resources.ffs) *
+            config.transistorsPerFf;
+    point.densityAdvantage =
+        point.transistors > 0.0
+            ? point.fpgaTransistors / point.transistors
+            : 0.0;
+
+    point.clockMhz = config.clockMhz;
+    point.latencyCycles = design.paperLatencyCycles();
+    point.latencyNs = core::cyclesToNs(point.latencyCycles, point.clockMhz);
+    point.fpgaLatencyNs = fpga_point.latencyNs;
+
+    // Pipeline reconfiguration: the configuration wave for tree level l
+    // is written while level l-1 still computes, so the exposed dead
+    // time is one wave step, not the whole fabric.
+    point.reconfigNs = core::cyclesToNs(
+        static_cast<std::uint32_t>(1.0 / config.configRowsPerCycle + 0.5),
+        point.clockMhz);
+    point.fpgaReconfigNs = config.fpgaReconfigMs * 1e6;
+    return point;
+}
+
+double
+sustainedNsPerMultiply(const CgraPoint &point,
+                       std::size_t multiplies_per_matrix, bool on_fpga)
+{
+    SPATIAL_ASSERT(multiplies_per_matrix >= 1, "need at least 1 multiply");
+    const double compute = on_fpga ? point.fpgaLatencyNs : point.latencyNs;
+    const double reconfig =
+        on_fpga ? point.fpgaReconfigNs : point.reconfigNs;
+    return compute +
+           reconfig / static_cast<double>(multiplies_per_matrix);
+}
+
+} // namespace spatial::cgra

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * CGRA projection model — Section VIII's proposed custom device.
+ *
+ * The paper argues the FPGA's two limits (input-broadcast fanout and
+ * 6-input-LUT cost) disappear in a purpose-built CGRA: "a 6-input LUT is
+ * made using 64 SRAM bits of 6 transistors each, with 64 MUX T-gates of
+ * 2 transistors each, which yields a total of 512 transistors for every
+ * LUT.  A full-adder uses 16 or fewer transistors, which is 1/32 the
+ * cost."  The fabric is a grid of full-adders and flip-flops with a
+ * tree-like reduction interconnect and a pipelined broadcast network,
+ * plus *pipeline reconfiguration* (PipeRench-style): configuration waves
+ * chase the compute waves down the tree, so swapping the matrix costs
+ * no dead time — unlike the FPGA's ~200 ms full reconfiguration —
+ * making the approach viable for dynamic sparse matrices.
+ *
+ * This module projects any compiled design onto that fabric: transistor
+ * budget, clock, latency, and matrix-update economics.
+ */
+
+#ifndef SPATIAL_CGRA_CGRA_H
+#define SPATIAL_CGRA_CGRA_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "circuit/stats.h"
+#include "core/compiled_matrix.h"
+#include "fpga/report.h"
+
+namespace spatial::cgra
+{
+
+/** Technology/fabric parameters of the projected CGRA. */
+struct CgraConfig
+{
+    /** Transistors in one FPGA 6-input LUT (64x6T SRAM + 64x2T mux). */
+    double transistorsPerLut = 512.0;
+
+    /** Transistors in one full-adder cell (paper: "16 or fewer"). */
+    double transistorsPerFullAdder = 16.0;
+
+    /** Transistors per flip-flop (standard 6T-8T master-slave ~ 24T). */
+    double transistorsPerFf = 24.0;
+
+    /** Transistors per AND/NOT gate cell. */
+    double transistorsPerGate = 6.0;
+
+    /**
+     * Per-cell configuration SRAM (interconnect mux selects + function
+     * bits) — the price of programmability, far below a LUT's 512.
+     */
+    double configTransistorsPerCell = 64.0;
+
+    /**
+     * Fabric clock in MHz.  The pipelined broadcast/reduction
+     * interconnect removes the fanout cliff, so the clock holds across
+     * design sizes ("higher compute density at higher frequencies").
+     */
+    double clockMhz = 750.0;
+
+    /** Configuration rows written per cycle during a pipeline wave. */
+    double configRowsPerCycle = 1.0;
+
+    /** FPGA full-bitstream reconfiguration time (Section VIII). */
+    double fpgaReconfigMs = 200.0;
+};
+
+/** Projection of one compiled design onto the CGRA fabric. */
+struct CgraPoint
+{
+    std::size_t cells = 0;          //!< FA + FF + gate cells
+    double transistors = 0.0;       //!< fabric transistors incl. config
+    double fpgaTransistors = 0.0;   //!< same design on the FPGA
+    double densityAdvantage = 0.0;  //!< fpgaTransistors / transistors
+
+    double clockMhz = 0.0;
+    std::uint32_t latencyCycles = 0; //!< Equation 5 cycles
+    double latencyNs = 0.0;
+    double fpgaLatencyNs = 0.0; //!< the same design at the FPGA's Fmax
+
+    /**
+     * Dead time to swap in a new matrix.  Pipeline reconfiguration
+     * overlaps configuration with the draining computation, so only the
+     * first wave's skew is exposed.
+     */
+    double reconfigNs = 0.0;
+    double fpgaReconfigNs = 0.0; //!< the FPGA's full reprogramming cost
+};
+
+/** Project a compiled design onto the CGRA. */
+CgraPoint projectDesign(const core::CompiledMatrix &design,
+                        const fpga::DesignPoint &fpga_point,
+                        const CgraConfig &config = {});
+
+/**
+ * Sustained time per multiply when the matrix changes every
+ * `multiplies_per_matrix` products (the dynamic-sparse-matrix use case):
+ * amortizes each platform's reconfiguration dead time.
+ */
+double sustainedNsPerMultiply(const CgraPoint &point,
+                              std::size_t multiplies_per_matrix,
+                              bool on_fpga);
+
+} // namespace spatial::cgra
+
+#endif // SPATIAL_CGRA_CGRA_H

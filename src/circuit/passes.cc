@@ -1,0 +1,216 @@
+#include "circuit/passes.h"
+
+#include <algorithm>
+#include <string>
+
+namespace spatial::circuit
+{
+
+namespace
+{
+
+/** Number of source operands a kind consumes. */
+int
+sourceCount(CompKind kind)
+{
+    switch (kind) {
+      case CompKind::Const0:
+      case CompKind::Const1:
+      case CompKind::Input:
+        return 0;
+      case CompKind::Dff:
+      case CompKind::Not:
+        return 1;
+      case CompKind::And:
+      case CompKind::Adder:
+      case CompKind::Sub:
+        return 2;
+    }
+    return 0;
+}
+
+} // namespace
+
+ValidationResult
+validate(const Netlist &netlist)
+{
+    const auto n = static_cast<NodeId>(netlist.numNodes());
+    std::vector<bool> port_seen(netlist.numInputPorts(), false);
+
+    for (NodeId id = 0; id < n; ++id) {
+        const auto kind = netlist.kind(id);
+        const int sources = sourceCount(kind);
+        if (sources >= 1) {
+            const NodeId a = netlist.srcA(id);
+            if (a >= id)
+                return {false, "node " + std::to_string(id) +
+                                   " references non-preceding source " +
+                                   std::to_string(a)};
+        }
+        if (sources >= 2) {
+            const NodeId b = netlist.srcB(id);
+            if (b >= id)
+                return {false, "node " + std::to_string(id) +
+                                   " references non-preceding source " +
+                                   std::to_string(b)};
+        }
+        if (kind == CompKind::Input) {
+            const auto port = netlist.inputPort(id);
+            if (port >= port_seen.size())
+                return {false, "input port " + std::to_string(port) +
+                                   " out of range"};
+            if (port_seen[port])
+                return {false, "input port " + std::to_string(port) +
+                                   " driven twice"};
+            port_seen[port] = true;
+        }
+    }
+    for (std::size_t port = 0; port < port_seen.size(); ++port) {
+        if (!port_seen[port])
+            return {false, "input port " + std::to_string(port) +
+                               " missing"};
+    }
+    return {true, ""};
+}
+
+DepthStats
+computeDepths(const Netlist &netlist, const std::vector<NodeId> &outputs)
+{
+    DepthStats stats;
+    const auto n = static_cast<NodeId>(netlist.numNodes());
+    stats.depth.assign(netlist.numNodes(), 0);
+
+    for (NodeId id = 0; id < n; ++id) {
+        std::uint32_t source_depth = 0;
+        switch (netlist.kind(id)) {
+          case CompKind::Const0:
+          case CompKind::Const1:
+          case CompKind::Input:
+            continue;
+          case CompKind::Dff:
+          case CompKind::Not:
+            source_depth = stats.depth[netlist.srcA(id)];
+            break;
+          case CompKind::And:
+          case CompKind::Adder:
+          case CompKind::Sub:
+            source_depth = std::max(stats.depth[netlist.srcA(id)],
+                                    stats.depth[netlist.srcB(id)]);
+            break;
+        }
+        const bool registered = netlist.kind(id) == CompKind::Dff ||
+                                netlist.kind(id) == CompKind::Adder ||
+                                netlist.kind(id) == CompKind::Sub;
+        stats.depth[id] = source_depth + (registered ? 1 : 0);
+        stats.maxDepth = std::max(stats.maxDepth, stats.depth[id]);
+    }
+
+    if (!outputs.empty()) {
+        double sum = 0.0;
+        for (const auto out : outputs)
+            sum += out == kNoNode ? 0.0
+                                  : static_cast<double>(stats.depth[out]);
+        stats.meanOutputDepth = sum / static_cast<double>(outputs.size());
+    }
+    return stats;
+}
+
+namespace
+{
+
+std::vector<bool>
+reachableFrom(const Netlist &netlist, const std::vector<NodeId> &outputs)
+{
+    std::vector<bool> live(netlist.numNodes(), false);
+    std::vector<NodeId> stack;
+    // Primary inputs are external pins: always part of the interface.
+    for (NodeId id = 0; id < netlist.numNodes(); ++id)
+        if (netlist.kind(id) == CompKind::Input)
+            live[id] = true;
+    for (const auto out : outputs)
+        if (out != kNoNode && !live[out]) {
+            live[out] = true;
+            stack.push_back(out);
+        }
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        const int sources = sourceCount(netlist.kind(id));
+        if (sources >= 1) {
+            const NodeId a = netlist.srcA(id);
+            if (!live[a]) {
+                live[a] = true;
+                stack.push_back(a);
+            }
+        }
+        if (sources >= 2) {
+            const NodeId b = netlist.srcB(id);
+            if (!live[b]) {
+                live[b] = true;
+                stack.push_back(b);
+            }
+        }
+    }
+    return live;
+}
+
+} // namespace
+
+std::size_t
+countDeadNodes(const Netlist &netlist, const std::vector<NodeId> &outputs)
+{
+    const auto live = reachableFrom(netlist, outputs);
+    std::size_t dead = 0;
+    for (const auto flag : live)
+        dead += !flag;
+    return dead;
+}
+
+Netlist
+eliminateDeadNodes(const Netlist &netlist, std::vector<NodeId> &outputs)
+{
+    const auto live = reachableFrom(netlist, outputs);
+    const auto n = static_cast<NodeId>(netlist.numNodes());
+
+    Netlist out;
+    std::vector<NodeId> remap(netlist.numNodes(), kNoNode);
+    for (NodeId id = 0; id < n; ++id) {
+        if (!live[id])
+            continue;
+        switch (netlist.kind(id)) {
+          case CompKind::Const0:
+            remap[id] = out.addConst0();
+            break;
+          case CompKind::Const1:
+            remap[id] = out.addConst1();
+            break;
+          case CompKind::Input:
+            remap[id] = out.addInput(netlist.inputPort(id));
+            break;
+          case CompKind::Dff:
+            remap[id] = out.addDff(remap[netlist.srcA(id)]);
+            break;
+          case CompKind::Not:
+            remap[id] = out.addNot(remap[netlist.srcA(id)]);
+            break;
+          case CompKind::And:
+            remap[id] = out.addAnd(remap[netlist.srcA(id)],
+                                   remap[netlist.srcB(id)]);
+            break;
+          case CompKind::Adder:
+            remap[id] = out.addAdder(remap[netlist.srcA(id)],
+                                     remap[netlist.srcB(id)]);
+            break;
+          case CompKind::Sub:
+            remap[id] = out.addSub(remap[netlist.srcA(id)],
+                                   remap[netlist.srcB(id)]);
+            break;
+        }
+    }
+    for (auto &node : outputs)
+        if (node != kNoNode)
+            node = remap[node];
+    return out;
+}
+
+} // namespace spatial::circuit

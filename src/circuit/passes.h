@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Analysis and transformation passes over netlists: structural
+ * validation, pipeline-depth statistics (the quantities Figure 11's
+ * frequency discussion reasons about), and dead-node elimination used
+ * to confirm the compiler emits no unreachable hardware.
+ */
+
+#ifndef SPATIAL_CIRCUIT_PASSES_H
+#define SPATIAL_CIRCUIT_PASSES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace spatial::circuit
+{
+
+/** Outcome of structural validation. */
+struct ValidationResult
+{
+    bool ok = true;
+    std::string message; //!< first problem found, empty when ok
+};
+
+/**
+ * Check structural invariants: every source reference precedes its user
+ * (SSA order, which also guarantees acyclicity through combinational
+ * nodes), source kinds are sensible (e.g. nothing references beyond the
+ * node table), and input ports are dense.
+ */
+ValidationResult validate(const Netlist &netlist);
+
+/** Per-node register depth: registered steps from any primary input. */
+struct DepthStats
+{
+    std::uint32_t maxDepth = 0;     //!< deepest pipeline in the design
+    double meanOutputDepth = 0.0;   //!< mean depth over `outputs`
+    std::vector<std::uint32_t> depth; //!< per node
+};
+
+/**
+ * Compute register depth for every node (combinational nodes inherit
+ * the max of their sources; registered nodes add one).
+ *
+ * @param outputs nodes whose mean depth is reported (may be empty).
+ */
+DepthStats computeDepths(const Netlist &netlist,
+                         const std::vector<NodeId> &outputs);
+
+/**
+ * Count nodes not reachable (by reverse traversal) from the given
+ * outputs.  The compiler is expected to emit none; the naive ablation
+ * variant does (culled columns), and this pass quantifies it.
+ */
+std::size_t countDeadNodes(const Netlist &netlist,
+                           const std::vector<NodeId> &outputs);
+
+/**
+ * Rebuild a netlist containing only nodes reachable from `outputs`.
+ *
+ * @param[in,out] outputs rewritten to the new node ids.
+ * @return the compacted netlist.
+ */
+Netlist eliminateDeadNodes(const Netlist &netlist,
+                           std::vector<NodeId> &outputs);
+
+} // namespace spatial::circuit
+
+#endif // SPATIAL_CIRCUIT_PASSES_H

@@ -1,0 +1,94 @@
+#include "circuit/simulator.h"
+
+namespace spatial::circuit
+{
+
+Simulator::Simulator(const Netlist &netlist)
+    : netlist_(netlist),
+      cur_(netlist.numNodes(), 0),
+      regOut_(netlist.numNodes(), 0),
+      carry_(netlist.numNodes(), 0)
+{
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    cycle_ = 0;
+    for (std::size_t i = 0; i < netlist_.numNodes(); ++i) {
+        cur_[i] = 0;
+        regOut_[i] = 0;
+        // A subtractor is carry-in 1 plus an inverted operand: the two's
+        // complement -b = ~b + 1 identity.
+        carry_[i] =
+            netlist_.kind(static_cast<NodeId>(i)) == CompKind::Sub ? 1 : 0;
+    }
+}
+
+void
+Simulator::step(const std::vector<std::uint8_t> &input_bits)
+{
+    const auto n = static_cast<NodeId>(netlist_.numNodes());
+
+    // Phase 1: settle every output for this cycle.  Ascending id order is
+    // a valid topological order because the builder only references
+    // already-created nodes.
+    for (NodeId id = 0; id < n; ++id) {
+        switch (netlist_.kind(id)) {
+          case CompKind::Const0:
+            cur_[id] = 0;
+            break;
+          case CompKind::Const1:
+            cur_[id] = 1;
+            break;
+          case CompKind::Input: {
+            const auto port = netlist_.inputPort(id);
+            cur_[id] = port < input_bits.size() ? input_bits[port] : 0;
+            break;
+          }
+          case CompKind::Dff:
+          case CompKind::Adder:
+          case CompKind::Sub:
+            cur_[id] = regOut_[id];
+            break;
+          case CompKind::Not:
+            cur_[id] = cur_[netlist_.srcA(id)] ? 0 : 1;
+            break;
+          case CompKind::And:
+            cur_[id] = cur_[netlist_.srcA(id)] & cur_[netlist_.srcB(id)];
+            break;
+        }
+    }
+
+    // Phase 2: latch next state from the settled values.
+    for (NodeId id = 0; id < n; ++id) {
+        switch (netlist_.kind(id)) {
+          case CompKind::Dff:
+            regOut_[id] = cur_[netlist_.srcA(id)];
+            break;
+          case CompKind::Adder: {
+            const int a = cur_[netlist_.srcA(id)];
+            const int b = cur_[netlist_.srcB(id)];
+            const int s = a + b + carry_[id];
+            regOut_[id] = static_cast<std::uint8_t>(s & 1);
+            carry_[id] = static_cast<std::uint8_t>(s >> 1);
+            break;
+          }
+          case CompKind::Sub: {
+            const int a = cur_[netlist_.srcA(id)];
+            const int b = cur_[netlist_.srcB(id)] ? 0 : 1; // inverted
+            const int s = a + b + carry_[id];
+            regOut_[id] = static_cast<std::uint8_t>(s & 1);
+            carry_[id] = static_cast<std::uint8_t>(s >> 1);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    ++cycle_;
+}
+
+} // namespace spatial::circuit

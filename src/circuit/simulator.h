@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cycle-accurate two-phase simulator for bit-serial netlists.
+ *
+ * Each step() models one clock cycle: first every component's output for
+ * the cycle is settled in topological (id) order — registered components
+ * present their stored bit, combinational ones propagate — then all
+ * registers latch their next state.  This matches the synchronous single-
+ * clock semantics of the paper's FPGA design.
+ */
+
+#ifndef SPATIAL_CIRCUIT_SIMULATOR_H
+#define SPATIAL_CIRCUIT_SIMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace spatial::circuit
+{
+
+/** Simulates a Netlist one clock cycle at a time. */
+class Simulator
+{
+  public:
+    /** Bind to a netlist; the netlist must outlive the simulator. */
+    explicit Simulator(const Netlist &netlist);
+
+    /** Return to the power-on state (registers 0, subtractor carries 1). */
+    void reset();
+
+    /**
+     * Advance one clock cycle.
+     *
+     * @param input_bits one bit per input port (indexed by port); ports
+     *        beyond the vector's size read 0.
+     */
+    void step(const std::vector<std::uint8_t> &input_bits);
+
+    /** Output bit of a component during the most recent cycle. */
+    bool
+    outputBit(NodeId id) const
+    {
+        SPATIAL_ASSERT(id < cur_.size(), "node ", id, " out of range");
+        return cur_[id] != 0;
+    }
+
+    /** Number of step() calls since the last reset. */
+    std::uint64_t cycle() const { return cycle_; }
+
+  private:
+    const Netlist &netlist_;
+    std::vector<std::uint8_t> cur_;    //!< settled output bit this cycle
+    std::vector<std::uint8_t> regOut_; //!< Dff bit / adder sum register
+    std::vector<std::uint8_t> carry_;  //!< adder/sub carry register
+    std::uint64_t cycle_ = 0;
+};
+
+} // namespace spatial::circuit
+
+#endif // SPATIAL_CIRCUIT_SIMULATOR_H

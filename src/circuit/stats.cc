@@ -1,0 +1,44 @@
+#include "circuit/stats.h"
+
+namespace spatial::circuit
+{
+
+NetlistCounts
+collectCounts(const Netlist &netlist)
+{
+    NetlistCounts counts;
+    counts.totalNodes = netlist.numNodes();
+    for (NodeId id = 0; id < netlist.numNodes(); ++id) {
+        switch (netlist.kind(id)) {
+          case CompKind::Input:
+            counts.inputs++;
+            break;
+          case CompKind::Const0:
+            counts.const0s++;
+            break;
+          case CompKind::Const1:
+            counts.const1s++;
+            break;
+          case CompKind::Dff:
+            counts.dffs++;
+            break;
+          case CompKind::Not:
+            counts.nots++;
+            break;
+          case CompKind::And:
+            counts.ands++;
+            break;
+          case CompKind::Adder:
+            counts.adders++;
+            break;
+          case CompKind::Sub:
+            counts.subs++;
+            break;
+        }
+    }
+    counts.registerBits = netlist.registerBits();
+    counts.maxFanout = netlist.maxFanout();
+    return counts;
+}
+
+} // namespace spatial::circuit

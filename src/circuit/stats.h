@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Aggregate statistics of a netlist, consumed by the FPGA technology
+ * mapper and the bench reports.
+ */
+
+#ifndef SPATIAL_CIRCUIT_STATS_H
+#define SPATIAL_CIRCUIT_STATS_H
+
+#include <cstdint>
+#include <cstddef>
+
+#include "circuit/netlist.h"
+
+namespace spatial::circuit
+{
+
+/** Per-kind component counts plus the quantities the cost models need. */
+struct NetlistCounts
+{
+    std::size_t inputs = 0;
+    std::size_t const0s = 0;
+    std::size_t const1s = 0;
+    std::size_t dffs = 0;
+    std::size_t nots = 0;
+    std::size_t ands = 0;
+    std::size_t adders = 0;
+    std::size_t subs = 0;
+    std::size_t totalNodes = 0;
+    std::size_t registerBits = 0;
+    std::uint32_t maxFanout = 0;
+};
+
+/** Walk the netlist once and collect counts. */
+NetlistCounts collectCounts(const Netlist &netlist);
+
+} // namespace spatial::circuit
+
+#endif // SPATIAL_CIRCUIT_STATS_H

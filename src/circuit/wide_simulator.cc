@@ -1,0 +1,109 @@
+#include "circuit/wide_simulator.h"
+
+#include <bit>
+
+namespace spatial::circuit
+{
+
+WideSimulator::WideSimulator(const Netlist &netlist)
+    : netlist_(netlist),
+      cur_(netlist.numNodes(), 0),
+      regOut_(netlist.numNodes(), 0),
+      carry_(netlist.numNodes(), 0),
+      registerBits_(netlist.registerBits())
+{
+    reset();
+}
+
+void
+WideSimulator::reset()
+{
+    cycle_ = 0;
+    toggles_ = 0;
+    for (std::size_t i = 0; i < netlist_.numNodes(); ++i) {
+        cur_[i] = 0;
+        regOut_[i] = 0;
+        carry_[i] =
+            netlist_.kind(static_cast<NodeId>(i)) == CompKind::Sub
+                ? ~std::uint64_t{0}
+                : 0;
+    }
+}
+
+void
+WideSimulator::step(const std::vector<std::uint64_t> &input_words)
+{
+    const auto n = static_cast<NodeId>(netlist_.numNodes());
+
+    // Phase 1: settle outputs (id order is topological).
+    for (NodeId id = 0; id < n; ++id) {
+        switch (netlist_.kind(id)) {
+          case CompKind::Const0:
+            cur_[id] = 0;
+            break;
+          case CompKind::Const1:
+            cur_[id] = ~std::uint64_t{0};
+            break;
+          case CompKind::Input: {
+            const auto port = netlist_.inputPort(id);
+            cur_[id] = port < input_words.size() ? input_words[port] : 0;
+            break;
+          }
+          case CompKind::Dff:
+          case CompKind::Adder:
+          case CompKind::Sub:
+            cur_[id] = regOut_[id];
+            break;
+          case CompKind::Not:
+            cur_[id] = ~cur_[netlist_.srcA(id)];
+            break;
+          case CompKind::And:
+            cur_[id] = cur_[netlist_.srcA(id)] & cur_[netlist_.srcB(id)];
+            break;
+        }
+    }
+
+    // Phase 2: latch, counting toggles lane-wise.
+    for (NodeId id = 0; id < n; ++id) {
+        switch (netlist_.kind(id)) {
+          case CompKind::Dff: {
+            const std::uint64_t next = cur_[netlist_.srcA(id)];
+            toggles_ += std::popcount(regOut_[id] ^ next);
+            regOut_[id] = next;
+            break;
+          }
+          case CompKind::Adder:
+          case CompKind::Sub: {
+            const std::uint64_t a = cur_[netlist_.srcA(id)];
+            const std::uint64_t b_raw = cur_[netlist_.srcB(id)];
+            const std::uint64_t b =
+                netlist_.kind(id) == CompKind::Sub ? ~b_raw : b_raw;
+            const std::uint64_t c = carry_[id];
+            const std::uint64_t sum = a ^ b ^ c;
+            const std::uint64_t carry = (a & b) | (a & c) | (b & c);
+            toggles_ += std::popcount(regOut_[id] ^ sum);
+            toggles_ += std::popcount(carry_[id] ^ carry);
+            regOut_[id] = sum;
+            carry_[id] = carry;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    ++cycle_;
+}
+
+double
+WideSimulator::measuredActivity(std::size_t lanes_used) const
+{
+    SPATIAL_ASSERT(lanes_used >= 1 && lanes_used <= 64, "lanes ",
+                   lanes_used);
+    if (cycle_ == 0 || registerBits_ == 0)
+        return 0.0;
+    return static_cast<double>(toggles_) /
+           (static_cast<double>(registerBits_) *
+            static_cast<double>(cycle_) * static_cast<double>(lanes_used));
+}
+
+} // namespace spatial::circuit

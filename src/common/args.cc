@@ -1,0 +1,81 @@
+#include "common/args.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace spatial
+{
+
+Args::Args(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            SPATIAL_FATAL("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            values_[arg] = "true";
+        } else {
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        }
+    }
+}
+
+bool
+Args::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+Args::getString(const std::string &name, const std::string &def) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Args::getInt(const std::string &name, std::int64_t def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0')
+        SPATIAL_FATAL("flag --", name, " expects an integer, got '",
+                      it->second, "'");
+    return v;
+}
+
+double
+Args::getReal(const std::string &name, double def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        SPATIAL_FATAL("flag --", name, " expects a real, got '",
+                      it->second, "'");
+    return v;
+}
+
+bool
+Args::getBool(const std::string &name, bool def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1")
+        return true;
+    if (v == "false" || v == "0")
+        return false;
+    SPATIAL_FATAL("flag --", name, " expects a boolean, got '", v, "'");
+}
+
+} // namespace spatial

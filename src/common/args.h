@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for bench and example binaries.
+ *
+ * Flags take the form --name=value or --name (boolean true).  Unknown
+ * positional arguments are rejected so typos fail loudly.
+ */
+
+#ifndef SPATIAL_COMMON_ARGS_H
+#define SPATIAL_COMMON_ARGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace spatial
+{
+
+/** Parsed command-line flags with typed accessors and defaults. */
+class Args
+{
+  public:
+    /** Parse argv; calls SPATIAL_FATAL on malformed arguments. */
+    Args(int argc, const char *const *argv);
+
+    /** True if the flag was present on the command line. */
+    bool has(const std::string &name) const;
+
+    /** String flag with default. */
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+
+    /** Integer flag with default; fatal on non-numeric value. */
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+
+    /** Real flag with default; fatal on non-numeric value. */
+    double getReal(const std::string &name, double def) const;
+
+    /** Boolean flag: present without value, or =true/=false/=1/=0. */
+    bool getBool(const std::string &name, bool def) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace spatial
+
+#endif // SPATIAL_COMMON_ARGS_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention of separating "the tool is broken" (panic)
+ * from "the user asked for something impossible" (fatal).  Both print to
+ * stderr; panic aborts so a debugger or core dump can capture the state,
+ * fatal exits with a normal error code.
+ */
+
+#ifndef SPATIAL_COMMON_LOGGING_H
+#define SPATIAL_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace spatial
+{
+
+namespace detail
+{
+
+/** Format the variadic arguments into a single string via operator<<. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace spatial
+
+/**
+ * Report an internal invariant violation (a bug in this library) and abort.
+ */
+#define SPATIAL_PANIC(...)                                                   \
+    ::spatial::detail::panicImpl(__FILE__, __LINE__,                         \
+                                 ::spatial::detail::formatMessage(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user error (bad configuration or arguments) and
+ * exit with status 1.
+ */
+#define SPATIAL_FATAL(...)                                                   \
+    ::spatial::detail::fatalImpl(__FILE__, __LINE__,                         \
+                                 ::spatial::detail::formatMessage(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define SPATIAL_WARN(...)                                                    \
+    ::spatial::detail::warnImpl(::spatial::detail::formatMessage(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define SPATIAL_INFORM(...)                                                  \
+    ::spatial::detail::informImpl(                                           \
+        ::spatial::detail::formatMessage(__VA_ARGS__))
+
+/** Panic unless the given invariant holds. */
+#define SPATIAL_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            SPATIAL_PANIC("assertion failed: " #cond " ",                    \
+                          ::spatial::detail::formatMessage(__VA_ARGS__));    \
+        }                                                                    \
+    } while (0)
+
+#endif // SPATIAL_COMMON_LOGGING_H

@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spatial
+{
+
+namespace
+{
+
+/** SplitMix64 step; used only for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+    // xoshiro must not start from the all-zero state.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+        state_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    SPATIAL_ASSERT(lo <= hi, "uniformInt range [", lo, ", ", hi, "]");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) {
+        // Full 64-bit range requested.
+        return static_cast<std::int64_t>(next());
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 high-quality bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpareGaussian_) {
+        hasSpareGaussian_ = false;
+        return spareGaussian_;
+    }
+    double u1 = uniformReal();
+    double u2 = uniformReal();
+    // Avoid log(0).
+    while (u1 <= 1e-300)
+        u1 = uniformReal();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spareGaussian_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpareGaussian_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace spatial

@@ -1,0 +1,104 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace spatial
+{
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+    SPATIAL_ASSERT(!columns_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SPATIAL_ASSERT(cells.size() == columns_.size(),
+                   "row width ", cells.size(), " vs ", columns_.size(),
+                   " columns in table '", title_, "'");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::cell(double v, int precision)
+{
+    if (std::isnan(v))
+        return "nan";
+    std::ostringstream oss;
+    // Large magnitudes read better in fixed notation; tiny ones in general.
+    if (std::abs(v) >= 1e6 || (std::abs(v) < 1e-3 && v != 0.0)) {
+        oss.precision(precision);
+        oss << std::scientific << v;
+    } else {
+        oss.precision(precision);
+        oss << std::defaultfloat << v;
+    }
+    return oss.str();
+}
+
+std::string
+Table::cell(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::cell(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::cell(int v)
+{
+    return std::to_string(v);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    os << "== " << title_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "  ";
+            os.width(static_cast<std::streamsize>(widths[c]));
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(columns_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(columns_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace spatial

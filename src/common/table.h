@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Aligned-table and CSV reporting for the bench harness.
+ *
+ * Every bench binary prints the series a paper figure plots as one table:
+ * a header row naming each column, then one row per x-axis point.  The
+ * same Table can also be emitted as CSV for downstream plotting.
+ */
+
+#ifndef SPATIAL_COMMON_TABLE_H
+#define SPATIAL_COMMON_TABLE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spatial
+{
+
+/** One printable report table (figure series or paper table). */
+class Table
+{
+  public:
+    /** Create a table with the given title and column headers. */
+    Table(std::string title, std::vector<std::string> columns);
+
+    /** Append a pre-formatted row; must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Format one cell value.  Doubles print with a sensible number of
+     * significant digits; integers print exactly.
+     */
+    static std::string cell(double v, int precision = 4);
+    static std::string cell(std::uint64_t v);
+    static std::string cell(std::int64_t v);
+    static std::string cell(int v);
+    static std::string cell(const std::string &v) { return v; }
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Pretty-print with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Emit as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    const std::string &title() const { return title_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace spatial
+
+#endif // SPATIAL_COMMON_TABLE_H

@@ -1,0 +1,408 @@
+#include "core/compiler.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/latency.h"
+#include "matrix/bits.h"
+#include "matrix/csd.h"
+
+namespace spatial::core
+{
+
+const char *
+signModeName(SignMode mode)
+{
+    switch (mode) {
+      case SignMode::Unsigned:
+        return "unsigned";
+      case SignMode::PnSplit:
+        return "pn";
+      case SignMode::Csd:
+        return "csd";
+    }
+    return "?";
+}
+
+namespace
+{
+
+using circuit::Netlist;
+using circuit::NodeId;
+
+/**
+ * A bit-serial stream under construction: logical bit t of its value is
+ * emitted by `node` at cycle t + latency.  Latency may be negative after
+ * x2 reinterpretation (earlier cycles implicitly emit 0 because every
+ * register resets to 0).
+ */
+struct Stream
+{
+    NodeId node;
+    std::int32_t latency;
+};
+
+using OptStream = std::optional<Stream>;
+
+/** Stateful helper that owns the netlist during construction. */
+class Builder
+{
+  public:
+    Builder(Netlist &netlist, const CompileOptions &options)
+        : nl_(netlist), opt_(options)
+    {}
+
+    NodeId
+    const0()
+    {
+        if (const0_ == circuit::kNoNode)
+            const0_ = nl_.addConst0();
+        return const0_;
+    }
+
+    NodeId
+    const1()
+    {
+        if (const1_ == circuit::kNoNode)
+            const1_ = nl_.addConst1();
+        return const1_;
+    }
+
+    /** Delay a stream so its latency becomes exactly `target`. */
+    Stream
+    delayTo(Stream s, std::int32_t target)
+    {
+        SPATIAL_ASSERT(target >= s.latency, "cannot advance a stream: ",
+                       s.latency, " -> ", target);
+        const auto cycles = static_cast<std::uint32_t>(target - s.latency);
+        return {nl_.addDelay(s.node, cycles), target};
+    }
+
+    /** Registered bit-serial addition of two aligned streams. */
+    Stream
+    add(Stream a, Stream b)
+    {
+        const std::int32_t t = std::max(a.latency, b.latency);
+        a = delayTo(a, t);
+        b = delayTo(b, t);
+        return {nl_.addAdder(a.node, b.node), t + 1};
+    }
+
+    Stream
+    dff(Stream s)
+    {
+        return {nl_.addDff(s.node), s.latency + 1};
+    }
+
+    /**
+     * Reduce partial products to one stream.  Balanced mode builds the
+     * logarithmic tree; the odd stream at a level passes through a DFF
+     * (the culled adder of Figure 2b) to stay aligned with its siblings.
+     */
+    OptStream
+    reduce(std::vector<Stream> leaves)
+    {
+        if (leaves.empty())
+            return std::nullopt;
+        if (!opt_.balancedTree) {
+            // Ablation: linear accumulation chain, depth O(n).
+            Stream acc = leaves[0];
+            for (std::size_t i = 1; i < leaves.size(); ++i)
+                acc = add(acc, leaves[i]);
+            return acc;
+        }
+        while (leaves.size() > 1) {
+            std::vector<Stream> next;
+            next.reserve(leaves.size() / 2 + 1);
+            for (std::size_t i = 0; i + 1 < leaves.size(); i += 2)
+                next.push_back(add(leaves[i], leaves[i + 1]));
+            if (leaves.size() % 2 != 0)
+                next.push_back(dff(leaves.back()));
+            leaves = std::move(next);
+        }
+        return leaves[0];
+    }
+
+    /**
+     * Combine per-bit-plane sums into sum_k 2^k * planes[k].
+     *
+     * Walks MSb to LSb computing acc_k = planes[k] + 2*acc_{k+1}.  The
+     * x2 is one cycle of skew: a stream reinterpreted as twice its value
+     * has latency one lower, so each chain adder's own output register
+     * usually provides the skew for free and the whole chain costs a
+     * single cycle of latency (the "+1 to accumulate across bit
+     * positions" of Equation 5).
+     */
+    OptStream
+    bitPositionChain(const std::vector<OptStream> &planes)
+    {
+        OptStream acc;
+        for (std::size_t i = planes.size(); i-- > 0;) {
+            const OptStream &plane = planes[i];
+            if (!acc) {
+                acc = plane;
+                continue;
+            }
+            const Stream doubled{acc->node, acc->latency - 1};
+            if (!plane) {
+                acc = doubled; // Empty plane: pure x2, no hardware.
+                continue;
+            }
+            acc = add(*plane, doubled);
+        }
+        return acc;
+    }
+
+    /** Final signed merge: p - n with a bit-serial subtractor. */
+    OptStream
+    subtract(OptStream p, OptStream n)
+    {
+        if (!n) {
+            return p;
+        }
+        if (!p) {
+            // 0 - n: the constant-0 stream aligns at any latency.
+            return Stream{nl_.addSub(const0(), n->node), n->latency + 1};
+        }
+        const std::int32_t t = std::max(p->latency, n->latency);
+        const Stream pa = delayTo(*p, t);
+        const Stream na = delayTo(*n, t);
+        return Stream{nl_.addSub(pa.node, na.node), t + 1};
+    }
+
+  private:
+    Netlist &nl_;
+    const CompileOptions &opt_;
+    NodeId const0_ = circuit::kNoNode;
+    NodeId const1_ = circuit::kNoNode;
+};
+
+/**
+ * Per-row broadcast endpoints with an optional fanout cap.
+ *
+ * Without a cap every consumer taps the row's input directly (the
+ * paper's baseline, whose first-stage fanout limits Fmax).  With a cap,
+ * each row's input feeds a balanced tree of register repeaters so no
+ * net drives more than `limit` loads — the Section VIII pipelined
+ * broadcast — and every endpoint of a row sits at the same register
+ * depth, which the stream-latency bookkeeping absorbs.
+ */
+class BroadcastNetwork
+{
+  public:
+    BroadcastNetwork(Netlist &netlist, const std::vector<NodeId> &inputs,
+                     const std::vector<std::size_t> &demand,
+                     std::uint32_t limit)
+        : limit_(limit)
+    {
+        endpoints_.resize(inputs.size());
+        cursors_.assign(inputs.size(), 0);
+        for (std::size_t r = 0; r < inputs.size(); ++r) {
+            std::vector<Stream> level{Stream{inputs[r], 0}};
+            if (limit > 0 && demand[r] > limit) {
+                const std::size_t target =
+                    (demand[r] + limit - 1) / limit;
+                while (level.size() < target) {
+                    const std::size_t grow =
+                        std::min<std::size_t>(level.size() * limit,
+                                              target);
+                    std::vector<Stream> next;
+                    next.reserve(grow);
+                    for (std::size_t i = 0; i < grow; ++i) {
+                        const Stream &parent = level[i % level.size()];
+                        next.push_back(Stream{
+                            netlist.addDff(parent.node),
+                            parent.latency + 1});
+                    }
+                    level = std::move(next);
+                }
+            }
+            endpoints_[r] = std::move(level);
+        }
+    }
+
+    /** Endpoint for the row's next consumer. */
+    Stream
+    next(std::size_t row)
+    {
+        const auto &level = endpoints_[row];
+        if (limit_ == 0 || level.size() == 1)
+            return level[0];
+        const std::size_t idx = cursors_[row]++ / limit_;
+        SPATIAL_ASSERT(idx < level.size(), "broadcast demand exceeded");
+        return level[idx];
+    }
+
+  private:
+    std::vector<std::vector<Stream>> endpoints_;
+    std::vector<std::size_t> cursors_;
+    std::uint32_t limit_;
+};
+
+/**
+ * Build the per-column per-plane partial-product leaves for one side of
+ * the weight matrix.
+ *
+ * With constant propagation (the paper's minimization), a set bit wires
+ * the row's broadcast endpoint straight into the tree and a clear bit
+ * contributes nothing.  Without it (ablation), every row passes through
+ * an AND gate against a tied-high/tied-low constant and the tree spans
+ * all rows.
+ */
+std::vector<Stream>
+planeLeaves(Builder &builder, Netlist &netlist, const IntMatrix &side,
+            BroadcastNetwork &broadcast, std::size_t col, int bit,
+            bool constant_propagation)
+{
+    std::vector<Stream> leaves;
+    for (std::size_t r = 0; r < side.rows(); ++r) {
+        const bool set = bitAt(side.at(r, col), bit);
+        if (constant_propagation) {
+            if (set)
+                leaves.push_back(broadcast.next(r));
+        } else {
+            const NodeId tied = set ? builder.const1() : builder.const0();
+            const Stream endpoint = broadcast.next(r);
+            leaves.push_back(
+                {netlist.addAnd(endpoint.node, tied), endpoint.latency});
+        }
+    }
+    return leaves;
+}
+
+} // namespace
+
+MatrixCompiler::MatrixCompiler(CompileOptions options) : options_(options)
+{
+    SPATIAL_ASSERT(options_.inputBits >= 1 && options_.inputBits <= 32,
+                   "inputBits ", options_.inputBits);
+    SPATIAL_ASSERT(options_.extraOutputBits >= 0, "extraOutputBits");
+}
+
+CompiledMatrix
+MatrixCompiler::compile(const IntMatrix &weights) const
+{
+    switch (options_.signMode) {
+      case SignMode::Unsigned: {
+        SPATIAL_ASSERT(weights.isNonNegative(),
+                       "Unsigned mode requires a non-negative matrix");
+        PnPair pair{weights, IntMatrix(weights.rows(), weights.cols())};
+        return compilePair(pair);
+      }
+      case SignMode::PnSplit:
+        return compilePair(pnSplit(weights));
+      case SignMode::Csd: {
+        Rng rng(options_.csdSeed);
+        return compilePair(csdSplit(weights, rng));
+      }
+    }
+    SPATIAL_PANIC("unreachable sign mode");
+}
+
+CompiledMatrix
+MatrixCompiler::compilePair(const PnPair &pn) const
+{
+    SPATIAL_ASSERT(pn.p.rows() == pn.n.rows() && pn.p.cols() == pn.n.cols(),
+                   "PN shape mismatch");
+    SPATIAL_ASSERT(pn.p.isNonNegative() && pn.n.isNonNegative(),
+                   "PN sides must be unsigned");
+    const std::size_t rows = pn.p.rows();
+    const std::size_t cols = pn.p.cols();
+    SPATIAL_ASSERT(rows >= 1 && cols >= 1, "empty matrix");
+
+    CompiledMatrix out;
+    out.options_ = options_;
+    out.rows_ = rows;
+    out.cols_ = cols;
+    out.weightBits_ = pn.bitwidth();
+    out.weightOnes_ = pn.onesCount();
+
+    const int out_bits = options_.inputBits + out.weightBits_ +
+                         ceilLog2(rows) + 1 + options_.extraOutputBits;
+    SPATIAL_ASSERT(out_bits <= 62, "output width ", out_bits,
+                   " exceeds capture capability");
+    out.outputBits_ = out_bits;
+
+    Netlist &netlist = out.netlist_;
+    Builder builder(netlist, options_);
+
+    // One broadcast input per matrix row.
+    std::vector<NodeId> inputs(rows);
+    for (std::size_t r = 0; r < rows; ++r)
+        inputs[r] = netlist.addInput(static_cast<std::uint32_t>(r));
+
+    const bool has_negative_side =
+        options_.signMode != SignMode::Unsigned ||
+        !options_.constantPropagation;
+
+    // How many consumers each row's broadcast must feed.
+    std::vector<std::size_t> demand(rows, 0);
+    if (options_.constantPropagation) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            std::size_t uses = 0;
+            for (std::size_t c = 0; c < cols; ++c) {
+                uses += static_cast<std::size_t>(
+                    popcount64(pn.p.at(r, c)));
+                if (has_negative_side)
+                    uses += static_cast<std::size_t>(
+                        popcount64(pn.n.at(r, c)));
+            }
+            demand[r] = uses;
+        }
+    } else {
+        const std::size_t sides = has_negative_side ? 2 : 1;
+        for (auto &d : demand)
+            d = sides * cols * static_cast<std::size_t>(out.weightBits_);
+    }
+    BroadcastNetwork broadcast(netlist, inputs, demand,
+                               options_.broadcastFanoutLimit);
+
+    std::vector<OptStream> column_streams(cols);
+    std::vector<OptStream> planes(static_cast<std::size_t>(out.weightBits_));
+    for (std::size_t c = 0; c < cols; ++c) {
+        // Positive side.
+        for (int k = 0; k < out.weightBits_; ++k) {
+            planes[static_cast<std::size_t>(k)] = builder.reduce(
+                planeLeaves(builder, netlist, pn.p, broadcast, c, k,
+                            options_.constantPropagation));
+        }
+        OptStream pos = builder.bitPositionChain(planes);
+
+        OptStream neg;
+        if (has_negative_side) {
+            for (int k = 0; k < out.weightBits_; ++k) {
+                planes[static_cast<std::size_t>(k)] = builder.reduce(
+                    planeLeaves(builder, netlist, pn.n, broadcast, c, k,
+                                options_.constantPropagation));
+            }
+            neg = builder.bitPositionChain(planes);
+        }
+
+        column_streams[c] = builder.subtract(pos, neg);
+    }
+
+    // Determine the common output start cycle and optionally align every
+    // column to it, as the SRAM capture wrapper does.
+    std::int32_t max_latency = 0;
+    for (const auto &s : column_streams)
+        if (s)
+            max_latency = std::max(max_latency, s->latency);
+
+    out.outputs_.resize(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        auto &s = column_streams[c];
+        if (!s)
+            continue; // All-zero column: output is constant 0.
+        if (options_.alignOutputs && s->latency < max_latency)
+            s = builder.delayTo(*s, max_latency);
+        out.outputs_[c] = ColumnOutput{s->node, s->latency};
+    }
+
+    out.drainCycles_ = static_cast<std::uint32_t>(
+        std::max<std::int32_t>(0, max_latency) + out.outputBits_);
+    return out;
+}
+
+} // namespace spatial::core

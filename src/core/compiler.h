@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The spatial matrix compiler — the paper's primary contribution.
+ *
+ * Compiles a fixed integer matrix into a bit-serial netlist (Section III):
+ * one reduction tree per column per weight-bit-plane over the rows whose
+ * bit is set (constant propagation culls everything else), a bit-position
+ * accumulation chain whose registers double as the x2 skew, and a final
+ * bit-serial subtractor per column merging the positive and negative
+ * weight arrays.
+ */
+
+#ifndef SPATIAL_CORE_COMPILER_H
+#define SPATIAL_CORE_COMPILER_H
+
+#include "core/compiled_matrix.h"
+#include "core/options.h"
+#include "matrix/dense.h"
+#include "matrix/pn_split.h"
+
+namespace spatial::core
+{
+
+/** Compiles fixed matrices into spatial bit-serial designs. */
+class MatrixCompiler
+{
+  public:
+    explicit MatrixCompiler(CompileOptions options = {});
+
+    /**
+     * Compile a (possibly signed) matrix, applying the configured sign
+     * mode.  Unsigned mode requires a non-negative matrix.
+     */
+    CompiledMatrix compile(const IntMatrix &weights) const;
+
+    /**
+     * Compile an explicit P/N pair (both unsigned).  Used directly by
+     * experiments that pre-transform the weights (Figures 9, 10).
+     */
+    CompiledMatrix compilePair(const PnPair &pn) const;
+
+    const CompileOptions &options() const { return options_; }
+
+  private:
+    CompileOptions options_;
+};
+
+} // namespace spatial::core
+
+#endif // SPATIAL_CORE_COMPILER_H

@@ -1,0 +1,64 @@
+#include "core/latency.h"
+
+#include "common/logging.h"
+
+namespace spatial::core
+{
+
+int
+ceilLog2(std::size_t n)
+{
+    int bits = 0;
+    std::size_t cap = 1;
+    while (cap < n) {
+        cap <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+std::uint32_t
+eq5Cycles(int input_bits, int weight_bits, std::size_t rows)
+{
+    SPATIAL_ASSERT(input_bits >= 1 && weight_bits >= 1, "bad widths");
+    return static_cast<std::uint32_t>(input_bits + weight_bits +
+                                      ceilLog2(rows) + 2);
+}
+
+std::uint32_t
+fullDrainCycles(int input_bits, int weight_bits, std::size_t rows)
+{
+    // Exact result width: product width plus accumulation growth plus the
+    // PN subtraction's possible extra bit; LSb emerges after tree + chain
+    // + subtract.
+    const int out_bits = input_bits + weight_bits + ceilLog2(rows) + 1;
+    const int lsb_latency = ceilLog2(rows) + 2;
+    return static_cast<std::uint32_t>(out_bits + lsb_latency);
+}
+
+std::uint32_t
+initiationIntervalCycles(int output_bits)
+{
+    SPATIAL_ASSERT(output_bits >= 1, "output_bits ", output_bits);
+    return static_cast<std::uint32_t>(output_bits);
+}
+
+double
+cyclesToNs(std::uint32_t cycles, double fmax_mhz)
+{
+    SPATIAL_ASSERT(fmax_mhz > 0.0, "fmax ", fmax_mhz);
+    return static_cast<double>(cycles) * 1000.0 / fmax_mhz;
+}
+
+double
+batchLatencyNs(std::uint32_t latency_cycles, std::uint32_t ii_cycles,
+               std::size_t batch, double fmax_mhz)
+{
+    SPATIAL_ASSERT(batch >= 1, "batch ", batch);
+    const auto total =
+        static_cast<std::uint32_t>(latency_cycles +
+                                   (batch - 1) * std::size_t{ii_cycles});
+    return cyclesToNs(total, fmax_mhz);
+}
+
+} // namespace spatial::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Latency accounting for compiled spatial multipliers.
+ *
+ * The paper's Equation 5 gives Latency = BW_i + BW_w + log2(R) + 2 cycles:
+ * the output is BW_i + BW_w bits wide, its LSb emerges after the
+ * ceil(log2 R)-deep reduction tree plus one cycle for the bit-position
+ * accumulation chain and one for the PN subtraction.  The bit-position
+ * chain costs only a single cycle in total because each chain adder's
+ * output register doubles as the x2 skew for the next link.
+ *
+ * The evaluation figures (13-23) quote Eq. 5 cycles at the design's
+ * achieved Fmax; the simulator additionally measures the full-precision
+ * drain latency, which is larger by the ceil(log2 R) accumulation growth
+ * of the exact result width.
+ */
+
+#ifndef SPATIAL_CORE_LATENCY_H
+#define SPATIAL_CORE_LATENCY_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spatial::core
+{
+
+/** ceil(log2(n)) with log2(0) = log2(1) = 0. */
+int ceilLog2(std::size_t n);
+
+/** Equation 5: BW_i + BW_w + ceil(log2 R) + 2 cycles. */
+std::uint32_t eq5Cycles(int input_bits, int weight_bits, std::size_t rows);
+
+/** Cycles until the full exact result (no-overflow width) has drained. */
+std::uint32_t fullDrainCycles(int input_bits, int weight_bits,
+                              std::size_t rows);
+
+/**
+ * Steady-state initiation interval between consecutive vectors streamed
+ * through the array: every wire carries one result-width stream per
+ * vector, so a new vector can enter every output-width cycles.
+ */
+std::uint32_t initiationIntervalCycles(int output_bits);
+
+/** Convert cycles at a clock in MHz to nanoseconds. */
+double cyclesToNs(std::uint32_t cycles, double fmax_mhz);
+
+/**
+ * Latency of a batch of vectors: pipeline fill for the first plus one
+ * initiation interval per additional vector (the paper's "linear
+ * scaling" with batch size).
+ */
+double batchLatencyNs(std::uint32_t latency_cycles, std::uint32_t ii_cycles,
+                      std::size_t batch, double fmax_mhz);
+
+} // namespace spatial::core
+
+#endif // SPATIAL_CORE_LATENCY_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Configuration of the spatial matrix compiler.
+ */
+
+#ifndef SPATIAL_CORE_OPTIONS_H
+#define SPATIAL_CORE_OPTIONS_H
+
+#include <cstdint>
+
+namespace spatial::core
+{
+
+/** How signed weights are decomposed before spatial implementation. */
+enum class SignMode : std::uint8_t
+{
+    /** Weights used as-is; requires a non-negative matrix.  (Section IV) */
+    Unsigned,
+    /** V = P - N positive/negative split plus final subtractors. */
+    PnSplit,
+    /** PN split followed by the CSD transform (Section V). */
+    Csd,
+};
+
+const char *signModeName(SignMode mode);
+
+/** Compiler knobs; defaults match the paper's main configuration. */
+struct CompileOptions
+{
+    /** Bit width of the streamed input elements. */
+    int inputBits = 8;
+
+    /** Whether input elements are two's complement (sign-extended). */
+    bool inputsSigned = true;
+
+    /** Signed-weight handling. */
+    SignMode signMode = SignMode::PnSplit;
+
+    /**
+     * The paper's fundamental minimization: cull AND gates and adders for
+     * zero weight bits.  Disabling keeps the naive Figure-2a structure —
+     * an AND gate and a full reduction tree over every row — and exists
+     * for the ablation bench.
+     */
+    bool constantPropagation = true;
+
+    /**
+     * Reduce partial sums with a balanced binary tree (logarithmic
+     * depth).  Disabling degrades to a linear chain for the ablation.
+     */
+    bool balancedTree = true;
+
+    /**
+     * Insert delay registers so every column's output stream starts at
+     * the same cycle, as the SRAM capture wrapper expects.
+     */
+    bool alignOutputs = true;
+
+    /** Extra captured output bits beyond the no-overflow width. */
+    int extraOutputBits = 0;
+
+    /**
+     * Maximum loads any single net may drive; 0 disables the limit.
+     * When set, high-fanout input broadcasts are pipelined through
+     * register repeater trees — the Section VIII fix for "the fanout of
+     * the input broadcast saturates the interconnect ... and limits
+     * frequency".  Costs one cycle of latency per repeater level.
+     */
+    std::uint32_t broadcastFanoutLimit = 0;
+
+    /** Seed for the CSD length-2 chain coin flips. */
+    std::uint64_t csdSeed = 0x5eed;
+};
+
+} // namespace spatial::core
+
+#endif // SPATIAL_CORE_OPTIONS_H

@@ -1,0 +1,66 @@
+#include "core/tiling.h"
+
+#include "common/logging.h"
+#include "matrix/bits.h"
+
+namespace spatial::core
+{
+
+TilePlan
+planColumnTiles(const PnPair &pn, std::size_t lut_budget)
+{
+    SPATIAL_ASSERT(lut_budget > 0, "zero LUT budget");
+    const std::size_t rows = pn.p.rows();
+    const std::size_t cols = pn.p.cols();
+
+    // Per-column cost: set bits across both sides (LUT ~ ones).
+    std::vector<std::size_t> col_cost(cols, 0);
+    for (std::size_t c = 0; c < cols; ++c) {
+        std::size_t ones = 0;
+        for (std::size_t r = 0; r < rows; ++r) {
+            ones += static_cast<std::size_t>(popcount64(pn.p.at(r, c)));
+            ones += static_cast<std::size_t>(popcount64(pn.n.at(r, c)));
+        }
+        col_cost[c] = ones;
+    }
+
+    TilePlan plan;
+    plan.lutBudget = lut_budget;
+    Tile current;
+    for (std::size_t c = 0; c < cols; ++c) {
+        const bool fits =
+            current.estimatedLuts + col_cost[c] <= lut_budget;
+        const bool empty = current.colEnd == current.colBegin;
+        if (!fits && !empty) {
+            plan.tiles.push_back(current);
+            current = Tile{c, c, 0};
+        }
+        current.colEnd = c + 1;
+        current.estimatedLuts += col_cost[c];
+    }
+    if (current.colEnd != current.colBegin)
+        plan.tiles.push_back(current);
+    return plan;
+}
+
+IntMatrix
+sliceColumns(const IntMatrix &m, std::size_t begin, std::size_t end)
+{
+    SPATIAL_ASSERT(begin < end && end <= m.cols(), "bad slice [", begin,
+                   ", ", end, ") of ", m.cols());
+    IntMatrix out(m.rows(), end - begin);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = begin; c < end; ++c)
+            out.at(r, c - begin) = m.at(r, c);
+    return out;
+}
+
+double
+tiledLatencyNs(const TilePlan &plan, double per_tile_ns, double reconfig_ns)
+{
+    SPATIAL_ASSERT(!plan.tiles.empty(), "empty plan");
+    const auto passes = static_cast<double>(plan.passes());
+    return passes * per_tile_ns + (passes - 1.0) * reconfig_ns;
+}
+
+} // namespace spatial::core

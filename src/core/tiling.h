@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Column tiling for matrices too large for one device — Section VIII:
+ * "there may be instances where the compute matrix cannot entirely fit
+ * in hardware and must be tiled similar to DNN accelerators."
+ *
+ * The output columns are independent dot products, so the natural tile
+ * is a contiguous column range whose estimated cost fits the LUT
+ * budget.  Executing a plan means one configuration per tile: on an
+ * FPGA each swap pays the ~200 ms reconfiguration; on the Section VIII
+ * CGRA the pipeline reconfiguration hides it.
+ */
+
+#ifndef SPATIAL_CORE_TILING_H
+#define SPATIAL_CORE_TILING_H
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/dense.h"
+#include "matrix/pn_split.h"
+
+namespace spatial::core
+{
+
+/** One column-range tile. */
+struct Tile
+{
+    std::size_t colBegin = 0;
+    std::size_t colEnd = 0;        //!< one past the end
+    std::size_t estimatedLuts = 0; //!< ones-based cost estimate
+};
+
+/** A complete tiling of a matrix. */
+struct TilePlan
+{
+    std::vector<Tile> tiles;
+    std::size_t lutBudget = 0;
+
+    std::size_t passes() const { return tiles.size(); }
+    bool needed() const { return tiles.size() > 1; }
+};
+
+/**
+ * Greedily pack contiguous columns into tiles whose estimated LUT cost
+ * (set bits of the PN pair, the Figure-10 model) stays within budget.
+ * A single column exceeding the budget gets its own tile (and a real
+ * flow would then shard rows; flagged via estimatedLuts > budget).
+ */
+TilePlan planColumnTiles(const PnPair &pn, std::size_t lut_budget);
+
+/** Extract the dense column slice [begin, end) of a matrix. */
+IntMatrix sliceColumns(const IntMatrix &m, std::size_t begin,
+                       std::size_t end);
+
+/**
+ * Wall-clock nanoseconds to produce the full output vector by running
+ * every tile, paying `reconfig_ns` between consecutive tiles.
+ */
+double tiledLatencyNs(const TilePlan &plan, double per_tile_ns,
+                      double reconfig_ns);
+
+} // namespace spatial::core
+
+#endif // SPATIAL_CORE_TILING_H

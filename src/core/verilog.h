@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SystemVerilog emission for compiled designs.
+ *
+ * The paper's flow "coded our design in SystemVerilog and ran synthesis
+ * in Xilinx Vivado"; this exporter produces the equivalent synthesizable
+ * RTL for any compiled matrix so the generated designs can be taken to
+ * a real tool chain.  One `logic` net per netlist component, bit-serial
+ * adders/subtractors as two-register always_ff processes, and a
+ * synchronous reset that restores the power-on state the simulator
+ * models (subtractor carries reset to 1).
+ */
+
+#ifndef SPATIAL_CORE_VERILOG_H
+#define SPATIAL_CORE_VERILOG_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/compiled_matrix.h"
+
+namespace spatial::core
+{
+
+/** Options for RTL emission. */
+struct VerilogOptions
+{
+    std::string moduleName = "spatial_mm";
+};
+
+/**
+ * Emit a synthesizable SystemVerilog module for the design.
+ *
+ * Interface: `clk`, synchronous `rst`, one input bit per matrix row
+ * (`in_bits[rows-1:0]`, LSb-first streams), one output bit per column
+ * (`out_bits[cols-1:0]`).  Result bit t of column c appears on
+ * `out_bits[c]` at cycle `lsbLatency + t` after reset release, exactly
+ * as in the cycle-accurate simulator.
+ */
+void writeVerilog(const CompiledMatrix &design, std::ostream &os,
+                  const VerilogOptions &options = {});
+
+/** Convenience: emit to a string. */
+std::string toVerilog(const CompiledMatrix &design,
+                      const VerilogOptions &options = {});
+
+} // namespace spatial::core
+
+#endif // SPATIAL_CORE_VERILOG_H

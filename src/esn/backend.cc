@@ -1,0 +1,38 @@
+#include "esn/backend.h"
+
+namespace spatial::esn
+{
+
+ReferenceBackend::ReferenceBackend(IntMatrix weights)
+    : weights_(std::move(weights))
+{}
+
+std::vector<std::int64_t>
+ReferenceBackend::multiply(const std::vector<std::int64_t> &x)
+{
+    return gemvRef(x, weights_);
+}
+
+CsrBackend::CsrBackend(const IntMatrix &weights)
+    : csr_(CsrMatrix<std::int64_t>::fromDense(weights))
+{}
+
+std::vector<std::int64_t>
+CsrBackend::multiply(const std::vector<std::int64_t> &x)
+{
+    return csr_.multiplyLeft(x);
+}
+
+SpatialBackend::SpatialBackend(core::CompiledMatrix design)
+    : design_(std::move(design)), simulator_(design_.netlist())
+{}
+
+std::vector<std::int64_t>
+SpatialBackend::multiply(const std::vector<std::int64_t> &x)
+{
+    auto result = design_.multiplyWith(simulator_, x);
+    totalCycles_ += design_.drainCycles();
+    return result;
+}
+
+} // namespace spatial::esn

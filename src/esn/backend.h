@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Pluggable backends for the reservoir's recurrent W*x product — the
+ * operation the paper accelerates.  The reference backend computes the
+ * integer gemv in software; the CSR backend models an indexed sparse
+ * implementation; the spatial backend streams the state vector through a
+ * cycle-accurate simulation of the compiled bit-serial netlist, so an
+ * entire ESN can run "on" the generated hardware.
+ */
+
+#ifndef SPATIAL_ESN_BACKEND_H
+#define SPATIAL_ESN_BACKEND_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/simulator.h"
+#include "core/compiled_matrix.h"
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+
+namespace spatial::esn
+{
+
+/** Computes o = x^T W for the reservoir's fixed W. */
+class GemvBackend
+{
+  public:
+    virtual ~GemvBackend() = default;
+
+    /** Multiply the length-rows state vector; returns length-cols. */
+    virtual std::vector<std::int64_t>
+    multiply(const std::vector<std::int64_t> &x) = 0;
+
+    virtual std::size_t rows() const = 0;
+    virtual std::size_t cols() const = 0;
+
+    /** Human-readable backend name for reports. */
+    virtual const char *name() const = 0;
+};
+
+/** Plain dense software gemv (the functional reference). */
+class ReferenceBackend : public GemvBackend
+{
+  public:
+    explicit ReferenceBackend(IntMatrix weights);
+
+    std::vector<std::int64_t>
+    multiply(const std::vector<std::int64_t> &x) override;
+    std::size_t rows() const override { return weights_.rows(); }
+    std::size_t cols() const override { return weights_.cols(); }
+    const char *name() const override { return "reference"; }
+
+  private:
+    IntMatrix weights_;
+};
+
+/** Indexed CSR gemv (what a conventional sparse library executes). */
+class CsrBackend : public GemvBackend
+{
+  public:
+    explicit CsrBackend(const IntMatrix &weights);
+
+    std::vector<std::int64_t>
+    multiply(const std::vector<std::int64_t> &x) override;
+    std::size_t rows() const override { return csr_.rows(); }
+    std::size_t cols() const override { return csr_.cols(); }
+    const char *name() const override { return "csr"; }
+
+  private:
+    CsrMatrix<std::int64_t> csr_;
+};
+
+/**
+ * The paper's hardware: every multiply is a cycle-accurate simulation of
+ * the compiled spatial design.  Also accumulates the total simulated
+ * hardware cycles so callers can report hardware time.
+ */
+class SpatialBackend : public GemvBackend
+{
+  public:
+    explicit SpatialBackend(core::CompiledMatrix design);
+
+    // The simulator references the owned netlist; pin the object.
+    SpatialBackend(const SpatialBackend &) = delete;
+    SpatialBackend &operator=(const SpatialBackend &) = delete;
+
+    std::vector<std::int64_t>
+    multiply(const std::vector<std::int64_t> &x) override;
+    std::size_t rows() const override { return design_.rows(); }
+    std::size_t cols() const override { return design_.cols(); }
+    const char *name() const override { return "spatial"; }
+
+    const core::CompiledMatrix &design() const { return design_; }
+
+    /** Total hardware cycles simulated across all multiplies. */
+    std::uint64_t totalCycles() const { return totalCycles_; }
+
+  private:
+    core::CompiledMatrix design_;
+    circuit::Simulator simulator_;
+    std::uint64_t totalCycles_ = 0;
+};
+
+} // namespace spatial::esn
+
+#endif // SPATIAL_ESN_BACKEND_H

@@ -1,0 +1,102 @@
+#include "esn/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "esn/metrics.h"
+#include "esn/ridge.h"
+#include "esn/tasks.h"
+#include "matrix/bits.h"
+#include "matrix/quantize.h"
+
+namespace spatial::esn
+{
+
+namespace
+{
+
+/**
+ * Shared core: given the state trajectory (T x D, already augmented)
+ * and the raw inputs, train all delay readouts at once and score them.
+ */
+MemoryCapacityResult
+scoreDelays(const RealMatrix &states, const std::vector<double> &inputs,
+            std::size_t max_delay, std::size_t washout, double lambda)
+{
+    const std::size_t length = inputs.size();
+    SPATIAL_ASSERT(washout > max_delay,
+                   "washout must exceed the longest delay");
+    const std::size_t usable = length - washout;
+
+    RealMatrix x(usable, states.cols());
+    for (std::size_t t = 0; t < usable; ++t)
+        for (std::size_t d = 0; d < states.cols(); ++d)
+            x.at(t, d) = states.at(t + washout, d);
+
+    RealMatrix targets(usable, max_delay);
+    for (std::size_t k = 1; k <= max_delay; ++k)
+        for (std::size_t t = 0; t < usable; ++t)
+            targets.at(t, k - 1) = inputs[t + washout - k];
+
+    const RealMatrix wout = ridgeRegression(x, targets, lambda);
+    const RealMatrix fit = applyReadout(x, wout);
+
+    MemoryCapacityResult result;
+    result.perDelay.resize(max_delay);
+    std::vector<double> pred(usable), truth(usable);
+    for (std::size_t k = 0; k < max_delay; ++k) {
+        for (std::size_t t = 0; t < usable; ++t) {
+            pred[t] = fit.at(t, k);
+            truth[t] = targets.at(t, k);
+        }
+        result.perDelay[k] = squaredCorrelation(pred, truth);
+        result.total += result.perDelay[k];
+    }
+    return result;
+}
+
+} // namespace
+
+MemoryCapacityResult
+measureMemoryCapacity(FloatReservoir &reservoir, std::size_t max_delay,
+                      std::size_t length, std::size_t washout,
+                      double lambda, Rng &rng)
+{
+    const auto data = makeMemoryCapacity(length, max_delay, rng);
+
+    reservoir.reset();
+    RealMatrix states(length, reservoir.dim() + 1);
+    for (std::size_t t = 0; t < length; ++t) {
+        const auto &x = reservoir.step({data.inputs[t]});
+        for (std::size_t d = 0; d < reservoir.dim(); ++d)
+            states.at(t, d) = x[d];
+        states.at(t, reservoir.dim()) = 1.0; // bias
+    }
+    return scoreDelays(states, data.inputs, max_delay, washout, lambda);
+}
+
+MemoryCapacityResult
+measureMemoryCapacity(IntReservoir &reservoir, std::size_t max_delay,
+                      std::size_t length, std::size_t washout,
+                      double lambda, Rng &rng)
+{
+    const auto data = makeMemoryCapacity(length, max_delay, rng);
+
+    // Quantize inputs to the state width; u in [-1, 1].
+    const int state_bits = 8;
+    const double scale = static_cast<double>(maxSigned(state_bits));
+    const auto u_q = quantizeWithScale(data.inputs, scale, state_bits);
+
+    reservoir.reset();
+    RealMatrix states(length, reservoir.dim() + 1);
+    for (std::size_t t = 0; t < length; ++t) {
+        const auto &x = reservoir.step({u_q[t]});
+        for (std::size_t d = 0; d < reservoir.dim(); ++d)
+            states.at(t, d) = static_cast<double>(x[d]) / scale;
+        states.at(t, reservoir.dim()) = 1.0;
+    }
+    return scoreDelays(states, data.inputs, max_delay, washout, lambda);
+}
+
+} // namespace spatial::esn

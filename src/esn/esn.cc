@@ -1,0 +1,165 @@
+#include "esn/esn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "esn/metrics.h"
+#include "esn/ridge.h"
+#include "matrix/bits.h"
+#include "matrix/quantize.h"
+
+namespace spatial::esn
+{
+
+namespace
+{
+
+/** Copy a scalar sequence into a T x 1 matrix. */
+RealMatrix
+toColumn(const std::vector<double> &v)
+{
+    RealMatrix m(v.size(), 1);
+    for (std::size_t t = 0; t < v.size(); ++t)
+        m.at(t, 0) = v[t];
+    return m;
+}
+
+/** Drop the first `washout` rows. */
+RealMatrix
+dropWashout(const RealMatrix &m, std::size_t washout)
+{
+    SPATIAL_ASSERT(washout < m.rows(), "washout ", washout,
+                   " swallows the whole sequence of ", m.rows());
+    RealMatrix out(m.rows() - washout, m.cols());
+    for (std::size_t r = washout; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            out.at(r - washout, c) = m.at(r, c);
+    return out;
+}
+
+std::vector<double>
+columnToVector(const RealMatrix &m)
+{
+    std::vector<double> v(m.rows());
+    for (std::size_t t = 0; t < m.rows(); ++t)
+        v[t] = m.at(t, 0);
+    return v;
+}
+
+} // namespace
+
+EchoStateNetwork::EchoStateNetwork(ReservoirWeights weights,
+                                   ReservoirConfig config)
+    : reservoir_(std::move(weights), config)
+{
+    SPATIAL_ASSERT(config.inputDim == 1,
+                   "the high-level pipeline is single-channel");
+}
+
+RealMatrix
+EchoStateNetwork::collectStates(const std::vector<double> &inputs)
+{
+    reservoir_.reset();
+    const std::size_t dim = reservoir_.dim();
+    RealMatrix states(inputs.size(), dim + 2);
+    std::vector<double> u(1);
+    for (std::size_t t = 0; t < inputs.size(); ++t) {
+        u[0] = inputs[t];
+        const auto &x = reservoir_.step(u);
+        for (std::size_t i = 0; i < dim; ++i)
+            states.at(t, i) = x[i];
+        states.at(t, dim) = inputs[t]; // direct input tap
+        states.at(t, dim + 1) = 1.0;   // bias
+    }
+    return states;
+}
+
+TrainResult
+EchoStateNetwork::train(const std::vector<double> &inputs,
+                        const std::vector<double> &targets,
+                        std::size_t washout, double lambda)
+{
+    SPATIAL_ASSERT(inputs.size() == targets.size(), "sequence lengths");
+    const RealMatrix states = dropWashout(collectStates(inputs), washout);
+    const RealMatrix y =
+        dropWashout(toColumn(targets), washout);
+    wout_ = ridgeRegression(states, y, lambda);
+    trained_ = true;
+
+    const auto fit = columnToVector(applyReadout(states, wout_));
+    TrainResult result;
+    result.trainNrmse = nrmse(fit, columnToVector(y));
+    return result;
+}
+
+std::vector<double>
+EchoStateNetwork::predict(const std::vector<double> &inputs)
+{
+    SPATIAL_ASSERT(trained_, "predict before train");
+    const RealMatrix states = collectStates(inputs);
+    return columnToVector(applyReadout(states, wout_));
+}
+
+IntEchoStateNetwork::IntEchoStateNetwork(const ReservoirWeights &weights,
+                                         const IntReservoirConfig &config,
+                                         BackendKind kind)
+    : reservoir_(makeIntReservoir(weights, config, kind)),
+      stateBits_(config.stateBits)
+{}
+
+RealMatrix
+IntEchoStateNetwork::collectStates(const std::vector<double> &inputs)
+{
+    reservoir_.reset();
+    const std::size_t dim = reservoir_.dim();
+    const auto u_q = quantizeWithScale(inputs, inputScale_, stateBits_);
+    const double state_scale = static_cast<double>(maxSigned(stateBits_));
+
+    RealMatrix states(inputs.size(), dim + 2);
+    std::vector<std::int64_t> u(1);
+    for (std::size_t t = 0; t < inputs.size(); ++t) {
+        u[0] = u_q[t];
+        const auto &x = reservoir_.step(u);
+        for (std::size_t i = 0; i < dim; ++i)
+            states.at(t, i) = static_cast<double>(x[i]) / state_scale;
+        states.at(t, dim) = inputs[t];
+        states.at(t, dim + 1) = 1.0;
+    }
+    return states;
+}
+
+TrainResult
+IntEchoStateNetwork::train(const std::vector<double> &inputs,
+                           const std::vector<double> &targets,
+                           std::size_t washout, double lambda)
+{
+    SPATIAL_ASSERT(inputs.size() == targets.size(), "sequence lengths");
+    if (inputScale_ == 0.0) {
+        double max_abs = 1e-12;
+        for (const auto v : inputs)
+            max_abs = std::max(max_abs, std::abs(v));
+        inputScale_ =
+            static_cast<double>(maxSigned(stateBits_)) / max_abs;
+    }
+
+    const RealMatrix states = dropWashout(collectStates(inputs), washout);
+    const RealMatrix y = dropWashout(toColumn(targets), washout);
+    wout_ = ridgeRegression(states, y, lambda);
+    trained_ = true;
+
+    const auto fit = columnToVector(applyReadout(states, wout_));
+    TrainResult result;
+    result.trainNrmse = nrmse(fit, columnToVector(y));
+    return result;
+}
+
+std::vector<double>
+IntEchoStateNetwork::predict(const std::vector<double> &inputs)
+{
+    SPATIAL_ASSERT(trained_, "predict before train");
+    const RealMatrix states = collectStates(inputs);
+    return columnToVector(applyReadout(states, wout_));
+}
+
+} // namespace spatial::esn

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * High-level Echo State Network: reservoir + trained linear readout,
+ * for both the float reference path and the integer/hardware path.
+ */
+
+#ifndef SPATIAL_ESN_ESN_H
+#define SPATIAL_ESN_ESN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "esn/reservoir.h"
+#include "matrix/dense.h"
+
+namespace spatial::esn
+{
+
+/** Training outcome. */
+struct TrainResult
+{
+    double trainNrmse = 0.0;
+};
+
+/**
+ * Float ESN pipeline: run the reservoir over a scalar input sequence,
+ * drop a washout prefix, train W_out by ridge regression (states are
+ * augmented with the raw input and a bias term), and predict.
+ */
+class EchoStateNetwork
+{
+  public:
+    EchoStateNetwork(ReservoirWeights weights, ReservoirConfig config);
+
+    /** Train on (inputs, targets); returns the training NRMSE. */
+    TrainResult train(const std::vector<double> &inputs,
+                      const std::vector<double> &targets,
+                      std::size_t washout, double lambda);
+
+    /**
+     * Predict over an input sequence (resets the reservoir).  The first
+     * `washout` outputs are produced but unreliable.
+     */
+    std::vector<double> predict(const std::vector<double> &inputs);
+
+    const RealMatrix &readout() const { return wout_; }
+
+  private:
+    /** States augmented with [input, 1] columns. */
+    RealMatrix collectStates(const std::vector<double> &inputs);
+
+    FloatReservoir reservoir_;
+    RealMatrix wout_;
+    bool trained_ = false;
+};
+
+/**
+ * Integer/hardware ESN pipeline: quantizes the inputs, runs an
+ * IntReservoir (optionally on the simulated spatial hardware), trains a
+ * float readout on the dequantized states.
+ */
+class IntEchoStateNetwork
+{
+  public:
+    IntEchoStateNetwork(const ReservoirWeights &weights,
+                        const IntReservoirConfig &config, BackendKind kind);
+
+    TrainResult train(const std::vector<double> &inputs,
+                      const std::vector<double> &targets,
+                      std::size_t washout, double lambda);
+
+    std::vector<double> predict(const std::vector<double> &inputs);
+
+    IntReservoir &reservoir() { return reservoir_; }
+
+  private:
+    RealMatrix collectStates(const std::vector<double> &inputs);
+
+    IntReservoir reservoir_;
+    int stateBits_;
+    double inputScale_ = 0.0; //!< fixed at first train() call
+    RealMatrix wout_;
+    bool trained_ = false;
+};
+
+} // namespace spatial::esn
+
+#endif // SPATIAL_ESN_ESN_H

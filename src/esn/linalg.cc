@@ -1,0 +1,165 @@
+#include "esn/linalg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace spatial::esn
+{
+
+RealMatrix
+matMul(const RealMatrix &a, const RealMatrix &b)
+{
+    SPATIAL_ASSERT(a.cols() == b.rows(), "matMul shape ", a.cols(), " vs ",
+                   b.rows());
+    RealMatrix c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double aik = a.at(i, k);
+            if (aik == 0.0)
+                continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c.at(i, j) += aik * b.at(k, j);
+        }
+    }
+    return c;
+}
+
+RealMatrix
+matTMul(const RealMatrix &a, const RealMatrix &b)
+{
+    SPATIAL_ASSERT(a.rows() == b.rows(), "matTMul shape ", a.rows(), " vs ",
+                   b.rows());
+    RealMatrix c(a.cols(), b.cols());
+    for (std::size_t t = 0; t < a.rows(); ++t) {
+        for (std::size_t i = 0; i < a.cols(); ++i) {
+            const double ati = a.at(t, i);
+            if (ati == 0.0)
+                continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c.at(i, j) += ati * b.at(t, j);
+        }
+    }
+    return c;
+}
+
+RealMatrix
+transpose(const RealMatrix &a)
+{
+    RealMatrix t(a.cols(), a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            t.at(c, r) = a.at(r, c);
+    return t;
+}
+
+void
+addDiagonal(RealMatrix &a, double lambda)
+{
+    SPATIAL_ASSERT(a.rows() == a.cols(), "addDiagonal needs square");
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        a.at(i, i) += lambda;
+}
+
+RealMatrix
+cholesky(const RealMatrix &a)
+{
+    SPATIAL_ASSERT(a.rows() == a.cols(), "cholesky needs square");
+    const std::size_t n = a.rows();
+    RealMatrix l(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double sum = a.at(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= l.at(i, k) * l.at(j, k);
+            if (i == j) {
+                SPATIAL_ASSERT(sum > 0.0,
+                               "matrix not positive definite at pivot ", i,
+                               " (", sum, ")");
+                l.at(i, i) = std::sqrt(sum);
+            } else {
+                l.at(i, j) = sum / l.at(j, j);
+            }
+        }
+    }
+    return l;
+}
+
+RealMatrix
+solveSpd(const RealMatrix &a, const RealMatrix &b)
+{
+    SPATIAL_ASSERT(a.rows() == b.rows(), "solveSpd shape");
+    const RealMatrix l = cholesky(a);
+    const std::size_t n = a.rows();
+    const std::size_t k = b.cols();
+
+    // Forward substitution: L Y = B.
+    RealMatrix y(n, k);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < k; ++c) {
+            double sum = b.at(i, c);
+            for (std::size_t j = 0; j < i; ++j)
+                sum -= l.at(i, j) * y.at(j, c);
+            y.at(i, c) = sum / l.at(i, i);
+        }
+    }
+    // Back substitution: L^T X = Y.
+    RealMatrix x(n, k);
+    for (std::size_t ii = n; ii-- > 0;) {
+        for (std::size_t c = 0; c < k; ++c) {
+            double sum = y.at(ii, c);
+            for (std::size_t j = ii + 1; j < n; ++j)
+                sum -= l.at(j, ii) * x.at(j, c);
+            x.at(ii, c) = sum / l.at(ii, ii);
+        }
+    }
+    return x;
+}
+
+double
+spectralRadius(const RealMatrix &a, int iterations, std::uint64_t seed)
+{
+    SPATIAL_ASSERT(a.rows() == a.cols(), "spectralRadius needs square");
+    const std::size_t n = a.rows();
+    if (n == 0)
+        return 0.0;
+
+    Rng rng(seed);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rng.gaussian();
+
+    double estimate = 0.0;
+    for (int it = 0; it < iterations; ++it) {
+        // w = A v.
+        std::vector<double> w(n, 0.0);
+        for (std::size_t r = 0; r < n; ++r) {
+            double sum = 0.0;
+            for (std::size_t c = 0; c < n; ++c)
+                sum += a.at(r, c) * v[c];
+            w[r] = sum;
+        }
+        double norm = 0.0;
+        for (const auto x : w)
+            norm += x * x;
+        norm = std::sqrt(norm);
+        if (norm < 1e-30)
+            return 0.0;
+        estimate = norm;
+        for (std::size_t i = 0; i < n; ++i)
+            v[i] = w[i] / norm;
+    }
+    return estimate;
+}
+
+double
+frobeniusNorm(const RealMatrix &a)
+{
+    double sum = 0.0;
+    for (const auto x : a.data())
+        sum += x * x;
+    return std::sqrt(sum);
+}
+
+} // namespace spatial::esn

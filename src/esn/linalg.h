@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small dense linear algebra for the ESN readout: products, Gram
+ * matrices, Cholesky factorization, and SPD solves.  The sizes involved
+ * (reservoir dimension squared) are small enough that straightforward
+ * blocked-free implementations are appropriate.
+ */
+
+#ifndef SPATIAL_ESN_LINALG_H
+#define SPATIAL_ESN_LINALG_H
+
+#include <vector>
+
+#include "matrix/dense.h"
+
+namespace spatial::esn
+{
+
+/** C = A * B. */
+RealMatrix matMul(const RealMatrix &a, const RealMatrix &b);
+
+/** C = A^T * B (A is T x D, B is T x K, C is D x K). */
+RealMatrix matTMul(const RealMatrix &a, const RealMatrix &b);
+
+/** A^T as a new matrix. */
+RealMatrix transpose(const RealMatrix &a);
+
+/** A += lambda * I (A square). */
+void addDiagonal(RealMatrix &a, double lambda);
+
+/**
+ * Cholesky factorization A = L L^T of a symmetric positive-definite
+ * matrix; returns the lower factor.  Panics if A is not SPD (callers
+ * regularize first).
+ */
+RealMatrix cholesky(const RealMatrix &a);
+
+/**
+ * Solve A X = B for X with A symmetric positive definite (via
+ * Cholesky), B being D x K.
+ */
+RealMatrix solveSpd(const RealMatrix &a, const RealMatrix &b);
+
+/** Estimate the spectral radius of a square matrix by power iteration. */
+double spectralRadius(const RealMatrix &a, int iterations = 100,
+                      std::uint64_t seed = 1);
+
+/** Frobenius norm. */
+double frobeniusNorm(const RealMatrix &a);
+
+} // namespace spatial::esn
+
+#endif // SPATIAL_ESN_LINALG_H

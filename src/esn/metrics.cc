@@ -1,0 +1,106 @@
+#include "esn/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace spatial::esn
+{
+
+namespace
+{
+
+void
+checkShapes(const std::vector<double> &a, const std::vector<double> &b)
+{
+    SPATIAL_ASSERT(a.size() == b.size() && !a.empty(),
+                   "metric shapes: ", a.size(), " vs ", b.size());
+}
+
+} // namespace
+
+double
+meanSquaredError(const std::vector<double> &predictions,
+                 const std::vector<double> &targets)
+{
+    checkShapes(predictions, targets);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+        const double e = predictions[i] - targets[i];
+        sum += e * e;
+    }
+    return sum / static_cast<double>(predictions.size());
+}
+
+double
+nrmse(const std::vector<double> &predictions,
+      const std::vector<double> &targets)
+{
+    checkShapes(predictions, targets);
+    double mean = 0.0;
+    for (const auto t : targets)
+        mean += t;
+    mean /= static_cast<double>(targets.size());
+    double var = 0.0;
+    for (const auto t : targets)
+        var += (t - mean) * (t - mean);
+    var /= static_cast<double>(targets.size());
+    if (var < 1e-300)
+        return std::sqrt(meanSquaredError(predictions, targets));
+    return std::sqrt(meanSquaredError(predictions, targets) / var);
+}
+
+double
+squaredCorrelation(const std::vector<double> &predictions,
+                   const std::vector<double> &targets)
+{
+    checkShapes(predictions, targets);
+    const auto n = static_cast<double>(predictions.size());
+    double mp = 0.0, mt = 0.0;
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+        mp += predictions[i];
+        mt += targets[i];
+    }
+    mp /= n;
+    mt /= n;
+    double cov = 0.0, vp = 0.0, vt = 0.0;
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+        const double dp = predictions[i] - mp;
+        const double dt = targets[i] - mt;
+        cov += dp * dt;
+        vp += dp * dp;
+        vt += dt * dt;
+    }
+    if (vp < 1e-300 || vt < 1e-300)
+        return 0.0;
+    return (cov * cov) / (vp * vt);
+}
+
+double
+symbolErrorRate(const std::vector<double> &predictions,
+                const std::vector<double> &targets,
+                const std::vector<double> &alphabet)
+{
+    checkShapes(predictions, targets);
+    SPATIAL_ASSERT(!alphabet.empty(), "empty alphabet");
+    auto snap = [&](double v) {
+        double best = alphabet[0];
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (const auto s : alphabet) {
+            const double d = std::abs(v - s);
+            if (d < best_dist) {
+                best_dist = d;
+                best = s;
+            }
+        }
+        return best;
+    };
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < predictions.size(); ++i)
+        errors += snap(predictions[i]) != snap(targets[i]);
+    return static_cast<double>(errors) /
+           static_cast<double>(predictions.size());
+}
+
+} // namespace spatial::esn

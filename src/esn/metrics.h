@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Quality metrics for reservoir tasks.
+ */
+
+#ifndef SPATIAL_ESN_METRICS_H
+#define SPATIAL_ESN_METRICS_H
+
+#include <vector>
+
+namespace spatial::esn
+{
+
+/** Mean squared error. */
+double meanSquaredError(const std::vector<double> &predictions,
+                        const std::vector<double> &targets);
+
+/** Normalized RMSE: rmse / std(targets). */
+double nrmse(const std::vector<double> &predictions,
+             const std::vector<double> &targets);
+
+/** Squared Pearson correlation (the memory-capacity summand). */
+double squaredCorrelation(const std::vector<double> &predictions,
+                          const std::vector<double> &targets);
+
+/**
+ * Fraction of predictions that snap to the wrong symbol of a discrete
+ * alphabet (channel equalization's figure of merit).
+ */
+double symbolErrorRate(const std::vector<double> &predictions,
+                       const std::vector<double> &targets,
+                       const std::vector<double> &alphabet);
+
+} // namespace spatial::esn
+
+#endif // SPATIAL_ESN_METRICS_H

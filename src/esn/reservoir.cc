@@ -1,0 +1,218 @@
+#include "esn/reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/compiler.h"
+#include "esn/linalg.h"
+#include "matrix/bits.h"
+
+namespace spatial::esn
+{
+
+ReservoirWeights
+makeReservoirWeights(const ReservoirConfig &config)
+{
+    SPATIAL_ASSERT(config.dim >= 1 && config.inputDim >= 1,
+                   "bad reservoir shape");
+    Rng rng(config.seed);
+
+    // Sparse random recurrent weights, then rescale to the requested
+    // spectral radius (the echo-state-property knob).
+    RealMatrix w(config.dim, config.dim);
+    for (std::size_t r = 0; r < config.dim; ++r)
+        for (std::size_t c = 0; c < config.dim; ++c)
+            if (!rng.bernoulli(config.sparsity))
+                w.at(r, c) = rng.uniformReal(-1.0, 1.0);
+
+    const double radius = spectralRadius(w, 100, config.seed + 1);
+    if (radius > 1e-12) {
+        const double scale = config.spectralRadius / radius;
+        for (auto &v : w.mutableData())
+            v *= scale;
+    }
+
+    RealMatrix win(config.inputDim, config.dim);
+    for (std::size_t r = 0; r < config.inputDim; ++r)
+        for (std::size_t c = 0; c < config.dim; ++c)
+            win.at(r, c) = rng.uniformReal(-config.inputScale,
+                                           config.inputScale);
+
+    return ReservoirWeights{std::move(w), std::move(win)};
+}
+
+FloatReservoir::FloatReservoir(ReservoirWeights weights,
+                               ReservoirConfig config)
+    : weights_(std::move(weights)),
+      config_(config),
+      state_(config.dim, 0.0)
+{
+    SPATIAL_ASSERT(weights_.w.rows() == config_.dim &&
+                       weights_.w.cols() == config_.dim,
+                   "W shape mismatch");
+    SPATIAL_ASSERT(weights_.win.rows() == config_.inputDim &&
+                       weights_.win.cols() == config_.dim,
+                   "W_in shape mismatch");
+}
+
+void
+FloatReservoir::reset()
+{
+    std::fill(state_.begin(), state_.end(), 0.0);
+}
+
+const std::vector<double> &
+FloatReservoir::step(const std::vector<double> &u)
+{
+    SPATIAL_ASSERT(u.size() == config_.inputDim, "input size ", u.size());
+    const auto recurrent = gemvRef(state_, weights_.w);
+    const auto driven = gemvRef(u, weights_.win);
+    for (std::size_t i = 0; i < config_.dim; ++i)
+        state_[i] = std::tanh(recurrent[i] + driven[i]);
+    return state_;
+}
+
+RealMatrix
+FloatReservoir::run(const RealMatrix &inputs)
+{
+    SPATIAL_ASSERT(inputs.cols() == config_.inputDim, "input width");
+    RealMatrix states(inputs.rows(), config_.dim);
+    std::vector<double> u(config_.inputDim);
+    for (std::size_t t = 0; t < inputs.rows(); ++t) {
+        for (std::size_t i = 0; i < config_.inputDim; ++i)
+            u[i] = inputs.at(t, i);
+        const auto &x = step(u);
+        for (std::size_t i = 0; i < config_.dim; ++i)
+            states.at(t, i) = x[i];
+    }
+    return states;
+}
+
+namespace
+{
+
+/** Power-of-two symmetric quantization: q = round(x * 2^shift). */
+struct Pow2Quantized
+{
+    IntMatrix values;
+    int shift;
+};
+
+Pow2Quantized
+quantizePow2(const RealMatrix &m, int bits)
+{
+    const double max_abs = m.maxAbs();
+    int shift = 0;
+    if (max_abs > 0.0) {
+        shift = static_cast<int>(std::floor(
+            std::log2(static_cast<double>(maxSigned(bits)) / max_abs)));
+        shift = std::clamp(shift, 0, 30);
+    }
+    Pow2Quantized q{IntMatrix(m.rows(), m.cols()), shift};
+    const double scale = std::pow(2.0, shift);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            const double v = m.at(r, c) * scale;
+            q.values.at(r, c) = std::clamp<std::int64_t>(
+                std::llround(v), minSigned(bits), maxSigned(bits));
+        }
+    }
+    return q;
+}
+
+} // namespace
+
+IntReservoir::IntReservoir(std::unique_ptr<GemvBackend> backend,
+                           IntMatrix win_q, int win_shift,
+                           IntReservoirConfig config)
+    : backend_(std::move(backend)),
+      winQ_(std::move(win_q)),
+      winShift_(win_shift),
+      config_(config),
+      state_(backend_->rows(), 0)
+{
+    SPATIAL_ASSERT(backend_ != nullptr, "null backend");
+    SPATIAL_ASSERT(backend_->rows() == backend_->cols(),
+                   "reservoir W must be square");
+    SPATIAL_ASSERT(winQ_.cols() == backend_->cols(), "W_in width");
+    SPATIAL_ASSERT(config_.postShift >= 0, "postShift");
+}
+
+void
+IntReservoir::reset()
+{
+    std::fill(state_.begin(), state_.end(), 0);
+}
+
+const std::vector<std::int64_t> &
+IntReservoir::step(const std::vector<std::int64_t> &u_q)
+{
+    SPATIAL_ASSERT(u_q.size() == winQ_.rows(), "input size ", u_q.size());
+    const auto recurrent = backend_->multiply(state_);
+    const auto driven = gemvRef(u_q, winQ_);
+
+    const int align = config_.postShift - winShift_;
+    const std::int64_t lo = minSigned(config_.stateBits);
+    const std::int64_t hi = maxSigned(config_.stateBits);
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+        // Bring the input term to the recurrent term's 2^postShift scale.
+        const std::int64_t aligned =
+            align >= 0 ? driven[i] << align : driven[i] >> -align;
+        const std::int64_t pre = recurrent[i] + aligned;
+        // Saturating clip activation at stateBits (integer ESN of [16]).
+        state_[i] = std::clamp(pre >> config_.postShift, lo, hi);
+    }
+    return state_;
+}
+
+IntMatrix
+IntReservoir::run(const IntMatrix &inputs_q)
+{
+    SPATIAL_ASSERT(inputs_q.cols() == winQ_.rows(), "input width");
+    IntMatrix states(inputs_q.rows(), dim());
+    std::vector<std::int64_t> u(winQ_.rows());
+    for (std::size_t t = 0; t < inputs_q.rows(); ++t) {
+        for (std::size_t i = 0; i < u.size(); ++i)
+            u[i] = inputs_q.at(t, i);
+        const auto &x = step(u);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            states.at(t, i) = x[i];
+    }
+    return states;
+}
+
+IntReservoir
+makeIntReservoir(const ReservoirWeights &weights,
+                 const IntReservoirConfig &config, BackendKind kind)
+{
+    const auto wq = quantizePow2(weights.w, config.weightBits);
+    const auto winq = quantizePow2(weights.win, config.weightBits);
+
+    std::unique_ptr<GemvBackend> backend;
+    switch (kind) {
+      case BackendKind::Reference:
+        backend = std::make_unique<ReferenceBackend>(wq.values);
+        break;
+      case BackendKind::Csr:
+        backend = std::make_unique<CsrBackend>(wq.values);
+        break;
+      case BackendKind::Spatial: {
+        core::CompileOptions options;
+        options.inputBits = config.stateBits;
+        options.inputsSigned = true;
+        options.signMode = core::SignMode::Csd;
+        backend = std::make_unique<SpatialBackend>(
+            core::MatrixCompiler(options).compile(wq.values));
+        break;
+      }
+    }
+
+    IntReservoirConfig final_config = config;
+    if (final_config.postShift == 0)
+        final_config.postShift = wq.shift;
+    return IntReservoir(std::move(backend), winq.values, winq.shift,
+                        final_config);
+}
+
+} // namespace spatial::esn

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Echo State Network reservoirs (Section II, equations 1-2):
+ *
+ *   x(n) = f(W_in u(n) + W x(n-1))      y(n) = W_out x(n)
+ *
+ * FloatReservoir is the classical tanh ESN used as the quality
+ * reference.  IntReservoir is the integer ESN of Kleyko et al. (paper
+ * citation [16]): quantized fixed weights, a saturating clip activation,
+ * and a right-shift rescale — exactly the integer gemv the spatial
+ * compiler accelerates, so its recurrent product runs on any
+ * GemvBackend including the simulated hardware.
+ */
+
+#ifndef SPATIAL_ESN_RESERVOIR_H
+#define SPATIAL_ESN_RESERVOIR_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "esn/backend.h"
+#include "matrix/dense.h"
+
+namespace spatial::esn
+{
+
+/** Configuration shared by reservoir builders. */
+struct ReservoirConfig
+{
+    std::size_t dim = 300;      //!< reservoir size
+    std::size_t inputDim = 1;   //!< input channels
+    double sparsity = 0.9;      //!< element sparsity of W (>=80% per [10])
+    double spectralRadius = 0.9;
+    double inputScale = 0.5;
+    std::uint64_t seed = 42;
+};
+
+/** Fixed random reservoir weights (float form). */
+struct ReservoirWeights
+{
+    RealMatrix w;   //!< dim x dim recurrent weights, spectral-scaled
+    RealMatrix win; //!< inputDim x dim input weights
+};
+
+/** Build W and W_in per the usual heuristics (random sparse, scaled). */
+ReservoirWeights makeReservoirWeights(const ReservoirConfig &config);
+
+/** Classical float ESN. */
+class FloatReservoir
+{
+  public:
+    FloatReservoir(ReservoirWeights weights, ReservoirConfig config);
+
+    /** Reset the state to zero. */
+    void reset();
+
+    /** Advance one step with input u (length inputDim); returns state. */
+    const std::vector<double> &step(const std::vector<double> &u);
+
+    /**
+     * Run a full input sequence (T x inputDim); returns the T x dim
+     * state trajectory.
+     */
+    RealMatrix run(const RealMatrix &inputs);
+
+    const std::vector<double> &state() const { return state_; }
+    std::size_t dim() const { return config_.dim; }
+
+  private:
+    ReservoirWeights weights_;
+    ReservoirConfig config_;
+    std::vector<double> state_;
+};
+
+/** Quantization parameters of the integer reservoir. */
+struct IntReservoirConfig
+{
+    int weightBits = 4; //!< 3-4 bits lose no accuracy per [16]
+    int stateBits = 8;  //!< activation width (the compiler's input width)
+
+    /**
+     * Right-shift applied to the accumulated pre-activation before the
+     * clip; plays the role of the fixed-point weight scale.
+     */
+    int postShift = 0; //!< 0 = derive from the weight quantization scale
+};
+
+/**
+ * Integer ESN: x(n) = clip((W_q x(n-1) + W_in_q u_q(n)) >> shift).
+ *
+ * The recurrent product is delegated to a GemvBackend; with a
+ * SpatialBackend every update is a cycle-accurate simulation of the
+ * paper's hardware.
+ */
+class IntReservoir
+{
+  public:
+    /**
+     * Quantize float weights and take ownership of the backend that
+     * implements W_q (the backend must have been built from the same
+     * quantized matrix; use makeIntReservoir for the common path).
+     */
+    IntReservoir(std::unique_ptr<GemvBackend> backend, IntMatrix win_q,
+                 int win_shift, IntReservoirConfig config);
+
+    void reset();
+
+    /** One step with already-quantized input (stateBits range). */
+    const std::vector<std::int64_t> &
+    step(const std::vector<std::int64_t> &u_q);
+
+    /** Run a quantized input sequence (T x inputDim). */
+    IntMatrix run(const IntMatrix &inputs_q);
+
+    const std::vector<std::int64_t> &state() const { return state_; }
+    std::size_t dim() const { return backend_->cols(); }
+    GemvBackend &backend() { return *backend_; }
+
+  private:
+    std::unique_ptr<GemvBackend> backend_;
+    IntMatrix winQ_; //!< inputDim x dim quantized input weights
+    int winShift_;
+    IntReservoirConfig config_;
+    std::vector<std::int64_t> state_;
+};
+
+/** How the integer reservoir's recurrent product is executed. */
+enum class BackendKind
+{
+    Reference, //!< dense software gemv
+    Csr,       //!< indexed sparse gemv
+    Spatial,   //!< cycle-accurate simulation of the compiled netlist
+};
+
+/**
+ * Build an integer reservoir from float weights: quantizes W and W_in,
+ * compiles the spatial design when requested, and derives the
+ * post-shift from the quantization scales so state magnitudes are
+ * preserved across the recurrence.
+ */
+IntReservoir makeIntReservoir(const ReservoirWeights &weights,
+                              const IntReservoirConfig &config,
+                              BackendKind kind);
+
+} // namespace spatial::esn
+
+#endif // SPATIAL_ESN_RESERVOIR_H

@@ -1,0 +1,32 @@
+#include "esn/ridge.h"
+
+#include "common/logging.h"
+#include "esn/linalg.h"
+
+namespace spatial::esn
+{
+
+RealMatrix
+ridgeRegression(const RealMatrix &states, const RealMatrix &targets,
+                double lambda)
+{
+    SPATIAL_ASSERT(states.rows() == targets.rows(),
+                   "ridge: ", states.rows(), " state rows vs ",
+                   targets.rows(), " target rows");
+    SPATIAL_ASSERT(lambda >= 0.0, "negative lambda");
+
+    RealMatrix gram = matTMul(states, states);
+    // Always add a whiff of jitter so rank-deficient state matrices
+    // (washed-out reservoirs, constant columns) stay factorable.
+    addDiagonal(gram, lambda + 1e-10);
+    const RealMatrix rhs = matTMul(states, targets);
+    return solveSpd(gram, rhs);
+}
+
+RealMatrix
+applyReadout(const RealMatrix &states, const RealMatrix &w)
+{
+    return matMul(states, w);
+}
+
+} // namespace spatial::esn

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Ridge regression readout — the only trained component of a reservoir
+ * system (Section II: "W_out is trained via linear regression", which
+ * "completely eliminates the need for error backpropagation").
+ */
+
+#ifndef SPATIAL_ESN_RIDGE_H
+#define SPATIAL_ESN_RIDGE_H
+
+#include "matrix/dense.h"
+
+namespace spatial::esn
+{
+
+/**
+ * Solve W = argmin ||X W - Y||^2 + lambda ||W||^2 via the normal
+ * equations (X^T X + lambda I) W = X^T Y and a Cholesky solve.
+ *
+ * @param states X: T x D matrix of reservoir states (rows are steps).
+ * @param targets Y: T x K matrix of training targets.
+ * @param lambda ridge regularizer (>= 0; a tiny jitter is always added
+ *        for numerical safety).
+ * @return D x K readout weights.
+ */
+RealMatrix ridgeRegression(const RealMatrix &states,
+                           const RealMatrix &targets, double lambda);
+
+/** Apply a readout: Y = X W. */
+RealMatrix applyReadout(const RealMatrix &states, const RealMatrix &w);
+
+} // namespace spatial::esn
+
+#endif // SPATIAL_ESN_RIDGE_H

@@ -1,0 +1,154 @@
+#include "esn/tasks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace spatial::esn
+{
+
+TaskData
+makeNarma10(std::size_t length, Rng &rng)
+{
+    SPATIAL_ASSERT(length > 20, "NARMA-10 needs a longer sequence");
+    TaskData data;
+    data.inputs.resize(length);
+    data.targets.resize(length, 0.0);
+    for (auto &u : data.inputs)
+        u = rng.uniformReal(0.0, 0.5);
+
+    for (std::size_t t = 9; t + 1 < length; ++t) {
+        double window = 0.0;
+        for (std::size_t i = 0; i < 10; ++i)
+            window += data.targets[t - i];
+        double y = 0.3 * data.targets[t] +
+                   0.05 * data.targets[t] * window +
+                   1.5 * data.inputs[t - 9] * data.inputs[t] + 0.1;
+        // The recurrence can blow up for unlucky draws; the standard
+        // remedy is saturation.
+        data.targets[t + 1] = std::clamp(y, -1.0, 1.0);
+    }
+    return data;
+}
+
+TaskData
+makeMackeyGlass(std::size_t length, std::size_t horizon, double tau,
+                double dt, double x0)
+{
+    SPATIAL_ASSERT(length > horizon, "series shorter than the horizon");
+    SPATIAL_ASSERT(tau > 0 && dt > 0, "bad Mackey-Glass parameters");
+    constexpr double beta = 0.2;
+    constexpr double gamma = 0.1;
+    constexpr double exponent = 10.0;
+
+    // Integrate with RK4; the delayed term is linearly interpolated from
+    // the stored trajectory.
+    const auto delay_steps = static_cast<std::size_t>(tau / dt);
+    const std::size_t warmup = delay_steps * 20;
+    std::vector<double> series;
+    series.reserve(warmup + length + horizon);
+    series.push_back(x0);
+
+    auto delayed = [&](double offset_steps) {
+        const double pos =
+            static_cast<double>(series.size() - 1) - offset_steps;
+        if (pos <= 0.0)
+            return x0;
+        const auto lo = static_cast<std::size_t>(pos);
+        const double frac = pos - static_cast<double>(lo);
+        if (lo + 1 >= series.size())
+            return series.back();
+        return series[lo] * (1.0 - frac) + series[lo + 1] * frac;
+    };
+    auto f = [&](double x, double x_tau) {
+        return beta * x_tau / (1.0 + std::pow(x_tau, exponent)) -
+               gamma * x;
+    };
+
+    const double steps_per_tau = tau / dt;
+    while (series.size() < warmup + length + horizon) {
+        const double x = series.back();
+        const double xt = delayed(steps_per_tau);
+        const double xt_half = delayed(steps_per_tau - 0.5);
+        const double k1 = f(x, xt);
+        const double k2 = f(x + 0.5 * dt * k1, xt_half);
+        const double k3 = f(x + 0.5 * dt * k2, xt_half);
+        const double k4 = f(x + dt * k3, delayed(steps_per_tau - 1.0));
+        series.push_back(x + dt / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4));
+    }
+
+    TaskData data;
+    data.inputs.assign(series.begin() + static_cast<std::ptrdiff_t>(warmup),
+                       series.begin() +
+                           static_cast<std::ptrdiff_t>(warmup + length));
+    data.targets.assign(
+        series.begin() + static_cast<std::ptrdiff_t>(warmup + horizon),
+        series.begin() +
+            static_cast<std::ptrdiff_t>(warmup + horizon + length));
+    return data;
+}
+
+const std::vector<double> kChannelSymbols{-3.0, -1.0, 1.0, 3.0};
+
+TaskData
+makeChannelEqualization(std::size_t length, double snr_db, Rng &rng)
+{
+    SPATIAL_ASSERT(length > 16, "sequence too short for the channel");
+    // Transmitted 4-PAM symbols.
+    std::vector<double> symbols(length + 16);
+    for (auto &d : symbols)
+        d = kChannelSymbols[static_cast<std::size_t>(
+            rng.uniformInt(0, 3))];
+
+    // Dispersive linear channel (Jaeger's equalization benchmark, as in
+    // the FPGA implementation of citation [3]).
+    auto d_at = [&](std::ptrdiff_t idx) {
+        return symbols[static_cast<std::size_t>(
+            std::clamp<std::ptrdiff_t>(idx, 0,
+                                       static_cast<std::ptrdiff_t>(
+                                           symbols.size() - 1)))];
+    };
+    const double signal_power = 5.0; // E[d^2] for 4-PAM {-3,-1,1,3}
+    const double noise_std =
+        std::sqrt(signal_power / std::pow(10.0, snr_db / 10.0));
+
+    TaskData data;
+    data.inputs.resize(length);
+    data.targets.resize(length);
+    for (std::size_t n = 0; n < length; ++n) {
+        const auto i = static_cast<std::ptrdiff_t>(n) + 8;
+        const double q = 0.08 * d_at(i + 2) - 0.12 * d_at(i + 1) +
+                         1.0 * d_at(i) + 0.18 * d_at(i - 1) -
+                         0.1 * d_at(i - 2) + 0.091 * d_at(i - 3) -
+                         0.05 * d_at(i - 4) + 0.04 * d_at(i - 5) +
+                         0.03 * d_at(i - 6) + 0.01 * d_at(i - 7);
+        const double u = q + 0.036 * q * q - 0.011 * q * q * q;
+        data.inputs[n] = u + noise_std * rng.gaussian();
+        data.targets[n] = d_at(i - 2); // recover the delayed symbol
+    }
+    return data;
+}
+
+MemoryCapacityData
+makeMemoryCapacity(std::size_t length, std::size_t max_delay, Rng &rng)
+{
+    SPATIAL_ASSERT(max_delay >= 1 && length > max_delay,
+                   "bad memory-capacity shape");
+    MemoryCapacityData data;
+    data.inputs.resize(length);
+    for (auto &u : data.inputs)
+        u = rng.uniformReal(-1.0, 1.0);
+
+    data.delayedTargets.resize(max_delay);
+    for (std::size_t k = 1; k <= max_delay; ++k) {
+        auto &target = data.delayedTargets[k - 1];
+        target.resize(length, 0.0);
+        for (std::size_t t = k; t < length; ++t)
+            target[t] = data.inputs[t - k];
+    }
+    return data;
+}
+
+} // namespace spatial::esn

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Benchmark task generators for reservoir computing: the standard
+ * sequence-learning problems the reservoir literature (and the paper's
+ * citations [3], [5], [16]) evaluates on.
+ */
+
+#ifndef SPATIAL_ESN_TASKS_H
+#define SPATIAL_ESN_TASKS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spatial::esn
+{
+
+/** An input/target pair of equal length. */
+struct TaskData
+{
+    std::vector<double> inputs;
+    std::vector<double> targets;
+};
+
+/**
+ * NARMA-10: y(t+1) = 0.3 y(t) + 0.05 y(t) sum_{i<10} y(t-i)
+ *           + 1.5 u(t-9) u(t) + 0.1, with u ~ U[0, 0.5].
+ * The classic nonlinear autoregressive benchmark.
+ */
+TaskData makeNarma10(std::size_t length, Rng &rng);
+
+/**
+ * Mackey-Glass chaotic series, dx/dt = beta x(t-tau)/(1+x(t-tau)^10)
+ * - gamma x(t), integrated with RK4; the task is `horizon`-step-ahead
+ * prediction.
+ */
+TaskData makeMackeyGlass(std::size_t length, std::size_t horizon = 1,
+                         double tau = 17.0, double dt = 1.0,
+                         double x0 = 1.2);
+
+/** Symbol alphabet of the channel-equalization task. */
+extern const std::vector<double> kChannelSymbols; // {-3, -1, 1, 3}
+
+/**
+ * Nonlinear channel equalization (the task of the paper's citation [3]):
+ * 4-PAM symbols pass a dispersive linear channel followed by a
+ * polynomial nonlinearity and additive noise; the equalizer must recover
+ * the symbol transmitted two steps earlier.
+ *
+ * @param snr_db signal-to-noise ratio of the additive Gaussian noise.
+ */
+TaskData makeChannelEqualization(std::size_t length, double snr_db,
+                                 Rng &rng);
+
+/**
+ * Memory-capacity probe: inputs u ~ U[-1, 1]; target k is u delayed by
+ * k steps.  Returns the shared input once and one target per delay.
+ */
+struct MemoryCapacityData
+{
+    std::vector<double> inputs;
+    std::vector<std::vector<double>> delayedTargets; //!< [delay-1]
+};
+
+MemoryCapacityData makeMemoryCapacity(std::size_t length,
+                                      std::size_t max_delay, Rng &rng);
+
+} // namespace spatial::esn
+
+#endif // SPATIAL_ESN_TASKS_H

@@ -1,0 +1,30 @@
+#include "fpga/area_model.h"
+
+namespace spatial::fpga
+{
+
+FpgaResources
+estimateFromOnes(std::size_t ones, std::size_t rows, std::size_t cols)
+{
+    FpgaResources est;
+    // Figure 10's trend lines: LUTs track the ones count one-to-one and
+    // there are two registers per LUT (each adder's sum+carry pair).
+    est.luts = ones;
+    est.ffs = 2 * ones;
+    // Wrapper SRLs dominate the LUTRAM count for 8-bit-class designs.
+    est.lutrams = rows + cols;
+    return est;
+}
+
+double
+expectedOnes(std::size_t rows, std::size_t cols, int weight_bits,
+             double element_sparsity)
+{
+    // A uniform nonzero element has on average half its bits set.
+    const double elements =
+        static_cast<double>(rows) * static_cast<double>(cols);
+    return elements * (1.0 - element_sparsity) *
+           (static_cast<double>(weight_bits) / 2.0);
+}
+
+} // namespace spatial::fpga

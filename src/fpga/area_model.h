@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The paper's closed-form area model (Sections IV and VI).
+ *
+ * "We present simple cost and power models, which enable the quick
+ * estimation of size and power of any fixed matrix on an FPGA": LUT
+ * count is essentially the number of set weight bits, flip-flops are two
+ * per LUT, and the I/O wrapper contributes one SRL-class LUTRAM per row
+ * and column.  This model predicts resources without compiling the
+ * netlist, and the tests check it against the technology mapper.
+ */
+
+#ifndef SPATIAL_FPGA_AREA_MODEL_H
+#define SPATIAL_FPGA_AREA_MODEL_H
+
+#include <cstddef>
+
+#include "fpga/resources.h"
+
+namespace spatial::fpga
+{
+
+/** Closed-form estimate from the ones count alone. */
+FpgaResources estimateFromOnes(std::size_t ones, std::size_t rows,
+                               std::size_t cols);
+
+/**
+ * Expected ones count of a random matrix: elements * (1 - sparsity) *
+ * half the magnitude bits set on average (uniform values).
+ */
+double expectedOnes(std::size_t rows, std::size_t cols, int weight_bits,
+                    double element_sparsity);
+
+} // namespace spatial::fpga
+
+#endif // SPATIAL_FPGA_AREA_MODEL_H

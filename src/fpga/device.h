@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Device description of the paper's target FPGA, the Xilinx Virtex
+ * UltraScale+ XCVU13P (Section VI): a 16 nm part with four chiplets
+ * (Super Logic Regions), 1.7M 6-input LUTs and 3.4M flip-flops, and a
+ * ~150 W thermal limit under medium airflow/heatsink assumptions.
+ */
+
+#ifndef SPATIAL_FPGA_DEVICE_H
+#define SPATIAL_FPGA_DEVICE_H
+
+#include <cstddef>
+
+namespace spatial::fpga
+{
+
+/** Static capacities of the XCVU13P as quoted in the paper. */
+struct Xcvu13p
+{
+    /** Total 6-input LUTs in the package. */
+    static constexpr std::size_t totalLuts = 1'700'000;
+
+    /** Total logic flip-flops. */
+    static constexpr std::size_t totalFfs = 3'400'000;
+
+    /** Number of Super Logic Regions (chiplets). */
+    static constexpr int slrCount = 4;
+
+    /** LUT capacity of one SLR. */
+    static constexpr std::size_t lutsPerSlr = 425'000;
+
+    /**
+     * Utilization fraction of one SLR beyond which "the tools can
+     * struggle" (the 82% tick marks of Figure 11).
+     */
+    static constexpr double slrPressureFraction = 0.82;
+
+    /** Thermal power limit under medium cooling (Figure 12). */
+    static constexpr double thermalLimitWatts = 150.0;
+
+    /** Maximum SRAM/BRAM frequency; never the critical path here. */
+    static constexpr double sramFmaxMhz = 600.0;
+};
+
+} // namespace spatial::fpga
+
+#endif // SPATIAL_FPGA_DEVICE_H

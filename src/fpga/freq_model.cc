@@ -1,0 +1,69 @@
+#include "fpga/freq_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "fpga/device.h"
+
+namespace spatial::fpga
+{
+
+int
+slrSpan(std::size_t luts)
+{
+    const auto span = static_cast<int>(
+        (luts + Xcvu13p::lutsPerSlr - 1) / Xcvu13p::lutsPerSlr);
+    return std::clamp(span, 1, Xcvu13p::slrCount);
+}
+
+bool
+fitsDevice(const FpgaResources &resources)
+{
+    return resources.luts + resources.lutrams <= Xcvu13p::totalLuts &&
+           resources.ffs <= Xcvu13p::totalFfs;
+}
+
+double
+fmaxMhz(const FpgaResources &resources, std::uint32_t max_fanout)
+{
+    const int span = slrSpan(resources.luts);
+    const double span_capacity =
+        static_cast<double>(span) * static_cast<double>(Xcvu13p::lutsPerSlr);
+    // Fraction of the spanned region in use, normalized so the measured
+    // band is traversed as utilization approaches the 82% pressure point.
+    const double utilization = std::min(
+        1.0, static_cast<double>(resources.luts) / span_capacity /
+                 Xcvu13p::slrPressureFraction);
+
+    // Measured bands of Figure 11; designs land inside their span's
+    // band, positioned by utilization pressure and broadcast fanout.
+    double hi, lo;
+    if (span <= 1) {
+        hi = 597.0;
+        lo = 445.0;
+    } else if (span == 2) {
+        hi = 400.0;
+        lo = 296.0;
+    } else {
+        hi = 250.0;
+        lo = 225.0;
+    }
+    double fmax = hi - (hi - lo) * utilization;
+
+    // First-stage broadcast penalty: nets with fanout in the hundreds
+    // add routing delay; below ~64 loads the broadcast is not the
+    // critical path.  The penalty consumes up to ~30% of the band by the
+    // time fanout reaches thousands (once SLR crossings dominate, the
+    // clamp below keeps the result inside the measured band).
+    if (max_fanout > 64) {
+        const double doublings =
+            std::log2(static_cast<double>(max_fanout) / 64.0);
+        fmax -= (hi - lo) * 0.3 * (doublings / 6.0);
+    }
+    fmax = std::clamp(fmax, lo, hi);
+    SPATIAL_ASSERT(fmax > 0.0, "non-positive fmax");
+    return fmax;
+}
+
+} // namespace spatial::fpga

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Achieved-frequency model (Figure 11).
+ *
+ * Every path in the generated design has a single LUT between flip-flops,
+ * so Fmax is set by interconnect: (1) the first-stage input broadcast,
+ * whose fanout grows with dimension times density, and (2) nets crossing
+ * SLR (chiplet) boundaries once the design spills past one chiplet.  The
+ * paper's measured bands are: one SLR 597-445 MHz, two SLRs 400-296 MHz,
+ * three or more SLRs 250-225 MHz, with frequency degrading as SLR
+ * utilization approaches the 82% pressure point.
+ */
+
+#ifndef SPATIAL_FPGA_FREQ_MODEL_H
+#define SPATIAL_FPGA_FREQ_MODEL_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fpga/resources.h"
+
+namespace spatial::fpga
+{
+
+/** Number of SLRs a design of this LUT count must span (1..4). */
+int slrSpan(std::size_t luts);
+
+/**
+ * Modelled post-place-and-route frequency in MHz.
+ *
+ * @param resources mapped resource counts (LUT count drives placement).
+ * @param max_fanout largest net fanout (the input broadcast).
+ */
+double fmaxMhz(const FpgaResources &resources, std::uint32_t max_fanout);
+
+/** True if the design exceeds the device's LUT capacity. */
+bool fitsDevice(const FpgaResources &resources);
+
+} // namespace spatial::fpga
+
+#endif // SPATIAL_FPGA_FREQ_MODEL_H

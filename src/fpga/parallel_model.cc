@@ -1,0 +1,45 @@
+#include "fpga/parallel_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/latency.h"
+
+namespace spatial::fpga
+{
+
+ParallelEstimate
+estimateBitParallel(std::size_t rows, std::size_t cols, std::size_t nnz,
+                    std::size_t ones, int input_bits, int weight_bits)
+{
+    SPATIAL_ASSERT(input_bits >= 1 && weight_bits >= 1, "bad widths");
+    ParallelEstimate est;
+
+    // Internal word: full product plus accumulation growth.
+    const int log_rows = core::ceilLog2(std::max<std::size_t>(rows, 2));
+    est.wordWidth = static_cast<std::size_t>(input_bits + weight_bits +
+                                             log_rows);
+
+    // Shift-add constant multipliers: one word-wide adder per set bit
+    // beyond the first of each nonzero weight.
+    const std::size_t multiplier_adds = ones > nnz ? ones - nnz : 0;
+    // Column reduction trees: nnz-per-column minus one adders each.
+    const std::size_t tree_adds = nnz > cols ? nnz - cols : 0;
+
+    const std::size_t word_adders = multiplier_adds + tree_adds;
+    // A word-wide ripple adder costs ~1 LUT per bit (carry chains are
+    // free on UltraScale+); pipelining registers the full word at each
+    // tree level, ~2 FFs per LUT like the bit-serial design.
+    est.resources.luts = word_adders * est.wordWidth;
+    est.resources.ffs = 2 * est.resources.luts;
+    est.resources.lutrams = rows + cols; // I/O buffering
+
+    // Latency: pipelined multiplier (log of its adds) plus the column
+    // tree depth plus I/O registration.
+    const int mult_depth = core::ceilLog2(
+        std::max<std::size_t>(2, static_cast<std::size_t>(weight_bits)));
+    est.latencyCycles = static_cast<std::uint32_t>(log_rows + mult_depth + 2);
+    return est;
+}
+
+} // namespace spatial::fpga

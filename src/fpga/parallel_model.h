@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Cost model of the *bit-parallel* spatial alternative, used to justify
+ * the paper's bit-serial choice ("Bit-serial arithmetic enables massive
+ * static matrices to be implemented").
+ *
+ * A bit-parallel direct implementation replaces each nonzero weight
+ * with a shift-add constant multiplier (one word-wide adder per extra
+ * set bit) and each column with a word-wide adder tree.  Every adder is
+ * `word` LUTs wide instead of the bit-serial design's single LUT, so
+ * area scales by roughly the word width while the latency in cycles
+ * drops to the pipelined tree depth — the classic area/time trade this
+ * model makes explicit.
+ */
+
+#ifndef SPATIAL_FPGA_PARALLEL_MODEL_H
+#define SPATIAL_FPGA_PARALLEL_MODEL_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fpga/resources.h"
+
+namespace spatial::fpga
+{
+
+/** Estimated bit-parallel implementation of one fixed matrix. */
+struct ParallelEstimate
+{
+    FpgaResources resources;
+    std::uint32_t latencyCycles = 0; //!< pipelined tree depth
+    std::size_t wordWidth = 0;       //!< internal datapath width
+};
+
+/**
+ * Estimate the bit-parallel design.
+ *
+ * @param rows, cols matrix shape.
+ * @param nnz nonzero elements.
+ * @param ones total set magnitude bits.
+ * @param input_bits, weight_bits operand widths.
+ */
+ParallelEstimate estimateBitParallel(std::size_t rows, std::size_t cols,
+                                     std::size_t nnz, std::size_t ones,
+                                     int input_bits, int weight_bits);
+
+} // namespace spatial::fpga
+
+#endif // SPATIAL_FPGA_PARALLEL_MODEL_H

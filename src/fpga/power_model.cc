@@ -1,0 +1,31 @@
+#include "fpga/power_model.h"
+
+#include "common/logging.h"
+#include "fpga/device.h"
+
+namespace spatial::fpga
+{
+
+double
+powerWatts(const FpgaResources &resources, double fmax_mhz,
+           const PowerCoefficients &coeff)
+{
+    SPATIAL_ASSERT(fmax_mhz > 0.0, "fmax ", fmax_mhz);
+    const double luts =
+        static_cast<double>(resources.luts + resources.lutrams);
+    const double ffs = static_cast<double>(resources.ffs);
+    const double logic = coeff.activity *
+                         (luts * coeff.lutWattsPerMhz +
+                          ffs * coeff.ffWattsPerMhz) *
+                         fmax_mhz;
+    const double clock = ffs * coeff.clockWattsPerMhz * fmax_mhz;
+    return coeff.staticWatts + logic + clock;
+}
+
+bool
+exceedsThermalLimit(double watts)
+{
+    return watts > Xcvu13p::thermalLimitWatts;
+}
+
+} // namespace spatial::fpga

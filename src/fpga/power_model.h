@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Power model (Figure 12).
+ *
+ * Total power = static leakage + dynamic switching.  Dynamic power is
+ * alpha * C * V^2 * f over the toggling LUTs and registers; following the
+ * Vivado default assumptions the model charges every mapped LUT and FF a
+ * per-MHz energy at a fixed activity factor.  Because achievable Fmax
+ * falls as designs grow (Figure 11), total power grows sublinearly in
+ * design size, approaching the 150 W thermal limit at high dimension and
+ * low sparsity.
+ */
+
+#ifndef SPATIAL_FPGA_POWER_MODEL_H
+#define SPATIAL_FPGA_POWER_MODEL_H
+
+#include "fpga/resources.h"
+
+namespace spatial::fpga
+{
+
+/** Tunable coefficients; defaults are calibrated to Figure 12's scale. */
+struct PowerCoefficients
+{
+    /** Device static power in watts (16 nm large-die leakage). */
+    double staticWatts = 4.5;
+
+    /** Default toggle (switching activity) assumption. */
+    double activity = 0.125;
+
+    /** Dynamic energy per LUT per MHz at activity 1.0, in watts/MHz. */
+    double lutWattsPerMhz = 1.6e-6;
+
+    /** Dynamic energy per FF per MHz at activity 1.0, in watts/MHz. */
+    double ffWattsPerMhz = 4.5e-7;
+
+    /** Clock-tree watts per FF per MHz (always toggling). */
+    double clockWattsPerMhz = 5.0e-8;
+};
+
+/** Estimated total power of a design running at `fmax_mhz`. */
+double powerWatts(const FpgaResources &resources, double fmax_mhz,
+                  const PowerCoefficients &coeff = {});
+
+/** True if the estimate exceeds the 150 W thermal limit. */
+bool exceedsThermalLimit(double watts);
+
+} // namespace spatial::fpga
+
+#endif // SPATIAL_FPGA_POWER_MODEL_H

@@ -1,0 +1,44 @@
+#include "fpga/report.h"
+
+#include "core/latency.h"
+#include "fpga/freq_model.h"
+
+namespace spatial::fpga
+{
+
+double
+DesignPoint::batchLatencyNs(std::size_t batch) const
+{
+    return core::batchLatencyNs(latencyCycles, iiCycles, batch, fmaxMhz);
+}
+
+DesignPoint
+evaluateDesign(const core::CompiledMatrix &design,
+               const MapperOptions &mapper_options,
+               const PowerCoefficients &power_coeff)
+{
+    DesignPoint point;
+    point.rows = design.rows();
+    point.cols = design.cols();
+    point.weightBits = design.weightBits();
+    point.ones = design.weightOnes();
+
+    const auto mapped =
+        mapDesign(design.netlist(), design.cols(), design.options().inputBits,
+                  design.outputBits(), mapper_options);
+    point.resources = mapped.total;
+    point.maxFanout = design.netlist().maxFanout();
+    point.slrs = slrSpan(point.resources.luts);
+    point.fits = fitsDevice(point.resources);
+
+    point.fmaxMhz = fmaxMhz(point.resources, point.maxFanout);
+    point.powerWatts = powerWatts(point.resources, point.fmaxMhz,
+                                  power_coeff);
+
+    point.latencyCycles = design.paperLatencyCycles();
+    point.latencyNs = core::cyclesToNs(point.latencyCycles, point.fmaxMhz);
+    point.iiCycles = design.initiationInterval();
+    return point;
+}
+
+} // namespace spatial::fpga

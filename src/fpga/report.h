@@ -1,0 +1,53 @@
+/**
+ * @file
+ * One-stop evaluation of a compiled design on the XCVU13P: resources,
+ * SLR span, achieved frequency, power, and latency.  This is the "FPGA"
+ * series of every evaluation figure.
+ */
+
+#ifndef SPATIAL_FPGA_REPORT_H
+#define SPATIAL_FPGA_REPORT_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/compiled_matrix.h"
+#include "fpga/power_model.h"
+#include "fpga/resources.h"
+#include "fpga/tech_mapper.h"
+
+namespace spatial::fpga
+{
+
+/** Everything the evaluation needs to know about one design point. */
+struct DesignPoint
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    int weightBits = 0;
+    std::size_t ones = 0; //!< set bits across the compiled P/N pair
+
+    FpgaResources resources;
+    std::uint32_t maxFanout = 0;
+    int slrs = 1;
+    bool fits = true;
+
+    double fmaxMhz = 0.0;
+    double powerWatts = 0.0;
+
+    std::uint32_t latencyCycles = 0; //!< Equation 5
+    double latencyNs = 0.0;
+    std::uint32_t iiCycles = 0; //!< batch initiation interval
+
+    /** Latency of a batch of vectors in nanoseconds. */
+    double batchLatencyNs(std::size_t batch) const;
+};
+
+/** Map, time, and power a compiled design. */
+DesignPoint evaluateDesign(const core::CompiledMatrix &design,
+                           const MapperOptions &mapper_options = {},
+                           const PowerCoefficients &power_coeff = {});
+
+} // namespace spatial::fpga
+
+#endif // SPATIAL_FPGA_REPORT_H

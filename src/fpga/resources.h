@@ -1,0 +1,43 @@
+/**
+ * @file
+ * FPGA resource vector: the three quantities the paper's synthesis
+ * figures report (LUT, FF, LUTRAM).
+ */
+
+#ifndef SPATIAL_FPGA_RESOURCES_H
+#define SPATIAL_FPGA_RESOURCES_H
+
+#include <cstddef>
+
+namespace spatial::fpga
+{
+
+/** Mapped resource counts for one design. */
+struct FpgaResources
+{
+    std::size_t luts = 0;    //!< 6-input LUTs used as logic
+    std::size_t ffs = 0;     //!< flip-flops
+    std::size_t lutrams = 0; //!< LUTs re-purposed as SRL shift registers
+
+    FpgaResources &
+    operator+=(const FpgaResources &other)
+    {
+        luts += other.luts;
+        ffs += other.ffs;
+        lutrams += other.lutrams;
+        return *this;
+    }
+
+    friend FpgaResources
+    operator+(FpgaResources a, const FpgaResources &b)
+    {
+        a += b;
+        return a;
+    }
+
+    bool operator==(const FpgaResources &other) const = default;
+};
+
+} // namespace spatial::fpga
+
+#endif // SPATIAL_FPGA_RESOURCES_H

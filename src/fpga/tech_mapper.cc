@@ -1,0 +1,88 @@
+#include "fpga/tech_mapper.h"
+
+#include <vector>
+
+#include "circuit/stats.h"
+
+namespace spatial::fpga
+{
+
+namespace
+{
+
+using circuit::CompKind;
+using circuit::Netlist;
+using circuit::NodeId;
+
+/** ceil(a / b) for positive integers. */
+std::size_t
+ceilDiv(std::size_t a, std::size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Stages one SRL32 primitive can absorb. */
+constexpr std::size_t kSrlDepth = 32;
+
+} // namespace
+
+MappedDesign
+mapDesign(const circuit::Netlist &netlist, std::size_t num_outputs,
+          int input_bits, int output_bits, const MapperOptions &options)
+{
+    MappedDesign design;
+
+    // Arithmetic: 1 LUT + 2 FFs per bit-serial adder/subtractor.
+    const auto counts = circuit::collectCounts(netlist);
+    design.arithmetic.luts = counts.adders + counts.subs;
+    design.arithmetic.ffs = 2 * (counts.adders + counts.subs);
+
+    // Naive-mode combinational gates: 1 LUT each.
+    design.gates.luts = counts.ands + counts.nots;
+
+    // Delay flip-flops: find maximal single-use DFF chains; long chains
+    // become SRLs, short ones stay as flip-flops.
+    const auto fan = netlist.fanouts();
+    const auto n = static_cast<NodeId>(netlist.numNodes());
+    std::vector<std::uint32_t> chain_len(netlist.numNodes(), 0);
+    std::vector<bool> continued(netlist.numNodes(), false);
+    for (NodeId id = 0; id < n; ++id) {
+        if (netlist.kind(id) != CompKind::Dff)
+            continue;
+        const NodeId src = netlist.srcA(id);
+        const bool extends =
+            netlist.kind(src) == CompKind::Dff && fan[src] == 1;
+        chain_len[id] = extends ? chain_len[src] + 1 : 1;
+        if (extends)
+            continued[src] = true;
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        if (netlist.kind(id) != CompKind::Dff || continued[id])
+            continue;
+        const std::size_t len = chain_len[id];
+        if (len >= options.srlThreshold) {
+            design.delays.lutrams += ceilDiv(len, kSrlDepth);
+            design.delays.ffs += 1; // SRL output register
+        } else {
+            design.delays.ffs += len;
+        }
+    }
+
+    if (options.includeWrapper) {
+        // One parallel-load SRL per input row and one capture SRL per
+        // output column, plus a small constant of address/control logic.
+        design.wrapper.lutrams =
+            netlist.numInputPorts() *
+                ceilDiv(static_cast<std::size_t>(input_bits), kSrlDepth) +
+            num_outputs *
+                ceilDiv(static_cast<std::size_t>(output_bits), kSrlDepth);
+        design.wrapper.luts = 50;
+        design.wrapper.ffs = 100;
+    }
+
+    design.total = design.arithmetic + design.gates + design.delays +
+                   design.wrapper;
+    return design;
+}
+
+} // namespace spatial::fpga

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Technology mapping of a bit-serial netlist onto UltraScale+ resources.
+ *
+ * Mapping rules follow Section III: a bit-serial adder or subtractor fits
+ * one 6-input LUT plus two flip-flops (sum and carry registers); a culled
+ * adder is a single flip-flop; AND/NOT gates (naive mode only) are one
+ * LUT each.  Runs of three or more delay flip-flops map to SRL LUTRAMs
+ * (one per 32 stages, plus the SRL's output register), which is how the
+ * LUTRAM series of Figures 5, 6, and 9 arises.  The SRAM I/O wrapper adds
+ * one SRL per input row and output column and a small constant of control
+ * logic ("this design wrapper only adds a few extra LUTs and registers").
+ */
+
+#ifndef SPATIAL_FPGA_TECH_MAPPER_H
+#define SPATIAL_FPGA_TECH_MAPPER_H
+
+#include <cstddef>
+
+#include "circuit/netlist.h"
+#include "fpga/resources.h"
+
+namespace spatial::fpga
+{
+
+/** Options controlling wrapper accounting. */
+struct MapperOptions
+{
+    /** Include the SRAM feed/capture wrapper resources. */
+    bool includeWrapper = true;
+
+    /** Delay-chain length at or above which Vivado infers an SRL. */
+    std::size_t srlThreshold = 3;
+};
+
+/** Break-down of where mapped resources came from (for reports/tests). */
+struct MappedDesign
+{
+    FpgaResources total;
+    FpgaResources arithmetic; //!< adders/subtractors
+    FpgaResources delays;     //!< alignment/skew flip-flops and SRLs
+    FpgaResources gates;      //!< AND/NOT logic (naive mode)
+    FpgaResources wrapper;    //!< I/O shift registers and control
+};
+
+/**
+ * Map a netlist plus its I/O shape to FPGA resources.
+ *
+ * @param netlist the compiled design.
+ * @param num_outputs output columns (capture shift registers).
+ * @param input_bits streamed input width (input SRL depth).
+ * @param output_bits captured output width (output SRL depth).
+ */
+MappedDesign mapDesign(const circuit::Netlist &netlist,
+                       std::size_t num_outputs, int input_bits,
+                       int output_bits, const MapperOptions &options = {});
+
+} // namespace spatial::fpga
+
+#endif // SPATIAL_FPGA_TECH_MAPPER_H

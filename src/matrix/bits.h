@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-level utilities shared by the matrix transforms and the compiler.
+ */
+
+#ifndef SPATIAL_MATRIX_BITS_H
+#define SPATIAL_MATRIX_BITS_H
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace spatial
+{
+
+/** Number of set bits in a non-negative value. */
+inline int
+popcount64(std::int64_t v)
+{
+    SPATIAL_ASSERT(v >= 0, "popcount64 expects non-negative, got ", v);
+    return std::popcount(static_cast<std::uint64_t>(v));
+}
+
+/** Minimum number of bits needed to represent a non-negative value. */
+inline int
+bitWidth(std::int64_t v)
+{
+    SPATIAL_ASSERT(v >= 0, "bitWidth expects non-negative, got ", v);
+    return static_cast<int>(std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+/** Bit k (LSb = 0) of a non-negative value. */
+inline bool
+bitAt(std::int64_t v, int k)
+{
+    SPATIAL_ASSERT(v >= 0 && k >= 0 && k < 63, "bitAt(", v, ", ", k, ")");
+    return ((static_cast<std::uint64_t>(v) >> k) & 1u) != 0;
+}
+
+/** Largest value representable in `bits` unsigned bits. */
+inline std::int64_t
+maxUnsigned(int bits)
+{
+    SPATIAL_ASSERT(bits >= 0 && bits <= 62, "maxUnsigned(", bits, ")");
+    return (std::int64_t{1} << bits) - 1;
+}
+
+/** Inclusive signed range [minSigned(bits), maxSigned(bits)]. */
+inline std::int64_t
+maxSigned(int bits)
+{
+    SPATIAL_ASSERT(bits >= 1 && bits <= 62, "maxSigned(", bits, ")");
+    return (std::int64_t{1} << (bits - 1)) - 1;
+}
+
+inline std::int64_t
+minSigned(int bits)
+{
+    SPATIAL_ASSERT(bits >= 1 && bits <= 62, "minSigned(", bits, ")");
+    return -(std::int64_t{1} << (bits - 1));
+}
+
+} // namespace spatial
+
+#endif // SPATIAL_MATRIX_BITS_H

@@ -1,0 +1,121 @@
+#include "matrix/csd.h"
+
+#include "matrix/bits.h"
+
+namespace spatial
+{
+
+CsdDigits
+toCsdDigits(std::int64_t value, int bitwidth, Rng &rng)
+{
+    SPATIAL_ASSERT(value >= 0, "CSD input must be non-negative, got ", value);
+    SPATIAL_ASSERT(bitwidth >= 1 && bitwidth <= 61, "bitwidth ", bitwidth);
+    SPATIAL_ASSERT(value <= maxUnsigned(bitwidth), "value ", value,
+                   " exceeds ", bitwidth, " bits");
+
+    // Listing 1, with the bit list kept LSb-first throughout.
+    CsdDigits target(static_cast<std::size_t>(bitwidth) + 1, 0);
+    int chain_start = -1;
+    for (int i = 0; i < bitwidth + 1; ++i) {
+        const bool bit = i < bitwidth && bitAt(value, i);
+        if (!bit) {
+            if (chain_start == -1)
+                continue; // No chain to terminate.
+            const int chain_length = i - chain_start;
+            if (chain_length == 1) {
+                // Lone 1: leave it alone.
+                target[chain_start] = 1;
+            } else if (chain_length == 2) {
+                // Cost-neutral either way; flip a coin to balance the
+                // decomposition.
+                if (rng.coin()) {
+                    target[chain_start] = -1;
+                    target[i] = 1;
+                } else {
+                    target[chain_start] = 1;
+                    target[i - 1] = 1;
+                }
+            } else {
+                // 0111..1 -> +1000..0 -1: strict win for length >= 3.
+                target[chain_start] = -1;
+                target[i] = 1;
+            }
+            chain_start = -1;
+        } else if (chain_start == -1) {
+            chain_start = i;
+        }
+    }
+    SPATIAL_ASSERT(chain_start == -1, "unterminated chain for ", value);
+    return target;
+}
+
+std::int64_t
+csdValue(const CsdDigits &digits)
+{
+    std::int64_t v = 0;
+    for (std::size_t k = 0; k < digits.size(); ++k)
+        v += static_cast<std::int64_t>(digits[k]) * (std::int64_t{1} << k);
+    return v;
+}
+
+int
+csdOnes(const CsdDigits &digits)
+{
+    int ones = 0;
+    for (const auto d : digits)
+        ones += (d != 0);
+    return ones;
+}
+
+namespace
+{
+
+/**
+ * Add one element's CSD decomposition into the output pair; `same` is the
+ * side the element came from, `other` the opposite side.
+ */
+void
+accumulateCsd(std::int64_t value, int bitwidth, Rng &rng,
+              std::int64_t &same, std::int64_t &other)
+{
+    if (value == 0)
+        return;
+    const CsdDigits digits = toCsdDigits(value, bitwidth, rng);
+    for (std::size_t k = 0; k < digits.size(); ++k) {
+        if (digits[k] > 0)
+            same += std::int64_t{1} << k;
+        else if (digits[k] < 0)
+            other += std::int64_t{1} << k;
+    }
+}
+
+} // namespace
+
+PnPair
+csdTransform(const PnPair &pn, Rng &rng)
+{
+    SPATIAL_ASSERT(pn.p.isNonNegative() && pn.n.isNonNegative(),
+                   "PN pair must be unsigned");
+    const std::size_t rows = pn.p.rows();
+    const std::size_t cols = pn.p.cols();
+    const int bitwidth = pn.bitwidth();
+
+    PnPair out{IntMatrix(rows, cols), IntMatrix(rows, cols)};
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            accumulateCsd(pn.p.at(r, c), bitwidth, rng, out.p.at(r, c),
+                          out.n.at(r, c));
+            accumulateCsd(pn.n.at(r, c), bitwidth, rng, out.n.at(r, c),
+                          out.p.at(r, c));
+        }
+    }
+    return out;
+}
+
+PnPair
+csdSplit(const IntMatrix &v, Rng &rng)
+{
+    return csdTransform(pnSplit(v), rng);
+}
+
+} // namespace spatial

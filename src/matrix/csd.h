@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Canonical Signed Digit (CSD) transform — Section V / Listing 1.
+ *
+ * CSD rewrites an unsigned integer as a difference of two sparser unsigned
+ * integers by replacing runs ("chains") of consecutive 1 bits: a chain of
+ * length >= 3 becomes +2^(end) - 2^(start); a chain of length 2 is replaced
+ * with probability 1/2 (the paper's coin flip, which balances the
+ * decomposition because the substitution is cost-neutral there); a chain of
+ * length 1 is left alone.  The digit vector is one bit wider than the
+ * input and never has more set digits than the binary form.
+ *
+ * The implementation follows the paper's Listing 1 exactly, including its
+ * non-merging of a chain substitution with an immediately following chain
+ * (so the output is not strictly canonical CSD — it is the paper's
+ * algorithm, reproduced faithfully).
+ */
+
+#ifndef SPATIAL_MATRIX_CSD_H
+#define SPATIAL_MATRIX_CSD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "matrix/dense.h"
+#include "matrix/pn_split.h"
+
+namespace spatial
+{
+
+/**
+ * Signed digit vector, LSb first; each digit is -1, 0, or +1.
+ * value = sum_k digits[k] * 2^k.
+ */
+using CsdDigits = std::vector<std::int8_t>;
+
+/**
+ * Convert a non-negative value to signed digits per Listing 1.
+ *
+ * @param value non-negative input.
+ * @param bitwidth number of binary input bits to scan; the result has
+ *        bitwidth + 1 digit positions.
+ * @param rng source for the length-2 chain coin flip.
+ */
+CsdDigits toCsdDigits(std::int64_t value, int bitwidth, Rng &rng);
+
+/** Reconstruct the integer value of a digit vector. */
+std::int64_t csdValue(const CsdDigits &digits);
+
+/** Count of nonzero digits (the hardware cost of the representation). */
+int csdOnes(const CsdDigits &digits);
+
+/**
+ * Apply CSD to a PN pair: each element of P and N is decomposed, positive
+ * digits stay in the element's own side and negative digits move to the
+ * opposite side ("positive elements that result from CSD remain in the
+ * original matrix, and negative elements are transferred to the opposite
+ * weight matrix").  The result still satisfies P' - N' == P - N, generally
+ * with fewer total ones, at one extra bit of width.
+ */
+PnPair csdTransform(const PnPair &pn, Rng &rng);
+
+/** Convenience: pnSplit followed by csdTransform. */
+PnPair csdSplit(const IntMatrix &v, Rng &rng);
+
+} // namespace spatial
+
+#endif // SPATIAL_MATRIX_CSD_H

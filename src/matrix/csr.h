@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Compressed Sparse Row storage.
+ *
+ * The CSR form is what the GPU baselines index over (cuSPARSE-style) and
+ * what the software ESN backend multiplies with; the spatial compiler by
+ * contrast consumes the dense form and *eliminates* the indexing entirely.
+ */
+
+#ifndef SPATIAL_MATRIX_CSR_H
+#define SPATIAL_MATRIX_CSR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "matrix/dense.h"
+
+namespace spatial
+{
+
+/** CSR sparse matrix over an arbitrary value type. */
+template <typename T>
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** Build from dense; zero elements are dropped. */
+    template <typename Dense>
+    static CsrMatrix
+    fromDense(const Dense &m)
+    {
+        CsrMatrix out;
+        out.rows_ = m.rows();
+        out.cols_ = m.cols();
+        out.rowPtr_.clear();
+        out.rowPtr_.reserve(m.rows() + 1);
+        out.rowPtr_.push_back(0);
+        for (std::size_t r = 0; r < m.rows(); ++r) {
+            for (std::size_t c = 0; c < m.cols(); ++c) {
+                const auto v = m.at(r, c);
+                if (v != T{}) {
+                    out.colIdx_.push_back(c);
+                    out.values_.push_back(static_cast<T>(v));
+                }
+            }
+            out.rowPtr_.push_back(out.values_.size());
+        }
+        return out;
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t nnz() const { return values_.size(); }
+
+    const std::vector<std::size_t> &rowPtr() const { return rowPtr_; }
+    const std::vector<std::size_t> &colIdx() const { return colIdx_; }
+    const std::vector<T> &values() const { return values_; }
+
+    /** o = a^T V; a has length rows(), result has length cols(). */
+    std::vector<T>
+    multiplyLeft(const std::vector<T> &a) const
+    {
+        SPATIAL_ASSERT(a.size() == rows_, "csr gemv: |a|=", a.size(),
+                       " rows=", rows_);
+        std::vector<T> out(cols_, T{});
+        for (std::size_t r = 0; r < rows_; ++r) {
+            const T ar = a[r];
+            if (ar == T{})
+                continue;
+            for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+                out[colIdx_[k]] += ar * values_[k];
+        }
+        return out;
+    }
+
+    /** Reconstruct the dense form (for tests). */
+    IntMatrix
+    toDenseInt() const
+        requires std::is_integral_v<T>
+    {
+        IntMatrix m(rows_, cols_);
+        for (std::size_t r = 0; r < rows_; ++r)
+            for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+                m.at(r, colIdx_[k]) = values_[k];
+        return m;
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::size_t> rowPtr_{0};
+    std::vector<std::size_t> colIdx_;
+    std::vector<T> values_;
+};
+
+} // namespace spatial
+
+#endif // SPATIAL_MATRIX_CSR_H

@@ -1,0 +1,108 @@
+#include "matrix/dense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "matrix/bits.h"
+
+namespace spatial
+{
+
+std::size_t
+IntMatrix::nonZeroCount() const
+{
+    std::size_t count = 0;
+    for (const auto v : data_)
+        count += (v != 0);
+    return count;
+}
+
+double
+IntMatrix::elementSparsity() const
+{
+    if (data_.empty())
+        return 0.0;
+    return 1.0 -
+           static_cast<double>(nonZeroCount()) /
+               static_cast<double>(data_.size());
+}
+
+std::size_t
+IntMatrix::onesCount() const
+{
+    std::size_t ones = 0;
+    for (const auto v : data_)
+        ones += static_cast<std::size_t>(popcount64(std::abs(v)));
+    return ones;
+}
+
+double
+IntMatrix::bitSparsity(int bitwidth) const
+{
+    SPATIAL_ASSERT(bitwidth > 0, "bitwidth ", bitwidth);
+    if (data_.empty())
+        return 1.0;
+    const double slots =
+        static_cast<double>(data_.size()) * static_cast<double>(bitwidth);
+    return 1.0 - static_cast<double>(onesCount()) / slots;
+}
+
+std::int64_t
+IntMatrix::maxAbs() const
+{
+    std::int64_t best = 0;
+    for (const auto v : data_)
+        best = std::max(best, std::abs(v));
+    return best;
+}
+
+bool
+IntMatrix::isNonNegative() const
+{
+    return std::all_of(data_.begin(), data_.end(),
+                       [](std::int64_t v) { return v >= 0; });
+}
+
+double
+RealMatrix::maxAbs() const
+{
+    double best = 0.0;
+    for (const auto v : data_)
+        best = std::max(best, std::abs(v));
+    return best;
+}
+
+std::vector<std::int64_t>
+gemvRef(const std::vector<std::int64_t> &a, const IntMatrix &v)
+{
+    SPATIAL_ASSERT(a.size() == v.rows(), "gemv: |a|=", a.size(), " rows=",
+                   v.rows());
+    std::vector<std::int64_t> out(v.cols(), 0);
+    for (std::size_t r = 0; r < v.rows(); ++r) {
+        const std::int64_t ar = a[r];
+        if (ar == 0)
+            continue;
+        for (std::size_t c = 0; c < v.cols(); ++c)
+            out[c] += ar * v.at(r, c);
+    }
+    return out;
+}
+
+std::vector<double>
+gemvRef(const std::vector<double> &a, const RealMatrix &v)
+{
+    SPATIAL_ASSERT(a.size() == v.rows(), "gemv: |a|=", a.size(), " rows=",
+                   v.rows());
+    std::vector<double> out(v.cols(), 0.0);
+    for (std::size_t r = 0; r < v.rows(); ++r) {
+        const double ar = a[r];
+        if (ar == 0.0)
+            continue;
+        for (std::size_t c = 0; c < v.cols(); ++c)
+            out[c] += ar * v.at(r, c);
+    }
+    return out;
+}
+
+} // namespace spatial

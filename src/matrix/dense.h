@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Dense integer and real matrices.
+ *
+ * IntMatrix is the canonical weight container for the spatial compiler:
+ * row-major, 64-bit signed storage, with helpers to measure the quantities
+ * the paper's cost model depends on (nonzeros and set magnitude bits).
+ * RealMatrix backs the floating-point ESN reference path.
+ */
+
+#ifndef SPATIAL_MATRIX_DENSE_H
+#define SPATIAL_MATRIX_DENSE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace spatial
+{
+
+/** Row-major dense matrix of 64-bit signed integers. */
+class IntMatrix
+{
+  public:
+    IntMatrix() = default;
+
+    /** Create a rows x cols matrix of zeros. */
+    IntMatrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    std::int64_t &
+    at(std::size_t r, std::size_t c)
+    {
+        SPATIAL_ASSERT(r < rows_ && c < cols_,
+                       "index (", r, ",", c, ") out of ", rows_, "x", cols_);
+        return data_[r * cols_ + c];
+    }
+
+    std::int64_t
+    at(std::size_t r, std::size_t c) const
+    {
+        SPATIAL_ASSERT(r < rows_ && c < cols_,
+                       "index (", r, ",", c, ") out of ", rows_, "x", cols_);
+        return data_[r * cols_ + c];
+    }
+
+    std::int64_t &operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    std::int64_t operator()(std::size_t r, std::size_t c) const
+    {
+        return at(r, c);
+    }
+
+    const std::vector<std::int64_t> &data() const { return data_; }
+
+    /** Count of nonzero elements. */
+    std::size_t nonZeroCount() const;
+
+    /** Fraction of elements that are zero, in [0, 1]. */
+    double elementSparsity() const;
+
+    /**
+     * Total set bits across all element magnitudes — the paper's hardware
+     * cost driver ("the cost should be proportional to the number of bits
+     * set").  Signed elements contribute popcount(|v|).
+     */
+    std::size_t onesCount() const;
+
+    /** Fraction of zero bits out of rows*cols*bitwidth total bit slots. */
+    double bitSparsity(int bitwidth) const;
+
+    /** Largest |element|. */
+    std::int64_t maxAbs() const;
+
+    /** True when every element is >= 0. */
+    bool isNonNegative() const;
+
+    /** Elementwise equality. */
+    bool operator==(const IntMatrix &other) const = default;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::int64_t> data_;
+};
+
+/** Row-major dense matrix of doubles (ESN reference path). */
+class RealMatrix
+{
+  public:
+    RealMatrix() = default;
+
+    RealMatrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &
+    at(std::size_t r, std::size_t c)
+    {
+        SPATIAL_ASSERT(r < rows_ && c < cols_,
+                       "index (", r, ",", c, ") out of ", rows_, "x", cols_);
+        return data_[r * cols_ + c];
+    }
+
+    double
+    at(std::size_t r, std::size_t c) const
+    {
+        SPATIAL_ASSERT(r < rows_ && c < cols_,
+                       "index (", r, ",", c, ") out of ", rows_, "x", cols_);
+        return data_[r * cols_ + c];
+    }
+
+    double &operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    double operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &mutableData() { return data_; }
+
+    /** Largest |element|. */
+    double maxAbs() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Reference vector-matrix product o = a^T V (the paper's Equation 3).
+ *
+ * @param a length-rows input vector.
+ * @param v rows x cols weight matrix.
+ * @return length-cols output vector, accumulated in 64 bits.
+ */
+std::vector<std::int64_t> gemvRef(const std::vector<std::int64_t> &a,
+                                  const IntMatrix &v);
+
+/** Real-valued o = a^T V. */
+std::vector<double> gemvRef(const std::vector<double> &a,
+                            const RealMatrix &v);
+
+} // namespace spatial
+
+#endif // SPATIAL_MATRIX_DENSE_H

@@ -1,0 +1,124 @@
+#include "matrix/generate.h"
+
+#include <algorithm>
+
+#include "matrix/bits.h"
+
+namespace spatial
+{
+
+IntMatrix
+makeBitSparseMatrix(std::size_t rows, std::size_t cols, int bitwidth,
+                    double bit_sparsity, Rng &rng)
+{
+    SPATIAL_ASSERT(bitwidth >= 1 && bitwidth <= 62, "bitwidth ", bitwidth);
+    const double p_set = 1.0 - bit_sparsity;
+    IntMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            std::int64_t v = 0;
+            for (int k = 0; k < bitwidth; ++k)
+                if (rng.bernoulli(p_set))
+                    v |= std::int64_t{1} << k;
+            m.at(r, c) = v;
+        }
+    }
+    return m;
+}
+
+namespace
+{
+
+/**
+ * Zero random nonzero positions "until we reach a desired level of
+ * element-sparsity" (Section IV): the final matrix has exactly
+ * round(sparsity * size) zero elements, counting any that were already
+ * zero in the uniform draw.
+ */
+void
+zeroToSparsity(IntMatrix &m, double element_sparsity, Rng &rng)
+{
+    const std::size_t total = m.rows() * m.cols();
+    const auto target = static_cast<std::size_t>(
+        static_cast<double>(total) * element_sparsity + 0.5);
+    const std::size_t existing = total - m.nonZeroCount();
+    if (existing >= target)
+        return;
+
+    std::vector<std::size_t> nonzero;
+    nonzero.reserve(m.nonZeroCount());
+    for (std::size_t i = 0; i < total; ++i)
+        if (m.at(i / m.cols(), i % m.cols()) != 0)
+            nonzero.push_back(i);
+
+    // Partial Fisher-Yates over the nonzero positions.
+    const std::size_t need = target - existing;
+    for (std::size_t i = 0; i < need && i < nonzero.size(); ++i) {
+        const auto j = static_cast<std::size_t>(rng.uniformInt(
+            static_cast<std::int64_t>(i),
+            static_cast<std::int64_t>(nonzero.size() - 1)));
+        std::swap(nonzero[i], nonzero[j]);
+        m.at(nonzero[i] / m.cols(), nonzero[i] % m.cols()) = 0;
+    }
+}
+
+} // namespace
+
+IntMatrix
+makeElementSparseMatrix(std::size_t rows, std::size_t cols, int bitwidth,
+                        double element_sparsity, Rng &rng)
+{
+    SPATIAL_ASSERT(bitwidth >= 1 && bitwidth <= 62, "bitwidth ", bitwidth);
+    IntMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m.at(r, c) = rng.uniformInt(0, maxUnsigned(bitwidth));
+    zeroToSparsity(m, element_sparsity, rng);
+    return m;
+}
+
+IntMatrix
+makeSignedElementSparseMatrix(std::size_t rows, std::size_t cols,
+                              int bitwidth, double element_sparsity,
+                              Rng &rng)
+{
+    SPATIAL_ASSERT(bitwidth >= 2 && bitwidth <= 62, "bitwidth ", bitwidth);
+    IntMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m.at(r, c) = rng.uniformInt(minSigned(bitwidth),
+                                        maxSigned(bitwidth));
+    zeroToSparsity(m, element_sparsity, rng);
+    return m;
+}
+
+std::vector<std::int64_t>
+makeUnsignedVector(std::size_t n, int bitwidth, Rng &rng)
+{
+    std::vector<std::int64_t> v(n);
+    for (auto &x : v)
+        x = rng.uniformInt(0, maxUnsigned(bitwidth));
+    return v;
+}
+
+std::vector<std::int64_t>
+makeSignedVector(std::size_t n, int bitwidth, Rng &rng)
+{
+    std::vector<std::int64_t> v(n);
+    for (auto &x : v)
+        x = rng.uniformInt(minSigned(bitwidth), maxSigned(bitwidth));
+    return v;
+}
+
+IntMatrix
+makeSignedBatch(std::size_t batch, std::size_t n, int bitwidth, Rng &rng)
+{
+    IntMatrix m(batch, n);
+    for (std::size_t b = 0; b < batch; ++b)
+        for (std::size_t i = 0; i < n; ++i)
+            m.at(b, i) = rng.uniformInt(minSigned(bitwidth),
+                                        maxSigned(bitwidth));
+    return m;
+}
+
+} // namespace spatial

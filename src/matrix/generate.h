@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Random matrix and vector generators matching the paper's experiments.
+ *
+ * Section IV defines two sampling schemes: *bit-sparse* matrices, where
+ * every bit of every element is an independent Bernoulli draw, and
+ * *element-sparse* matrices, where elements are uniform over all values of
+ * the bitwidth and then a fraction of elements is zeroed.  Section VI uses
+ * signed 8-bit element-sparse matrices for the large-scale designs, and the
+ * ESN library uses the same scheme for reservoir weights.
+ */
+
+#ifndef SPATIAL_MATRIX_GENERATE_H
+#define SPATIAL_MATRIX_GENERATE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "matrix/dense.h"
+
+namespace spatial
+{
+
+/**
+ * Unsigned matrix where each of the rows*cols*bitwidth bit slots is set
+ * with probability (1 - bit_sparsity).  Used for Figure 5.
+ */
+IntMatrix makeBitSparseMatrix(std::size_t rows, std::size_t cols,
+                              int bitwidth, double bit_sparsity, Rng &rng);
+
+/**
+ * Unsigned matrix whose elements are uniform over [0, 2^bitwidth - 1],
+ * after which exactly round(element_sparsity * rows * cols) positions are
+ * zeroed (without replacement).  Used for Figures 6 and 9.
+ */
+IntMatrix makeElementSparseMatrix(std::size_t rows, std::size_t cols,
+                                  int bitwidth, double element_sparsity,
+                                  Rng &rng);
+
+/**
+ * Signed matrix whose elements are uniform over the two's-complement range
+ * of the bitwidth, zeroed to the requested element sparsity.  The Section
+ * VI large-scale scheme (8-bit signed weights).
+ */
+IntMatrix makeSignedElementSparseMatrix(std::size_t rows, std::size_t cols,
+                                        int bitwidth,
+                                        double element_sparsity, Rng &rng);
+
+/** Uniform random vector over the unsigned range of the bitwidth. */
+std::vector<std::int64_t> makeUnsignedVector(std::size_t n, int bitwidth,
+                                             Rng &rng);
+
+/** Uniform random vector over the signed range of the bitwidth. */
+std::vector<std::int64_t> makeSignedVector(std::size_t n, int bitwidth,
+                                           Rng &rng);
+
+/**
+ * Dense batch (batch x n) of uniform signed vectors, used by the batching
+ * experiments (Figures 17, 18, 23).
+ */
+IntMatrix makeSignedBatch(std::size_t batch, std::size_t n, int bitwidth,
+                          Rng &rng);
+
+} // namespace spatial
+
+#endif // SPATIAL_MATRIX_GENERATE_H

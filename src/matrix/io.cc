@@ -1,0 +1,70 @@
+#include "matrix/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace spatial
+{
+
+void
+writeMatrix(const IntMatrix &m, std::ostream &os)
+{
+    os << "spatial-matrix v1 " << m.rows() << " " << m.cols() << "\n";
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            if (c)
+                os << " ";
+            os << m.at(r, c);
+        }
+        os << "\n";
+    }
+}
+
+IntMatrix
+readMatrix(std::istream &is)
+{
+    std::string magic, version;
+    std::size_t rows = 0, cols = 0;
+    is >> magic >> version >> rows >> cols;
+    if (!is || magic != "spatial-matrix" || version != "v1")
+        SPATIAL_FATAL("not a spatial-matrix v1 stream");
+    if (rows == 0 || cols == 0)
+        SPATIAL_FATAL("degenerate matrix shape ", rows, "x", cols);
+
+    IntMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            std::int64_t v;
+            if (!(is >> v))
+                SPATIAL_FATAL("truncated matrix at (", r, ",", c, ")");
+            m.at(r, c) = v;
+        }
+    }
+    return m;
+}
+
+void
+saveMatrix(const IntMatrix &m, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        SPATIAL_FATAL("cannot open '", path, "' for writing");
+    writeMatrix(m, os);
+    if (!os)
+        SPATIAL_FATAL("write to '", path, "' failed");
+}
+
+IntMatrix
+loadMatrix(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        SPATIAL_FATAL("cannot open '", path, "' for reading");
+    return readMatrix(is);
+}
+
+} // namespace spatial

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Plain-text matrix serialization, so fixed reservoir matrices — the
+ * whole premise is that W never changes — can be stored, shared, and
+ * reloaded bit-exactly alongside the RTL generated from them.
+ *
+ * Format: a header line "spatial-matrix v1 <rows> <cols>" followed by
+ * one whitespace-separated row per line.
+ */
+
+#ifndef SPATIAL_MATRIX_IO_H
+#define SPATIAL_MATRIX_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/dense.h"
+
+namespace spatial
+{
+
+/** Write a matrix to a stream. */
+void writeMatrix(const IntMatrix &m, std::ostream &os);
+
+/** Parse a matrix from a stream; SPATIAL_FATAL on malformed input. */
+IntMatrix readMatrix(std::istream &is);
+
+/** Write to a file path. */
+void saveMatrix(const IntMatrix &m, const std::string &path);
+
+/** Read from a file path. */
+IntMatrix loadMatrix(const std::string &path);
+
+} // namespace spatial
+
+#endif // SPATIAL_MATRIX_IO_H

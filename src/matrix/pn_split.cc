@@ -1,0 +1,45 @@
+#include "matrix/pn_split.h"
+
+#include <algorithm>
+
+#include "matrix/bits.h"
+
+namespace spatial
+{
+
+int
+PnPair::bitwidth() const
+{
+    const std::int64_t biggest = std::max(p.maxAbs(), n.maxAbs());
+    return std::max(1, bitWidth(biggest));
+}
+
+IntMatrix
+PnPair::reconstruct() const
+{
+    SPATIAL_ASSERT(p.rows() == n.rows() && p.cols() == n.cols(),
+                   "PN shape mismatch");
+    IntMatrix v(p.rows(), p.cols());
+    for (std::size_t r = 0; r < p.rows(); ++r)
+        for (std::size_t c = 0; c < p.cols(); ++c)
+            v.at(r, c) = p.at(r, c) - n.at(r, c);
+    return v;
+}
+
+PnPair
+pnSplit(const IntMatrix &v)
+{
+    PnPair out{IntMatrix(v.rows(), v.cols()), IntMatrix(v.rows(), v.cols())};
+    for (std::size_t r = 0; r < v.rows(); ++r) {
+        for (std::size_t c = 0; c < v.cols(); ++c) {
+            const std::int64_t x = v.at(r, c);
+            if (x >= 0)
+                out.p.at(r, c) = x;
+            else
+                out.n.at(r, c) = -x;
+        }
+    }
+    return out;
+}
+
+} // namespace spatial

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Positive/negative matrix split for signed weights.
+ *
+ * Section III: "An easy way to implement signed weights is to separate the
+ * positive and negative terms of the b vector into two separate unsigned
+ * vectors, and simply subtract the two resultant streams."  V = P - N with
+ * P, N >= 0; the compiler builds one array per side and a final row of
+ * bit-serial subtractors.
+ */
+
+#ifndef SPATIAL_MATRIX_PN_SPLIT_H
+#define SPATIAL_MATRIX_PN_SPLIT_H
+
+#include "matrix/dense.h"
+
+namespace spatial
+{
+
+/** A signed matrix decomposed as V = P - N with both sides unsigned. */
+struct PnPair
+{
+    IntMatrix p;
+    IntMatrix n;
+
+    /** Total set bits across both sides — the hardware cost driver. */
+    std::size_t onesCount() const
+    {
+        return p.onesCount() + n.onesCount();
+    }
+
+    /** Minimum unsigned bitwidth that holds every element of P and N. */
+    int bitwidth() const;
+
+    /** Reconstruct the signed matrix (P - N). */
+    IntMatrix reconstruct() const;
+};
+
+/**
+ * Split a signed matrix into its positive and negative parts.  Each
+ * element lands wholly in one side, so the total ones count is conserved
+ * ("the number of ones in the two matrices is conserved by this
+ * transform").
+ */
+PnPair pnSplit(const IntMatrix &v);
+
+} // namespace spatial
+
+#endif // SPATIAL_MATRIX_PN_SPLIT_H

@@ -1,0 +1,77 @@
+#include "matrix/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/bits.h"
+
+namespace spatial
+{
+
+namespace
+{
+
+std::int64_t
+clampRound(double x, int bits)
+{
+    const double lo = static_cast<double>(minSigned(bits));
+    const double hi = static_cast<double>(maxSigned(bits));
+    return static_cast<std::int64_t>(std::llround(std::clamp(x, lo, hi)));
+}
+
+} // namespace
+
+QuantizedMatrix
+quantizeSymmetric(const RealMatrix &m, int bits)
+{
+    SPATIAL_ASSERT(bits >= 2 && bits <= 32, "bits ", bits);
+    const double max_abs = m.maxAbs();
+    const double scale =
+        max_abs > 0.0 ? static_cast<double>(maxSigned(bits)) / max_abs : 1.0;
+
+    QuantizedMatrix out;
+    out.scale = scale;
+    out.values = IntMatrix(m.rows(), m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            out.values.at(r, c) = clampRound(m.at(r, c) * scale, bits);
+    return out;
+}
+
+QuantizedVector
+quantizeSymmetric(const std::vector<double> &v, int bits)
+{
+    SPATIAL_ASSERT(bits >= 2 && bits <= 32, "bits ", bits);
+    double max_abs = 0.0;
+    for (const auto x : v)
+        max_abs = std::max(max_abs, std::abs(x));
+    const double scale =
+        max_abs > 0.0 ? static_cast<double>(maxSigned(bits)) / max_abs : 1.0;
+
+    QuantizedVector out;
+    out.scale = scale;
+    out.values = quantizeWithScale(v, scale, bits);
+    return out;
+}
+
+std::vector<std::int64_t>
+quantizeWithScale(const std::vector<double> &v, double scale, int bits)
+{
+    SPATIAL_ASSERT(bits >= 2 && bits <= 32, "bits ", bits);
+    std::vector<std::int64_t> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = clampRound(v[i] * scale, bits);
+    return out;
+}
+
+std::vector<double>
+dequantize(const std::vector<std::int64_t> &v, double scale)
+{
+    SPATIAL_ASSERT(scale != 0.0, "zero scale");
+    std::vector<double> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = static_cast<double>(v[i]) / scale;
+    return out;
+}
+
+} // namespace spatial

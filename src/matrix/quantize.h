@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Float-to-integer quantization for reservoir weights and activations.
+ *
+ * Kleyko et al. (paper citation [16]) show reservoirs tolerate 3-4 bit
+ * weights with no accuracy loss; the ESN hardware path quantizes its
+ * float reservoir symmetrically into the integer range the compiler
+ * consumes.
+ */
+
+#ifndef SPATIAL_MATRIX_QUANTIZE_H
+#define SPATIAL_MATRIX_QUANTIZE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/dense.h"
+
+namespace spatial
+{
+
+/** Result of symmetric quantization: q = round(x * scale). */
+struct QuantizedMatrix
+{
+    IntMatrix values;
+    double scale = 1.0; //!< multiply floats by this to get integers
+};
+
+struct QuantizedVector
+{
+    std::vector<std::int64_t> values;
+    double scale = 1.0;
+};
+
+/**
+ * Symmetric (zero-preserving) quantization of a matrix into `bits`-bit
+ * signed integers.  Zero elements stay exactly zero, so element sparsity
+ * is preserved.
+ */
+QuantizedMatrix quantizeSymmetric(const RealMatrix &m, int bits);
+
+/** Symmetric quantization of a vector into `bits`-bit signed integers. */
+QuantizedVector quantizeSymmetric(const std::vector<double> &v, int bits);
+
+/**
+ * Quantize with a caller-provided scale (for streaming vectors that must
+ * share one scale across time steps); values saturate at the signed range.
+ */
+std::vector<std::int64_t> quantizeWithScale(const std::vector<double> &v,
+                                            double scale, int bits);
+
+/** Dequantize integers back to floats (divide by scale). */
+std::vector<double> dequantize(const std::vector<std::int64_t> &v,
+                               double scale);
+
+} // namespace spatial
+
+#endif // SPATIAL_MATRIX_QUANTIZE_H

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Parameterized sweeps over the simulated comparators: SIGMA stays
+ * functionally exact and sanely timed across grid shapes, sparsities,
+ * and batch sizes; the GPU model obeys its regime properties across
+ * libraries and shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/gpu_model.h"
+#include "baselines/sigma.h"
+#include "common/rng.h"
+#include "matrix/csr.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+using baselines::GpuLibrary;
+using baselines::GpuModel;
+using baselines::SigmaConfig;
+using baselines::SigmaSim;
+
+// ---------------------------------------------------------------------
+// SIGMA sweeps
+// ---------------------------------------------------------------------
+
+struct SigmaSweepParam
+{
+    std::size_t gridDim;
+    std::size_t matrixDim;
+    double sparsity;
+    std::size_t batch;
+};
+
+class SigmaSweep : public ::testing::TestWithParam<SigmaSweepParam>
+{};
+
+TEST_P(SigmaSweep, FunctionalAndTimingSanity)
+{
+    const auto &p = GetParam();
+    Rng rng(p.matrixDim * 3 + p.gridDim);
+    const auto dense = makeSignedElementSparseMatrix(
+        p.matrixDim, p.matrixDim, 8, p.sparsity, rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    const auto batch = makeSignedBatch(p.batch, p.matrixDim, 8, rng);
+
+    SigmaConfig config;
+    config.gridRows = p.gridDim;
+    config.gridCols = p.gridDim;
+    SigmaSim sim(config);
+    const auto result = sim.run(csr, batch);
+
+    // Functional exactness.
+    for (std::size_t b = 0; b < p.batch; ++b) {
+        std::vector<std::int64_t> a(p.matrixDim);
+        for (std::size_t r = 0; r < p.matrixDim; ++r)
+            a[r] = batch.at(b, r);
+        const auto expected = gemvRef(a, dense);
+        for (std::size_t c = 0; c < p.matrixDim; ++c)
+            ASSERT_EQ(result.outputs.at(b, c), expected[c]);
+    }
+
+    // Timing sanity.
+    const auto expected_tiles =
+        csr.nnz() == 0
+            ? 0u
+            : (csr.nnz() + config.peCapacity() - 1) / config.peCapacity();
+    EXPECT_EQ(result.tiles, expected_tiles);
+    EXPECT_GE(result.cycles, config.fixedOverheadCycles);
+    EXPECT_LE(result.peUtilization, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SigmaSweep,
+    ::testing::Values(SigmaSweepParam{16, 32, 0.5, 1},
+                      SigmaSweepParam{16, 64, 0.9, 2},
+                      SigmaSweepParam{32, 128, 0.8, 4},
+                      SigmaSweepParam{64, 256, 0.95, 1},
+                      SigmaSweepParam{128, 256, 0.5, 3},
+                      SigmaSweepParam{8, 16, 0.0, 8}));
+
+TEST(SigmaSweepExtra, MoreTilesMeansMoreCycles)
+{
+    Rng rng(42);
+    SigmaSim sim;
+    std::uint64_t prev = 0;
+    for (const double sparsity : {0.98, 0.9, 0.8, 0.6}) {
+        const auto dense = makeSignedElementSparseMatrix(1024, 1024, 8,
+                                                         sparsity, rng);
+        const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+        const auto result =
+            sim.runVector(csr, makeSignedVector(1024, 8, rng));
+        EXPECT_GT(result.cycles, prev) << "sparsity " << sparsity;
+        prev = result.cycles;
+    }
+}
+
+TEST(SigmaSweepExtra, BatchCyclesMonotone)
+{
+    Rng rng(43);
+    const auto dense =
+        makeSignedElementSparseMatrix(512, 512, 8, 0.9, rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    SigmaSim sim;
+    std::uint64_t prev = 0;
+    for (const std::size_t batch : {1u, 2u, 4u, 8u, 32u}) {
+        const auto result =
+            sim.run(csr, makeSignedBatch(batch, 512, 8, rng));
+        EXPECT_GT(result.cycles, prev) << "batch " << batch;
+        prev = result.cycles;
+    }
+}
+
+// ---------------------------------------------------------------------
+// GPU model sweeps
+// ---------------------------------------------------------------------
+
+class GpuLibrarySweep : public ::testing::TestWithParam<GpuLibrary>
+{};
+
+TEST_P(GpuLibrarySweep, LatencyMonotoneInWork)
+{
+    const GpuModel model(GetParam());
+    double prev = 0.0;
+    for (const std::size_t nnz : {100ul, 1'000ul, 10'000ul, 100'000ul,
+                                  1'000'000ul}) {
+        const double t = model.latencyNs(1024, 1024, nnz);
+        EXPECT_GT(t, prev) << "nnz " << nnz;
+        prev = t;
+    }
+}
+
+TEST_P(GpuLibrarySweep, LatencyDecreasesWithOccupancyAtFixedWork)
+{
+    // Same nonzero count spread over more rows parallelizes better.
+    const GpuModel model(GetParam());
+    const double small = model.latencyNs(256, 256, 50'000);
+    const double large = model.latencyNs(4096, 4096, 50'000);
+    EXPECT_GT(small, large);
+}
+
+TEST_P(GpuLibrarySweep, FloorDominatesTinyProblems)
+{
+    const GpuModel model(GetParam());
+    const double t = model.latencyNs(8, 8, 4);
+    EXPECT_NEAR(t, model.params().kernelFloorNs,
+                model.params().kernelFloorNs * 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Libraries, GpuLibrarySweep,
+                         ::testing::Values(GpuLibrary::CuSparse,
+                                           GpuLibrary::OptimizedKernel),
+                         [](const ::testing::TestParamInfo<GpuLibrary> &i) {
+                             return i.param == GpuLibrary::CuSparse
+                                        ? "cuSPARSE"
+                                        : "OptimizedKernel";
+                         });
+
+TEST(GpuCustomParams, OverridesRespected)
+{
+    baselines::GpuModelParams params;
+    params.kernelFloorNs = 500.0;
+    params.bytesPerNnz = 4.0;
+    const GpuModel model(GpuLibrary::OptimizedKernel, params);
+    EXPECT_DOUBLE_EQ(model.params().kernelFloorNs, 500.0);
+    const double t = model.latencyNs(64, 64, 0);
+    EXPECT_GT(t, 500.0);
+    EXPECT_LT(t, 600.0);
+}
+
+} // namespace

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests of the simulated comparators: the V100 latency model's regime
+ * behaviour and the SIGMA simulator's functional correctness, tiling,
+ * and cycle accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/gpu_model.h"
+#include "baselines/sigma.h"
+#include "common/rng.h"
+#include "matrix/csr.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+using baselines::GpuLibrary;
+using baselines::GpuModel;
+using baselines::SigmaConfig;
+using baselines::SigmaSim;
+
+// ---------------------------------------------------------------------
+// GPU model
+// ---------------------------------------------------------------------
+
+TEST(GpuModel, NeverBreaksTheMicrosecondBarrier)
+{
+    // Section VII: "the GPU cannot break the 1us barrier".
+    for (const auto library :
+         {GpuLibrary::CuSparse, GpuLibrary::OptimizedKernel}) {
+        GpuModel model(library);
+        for (std::size_t dim = 64; dim <= 4096; dim *= 2) {
+            const auto nnz =
+                static_cast<std::size_t>(dim * dim * 0.02);
+            EXPECT_GT(model.latencyNs(dim, dim, nnz), 1000.0)
+                << gpuLibraryName(library) << " dim " << dim;
+        }
+    }
+}
+
+TEST(GpuModel, LatencyBoundFlatForSmallMatrices)
+{
+    // "When the matrix size is less than 512x512, the GPU performance is
+    // nearly constant."
+    GpuModel model(GpuLibrary::OptimizedKernel);
+    const double at64 = model.latencyNs(64, 64, 82);
+    const double at256 = model.latencyNs(256, 256, 1311);
+    const double at512 = model.latencyNs(512, 512, 5243);
+    EXPECT_NEAR(at256 / at64, 1.0, 0.10);
+    EXPECT_NEAR(at512 / at64, 1.0, 0.15);
+}
+
+TEST(GpuModel, LinearScalingOnceUtilized)
+{
+    // "at 1024x1024 ... it begins to see linear scaling with respect to
+    // matrix size" (nnz quadruples per dimension doubling).
+    GpuModel model(GpuLibrary::OptimizedKernel);
+    const auto nnz_of = [](std::size_t d) {
+        return static_cast<std::size_t>(d * d * 0.02);
+    };
+    const double at4096 = model.latencyNs(4096, 4096, nnz_of(4096));
+    const double at8192 = model.latencyNs(8192, 8192, nnz_of(8192));
+    const double growth = at8192 / at4096;
+    EXPECT_GT(growth, 2.0);
+    EXPECT_LT(growth, 4.5);
+}
+
+TEST(GpuModel, SparsityReducesLatencyThenLevelsOff)
+{
+    // Figure 15's shape: large reductions from 70% to 85%, then a floor.
+    GpuModel model(GpuLibrary::CuSparse);
+    const std::size_t dim = 1024;
+    const auto nnz = [&](double sparsity) {
+        return static_cast<std::size_t>(dim * dim * (1.0 - sparsity));
+    };
+    const double at70 = model.latencyNs(dim, dim, nnz(0.70));
+    const double at85 = model.latencyNs(dim, dim, nnz(0.85));
+    const double at95 = model.latencyNs(dim, dim, nnz(0.95));
+    const double at98 = model.latencyNs(dim, dim, nnz(0.98));
+    EXPECT_GT(at70 / at85, 1.5);     // big win early
+    EXPECT_LT(at95 / at98, 1.3);     // leveled off
+    EXPECT_GT(at98, 1000.0);         // still above 1us
+}
+
+TEST(GpuModel, CuSparseSlowerThanOptimizedKernel)
+{
+    GpuModel cusparse(GpuLibrary::CuSparse);
+    GpuModel optimized(GpuLibrary::OptimizedKernel);
+    for (std::size_t dim = 64; dim <= 4096; dim *= 4) {
+        const auto nnz = static_cast<std::size_t>(dim * dim * 0.05);
+        EXPECT_GT(cusparse.latencyNs(dim, dim, nnz),
+                  optimized.latencyNs(dim, dim, nnz));
+    }
+}
+
+TEST(GpuModel, BatchScalesSublinearly)
+{
+    // "the latency for the GPU solution scales sub-linearly with respect
+    // to batch size".
+    GpuModel model(GpuLibrary::OptimizedKernel);
+    const std::size_t dim = 1024;
+    const auto nnz = static_cast<std::size_t>(dim * dim * 0.05);
+    const double b1 = model.latencyNs(dim, dim, nnz, 1);
+    const double b64 = model.latencyNs(dim, dim, nnz, 64);
+    EXPECT_LT(b64, 8.0 * b1); // far below 64x
+    EXPECT_GT(b64, b1);       // but not free
+}
+
+TEST(GpuModel, OccupancyRampIsClamped)
+{
+    GpuModel model(GpuLibrary::OptimizedKernel);
+    EXPECT_LE(model.occupancy(1 << 20), 1.0);
+    EXPECT_GE(model.occupancy(1), model.params().minOccupancy);
+    EXPECT_GT(model.occupancy(2048), model.occupancy(64));
+}
+
+TEST(GpuModel, LatencyMonotoneInBatch)
+{
+    GpuModel model(GpuLibrary::OptimizedKernel);
+    double prev = 0.0;
+    for (std::size_t batch = 1; batch <= 64; batch *= 2) {
+        const double t = model.latencyNs(1024, 1024, 52'429, batch);
+        EXPECT_GT(t, prev) << "batch " << batch;
+        prev = t;
+    }
+}
+
+TEST(GpuModel, LibraryNames)
+{
+    EXPECT_STREQ(gpuLibraryName(GpuLibrary::CuSparse), "cuSPARSE");
+    EXPECT_STREQ(gpuLibraryName(GpuLibrary::OptimizedKernel),
+                 "Optimized Kernel");
+}
+
+// ---------------------------------------------------------------------
+// SIGMA simulator
+// ---------------------------------------------------------------------
+
+TEST(Sigma, FunctionalResultMatchesReference)
+{
+    Rng rng(1);
+    const auto dense = makeSignedElementSparseMatrix(100, 80, 8, 0.9, rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    const auto a = makeSignedVector(100, 8, rng);
+
+    SigmaSim sim;
+    const auto result = sim.runVector(csr, a);
+    const auto expected = gemvRef(a, dense);
+    ASSERT_EQ(result.outputs.cols(), 80u);
+    for (std::size_t c = 0; c < 80; ++c)
+        EXPECT_EQ(result.outputs.at(0, c), expected[c]);
+}
+
+TEST(Sigma, BatchedFunctionalResult)
+{
+    Rng rng(2);
+    const auto dense = makeSignedElementSparseMatrix(64, 64, 8, 0.8, rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    const auto batch = makeSignedBatch(5, 64, 8, rng);
+
+    SigmaSim sim;
+    const auto result = sim.run(csr, batch);
+    for (std::size_t b = 0; b < 5; ++b) {
+        std::vector<std::int64_t> a(64);
+        for (std::size_t r = 0; r < 64; ++r)
+            a[r] = batch.at(b, r);
+        const auto expected = gemvRef(a, dense);
+        for (std::size_t c = 0; c < 64; ++c)
+            EXPECT_EQ(result.outputs.at(b, c), expected[c]);
+    }
+}
+
+TEST(Sigma, FitsInGridIsNanosecondScale)
+{
+    // "For small dimensions, SIGMA does report nanosecond-scale latency."
+    Rng rng(3);
+    const auto dense = makeSignedElementSparseMatrix(512, 512, 8, 0.98,
+                                                     rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    SigmaSim sim;
+    const auto result = sim.runVector(csr, makeSignedVector(512, 8, rng));
+    EXPECT_EQ(result.tiles, 1u);
+    EXPECT_FALSE(result.tiled);
+    EXPECT_LT(result.latencyNs, 500.0);
+    EXPECT_EQ(result.sramWeightReads, 0u); // stationary weights
+}
+
+TEST(Sigma, TilingKicksInPastGridCapacity)
+{
+    // "after 1024x1024, the elements no longer fit in the PE grid and
+    // the computation must be tiled."
+    Rng rng(4);
+    const auto dense = makeSignedElementSparseMatrix(1024, 1024, 8, 0.98,
+                                                     rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    SigmaSim sim;
+    const auto result = sim.runVector(csr, makeSignedVector(1024, 8, rng));
+    EXPECT_GT(csr.nnz(), sim.config().peCapacity());
+    EXPECT_EQ(result.tiles,
+              (csr.nnz() + sim.config().peCapacity() - 1) /
+                  sim.config().peCapacity());
+    EXPECT_TRUE(result.tiled);
+    EXPECT_EQ(result.sramWeightReads, csr.nnz());
+}
+
+TEST(Sigma, TiledLatencyGrowsLinearlyWithNnz)
+{
+    // Memory-bound regime: cycles per extra tile are roughly constant.
+    Rng rng(5);
+    SigmaSim sim;
+    auto latency_at = [&](double sparsity) {
+        const auto dense = makeSignedElementSparseMatrix(2048, 2048, 8,
+                                                         sparsity, rng);
+        const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+        return sim.runVector(csr, makeSignedVector(2048, 8, rng));
+    };
+    const auto at95 = latency_at(0.95);
+    const auto at90 = latency_at(0.90);
+    ASSERT_GT(at90.tiles, at95.tiles);
+    const double per_tile95 =
+        at95.latencyNs / static_cast<double>(at95.tiles);
+    const double per_tile90 =
+        at90.latencyNs / static_cast<double>(at90.tiles);
+    EXPECT_NEAR(per_tile90 / per_tile95, 1.0, 0.35);
+}
+
+TEST(Sigma, UtilizationReflectsMappedFraction)
+{
+    Rng rng(6);
+    const auto dense = makeSignedElementSparseMatrix(256, 256, 8, 0.9, rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    SigmaSim sim;
+    const auto result = sim.runVector(csr, makeSignedVector(256, 8, rng));
+    EXPECT_EQ(result.tiles, 1u);
+    EXPECT_NEAR(result.peUtilization,
+                static_cast<double>(csr.nnz()) /
+                    static_cast<double>(sim.config().peCapacity()),
+                1e-12);
+}
+
+TEST(Sigma, BatchAmortizesWeightLoads)
+{
+    // Tile-major batching loads each tile once regardless of batch size,
+    // so per-vector latency falls with batch.
+    Rng rng(7);
+    const auto dense = makeSignedElementSparseMatrix(1024, 1024, 8, 0.95,
+                                                     rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    SigmaSim sim;
+
+    const auto b1 = sim.run(csr, makeSignedBatch(1, 1024, 8, rng));
+    const auto b8 = sim.run(csr, makeSignedBatch(8, 1024, 8, rng));
+    EXPECT_EQ(b1.sramWeightReads, b8.sramWeightReads);
+    const double per_vec1 = b1.latencyNs;
+    const double per_vec8 = b8.latencyNs / 8.0;
+    EXPECT_LT(per_vec8, per_vec1);
+}
+
+TEST(Sigma, EmptyMatrixStillHasFixedOverhead)
+{
+    const IntMatrix dense(16, 16);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    SigmaSim sim;
+    const auto result = sim.runVector(csr, std::vector<std::int64_t>(16, 1));
+    EXPECT_EQ(result.tiles, 0u);
+    EXPECT_GE(result.cycles, sim.config().fixedOverheadCycles);
+    for (std::size_t c = 0; c < 16; ++c)
+        EXPECT_EQ(result.outputs.at(0, c), 0);
+}
+
+TEST(Sigma, CustomConfigRespected)
+{
+    SigmaConfig config;
+    config.gridRows = 4;
+    config.gridCols = 4;
+    config.fixedOverheadCycles = 10;
+    SigmaSim sim(config);
+
+    Rng rng(8);
+    const auto dense = makeSignedElementSparseMatrix(8, 8, 4, 0.0, rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    const auto result = sim.runVector(csr, makeSignedVector(8, 4, rng));
+    EXPECT_EQ(result.tiles, (csr.nnz() + 15) / 16);
+    EXPECT_TRUE(result.tiled);
+}
+
+} // namespace

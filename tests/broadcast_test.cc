@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests of the pipelined-broadcast option (Section VIII): with a fanout
+ * limit, no net drives more than the limit, results stay exact, latency
+ * grows by the repeater depth, and the frequency model rewards the
+ * lower fanout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "fpga/report.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+using core::CompileOptions;
+using core::MatrixCompiler;
+
+class BroadcastSweep : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(BroadcastSweep, ExactUnderFanoutLimit)
+{
+    const std::uint32_t limit = GetParam();
+    Rng rng(10 + limit);
+    const auto v = makeSignedElementSparseMatrix(24, 24, 8, 0.3, rng);
+
+    CompileOptions opt;
+    opt.inputBits = 8;
+    opt.broadcastFanoutLimit = limit;
+    const auto design = MatrixCompiler(opt).compile(v);
+
+    for (int trial = 0; trial < 3; ++trial) {
+        const auto a = makeSignedVector(24, 8, rng);
+        EXPECT_EQ(design.multiply(a), gemvRef(a, v));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, BroadcastSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u, 64u));
+
+TEST(Broadcast, FanoutCapRespected)
+{
+    Rng rng(20);
+    // Dense-ish matrix so unlimited fanout would be large.
+    const auto v = makeSignedElementSparseMatrix(32, 32, 8, 0.1, rng);
+
+    CompileOptions unlimited;
+    const auto base = MatrixCompiler(unlimited).compile(v);
+
+    CompileOptions capped;
+    capped.broadcastFanoutLimit = 16;
+    const auto limited = MatrixCompiler(capped).compile(v);
+
+    EXPECT_GT(base.netlist().maxFanout(), 16u);
+    EXPECT_LE(limited.netlist().maxFanout(), 16u);
+}
+
+TEST(Broadcast, LatencyGrowsWithRepeaterDepth)
+{
+    Rng rng(21);
+    const auto v = makeSignedElementSparseMatrix(32, 32, 8, 0.1, rng);
+
+    CompileOptions unlimited;
+    const auto base = MatrixCompiler(unlimited).compile(v);
+    CompileOptions capped;
+    capped.broadcastFanoutLimit = 8;
+    const auto limited = MatrixCompiler(capped).compile(v);
+
+    EXPECT_GT(limited.drainCycles(), base.drainCycles());
+    // A couple of repeater levels, not an explosion.
+    EXPECT_LE(limited.drainCycles(), base.drainCycles() + 6);
+}
+
+TEST(Broadcast, FrequencyModelRewardsLowFanout)
+{
+    Rng rng(22);
+    const auto v = makeSignedElementSparseMatrix(128, 128, 8, 0.2, rng);
+
+    CompileOptions unlimited;
+    const auto base = fpga::evaluateDesign(
+        MatrixCompiler(unlimited).compile(v));
+    CompileOptions capped;
+    capped.broadcastFanoutLimit = 64;
+    const auto limited = fpga::evaluateDesign(
+        MatrixCompiler(capped).compile(v));
+
+    EXPECT_LE(limited.maxFanout, 64u);
+    EXPECT_GT(limited.fmaxMhz, base.fmaxMhz);
+    // The repeaters cost some area.
+    EXPECT_GT(limited.resources.ffs, base.resources.ffs);
+}
+
+TEST(Broadcast, NoEffectWhenDemandBelowLimit)
+{
+    Rng rng(23);
+    const auto v = makeSignedElementSparseMatrix(16, 4, 4, 0.9, rng);
+    CompileOptions opt_a;
+    const auto base = MatrixCompiler(opt_a).compile(v);
+    CompileOptions opt_b;
+    opt_b.broadcastFanoutLimit = 1024;
+    const auto limited = MatrixCompiler(opt_b).compile(v);
+    EXPECT_EQ(base.netlist().numNodes(), limited.netlist().numNodes());
+    EXPECT_EQ(base.drainCycles(), limited.drainCycles());
+}
+
+TEST(Broadcast, WorksWithCsdAndNaiveVariants)
+{
+    Rng rng(24);
+    const auto v = makeSignedElementSparseMatrix(12, 12, 6, 0.4, rng);
+    for (const bool constant_prop : {true, false}) {
+        for (const auto mode :
+             {core::SignMode::PnSplit, core::SignMode::Csd}) {
+            CompileOptions opt;
+            opt.inputBits = 7;
+            opt.signMode = mode;
+            opt.constantPropagation = constant_prop;
+            opt.broadcastFanoutLimit = 4;
+            const auto design = MatrixCompiler(opt).compile(v);
+            const auto a = makeSignedVector(12, 7, rng);
+            EXPECT_EQ(design.multiply(a), gemvRef(a, v))
+                << core::signModeName(mode) << " cp=" << constant_prop;
+            EXPECT_LE(design.netlist().maxFanout(), 4u);
+        }
+    }
+}
+
+} // namespace

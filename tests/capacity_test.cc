@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests of the memory-capacity probe: theoretical bounds (MC <= dim),
+ * sensitivity to spectral radius, near-delay recall, and agreement
+ * between the integer backends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "esn/capacity.h"
+#include "esn/reservoir.h"
+
+namespace
+{
+
+using namespace spatial;
+using namespace spatial::esn;
+
+ReservoirWeights
+weightsFor(std::size_t dim, double radius, std::uint64_t seed)
+{
+    ReservoirConfig config;
+    config.dim = dim;
+    config.sparsity = 0.9;
+    config.spectralRadius = radius;
+    config.inputScale = 0.25;
+    config.seed = seed;
+    return makeReservoirWeights(config);
+}
+
+ReservoirConfig
+configFor(std::size_t dim, double radius, std::uint64_t seed)
+{
+    ReservoirConfig config;
+    config.dim = dim;
+    config.sparsity = 0.9;
+    config.spectralRadius = radius;
+    config.inputScale = 0.25;
+    config.seed = seed;
+    return config;
+}
+
+TEST(Capacity, BoundedByDelayCountAndDimension)
+{
+    const auto config = configFor(24, 0.9, 1);
+    FloatReservoir reservoir(weightsFor(24, 0.9, 1), config);
+    Rng rng(2);
+    const auto result =
+        measureMemoryCapacity(reservoir, 12, 800, 40, 1e-8, rng);
+    ASSERT_EQ(result.perDelay.size(), 12u);
+    for (const auto r2 : result.perDelay) {
+        EXPECT_GE(r2, 0.0);
+        EXPECT_LE(r2, 1.0 + 1e-9);
+    }
+    EXPECT_LE(result.total, 12.0 + 1e-9);
+    EXPECT_GT(result.total, 1.0); // remembers at least recent inputs
+}
+
+TEST(Capacity, DelayOneIsNearlyPerfect)
+{
+    const auto config = configFor(32, 0.9, 3);
+    FloatReservoir reservoir(weightsFor(32, 0.9, 3), config);
+    Rng rng(4);
+    const auto result =
+        measureMemoryCapacity(reservoir, 8, 1000, 30, 1e-8, rng);
+    EXPECT_GT(result.perDelay[0], 0.95);
+}
+
+TEST(Capacity, FadesWithDelay)
+{
+    const auto config = configFor(32, 0.8, 5);
+    FloatReservoir reservoir(weightsFor(32, 0.8, 5), config);
+    Rng rng(6);
+    const auto result =
+        measureMemoryCapacity(reservoir, 25, 1500, 40, 1e-8, rng);
+    // Early delays are recalled far better than distant ones.
+    const double early =
+        result.perDelay[0] + result.perDelay[1] + result.perDelay[2];
+    const double late = result.perDelay[22] + result.perDelay[23] +
+                        result.perDelay[24];
+    EXPECT_GT(early, 5.0 * std::max(late, 1e-3));
+}
+
+TEST(Capacity, LargerReservoirRemembersMore)
+{
+    Rng rng_a(7), rng_b(7);
+    const auto config_small = configFor(16, 0.9, 8);
+    FloatReservoir small(weightsFor(16, 0.9, 8), config_small);
+    const auto config_big = configFor(64, 0.9, 8);
+    FloatReservoir big(weightsFor(64, 0.9, 8), config_big);
+
+    const auto mc_small =
+        measureMemoryCapacity(small, 30, 1200, 50, 1e-8, rng_a);
+    const auto mc_big =
+        measureMemoryCapacity(big, 30, 1200, 50, 1e-8, rng_b);
+    EXPECT_GT(mc_big.total, mc_small.total);
+}
+
+TEST(Capacity, IntegerBackendsAgree)
+{
+    const auto weights = weightsFor(20, 0.9, 9);
+    IntReservoirConfig iconfig;
+    auto ref = makeIntReservoir(weights, iconfig, BackendKind::Reference);
+    auto csr = makeIntReservoir(weights, iconfig, BackendKind::Csr);
+
+    Rng rng_a(10), rng_b(10);
+    const auto mc_ref =
+        measureMemoryCapacity(ref, 10, 600, 30, 1e-6, rng_a);
+    const auto mc_csr =
+        measureMemoryCapacity(csr, 10, 600, 30, 1e-6, rng_b);
+    EXPECT_NEAR(mc_ref.total, mc_csr.total, 1e-9);
+}
+
+TEST(Capacity, HardwareReservoirRetainsMemory)
+{
+    const auto weights = weightsFor(24, 0.9, 11);
+    IntReservoirConfig iconfig;
+    auto hw = makeIntReservoir(weights, iconfig, BackendKind::Spatial);
+    Rng rng(12);
+    const auto result = measureMemoryCapacity(hw, 10, 500, 25, 1e-5, rng);
+    EXPECT_GT(result.total, 1.0);
+    EXPECT_GT(result.perDelay[0], 0.6);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests of the Section VIII CGRA projection: transistor accounting,
+ * the ~32x LUT-to-full-adder density argument, pipeline-reconfiguration
+ * economics for dynamic matrices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cgra/cgra.h"
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "fpga/report.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+using core::CompileOptions;
+using core::MatrixCompiler;
+
+struct Projected
+{
+    core::CompiledMatrix design;
+    fpga::DesignPoint fpgaPoint;
+    cgra::CgraPoint cgraPoint;
+};
+
+Projected
+project(std::size_t dim, double sparsity, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto v =
+        makeSignedElementSparseMatrix(dim, dim, 8, sparsity, rng);
+    Projected out{MatrixCompiler(CompileOptions{}).compile(v), {}, {}};
+    out.fpgaPoint = fpga::evaluateDesign(out.design);
+    out.cgraPoint = cgra::projectDesign(out.design, out.fpgaPoint);
+    return out;
+}
+
+TEST(Cgra, TransistorBudgetIsPositiveAndConsistent)
+{
+    const auto p = project(32, 0.8, 1);
+    EXPECT_GT(p.cgraPoint.cells, 0u);
+    EXPECT_GT(p.cgraPoint.transistors, 0.0);
+    EXPECT_GT(p.cgraPoint.fpgaTransistors, p.cgraPoint.transistors);
+}
+
+TEST(Cgra, DensityAdvantageNearPaperArgument)
+{
+    // A LUT costs 512T vs <=16T for a full adder (32x).  With config
+    // SRAM and registers charged to both sides, the paper's density
+    // argument lands in the mid single digits to tens.
+    const auto p = project(64, 0.5, 2);
+    EXPECT_GT(p.cgraPoint.densityAdvantage, 3.0);
+    EXPECT_LT(p.cgraPoint.densityAdvantage, 32.0);
+}
+
+TEST(Cgra, FasterClockMeansLowerLatency)
+{
+    // Large designs: the FPGA drops to ~225 MHz while the CGRA's
+    // pipelined interconnect holds its clock.
+    const auto p = project(256, 0.5, 3);
+    EXPECT_GT(p.fpgaPoint.fmaxMhz, 0.0);
+    EXPECT_EQ(p.cgraPoint.latencyCycles, p.fpgaPoint.latencyCycles);
+    if (p.cgraPoint.clockMhz > p.fpgaPoint.fmaxMhz)
+        EXPECT_LT(p.cgraPoint.latencyNs, p.fpgaPoint.latencyNs);
+}
+
+TEST(Cgra, PipelineReconfigBeatsFpgaByOrders)
+{
+    const auto p = project(32, 0.8, 4);
+    EXPECT_LT(p.cgraPoint.reconfigNs, 100.0);          // ~a cycle
+    EXPECT_GT(p.cgraPoint.fpgaReconfigNs, 1.0e8);      // 200 ms
+}
+
+TEST(Cgra, DynamicMatrixEconomics)
+{
+    // With a fresh matrix every multiply, the FPGA is hopeless (200 ms
+    // per product); the CGRA stays within a few cycles of its static
+    // latency.  With millions of multiplies per matrix, both converge
+    // to their compute latency.
+    const auto p = project(64, 0.9, 5);
+
+    const double fpga_dynamic =
+        cgra::sustainedNsPerMultiply(p.cgraPoint, 1, true);
+    const double cgra_dynamic =
+        cgra::sustainedNsPerMultiply(p.cgraPoint, 1, false);
+    EXPECT_GT(fpga_dynamic / cgra_dynamic, 1.0e5);
+
+    const double fpga_static =
+        cgra::sustainedNsPerMultiply(p.cgraPoint, 100'000'000, true);
+    EXPECT_NEAR(fpga_static, p.cgraPoint.fpgaLatencyNs,
+                p.cgraPoint.fpgaLatencyNs * 0.1);
+    const double cgra_static =
+        cgra::sustainedNsPerMultiply(p.cgraPoint, 100'000'000, false);
+    EXPECT_NEAR(cgra_static, p.cgraPoint.latencyNs, 1e-6);
+}
+
+TEST(Cgra, CustomConfigRespected)
+{
+    Rng rng(6);
+    const auto v = makeSignedElementSparseMatrix(16, 16, 8, 0.5, rng);
+    const auto design = MatrixCompiler(CompileOptions{}).compile(v);
+    const auto fpga_point = fpga::evaluateDesign(design);
+
+    cgra::CgraConfig config;
+    config.clockMhz = 1500.0;
+    config.transistorsPerFullAdder = 10.0;
+    const auto point = cgra::projectDesign(design, fpga_point, config);
+    EXPECT_DOUBLE_EQ(point.clockMhz, 1500.0);
+
+    cgra::CgraConfig slow = config;
+    slow.clockMhz = 500.0;
+    const auto slow_point = cgra::projectDesign(design, fpga_point, slow);
+    EXPECT_NEAR(slow_point.latencyNs / point.latencyNs, 3.0, 1e-9);
+}
+
+TEST(Cgra, TransistorsScaleWithOnes)
+{
+    const auto sparse = project(48, 0.95, 7);
+    const auto dense = project(48, 0.3, 7);
+    EXPECT_GT(dense.cgraPoint.transistors,
+              3.0 * sparse.cgraPoint.transistors);
+}
+
+} // namespace

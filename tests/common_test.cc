@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the common substrate: RNG determinism and distributions,
+ * table formatting, and argument parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/args.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace
+{
+
+using spatial::Args;
+using spatial::Rng;
+using spatial::Table;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+    }
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(3, 3), 3);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::array<int, 4> seen{};
+    for (int i = 0; i < 1000; ++i)
+        seen[static_cast<std::size_t>(rng.uniformInt(0, 3))]++;
+    for (const auto count : seen)
+        EXPECT_GT(count, 150);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    const int n = 50000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependentButDeterministic)
+{
+    Rng a(99);
+    Rng a2(99);
+    Rng childA = a.split();
+    Rng childA2 = a2.split();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(childA.next(), childA2.next());
+}
+
+TEST(Rng, CoinIsRoughlyFair)
+{
+    Rng rng(21);
+    int heads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.coin();
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.02);
+}
+
+TEST(Table, PrintsHeaderAndRows)
+{
+    Table t("demo", {"x", "y"});
+    t.addRow({"1", "2"});
+    t.addRow({"10", "20"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("x"), std::string::npos);
+    EXPECT_NE(s.find("20"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t("demo", {"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CellFormatting)
+{
+    EXPECT_EQ(Table::cell(std::int64_t{-3}), "-3");
+    EXPECT_EQ(Table::cell(42), "42");
+    EXPECT_EQ(Table::cell(std::string("abc")), "abc");
+    // Doubles: just check they parse back approximately.
+    const std::string s = Table::cell(3.25);
+    EXPECT_NEAR(std::stod(s), 3.25, 1e-9);
+}
+
+TEST(Args, ParsesFlagsAndDefaults)
+{
+    const char *argv[] = {"prog", "--dim=128", "--csv", "--rate=0.5",
+                          "--name=abc"};
+    Args args(5, argv);
+    EXPECT_EQ(args.getInt("dim", 0), 128);
+    EXPECT_TRUE(args.getBool("csv", false));
+    EXPECT_DOUBLE_EQ(args.getReal("rate", 0.0), 0.5);
+    EXPECT_EQ(args.getString("name", ""), "abc");
+    EXPECT_EQ(args.getInt("missing", 7), 7);
+    EXPECT_FALSE(args.has("missing"));
+    EXPECT_TRUE(args.has("dim"));
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Exhaustive correctness sweeps of the spatial compiler on small
+ * shapes: every representable weight value (and pairs of values)
+ * against every input value, across sign modes.  These catch corner
+ * bit patterns — all-ones chains, isolated MSbs, the CSD widening bit,
+ * sign boundaries — that randomized tests can miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "matrix/bits.h"
+
+namespace
+{
+
+using namespace spatial;
+using core::CompileOptions;
+using core::MatrixCompiler;
+using core::SignMode;
+
+class ExhaustiveOneByOne
+    : public ::testing::TestWithParam<std::tuple<int, SignMode>>
+{};
+
+TEST_P(ExhaustiveOneByOne, EveryWeightTimesEveryInput)
+{
+    const auto [weight_bits, mode] = GetParam();
+    const int input_bits = 4;
+
+    const std::int64_t w_lo =
+        mode == SignMode::Unsigned ? 0 : minSigned(weight_bits);
+    const std::int64_t w_hi = mode == SignMode::Unsigned
+                                  ? maxUnsigned(weight_bits)
+                                  : maxSigned(weight_bits);
+
+    for (std::int64_t w = w_lo; w <= w_hi; ++w) {
+        IntMatrix v(1, 1);
+        v.at(0, 0) = w;
+        CompileOptions opt;
+        opt.inputBits = input_bits;
+        opt.signMode = mode;
+        const auto design = MatrixCompiler(opt).compile(v);
+
+        for (std::int64_t a = minSigned(input_bits);
+             a <= maxSigned(input_bits); ++a) {
+            const auto out = design.multiply({a});
+            ASSERT_EQ(out[0], a * w)
+                << "w=" << w << " a=" << a << " mode="
+                << core::signModeName(mode);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndModes, ExhaustiveOneByOne,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(SignMode::Unsigned,
+                                         SignMode::PnSplit,
+                                         SignMode::Csd)),
+    [](const ::testing::TestParamInfo<std::tuple<int, SignMode>> &info) {
+        return "w" + std::to_string(std::get<0>(info.param)) + "_" +
+               core::signModeName(std::get<1>(info.param));
+    });
+
+class ExhaustiveTwoByOne : public ::testing::TestWithParam<SignMode>
+{};
+
+TEST_P(ExhaustiveTwoByOne, EveryWeightPairSharedColumn)
+{
+    // Two rows, one column: exercises tree reduction plus chain
+    // interaction between two different weights.
+    const auto mode = GetParam();
+    const int weight_bits = 3;
+    const int input_bits = 3;
+
+    const std::int64_t w_lo =
+        mode == SignMode::Unsigned ? 0 : minSigned(weight_bits);
+    const std::int64_t w_hi = mode == SignMode::Unsigned
+                                  ? maxUnsigned(weight_bits)
+                                  : maxSigned(weight_bits);
+
+    Rng rng(99);
+    for (std::int64_t w0 = w_lo; w0 <= w_hi; ++w0) {
+        for (std::int64_t w1 = w_lo; w1 <= w_hi; ++w1) {
+            IntMatrix v(2, 1);
+            v.at(0, 0) = w0;
+            v.at(1, 0) = w1;
+            CompileOptions opt;
+            opt.inputBits = input_bits;
+            opt.signMode = mode;
+            const auto design = MatrixCompiler(opt).compile(v);
+
+            // All input pairs for 3-bit signed inputs: 8x8 = 64.
+            for (std::int64_t a0 = minSigned(input_bits);
+                 a0 <= maxSigned(input_bits); ++a0) {
+                for (std::int64_t a1 = minSigned(input_bits);
+                     a1 <= maxSigned(input_bits); ++a1) {
+                    const auto out = design.multiply({a0, a1});
+                    ASSERT_EQ(out[0], a0 * w0 + a1 * w1)
+                        << "w=(" << w0 << "," << w1 << ") a=(" << a0
+                        << "," << a1 << ")";
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ExhaustiveTwoByOne,
+                         ::testing::Values(SignMode::Unsigned,
+                                           SignMode::PnSplit,
+                                           SignMode::Csd),
+                         [](const ::testing::TestParamInfo<SignMode> &i) {
+                             return core::signModeName(i.param);
+                         });
+
+TEST(ExhaustiveEdges, ExtremeWeightBitPatterns)
+{
+    // Patterns chosen to stress chains and the CSD widening digit.
+    const std::int64_t patterns[] = {
+        0,    1,    -1,   2,     -2,    3,   -3,  85,  -85, // 1010101
+        127,  -128, 126,  -127,  64,    -64, 96,  -96,      // 1100000
+        0x55, 0x2a, 0x7f, -0x40, -0x55,
+    };
+    for (const auto mode : {SignMode::PnSplit, SignMode::Csd}) {
+        for (const auto w : patterns) {
+            IntMatrix v(1, 2);
+            v.at(0, 0) = w;
+            v.at(0, 1) = -w == -128 ? 127 : -w; // companion column
+            CompileOptions opt;
+            opt.inputBits = 8;
+            opt.signMode = mode;
+            const auto design = MatrixCompiler(opt).compile(v);
+            for (const std::int64_t a : {-128ll, -127ll, -1ll, 0ll, 1ll,
+                                         85ll, 127ll}) {
+                const auto out = design.multiply({a});
+                ASSERT_EQ(out[0], a * v.at(0, 0)) << "w=" << w << " a=" << a;
+                ASSERT_EQ(out[1], a * v.at(0, 1)) << "w=" << w << " a=" << a;
+            }
+        }
+    }
+}
+
+TEST(ExhaustiveEdges, UnsignedInputsZeroExtend)
+{
+    // Unsigned inputs must zero-extend, not sign-extend.
+    IntMatrix v(1, 1);
+    v.at(0, 0) = 7;
+    CompileOptions opt;
+    opt.inputBits = 4;
+    opt.inputsSigned = false;
+    opt.signMode = SignMode::Unsigned;
+    const auto design = MatrixCompiler(opt).compile(v);
+    for (std::int64_t a = 0; a <= 15; ++a) {
+        const auto out = design.multiply({a});
+        ASSERT_EQ(out[0], 7 * a) << "a=" << a;
+    }
+}
+
+TEST(ExhaustiveEdges, WideInputNarrowWeight)
+{
+    IntMatrix v(3, 1);
+    v.at(0, 0) = 1;
+    v.at(1, 0) = -1;
+    v.at(2, 0) = 1;
+    CompileOptions opt;
+    opt.inputBits = 16;
+    const auto design = MatrixCompiler(opt).compile(v);
+    const std::vector<std::int64_t> a{32767, -32768, 12345};
+    const auto out = design.multiply(a);
+    EXPECT_EQ(out[0], 32767 + 32768 + 12345);
+}
+
+TEST(ExhaustiveEdges, NarrowInputWideWeight)
+{
+    IntMatrix v(1, 1);
+    v.at(0, 0) = (std::int64_t{1} << 15) - 3; // 16-bit weight
+    CompileOptions opt;
+    opt.inputBits = 2;
+    const auto design = MatrixCompiler(opt).compile(v);
+    for (const std::int64_t a : {-2ll, -1ll, 0ll, 1ll}) {
+        const auto out = design.multiply({a});
+        ASSERT_EQ(out[0], a * v.at(0, 0));
+    }
+}
+
+} // namespace

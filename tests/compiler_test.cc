@@ -1,0 +1,346 @@
+/**
+ * @file
+ * End-to-end tests of the spatial compiler: every compiled design is
+ * simulated cycle-accurately and must reproduce the reference gemv
+ * exactly, across dimensions, bitwidths, sparsities, and sign modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "circuit/stats.h"
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "core/latency.h"
+#include "matrix/bits.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+using core::CompileOptions;
+using core::CompiledMatrix;
+using core::MatrixCompiler;
+using core::SignMode;
+
+void
+expectMatchesReference(const CompiledMatrix &design, const IntMatrix &weights,
+                       const std::vector<std::int64_t> &a)
+{
+    const auto expected = gemvRef(a, weights);
+    const auto got = design.multiply(a);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t c = 0; c < got.size(); ++c)
+        ASSERT_EQ(got[c], expected[c]) << "column " << c;
+}
+
+TEST(Compiler, TinyHandComputedUnsigned)
+{
+    // Figure 2b: b = [1 1 0 1], 1-bit weights, one column.
+    IntMatrix v(4, 1);
+    v.at(0, 0) = 1;
+    v.at(1, 0) = 1;
+    v.at(2, 0) = 0;
+    v.at(3, 0) = 1;
+
+    CompileOptions opt;
+    opt.inputBits = 4;
+    opt.inputsSigned = false;
+    opt.signMode = SignMode::Unsigned;
+    const auto design = MatrixCompiler(opt).compile(v);
+
+    expectMatchesReference(design, v, {3, 5, 9, 2});
+    // Culling: 3 selected rows need 2 adders; the zero row costs nothing.
+    const auto counts = circuit::collectCounts(design.netlist());
+    EXPECT_EQ(counts.adders, 2u);
+    EXPECT_EQ(counts.ands, 0u);
+}
+
+TEST(Compiler, SingleElementMatrix)
+{
+    IntMatrix v(1, 1);
+    v.at(0, 0) = -5;
+    CompileOptions opt;
+    opt.inputBits = 6;
+    const auto design = MatrixCompiler(opt).compile(v);
+    expectMatchesReference(design, v, {17});
+    expectMatchesReference(design, v, {-32});
+    expectMatchesReference(design, v, {0});
+}
+
+TEST(Compiler, PowerOfTwoWeightsCompileToPureDelays)
+{
+    // A matrix of single-bit magnitudes exercises the x2 bookkeeping:
+    // no chain adders are needed at all.
+    IntMatrix v(2, 2);
+    v.at(0, 0) = 4;
+    v.at(1, 1) = -8;
+    CompileOptions opt;
+    opt.inputBits = 5;
+    const auto design = MatrixCompiler(opt).compile(v);
+    expectMatchesReference(design, v, {9, -12});
+    const auto counts = circuit::collectCounts(design.netlist());
+    EXPECT_EQ(counts.adders, 0u);
+}
+
+TEST(Compiler, AllZeroMatrixProducesZeroOutputs)
+{
+    IntMatrix v(4, 3);
+    CompileOptions opt;
+    opt.inputBits = 4;
+    const auto design = MatrixCompiler(opt).compile(v);
+    const auto out = design.multiply({7, -8, 3, 1});
+    for (const auto o : out)
+        EXPECT_EQ(o, 0);
+}
+
+TEST(Compiler, DenseAllOnesColumnSums)
+{
+    IntMatrix v(8, 1);
+    for (std::size_t r = 0; r < 8; ++r)
+        v.at(r, 0) = 1;
+    CompileOptions opt;
+    opt.inputBits = 8;
+    opt.signMode = SignMode::Unsigned;
+    opt.inputsSigned = true;
+    const auto design = MatrixCompiler(opt).compile(v);
+    expectMatchesReference(design, v, {1, -2, 3, -4, 5, -6, 7, -8});
+}
+
+TEST(Compiler, UnsignedModeRejectsNegativeWeights)
+{
+    IntMatrix v(1, 1);
+    v.at(0, 0) = -1;
+    CompileOptions opt;
+    opt.signMode = SignMode::Unsigned;
+    EXPECT_DEATH(MatrixCompiler(opt).compile(v), "non-negative");
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: dimension x weight bits x sparsity x sign mode.
+// ---------------------------------------------------------------------
+
+struct SweepParam
+{
+    std::size_t rows;
+    std::size_t cols;
+    int weightBits;
+    int inputBits;
+    double sparsity;
+    SignMode mode;
+};
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    const auto &p = info.param;
+    std::string s = std::to_string(p.rows) + "x" + std::to_string(p.cols) +
+                    "_w" + std::to_string(p.weightBits) + "_i" +
+                    std::to_string(p.inputBits) + "_s" +
+                    std::to_string(static_cast<int>(p.sparsity * 100)) +
+                    "_" + core::signModeName(p.mode);
+    return s;
+}
+
+class CompilerSweep : public ::testing::TestWithParam<SweepParam>
+{};
+
+TEST_P(CompilerSweep, MatchesReferenceGemv)
+{
+    const auto &p = GetParam();
+    Rng rng(1234 + p.rows * 7 + static_cast<std::uint64_t>(p.weightBits));
+
+    const IntMatrix v =
+        p.mode == SignMode::Unsigned
+            ? makeElementSparseMatrix(p.rows, p.cols, p.weightBits,
+                                      p.sparsity, rng)
+            : makeSignedElementSparseMatrix(p.rows, p.cols, p.weightBits,
+                                            p.sparsity, rng);
+
+    CompileOptions opt;
+    opt.inputBits = p.inputBits;
+    opt.inputsSigned = true;
+    opt.signMode = p.mode;
+    const auto design = MatrixCompiler(opt).compile(v);
+
+    for (int trial = 0; trial < 3; ++trial) {
+        const auto a = makeSignedVector(p.rows, p.inputBits, rng);
+        expectMatchesReference(design, v, a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CompilerSweep,
+    ::testing::Values(
+        SweepParam{1, 1, 4, 4, 0.0, SignMode::PnSplit},
+        SweepParam{2, 2, 8, 8, 0.0, SignMode::PnSplit},
+        SweepParam{3, 5, 8, 8, 0.25, SignMode::PnSplit},
+        SweepParam{8, 8, 8, 8, 0.5, SignMode::PnSplit},
+        SweepParam{16, 16, 8, 8, 0.75, SignMode::PnSplit},
+        SweepParam{33, 17, 6, 5, 0.6, SignMode::PnSplit},
+        SweepParam{64, 64, 8, 8, 0.9, SignMode::PnSplit},
+        SweepParam{64, 64, 8, 8, 0.98, SignMode::PnSplit},
+        SweepParam{128, 32, 4, 10, 0.95, SignMode::PnSplit},
+        SweepParam{7, 7, 1, 8, 0.5, SignMode::Unsigned},
+        SweepParam{16, 16, 8, 8, 0.5, SignMode::Unsigned},
+        SweepParam{31, 9, 12, 4, 0.7, SignMode::Unsigned},
+        SweepParam{2, 2, 8, 8, 0.0, SignMode::Csd},
+        SweepParam{16, 16, 8, 8, 0.5, SignMode::Csd},
+        SweepParam{33, 17, 6, 5, 0.6, SignMode::Csd},
+        SweepParam{64, 64, 8, 8, 0.9, SignMode::Csd},
+        SweepParam{128, 32, 4, 10, 0.95, SignMode::Csd}),
+    sweepName);
+
+// ---------------------------------------------------------------------
+// Ablation configurations must stay correct too.
+// ---------------------------------------------------------------------
+
+class CompilerAblation
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>>
+{};
+
+TEST_P(CompilerAblation, VariantsMatchReference)
+{
+    const auto [constant_prop, balanced, align] = GetParam();
+    Rng rng(77);
+    const auto v = makeSignedElementSparseMatrix(12, 10, 6, 0.5, rng);
+
+    CompileOptions opt;
+    opt.inputBits = 7;
+    opt.constantPropagation = constant_prop;
+    opt.balancedTree = balanced;
+    opt.alignOutputs = align;
+    const auto design = MatrixCompiler(opt).compile(v);
+
+    for (int trial = 0; trial < 3; ++trial) {
+        const auto a = makeSignedVector(12, 7, rng);
+        expectMatchesReference(design, v, a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Knobs, CompilerAblation,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+// ---------------------------------------------------------------------
+// Structural expectations.
+// ---------------------------------------------------------------------
+
+TEST(CompilerStructure, CostTracksOnesCount)
+{
+    // The fundamental minimization: adders scale with set bits, and a
+    // sparser matrix costs less.
+    Rng rng(42);
+    const auto dense = makeElementSparseMatrix(32, 32, 8, 0.0, rng);
+    const auto sparse = makeElementSparseMatrix(32, 32, 8, 0.9, rng);
+
+    CompileOptions opt;
+    opt.signMode = SignMode::Unsigned;
+    MatrixCompiler compiler(opt);
+    const auto counts_dense =
+        circuit::collectCounts(compiler.compile(dense).netlist());
+    const auto counts_sparse =
+        circuit::collectCounts(compiler.compile(sparse).netlist());
+
+    EXPECT_LT(counts_sparse.adders, counts_dense.adders / 5);
+    // Adders are within (ones - cols, ones): each column tree of k leaves
+    // uses k-1 adders plus chain links.
+    EXPECT_LT(counts_dense.adders, dense.onesCount());
+}
+
+TEST(CompilerStructure, NaiveModeCostIndependentOfSparsity)
+{
+    Rng rng(43);
+    const auto dense = makeElementSparseMatrix(16, 16, 6, 0.0, rng);
+    const auto sparse = makeElementSparseMatrix(16, 16, 6, 0.9, rng);
+
+    CompileOptions opt;
+    opt.signMode = SignMode::Unsigned;
+    opt.constantPropagation = false;
+    MatrixCompiler compiler(opt);
+    const auto counts_dense =
+        circuit::collectCounts(compiler.compile(dense).netlist());
+    const auto counts_sparse =
+        circuit::collectCounts(compiler.compile(sparse).netlist());
+
+    EXPECT_EQ(counts_dense.adders, counts_sparse.adders);
+    EXPECT_EQ(counts_dense.ands, counts_sparse.ands);
+    EXPECT_EQ(counts_dense.ands, 2u * 16u * 16u * 6u);
+}
+
+TEST(CompilerStructure, AlignedOutputsShareLatency)
+{
+    Rng rng(44);
+    const auto v = makeSignedElementSparseMatrix(24, 16, 8, 0.7, rng);
+    CompileOptions opt;
+    opt.alignOutputs = true;
+    const auto design = MatrixCompiler(opt).compile(v);
+    std::int32_t latency = -1;
+    for (const auto &out : design.outputs()) {
+        if (out.node == circuit::kNoNode)
+            continue;
+        if (latency < 0)
+            latency = out.lsbLatency;
+        EXPECT_EQ(out.lsbLatency, latency);
+    }
+}
+
+TEST(CompilerStructure, InputBroadcastFanoutMatchesRowOnes)
+{
+    // Input r drives one tree leaf per set bit of row r (across P and N).
+    Rng rng(45);
+    const auto v = makeSignedElementSparseMatrix(8, 8, 8, 0.3, rng);
+    const auto design = MatrixCompiler(CompileOptions{}).compile(v);
+    const auto fan = design.netlist().fanouts();
+
+    for (std::size_t r = 0; r < 8; ++r) {
+        std::size_t row_ones = 0;
+        for (std::size_t c = 0; c < 8; ++c)
+            row_ones += static_cast<std::size_t>(
+                popcount64(std::abs(v.at(r, c))));
+        // The input node is node r (inputs are created first).
+        EXPECT_EQ(fan[r], row_ones) << "row " << r;
+    }
+}
+
+TEST(CompilerStructure, BatchMultiplyMatchesLoop)
+{
+    Rng rng(46);
+    const auto v = makeSignedElementSparseMatrix(10, 6, 5, 0.4, rng);
+    const auto design = MatrixCompiler(CompileOptions{}).compile(v);
+    const auto batch = makeSignedBatch(4, 10, 8, rng);
+
+    const auto out = design.multiplyBatch(batch);
+    for (std::size_t b = 0; b < 4; ++b) {
+        std::vector<std::int64_t> a(10);
+        for (std::size_t r = 0; r < 10; ++r)
+            a[r] = batch.at(b, r);
+        const auto expected = gemvRef(a, v);
+        for (std::size_t c = 0; c < 6; ++c)
+            EXPECT_EQ(out.at(b, c), expected[c]);
+    }
+}
+
+TEST(CompilerStructure, ExtremeValuesNoOverflow)
+{
+    // All-max weights and inputs: the captured width must still hold the
+    // exact result.
+    const std::size_t rows = 16;
+    IntMatrix v(rows, 2);
+    for (std::size_t r = 0; r < rows; ++r) {
+        v.at(r, 0) = 127;
+        v.at(r, 1) = -128;
+    }
+    CompileOptions opt;
+    opt.inputBits = 8;
+    const auto design = MatrixCompiler(opt).compile(v);
+    std::vector<std::int64_t> a(rows, -128);
+    expectMatchesReference(design, v, a);
+    std::vector<std::int64_t> b(rows, 127);
+    expectMatchesReference(design, v, b);
+}
+
+} // namespace

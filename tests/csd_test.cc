@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property tests for the CSD transform (Section V, Listing 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matrix/bits.h"
+#include "matrix/csd.h"
+#include "matrix/generate.h"
+#include "matrix/pn_split.h"
+
+namespace
+{
+
+using namespace spatial;
+
+TEST(Csd, PaperExampleFifteen)
+{
+    // 15 = 1111b -> 10000b - 1b: four ones become two.
+    Rng rng(1);
+    const auto digits = toCsdDigits(15, 4, rng);
+    EXPECT_EQ(csdValue(digits), 15);
+    EXPECT_EQ(csdOnes(digits), 2);
+    EXPECT_EQ(digits.size(), 5u);
+    EXPECT_EQ(digits[0], -1);
+    EXPECT_EQ(digits[4], 1);
+}
+
+TEST(Csd, ZeroAndPowersOfTwoUntouched)
+{
+    Rng rng(2);
+    EXPECT_EQ(csdOnes(toCsdDigits(0, 8, rng)), 0);
+    for (int k = 0; k < 8; ++k) {
+        const auto digits = toCsdDigits(std::int64_t{1} << k, 8, rng);
+        EXPECT_EQ(csdValue(digits), std::int64_t{1} << k);
+        EXPECT_EQ(csdOnes(digits), 1);
+    }
+}
+
+TEST(Csd, LengthTwoChainIsCoinBalanced)
+{
+    // 3 = 11b: heads -> 10-1 (2 ones), tails -> 011 (2 ones); both valid.
+    Rng rng(3);
+    int substituted = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        const auto digits = toCsdDigits(3, 4, rng);
+        EXPECT_EQ(csdValue(digits), 3);
+        EXPECT_EQ(csdOnes(digits), 2);
+        substituted += (digits[0] == -1);
+    }
+    EXPECT_NEAR(static_cast<double>(substituted) / n, 0.5, 0.05);
+}
+
+TEST(Csd, LongChainAlwaysSubstituted)
+{
+    Rng rng(4);
+    // 7 = 111b -> 1000 - 1.
+    const auto digits = toCsdDigits(7, 4, rng);
+    EXPECT_EQ(csdValue(digits), 7);
+    EXPECT_EQ(csdOnes(digits), 2);
+}
+
+class CsdValueSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CsdValueSweep, ExhaustiveValuePreservationAndNoRegression)
+{
+    const int bitwidth = GetParam();
+    Rng rng(static_cast<std::uint64_t>(bitwidth) * 97 + 5);
+    for (std::int64_t v = 0; v <= maxUnsigned(bitwidth); ++v) {
+        const auto digits = toCsdDigits(v, bitwidth, rng);
+        ASSERT_EQ(csdValue(digits), v) << "value " << v;
+        ASSERT_LE(csdOnes(digits), popcount64(v)) << "value " << v;
+        ASSERT_EQ(digits.size(), static_cast<std::size_t>(bitwidth) + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, CsdValueSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 12));
+
+TEST(Csd, ReducesOnesByRoughlySeventeenPercentOnUniformEightBit)
+{
+    // Section V: "CSD ... reduces the hardware by 17%" for uniform random
+    // 8-bit data.  The exact expectation for random data is ~1/6 fewer
+    // ones; accept a band around it.
+    Rng rng(5);
+    std::int64_t binary_ones = 0, csd_ones = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const std::int64_t v = rng.uniformInt(0, 255);
+        binary_ones += popcount64(v);
+        csd_ones += csdOnes(toCsdDigits(v, 8, rng));
+    }
+    const double reduction =
+        1.0 - static_cast<double>(csd_ones) / static_cast<double>(binary_ones);
+    EXPECT_GT(reduction, 0.12);
+    EXPECT_LT(reduction, 0.22);
+}
+
+TEST(CsdMatrix, TransformPreservesDifference)
+{
+    Rng rng(6);
+    const auto v = makeSignedElementSparseMatrix(24, 24, 8, 0.5, rng);
+    const auto pn = pnSplit(v);
+    const auto csd = csdTransform(pn, rng);
+    EXPECT_TRUE(csd.p.isNonNegative());
+    EXPECT_TRUE(csd.n.isNonNegative());
+    EXPECT_EQ(csd.reconstruct(), v);
+}
+
+TEST(CsdMatrix, NeverIncreasesOnes)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto v = makeSignedElementSparseMatrix(16, 16, 8, 0.3, rng);
+        const auto pn = pnSplit(v);
+        const auto csd = csdTransform(pn, rng);
+        EXPECT_LE(csd.onesCount(), pn.onesCount());
+    }
+}
+
+TEST(CsdMatrix, WidthGrowsByAtMostOneBit)
+{
+    Rng rng(8);
+    const auto v = makeSignedElementSparseMatrix(16, 16, 8, 0.0, rng);
+    const auto pn = pnSplit(v);
+    const auto csd = csdTransform(pn, rng);
+    EXPECT_LE(csd.bitwidth(), pn.bitwidth() + 1);
+}
+
+TEST(CsdMatrix, CsdSplitMatchesManualPipeline)
+{
+    Rng rng_a(9), rng_b(9);
+    const auto v = makeSignedElementSparseMatrix(12, 12, 8, 0.4, rng_a);
+    // csdSplit must behave exactly like pnSplit + csdTransform with the
+    // same coin-flip stream.
+    const auto v2 = makeSignedElementSparseMatrix(12, 12, 8, 0.4, rng_b);
+    ASSERT_EQ(v, v2);
+    const auto direct = csdSplit(v, rng_a);
+    const auto manual = csdTransform(pnSplit(v2), rng_b);
+    EXPECT_EQ(direct.p, manual.p);
+    EXPECT_EQ(direct.n, manual.n);
+}
+
+TEST(CsdMatrix, UnsignedMatrixGainsNegativeSide)
+{
+    // CSD of an all-positive matrix moves some digits into N, which is
+    // why the CSD design always needs the subtractor array.
+    Rng rng(10);
+    IntMatrix v(1, 1);
+    v.at(0, 0) = 15;
+    const auto csd = csdSplit(v, rng);
+    EXPECT_EQ(csd.p.at(0, 0), 16);
+    EXPECT_EQ(csd.n.at(0, 0), 1);
+}
+
+} // namespace

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests of the FPGA substrate: technology mapping rules, the closed-form
+ * area model against the mapper, SLR spanning, the Fmax bands of Figure
+ * 11, and the power model's Figure-12 behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "core/latency.h"
+#include "fpga/area_model.h"
+#include "fpga/device.h"
+#include "fpga/freq_model.h"
+#include "fpga/power_model.h"
+#include "fpga/report.h"
+#include "fpga/tech_mapper.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+using core::CompileOptions;
+using core::MatrixCompiler;
+using core::SignMode;
+
+TEST(TechMapper, AdderCostsOneLutTwoFfs)
+{
+    circuit::Netlist nl;
+    const auto a = nl.addInput(0);
+    const auto b = nl.addInput(1);
+    nl.addAdder(a, b);
+    fpga::MapperOptions opt;
+    opt.includeWrapper = false;
+    const auto mapped = fpga::mapDesign(nl, 1, 8, 8, opt);
+    EXPECT_EQ(mapped.arithmetic.luts, 1u);
+    EXPECT_EQ(mapped.arithmetic.ffs, 2u);
+    EXPECT_EQ(mapped.total.lutrams, 0u);
+}
+
+TEST(TechMapper, SubtractorCountsAsArithmetic)
+{
+    circuit::Netlist nl;
+    const auto a = nl.addInput(0);
+    const auto b = nl.addInput(1);
+    nl.addSub(a, b);
+    fpga::MapperOptions opt;
+    opt.includeWrapper = false;
+    const auto mapped = fpga::mapDesign(nl, 1, 8, 8, opt);
+    EXPECT_EQ(mapped.total.luts, 1u);
+    EXPECT_EQ(mapped.total.ffs, 2u);
+}
+
+TEST(TechMapper, ShortDelayChainsStayAsFlipFlops)
+{
+    circuit::Netlist nl;
+    const auto a = nl.addInput(0);
+    nl.addDelay(a, 2);
+    fpga::MapperOptions opt;
+    opt.includeWrapper = false;
+    const auto mapped = fpga::mapDesign(nl, 1, 8, 8, opt);
+    EXPECT_EQ(mapped.delays.ffs, 2u);
+    EXPECT_EQ(mapped.delays.lutrams, 0u);
+}
+
+TEST(TechMapper, LongDelayChainsBecomeSrls)
+{
+    circuit::Netlist nl;
+    const auto a = nl.addInput(0);
+    nl.addDelay(a, 10);
+    fpga::MapperOptions opt;
+    opt.includeWrapper = false;
+    const auto mapped = fpga::mapDesign(nl, 1, 8, 8, opt);
+    EXPECT_EQ(mapped.delays.lutrams, 1u);
+    EXPECT_EQ(mapped.delays.ffs, 1u); // SRL output register
+}
+
+TEST(TechMapper, VeryLongChainsNeedMultipleSrls)
+{
+    circuit::Netlist nl;
+    const auto a = nl.addInput(0);
+    nl.addDelay(a, 70); // 3 SRL32s
+    fpga::MapperOptions opt;
+    opt.includeWrapper = false;
+    const auto mapped = fpga::mapDesign(nl, 1, 8, 8, opt);
+    EXPECT_EQ(mapped.delays.lutrams, 3u);
+}
+
+TEST(TechMapper, BranchedDelayChainsSplitAtFanout)
+{
+    // a -> d1 -> d2, with d1 also feeding an adder: the chain cannot be
+    // folded into one SRL past d1.
+    circuit::Netlist nl;
+    const auto a = nl.addInput(0);
+    const auto d1 = nl.addDff(a);
+    const auto d2 = nl.addDff(d1);
+    const auto d3 = nl.addDff(d2);
+    nl.addAdder(d1, d3);
+    fpga::MapperOptions opt;
+    opt.srlThreshold = 2;
+    opt.includeWrapper = false;
+    const auto mapped = fpga::mapDesign(nl, 1, 8, 8, opt);
+    // d1 is a chain of 1 (FF); d2-d3 is a chain of 2 (SRL at threshold 2).
+    EXPECT_EQ(mapped.delays.lutrams, 1u);
+    EXPECT_EQ(mapped.delays.ffs, 2u); // d1 + SRL output reg
+}
+
+TEST(TechMapper, WrapperAddsIoShiftRegisters)
+{
+    circuit::Netlist nl;
+    nl.addInput(0);
+    nl.addInput(1);
+    nl.addInput(2);
+    const auto mapped = fpga::mapDesign(nl, 5, 8, 30, {});
+    EXPECT_EQ(mapped.wrapper.lutrams, 3u * 1u + 5u * 1u);
+    EXPECT_GT(mapped.wrapper.luts, 0u);
+}
+
+TEST(TechMapper, NaiveGatesAreLuts)
+{
+    circuit::Netlist nl;
+    const auto a = nl.addInput(0);
+    const auto one = nl.addConst1();
+    nl.addAnd(a, one);
+    nl.addNot(a);
+    fpga::MapperOptions opt;
+    opt.includeWrapper = false;
+    const auto mapped = fpga::mapDesign(nl, 1, 8, 8, opt);
+    EXPECT_EQ(mapped.gates.luts, 2u);
+}
+
+TEST(AreaModel, TracksMapperWithinTolerance)
+{
+    // The closed-form model (LUTs ~ ones, FFs ~ 2x) must agree with the
+    // real mapper within ~25% for realistic designs.
+    Rng rng(1);
+    const auto v = makeSignedElementSparseMatrix(128, 128, 8, 0.8, rng);
+    const auto design = MatrixCompiler(CompileOptions{}).compile(v);
+    const auto point = fpga::evaluateDesign(design);
+    const auto est = fpga::estimateFromOnes(design.weightOnes(), 128, 128);
+
+    const double lut_ratio = static_cast<double>(point.resources.luts) /
+                             static_cast<double>(est.luts);
+    EXPECT_GT(lut_ratio, 0.75);
+    EXPECT_LT(lut_ratio, 1.25);
+
+    const double ff_ratio = static_cast<double>(point.resources.ffs) /
+                            static_cast<double>(est.ffs);
+    EXPECT_GT(ff_ratio, 0.75);
+    EXPECT_LT(ff_ratio, 1.35);
+}
+
+TEST(AreaModel, ExpectedOnesFormula)
+{
+    // 1024x1024, 8-bit, 60% sparse: ~1024*1024*0.4*4 ~ 1.7M ones; the
+    // paper quotes "up to 1.5M ones ... 1024x1024 eight-bit ... at a
+    // sparsity of 60%" (CSD brings the count down).
+    const double ones = fpga::expectedOnes(1024, 1024, 8, 0.6);
+    EXPECT_NEAR(ones, 1024.0 * 1024.0 * 0.4 * 4.0, 1.0);
+}
+
+TEST(FreqModel, SlrSpanBoundaries)
+{
+    EXPECT_EQ(fpga::slrSpan(1000), 1);
+    EXPECT_EQ(fpga::slrSpan(425'000), 1);
+    EXPECT_EQ(fpga::slrSpan(425'001), 2);
+    EXPECT_EQ(fpga::slrSpan(850'001), 3);
+    EXPECT_EQ(fpga::slrSpan(1'700'000), 4);
+}
+
+TEST(FreqModel, BandsMatchFigureEleven)
+{
+    // Small single-SLR designs approach 597 MHz; full single SLR ~445;
+    // two-SLR designs in 296-400; beyond two SLRs 225-250.
+    fpga::FpgaResources tiny{10'000, 20'000, 100};
+    EXPECT_GT(fpga::fmaxMhz(tiny, 32), 550.0);
+
+    fpga::FpgaResources full_slr{400'000, 800'000, 100};
+    const double f1 = fpga::fmaxMhz(full_slr, 32);
+    EXPECT_GT(f1, 440.0);
+    EXPECT_LT(f1, 500.0);
+
+    fpga::FpgaResources two_slr{700'000, 1'400'000, 100};
+    const double f2 = fpga::fmaxMhz(two_slr, 32);
+    EXPECT_GT(f2, 296.0 - 1.0);
+    EXPECT_LT(f2, 400.0 + 1.0);
+
+    fpga::FpgaResources four_slr{1'500'000, 3'000'000, 100};
+    const double f4 = fpga::fmaxMhz(four_slr, 32);
+    EXPECT_GT(f4, 225.0 - 1.0);
+    EXPECT_LT(f4, 250.0 + 1.0);
+}
+
+TEST(FreqModel, FrequencyMonotonicallyDegradesWithSize)
+{
+    // Non-increasing across sizes (designs can saturate at a band edge),
+    // with a clear overall decline.
+    double prev = 1e9;
+    double first = 0.0, last = 0.0;
+    for (const std::size_t luts :
+         {50'000ul, 200'000ul, 400'000ul, 600'000ul, 900'000ul,
+          1'300'000ul, 1'700'000ul}) {
+        fpga::FpgaResources res{luts, 2 * luts, 1000};
+        const double f = fpga::fmaxMhz(res, 256);
+        EXPECT_LE(f, prev) << "luts " << luts;
+        if (first == 0.0)
+            first = f;
+        last = f;
+        prev = f;
+    }
+    EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(FreqModel, FanoutPenaltyAppliesAboveThreshold)
+{
+    fpga::FpgaResources res{100'000, 200'000, 100};
+    const double low = fpga::fmaxMhz(res, 64);
+    const double high = fpga::fmaxMhz(res, 4096);
+    EXPECT_LT(high, low);
+    EXPECT_GT(high, 0.7 * low); // penalty is percent-scale, not cliff
+}
+
+TEST(FreqModel, FitsDevice)
+{
+    EXPECT_TRUE(fpga::fitsDevice({1'000'000, 2'000'000, 10'000}));
+    EXPECT_FALSE(fpga::fitsDevice({1'800'000, 2'000'000, 0}));
+    EXPECT_FALSE(fpga::fitsDevice({1'000'000, 3'500'000, 0}));
+}
+
+TEST(PowerModel, ApproachesThermalLimitAtFullDevice)
+{
+    // "we approach [150 W] at high dimension and low sparsity".
+    fpga::FpgaResources res{1'500'000, 3'000'000, 2048};
+    const double watts = fpga::powerWatts(res, 225.0);
+    EXPECT_GT(watts, 110.0);
+    EXPECT_LT(watts, 160.0);
+}
+
+TEST(PowerModel, SmallDesignsAreCheap)
+{
+    fpga::FpgaResources res{8'000, 16'000, 130};
+    const double watts = fpga::powerWatts(res, 597.0);
+    EXPECT_GT(watts, 4.5);
+    EXPECT_LT(watts, 15.0);
+}
+
+TEST(PowerModel, ScalesWithFrequency)
+{
+    fpga::FpgaResources res{200'000, 400'000, 1000};
+    const double slow = fpga::powerWatts(res, 100.0);
+    const double fast = fpga::powerWatts(res, 400.0);
+    EXPECT_GT(fast, slow);
+    // Dynamic component is linear in f.
+    const double static_w = fpga::PowerCoefficients{}.staticWatts;
+    EXPECT_NEAR((fast - static_w) / (slow - static_w), 4.0, 1e-9);
+}
+
+TEST(PowerModel, ThermalLimitPredicate)
+{
+    EXPECT_TRUE(fpga::exceedsThermalLimit(151.0));
+    EXPECT_FALSE(fpga::exceedsThermalLimit(149.0));
+}
+
+TEST(Report, EndToEndDesignPoint)
+{
+    Rng rng(7);
+    const auto v = makeSignedElementSparseMatrix(64, 64, 8, 0.9, rng);
+    const auto design = MatrixCompiler(CompileOptions{}).compile(v);
+    const auto point = fpga::evaluateDesign(design);
+
+    EXPECT_EQ(point.rows, 64u);
+    EXPECT_EQ(point.cols, 64u);
+    EXPECT_EQ(point.ones, design.weightOnes());
+    EXPECT_EQ(point.slrs, 1);
+    EXPECT_TRUE(point.fits);
+    EXPECT_GT(point.fmaxMhz, 400.0);
+    EXPECT_EQ(point.latencyCycles, core::eq5Cycles(8, design.weightBits(),
+                                                   64));
+    EXPECT_GT(point.latencyNs, 0.0);
+    EXPECT_GT(point.powerWatts, 0.0);
+
+    // Batch latency is linear in batch size.
+    const double b1 = point.batchLatencyNs(1);
+    const double b4 = point.batchLatencyNs(4);
+    const double b8 = point.batchLatencyNs(8);
+    EXPECT_NEAR(b8 - b4, (b4 - b1) * 4.0 / 3.0, 1e-6);
+}
+
+TEST(Report, CsdReducesResourcesVsPn)
+{
+    Rng rng(9);
+    const auto v = makeSignedElementSparseMatrix(64, 64, 8, 0.5, rng);
+
+    CompileOptions pn_opt;
+    pn_opt.signMode = SignMode::PnSplit;
+    CompileOptions csd_opt;
+    csd_opt.signMode = SignMode::Csd;
+
+    const auto pn_point =
+        fpga::evaluateDesign(MatrixCompiler(pn_opt).compile(v));
+    const auto csd_point =
+        fpga::evaluateDesign(MatrixCompiler(csd_opt).compile(v));
+
+    EXPECT_LT(csd_point.ones, pn_point.ones);
+    EXPECT_LT(csd_point.resources.luts, pn_point.resources.luts);
+    // Section V: ~17% logic reduction for uniform 8-bit data.
+    const double reduction =
+        1.0 - static_cast<double>(csd_point.ones) /
+                  static_cast<double>(pn_point.ones);
+    EXPECT_GT(reduction, 0.10);
+    EXPECT_LT(reduction, 0.25);
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Cross-module integration scenarios: the full flows a downstream user
+ * runs, each exercising several libraries together.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/gpu_model.h"
+#include "baselines/sigma.h"
+#include "circuit/passes.h"
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "core/tiling.h"
+#include "core/verilog.h"
+#include "esn/esn.h"
+#include "esn/metrics.h"
+#include "esn/tasks.h"
+#include "fpga/report.h"
+#include "matrix/csr.h"
+#include "matrix/generate.h"
+#include "matrix/io.h"
+
+namespace
+{
+
+using namespace spatial;
+using core::CompileOptions;
+using core::MatrixCompiler;
+
+TEST(Integration, SaveCompileExportValidate)
+{
+    // matrix -> disk -> reload -> compile -> validate -> RTL, with the
+    // reloaded matrix producing an identical design.
+    Rng rng(1);
+    const auto v = makeSignedElementSparseMatrix(20, 20, 8, 0.8, rng);
+    std::stringstream store;
+    writeMatrix(v, store);
+    const auto reloaded = readMatrix(store);
+    ASSERT_EQ(reloaded, v);
+
+    CompileOptions opt;
+    opt.signMode = core::SignMode::Csd;
+    const auto d1 = MatrixCompiler(opt).compile(v);
+    const auto d2 = MatrixCompiler(opt).compile(reloaded);
+    EXPECT_EQ(d1.netlist().numNodes(), d2.netlist().numNodes());
+    EXPECT_TRUE(circuit::validate(d1.netlist()).ok);
+    EXPECT_EQ(core::toVerilog(d1), core::toVerilog(d2));
+}
+
+TEST(Integration, ThreeWayComparisonOnOneWorkload)
+{
+    // The Section VII methodology end to end on one workload: FPGA
+    // design point, GPU model, SIGMA simulation — all from the same
+    // matrix, with SIGMA's functional output cross-checked against the
+    // compiled netlist's.
+    Rng rng(2);
+    const auto v = makeSignedElementSparseMatrix(96, 96, 8, 0.95, rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(v);
+    const auto a = makeSignedVector(96, 8, rng);
+
+    CompileOptions opt;
+    opt.signMode = core::SignMode::Csd;
+    const auto design = MatrixCompiler(opt).compile(v);
+    const auto fpga_point = fpga::evaluateDesign(design);
+    const auto hw_out = design.multiply(a);
+
+    baselines::SigmaSim sigma;
+    const auto sigma_result = sigma.runVector(csr, a);
+    for (std::size_t c = 0; c < 96; ++c)
+        ASSERT_EQ(sigma_result.outputs.at(0, c), hw_out[c]);
+
+    const baselines::GpuModel gpu(baselines::GpuLibrary::OptimizedKernel);
+    const double gpu_ns = gpu.latencyNs(96, 96, csr.nnz());
+
+    // The paper's ordering at this scale: FPGA << SIGMA << GPU.
+    EXPECT_LT(fpga_point.latencyNs, sigma_result.latencyNs);
+    EXPECT_LT(sigma_result.latencyNs, gpu_ns);
+}
+
+TEST(Integration, TiledDesignsRunAndAssemble)
+{
+    // Plan tiles under a tight budget, compile each tile, execute, and
+    // stitch the full output.
+    Rng rng(3);
+    const auto v = makeSignedElementSparseMatrix(30, 36, 8, 0.5, rng);
+    const auto plan = core::planColumnTiles(pnSplit(v), 1200);
+    ASSERT_GT(plan.passes(), 1u);
+
+    const auto a = makeSignedVector(30, 8, rng);
+    std::vector<std::int64_t> assembled;
+    for (const auto &tile : plan.tiles) {
+        const auto slice =
+            core::sliceColumns(v, tile.colBegin, tile.colEnd);
+        const auto design = MatrixCompiler(CompileOptions{}).compile(slice);
+        EXPECT_TRUE(circuit::validate(design.netlist()).ok);
+        const auto out = design.multiply(a);
+        assembled.insert(assembled.end(), out.begin(), out.end());
+    }
+    EXPECT_EQ(assembled, gemvRef(a, v));
+}
+
+TEST(Integration, EsnTrainedOnWidePathMatchesScalarPath)
+{
+    // The wide simulator is a pure speedup: an integer reservoir's
+    // state trajectory via multiplyBatchWide on the recurrence matrix
+    // must agree with the scalar SpatialBackend run.
+    Rng rng(4);
+    const auto data = esn::makeNarma10(200, rng);
+
+    esn::ReservoirConfig config;
+    config.dim = 32;
+    config.seed = 5;
+    const auto weights = esn::makeReservoirWeights(config);
+    esn::IntReservoirConfig iconfig;
+
+    esn::IntEchoStateNetwork scalar_esn(weights, iconfig,
+                                        esn::BackendKind::Spatial);
+    esn::IntEchoStateNetwork ref_esn(weights, iconfig,
+                                     esn::BackendKind::Reference);
+    const auto e_scalar =
+        scalar_esn.train(data.inputs, data.targets, 30, 1e-4);
+    const auto e_ref = ref_esn.train(data.inputs, data.targets, 30, 1e-4);
+    EXPECT_NEAR(e_scalar.trainNrmse, e_ref.trainNrmse, 1e-12);
+}
+
+TEST(Integration, FanoutLimitedDesignStillExportsAndValidates)
+{
+    Rng rng(6);
+    const auto v = makeSignedElementSparseMatrix(48, 48, 8, 0.4, rng);
+    CompileOptions opt;
+    opt.broadcastFanoutLimit = 16;
+    opt.signMode = core::SignMode::Csd;
+    const auto design = MatrixCompiler(opt).compile(v);
+
+    EXPECT_LE(design.netlist().maxFanout(), 16u);
+    EXPECT_TRUE(circuit::validate(design.netlist()).ok);
+    const auto rtl = core::toVerilog(design);
+    EXPECT_NE(rtl.find("endmodule"), std::string::npos);
+
+    std::vector<circuit::NodeId> outputs;
+    for (const auto &out : design.outputs())
+        outputs.push_back(out.node);
+    EXPECT_EQ(circuit::countDeadNodes(design.netlist(), outputs), 0u);
+
+    const auto a = makeSignedVector(48, 8, rng);
+    EXPECT_EQ(design.multiply(a), gemvRef(a, v));
+}
+
+TEST(Integration, MeasuredActivityFeedsPowerModel)
+{
+    Rng rng(7);
+    const auto v = makeSignedElementSparseMatrix(40, 40, 8, 0.8, rng);
+    const auto design = MatrixCompiler(CompileOptions{}).compile(v);
+    const auto probe = makeSignedBatch(32, 40, 8, rng);
+    const double activity = core::measureSwitchingActivity(design, probe);
+
+    const auto point = fpga::evaluateDesign(design);
+    fpga::PowerCoefficients coeff;
+    coeff.activity = activity;
+    const double measured_watts =
+        fpga::powerWatts(point.resources, point.fmaxMhz, coeff);
+    EXPECT_GT(measured_watts, coeff.staticWatts);
+    // Random reservoir data toggles more than the 12.5% default.
+    EXPECT_GT(measured_watts, point.powerWatts);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests of matrix serialization: round trips, format checks, and error
+ * handling on malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.h"
+#include "matrix/generate.h"
+#include "matrix/io.h"
+
+namespace
+{
+
+using namespace spatial;
+
+TEST(MatrixIo, StreamRoundTrip)
+{
+    Rng rng(1);
+    const auto m = makeSignedElementSparseMatrix(9, 13, 8, 0.5, rng);
+    std::stringstream ss;
+    writeMatrix(m, ss);
+    const auto back = readMatrix(ss);
+    EXPECT_EQ(back, m);
+}
+
+TEST(MatrixIo, PreservesExtremeValues)
+{
+    IntMatrix m(2, 2);
+    m.at(0, 0) = -128;
+    m.at(0, 1) = 127;
+    m.at(1, 0) = (std::int64_t{1} << 40);
+    m.at(1, 1) = -(std::int64_t{1} << 40);
+    std::stringstream ss;
+    writeMatrix(m, ss);
+    EXPECT_EQ(readMatrix(ss), m);
+}
+
+TEST(MatrixIo, HeaderContainsShape)
+{
+    IntMatrix m(3, 4);
+    std::stringstream ss;
+    writeMatrix(m, ss);
+    std::string first;
+    std::getline(ss, first);
+    EXPECT_EQ(first, "spatial-matrix v1 3 4");
+}
+
+TEST(MatrixIoDeath, RejectsBadMagic)
+{
+    std::stringstream ss("other-format v1 2 2\n1 2\n3 4\n");
+    EXPECT_DEATH(
+        {
+            auto m = readMatrix(ss);
+            (void)m;
+        },
+        "not a spatial-matrix");
+}
+
+TEST(MatrixIoDeath, RejectsTruncatedBody)
+{
+    std::stringstream ss("spatial-matrix v1 2 2\n1 2\n3\n");
+    EXPECT_DEATH(
+        {
+            auto m = readMatrix(ss);
+            (void)m;
+        },
+        "truncated");
+}
+
+TEST(MatrixIo, FileRoundTrip)
+{
+    Rng rng(2);
+    const auto m = makeSignedElementSparseMatrix(5, 5, 6, 0.4, rng);
+    const std::string path = "/tmp/spatial_io_test_matrix.txt";
+    saveMatrix(m, path);
+    const auto back = loadMatrix(path);
+    EXPECT_EQ(back, m);
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests of the latency accounting (Equation 5 and drain/II models).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "core/latency.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+using core::ceilLog2;
+using core::CompileOptions;
+using core::MatrixCompiler;
+
+TEST(Latency, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(0), 0);
+    EXPECT_EQ(ceilLog2(1), 0);
+    EXPECT_EQ(ceilLog2(2), 1);
+    EXPECT_EQ(ceilLog2(3), 2);
+    EXPECT_EQ(ceilLog2(4), 2);
+    EXPECT_EQ(ceilLog2(1024), 10);
+    EXPECT_EQ(ceilLog2(1025), 11);
+}
+
+TEST(Latency, PaperExampleEquationFive)
+{
+    // "given 8-bit inputs and weights and a 1024x1024 weight matrix, we
+    // perform the vector-matrix product in 8 + 8 + log2(1024) + 2 = 28
+    // cycles."
+    EXPECT_EQ(core::eq5Cycles(8, 8, 1024), 28u);
+}
+
+TEST(Latency, Eq5GrowsLogarithmically)
+{
+    const auto at64 = core::eq5Cycles(8, 8, 64);
+    const auto at4096 = core::eq5Cycles(8, 8, 4096);
+    EXPECT_EQ(at4096 - at64, 6u); // log2(4096) - log2(64)
+}
+
+TEST(Latency, CyclesToNs)
+{
+    EXPECT_DOUBLE_EQ(core::cyclesToNs(28, 250.0), 112.0);
+    EXPECT_DOUBLE_EQ(core::cyclesToNs(30, 250.0), 120.0);
+}
+
+TEST(Latency, BatchScalesLinearly)
+{
+    const double one = core::batchLatencyNs(28, 26, 1, 250.0);
+    const double two = core::batchLatencyNs(28, 26, 2, 250.0);
+    const double ten = core::batchLatencyNs(28, 26, 10, 250.0);
+    EXPECT_DOUBLE_EQ(two - one, 26.0 * 4.0);
+    EXPECT_DOUBLE_EQ(ten - one, 9.0 * 26.0 * 4.0);
+}
+
+TEST(Latency, DrainIsBoundedByModel)
+{
+    // PN splitting halves each side's tree population, so the measured
+    // drain never exceeds the full-matrix model and always covers the
+    // output stream itself.
+    Rng rng(1);
+    const auto v = makeSignedElementSparseMatrix(64, 64, 8, 0.0, rng);
+    CompileOptions opt;
+    opt.inputBits = 8;
+    const auto design = MatrixCompiler(opt).compile(v);
+    EXPECT_LE(design.drainCycles(),
+              core::fullDrainCycles(8, design.weightBits(), 64));
+    EXPECT_GT(design.drainCycles(),
+              static_cast<std::uint32_t>(design.outputBits()));
+}
+
+TEST(Latency, MeasuredLsbLatencyIsTreePlusChainPlusSub)
+{
+    // Deterministic columns: all-(+1) weights need only the 64-leaf tree
+    // (depth 6); all-(-1) adds the subtractor (+1); all-(+3) adds one
+    // bit-position chain link (+1).
+    IntMatrix v(64, 3);
+    for (std::size_t r = 0; r < 64; ++r) {
+        v.at(r, 0) = 1;
+        v.at(r, 1) = -1;
+        v.at(r, 2) = 3;
+    }
+    CompileOptions opt;
+    opt.alignOutputs = false;
+    const auto design = MatrixCompiler(opt).compile(v);
+    ASSERT_EQ(design.outputs().size(), 3u);
+    EXPECT_EQ(design.outputs()[0].lsbLatency, 6);
+    EXPECT_EQ(design.outputs()[1].lsbLatency, 7);
+    EXPECT_EQ(design.outputs()[2].lsbLatency, 7);
+}
+
+TEST(Latency, SparseDesignsAreNoSlowerThanEq5Accounting)
+{
+    // Sparser columns have shallower trees, so the measured LSb latency
+    // never exceeds the Eq. 5 structural depth ceil(log2 R) + 2.
+    Rng rng(3);
+    for (const double sparsity : {0.5, 0.9, 0.98}) {
+        const auto v =
+            makeSignedElementSparseMatrix(128, 16, 8, sparsity, rng);
+        const auto design = MatrixCompiler(CompileOptions{}).compile(v);
+        for (const auto &out : design.outputs())
+            EXPECT_LE(out.lsbLatency, ceilLog2(128) + 2);
+    }
+}
+
+TEST(Latency, InitiationIntervalIsOutputWidth)
+{
+    Rng rng(4);
+    const auto v = makeSignedElementSparseMatrix(32, 32, 8, 0.5, rng);
+    const auto design = MatrixCompiler(CompileOptions{}).compile(v);
+    EXPECT_EQ(design.initiationInterval(),
+              static_cast<std::uint32_t>(design.outputBits()));
+}
+
+} // namespace

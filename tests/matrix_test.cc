@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the matrix substrate: dense storage, CSR, generators,
+ * PN split, and quantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "matrix/bits.h"
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+#include "matrix/generate.h"
+#include "matrix/pn_split.h"
+#include "matrix/quantize.h"
+
+namespace
+{
+
+using namespace spatial;
+
+TEST(Bits, Popcount)
+{
+    EXPECT_EQ(popcount64(0), 0);
+    EXPECT_EQ(popcount64(1), 1);
+    EXPECT_EQ(popcount64(0xff), 8);
+    EXPECT_EQ(popcount64(0b1010101), 4);
+}
+
+TEST(Bits, BitWidth)
+{
+    EXPECT_EQ(bitWidth(0), 0);
+    EXPECT_EQ(bitWidth(1), 1);
+    EXPECT_EQ(bitWidth(2), 2);
+    EXPECT_EQ(bitWidth(255), 8);
+    EXPECT_EQ(bitWidth(256), 9);
+}
+
+TEST(Bits, BitAt)
+{
+    EXPECT_TRUE(bitAt(0b101, 0));
+    EXPECT_FALSE(bitAt(0b101, 1));
+    EXPECT_TRUE(bitAt(0b101, 2));
+}
+
+TEST(Bits, SignedRanges)
+{
+    EXPECT_EQ(maxUnsigned(8), 255);
+    EXPECT_EQ(maxSigned(8), 127);
+    EXPECT_EQ(minSigned(8), -128);
+    EXPECT_EQ(maxSigned(1), 0);
+    EXPECT_EQ(minSigned(1), -1);
+}
+
+TEST(IntMatrix, BasicAccess)
+{
+    IntMatrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m.at(1, 2) = -7;
+    EXPECT_EQ(m.at(1, 2), -7);
+    EXPECT_EQ(m.at(0, 0), 0);
+}
+
+TEST(IntMatrix, CountsAndSparsity)
+{
+    IntMatrix m(2, 2);
+    m.at(0, 0) = 3;  // 2 ones
+    m.at(1, 1) = -4; // 1 one (|-4| = 100b)
+    EXPECT_EQ(m.nonZeroCount(), 2u);
+    EXPECT_DOUBLE_EQ(m.elementSparsity(), 0.5);
+    EXPECT_EQ(m.onesCount(), 3u);
+    EXPECT_DOUBLE_EQ(m.bitSparsity(4), 1.0 - 3.0 / 16.0);
+    EXPECT_EQ(m.maxAbs(), 4);
+    EXPECT_FALSE(m.isNonNegative());
+}
+
+TEST(IntMatrix, GemvRefMatchesHandComputed)
+{
+    // o = a^T V with V 2x3.
+    IntMatrix v(2, 3);
+    v.at(0, 0) = 1;
+    v.at(0, 1) = -2;
+    v.at(0, 2) = 3;
+    v.at(1, 0) = 4;
+    v.at(1, 1) = 5;
+    v.at(1, 2) = -6;
+    const std::vector<std::int64_t> a{2, -1};
+    const auto o = gemvRef(a, v);
+    ASSERT_EQ(o.size(), 3u);
+    EXPECT_EQ(o[0], 2 * 1 + -1 * 4);
+    EXPECT_EQ(o[1], 2 * -2 + -1 * 5);
+    EXPECT_EQ(o[2], 2 * 3 + -1 * -6);
+}
+
+TEST(Csr, RoundTripAndGemv)
+{
+    Rng rng(1);
+    const auto dense = makeSignedElementSparseMatrix(17, 23, 8, 0.8, rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    EXPECT_EQ(csr.nnz(), dense.nonZeroCount());
+    EXPECT_EQ(csr.toDenseInt(), dense);
+
+    const auto a = makeSignedVector(17, 8, rng);
+    EXPECT_EQ(csr.multiplyLeft(a), gemvRef(a, dense));
+}
+
+TEST(Csr, EmptyMatrix)
+{
+    const IntMatrix dense(3, 4);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(dense);
+    EXPECT_EQ(csr.nnz(), 0u);
+    const std::vector<std::int64_t> a{1, 2, 3};
+    const auto o = csr.multiplyLeft(a);
+    for (const auto v : o)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(Generate, BitSparseExtremes)
+{
+    Rng rng(2);
+    const auto all_set = makeBitSparseMatrix(8, 8, 8, 0.0, rng);
+    EXPECT_EQ(all_set.onesCount(), 8u * 8u * 8u);
+    const auto none_set = makeBitSparseMatrix(8, 8, 8, 1.0, rng);
+    EXPECT_EQ(none_set.onesCount(), 0u);
+}
+
+TEST(Generate, BitSparseDensityTracksParameter)
+{
+    Rng rng(3);
+    const auto m = makeBitSparseMatrix(64, 64, 8, 0.75, rng);
+    EXPECT_NEAR(m.bitSparsity(8), 0.75, 0.02);
+}
+
+TEST(Generate, BitSparseValuesWithinWidth)
+{
+    Rng rng(4);
+    const auto m = makeBitSparseMatrix(16, 16, 5, 0.5, rng);
+    EXPECT_LE(m.maxAbs(), maxUnsigned(5));
+    EXPECT_TRUE(m.isNonNegative());
+}
+
+TEST(Generate, ElementSparseHitsExactSparsity)
+{
+    Rng rng(5);
+    const auto m = makeElementSparseMatrix(40, 50, 8, 0.35, rng);
+    const auto zeros = 40u * 50u - m.nonZeroCount();
+    EXPECT_EQ(zeros, static_cast<std::size_t>(40 * 50 * 0.35 + 0.5));
+}
+
+TEST(Generate, ElementSparseIsHalfBitSparse)
+{
+    // Uniform values over the full range are ~50% bit-sparse before
+    // element zeroing (Section IV).
+    Rng rng(6);
+    const auto m = makeElementSparseMatrix(64, 64, 8, 0.0, rng);
+    EXPECT_NEAR(m.bitSparsity(8), 0.5, 0.02);
+}
+
+TEST(Generate, SignedElementSparseRangeAndSparsity)
+{
+    Rng rng(7);
+    const auto m = makeSignedElementSparseMatrix(32, 32, 8, 0.9, rng);
+    EXPECT_GE(m.maxAbs(), 1);
+    EXPECT_LE(m.maxAbs(), 128);
+    EXPECT_NEAR(m.elementSparsity(), 0.9, 0.01);
+    bool any_negative = false;
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            any_negative |= m.at(r, c) < 0;
+    EXPECT_TRUE(any_negative);
+}
+
+TEST(Generate, VectorsRespectRanges)
+{
+    Rng rng(8);
+    const auto u = makeUnsignedVector(1000, 6, rng);
+    for (const auto v : u) {
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 63);
+    }
+    const auto s = makeSignedVector(1000, 6, rng);
+    bool any_negative = false;
+    for (const auto v : s) {
+        EXPECT_GE(v, -32);
+        EXPECT_LE(v, 31);
+        any_negative |= v < 0;
+    }
+    EXPECT_TRUE(any_negative);
+}
+
+TEST(Generate, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    const auto m1 = makeSignedElementSparseMatrix(16, 16, 8, 0.5, a);
+    const auto m2 = makeSignedElementSparseMatrix(16, 16, 8, 0.5, b);
+    EXPECT_EQ(m1, m2);
+}
+
+TEST(PnSplit, ReconstructsAndConservesOnes)
+{
+    Rng rng(9);
+    const auto v = makeSignedElementSparseMatrix(20, 20, 8, 0.6, rng);
+    const auto pn = pnSplit(v);
+    EXPECT_TRUE(pn.p.isNonNegative());
+    EXPECT_TRUE(pn.n.isNonNegative());
+    EXPECT_EQ(pn.reconstruct(), v);
+    EXPECT_EQ(pn.onesCount(), v.onesCount());
+}
+
+TEST(PnSplit, DisjointSupport)
+{
+    Rng rng(10);
+    const auto v = makeSignedElementSparseMatrix(12, 12, 6, 0.3, rng);
+    const auto pn = pnSplit(v);
+    for (std::size_t r = 0; r < v.rows(); ++r)
+        for (std::size_t c = 0; c < v.cols(); ++c)
+            EXPECT_TRUE(pn.p.at(r, c) == 0 || pn.n.at(r, c) == 0);
+}
+
+TEST(PnSplit, BitwidthCoversMagnitude)
+{
+    IntMatrix v(1, 2);
+    v.at(0, 0) = -128;
+    v.at(0, 1) = 127;
+    const auto pn = pnSplit(v);
+    EXPECT_EQ(pn.bitwidth(), 8); // |-128| needs 8 unsigned bits
+}
+
+TEST(Quantize, RoundTripWithinStep)
+{
+    RealMatrix m(2, 2);
+    m.at(0, 0) = 0.5;
+    m.at(0, 1) = -1.0;
+    m.at(1, 0) = 0.25;
+    m.at(1, 1) = 1.0;
+    const auto q = quantizeSymmetric(m, 8);
+    EXPECT_EQ(q.values.at(0, 1), -127);
+    EXPECT_EQ(q.values.at(1, 1), 127);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_NEAR(static_cast<double>(q.values.at(r, c)) / q.scale,
+                        m.at(r, c), 1.0 / q.scale);
+}
+
+TEST(Quantize, PreservesZeros)
+{
+    RealMatrix m(2, 2);
+    m.at(0, 0) = 0.0;
+    m.at(1, 1) = 3.0;
+    const auto q = quantizeSymmetric(m, 6);
+    EXPECT_EQ(q.values.at(0, 0), 0);
+    EXPECT_EQ(q.values.at(0, 1), 0);
+}
+
+TEST(Quantize, VectorSaturatesAtRange)
+{
+    const std::vector<double> v{10.0, -10.0, 0.0};
+    const auto q = quantizeWithScale(v, 100.0, 8);
+    EXPECT_EQ(q[0], 127);
+    EXPECT_EQ(q[1], -128);
+    EXPECT_EQ(q[2], 0);
+}
+
+TEST(Quantize, DequantizeInverts)
+{
+    const std::vector<double> v{0.1, -0.7, 0.33};
+    const auto q = quantizeSymmetric(v, 12);
+    const auto back = dequantize(q.values, q.scale);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_NEAR(back[i], v[i], 1.0 / q.scale);
+}
+
+} // namespace

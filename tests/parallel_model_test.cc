@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests of the bit-parallel alternative cost model: word-width scaling
+ * versus the bit-serial design, latency advantage, and edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "matrix/csr.h"
+#include "fpga/parallel_model.h"
+#include "fpga/report.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+
+TEST(ParallelModel, AreaScalesByRoughlyWordWidth)
+{
+    Rng rng(1);
+    const auto v = makeSignedElementSparseMatrix(128, 128, 8, 0.9, rng);
+    const auto serial = fpga::evaluateDesign(
+        core::MatrixCompiler(core::CompileOptions{}).compile(v));
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(v);
+    const auto parallel = fpga::estimateBitParallel(
+        128, 128, csr.nnz(), v.onesCount(), 8, 8);
+
+    const double ratio =
+        static_cast<double>(parallel.resources.luts) /
+        static_cast<double>(serial.resources.luts);
+    EXPECT_GT(ratio, 10.0);
+    EXPECT_LT(ratio, 1.5 * static_cast<double>(parallel.wordWidth));
+}
+
+TEST(ParallelModel, LatencyBeatsSerialCycles)
+{
+    Rng rng(2);
+    const auto v = makeSignedElementSparseMatrix(256, 256, 8, 0.9, rng);
+    const auto serial = fpga::evaluateDesign(
+        core::MatrixCompiler(core::CompileOptions{}).compile(v));
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(v);
+    const auto parallel = fpga::estimateBitParallel(
+        256, 256, csr.nnz(), v.onesCount(), 8, 8);
+    EXPECT_LT(parallel.latencyCycles, serial.latencyCycles);
+}
+
+TEST(ParallelModel, WordWidthCoversAccumulation)
+{
+    const auto est = fpga::estimateBitParallel(1024, 1024, 1000, 4000,
+                                               8, 8);
+    EXPECT_EQ(est.wordWidth, 8u + 8u + 10u);
+}
+
+TEST(ParallelModel, DegenerateShapes)
+{
+    // All-zero matrix: no adders, only I/O.
+    const auto empty = fpga::estimateBitParallel(16, 16, 0, 0, 8, 8);
+    EXPECT_EQ(empty.resources.luts, 0u);
+    EXPECT_EQ(empty.resources.lutrams, 32u);
+
+    // Single power-of-two weight: no multiplier adds, no tree adds.
+    const auto single = fpga::estimateBitParallel(16, 16, 1, 1, 8, 8);
+    EXPECT_EQ(single.resources.luts, 0u);
+}
+
+TEST(ParallelModel, MoreOnesMoreArea)
+{
+    const auto sparse = fpga::estimateBitParallel(64, 64, 400, 1600, 8, 8);
+    const auto dense = fpga::estimateBitParallel(64, 64, 4000, 16000, 8, 8);
+    EXPECT_GT(dense.resources.luts, sparse.resources.luts);
+}
+
+} // namespace

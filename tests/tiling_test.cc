@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests of the column tiling planner: budget respect, full coverage,
+ * functional equivalence of executing the tiles, and the FPGA-vs-CGRA
+ * reconfiguration economics of a tiled plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "core/tiling.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+using core::CompileOptions;
+using core::MatrixCompiler;
+using core::planColumnTiles;
+using core::sliceColumns;
+using core::TilePlan;
+
+TEST(Tiling, SingleTileWhenItFits)
+{
+    Rng rng(1);
+    const auto v = makeSignedElementSparseMatrix(16, 16, 8, 0.5, rng);
+    const auto plan = planColumnTiles(pnSplit(v), 1'000'000);
+    EXPECT_EQ(plan.passes(), 1u);
+    EXPECT_FALSE(plan.needed());
+    EXPECT_EQ(plan.tiles[0].colBegin, 0u);
+    EXPECT_EQ(plan.tiles[0].colEnd, 16u);
+}
+
+TEST(Tiling, CoversAllColumnsExactlyOnce)
+{
+    Rng rng(2);
+    const auto v = makeSignedElementSparseMatrix(32, 40, 8, 0.3, rng);
+    const auto plan = planColumnTiles(pnSplit(v), 800);
+    ASSERT_GT(plan.passes(), 1u);
+    std::size_t cursor = 0;
+    for (const auto &tile : plan.tiles) {
+        EXPECT_EQ(tile.colBegin, cursor);
+        EXPECT_GT(tile.colEnd, tile.colBegin);
+        cursor = tile.colEnd;
+    }
+    EXPECT_EQ(cursor, 40u);
+}
+
+TEST(Tiling, RespectsBudgetForMultiColumnTiles)
+{
+    Rng rng(3);
+    const auto v = makeSignedElementSparseMatrix(32, 40, 8, 0.3, rng);
+    const std::size_t budget = 900;
+    const auto plan = planColumnTiles(pnSplit(v), budget);
+    for (const auto &tile : plan.tiles) {
+        if (tile.colEnd - tile.colBegin > 1)
+            EXPECT_LE(tile.estimatedLuts, budget);
+    }
+}
+
+TEST(Tiling, OversizedSingleColumnGetsOwnTile)
+{
+    IntMatrix v(8, 2);
+    for (std::size_t r = 0; r < 8; ++r) {
+        v.at(r, 0) = 127; // expensive column
+        v.at(r, 1) = 1;
+    }
+    const auto plan = planColumnTiles(pnSplit(v), 10);
+    ASSERT_EQ(plan.passes(), 2u);
+    EXPECT_GT(plan.tiles[0].estimatedLuts, 10u);
+    EXPECT_EQ(plan.tiles[0].colEnd - plan.tiles[0].colBegin, 1u);
+}
+
+TEST(Tiling, ExecutingTilesReproducesFullProduct)
+{
+    Rng rng(4);
+    const auto v = makeSignedElementSparseMatrix(24, 30, 8, 0.4, rng);
+    const auto a = makeSignedVector(24, 8, rng);
+    const auto expected = gemvRef(a, v);
+
+    const auto plan = planColumnTiles(pnSplit(v), 600);
+    ASSERT_GT(plan.passes(), 1u);
+
+    CompileOptions opt;
+    std::vector<std::int64_t> assembled;
+    for (const auto &tile : plan.tiles) {
+        const auto slice = sliceColumns(v, tile.colBegin, tile.colEnd);
+        const auto design = MatrixCompiler(opt).compile(slice);
+        const auto out = design.multiply(a);
+        assembled.insert(assembled.end(), out.begin(), out.end());
+    }
+    EXPECT_EQ(assembled, expected);
+}
+
+TEST(Tiling, SliceColumnsExtractsExactRange)
+{
+    Rng rng(5);
+    const auto v = makeSignedElementSparseMatrix(6, 10, 6, 0.2, rng);
+    const auto slice = sliceColumns(v, 3, 7);
+    EXPECT_EQ(slice.rows(), 6u);
+    EXPECT_EQ(slice.cols(), 4u);
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(slice.at(r, c), v.at(r, c + 3));
+}
+
+TEST(Tiling, LatencyAccountsReconfigBetweenPasses)
+{
+    TilePlan plan;
+    plan.tiles.resize(4);
+    // 4 passes at 100 ns with 200 ms reconfig between (FPGA) vs ~1 ns
+    // pipeline reconfiguration (CGRA).
+    const double fpga = core::tiledLatencyNs(plan, 100.0, 2e8);
+    const double cgra = core::tiledLatencyNs(plan, 100.0, 1.3);
+    EXPECT_DOUBLE_EQ(fpga, 4 * 100.0 + 3 * 2e8);
+    EXPECT_DOUBLE_EQ(cgra, 4 * 100.0 + 3 * 1.3);
+    EXPECT_GT(fpga / cgra, 1e5);
+}
+
+} // namespace
