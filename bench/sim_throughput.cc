@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Throughput bench for the compiled-tape simulation engine: end-to-end
+ * multiplyBatchWide wall-clock on a Section VI-style workload, new
+ * engine vs. the seed 64-lane interpreter path, with results verified
+ * bit-exact before any number is reported.
+ *
+ * Node-evals/sec counts one evaluation per node per cycle per vector
+ * (numNodes * drainCycles * batch), the work a cycle-accurate simulator
+ * fundamentally performs, so the two engines share a numerator and the
+ * rate ratio equals the wall-clock speedup.
+ *
+ *   sim_throughput [--dim=256] [--batch=1024] [--bits=8]
+ *                  [--sparsity=0.9] [--threads=0] [--lane-words=0]
+ *                  [--repeats=3] [--json[=path]]
+ *
+ * --json writes a BENCH_sim_throughput.json artifact for the perf
+ * trajectory in CI.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/args.h"
+#include "common/rng.h"
+#include "core/batch_engine.h"
+#include "core/compiler.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Best-of-N wall-clock seconds for one batch multiply. */
+template <typename F>
+double
+bestOf(int repeats, F &&run)
+{
+    double best = 1e300;
+    for (int i = 0; i < repeats; ++i) {
+        const auto start = Clock::now();
+        run();
+        best = std::min(best, secondsSince(start));
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const auto dim = static_cast<std::size_t>(args.getInt("dim", 256));
+    const auto batch_rows =
+        static_cast<std::size_t>(args.getInt("batch", 1024));
+    const int bits = static_cast<int>(args.getInt("bits", 8));
+    const double sparsity = args.getReal("sparsity", 0.9);
+    const int repeats = static_cast<int>(args.getInt("repeats", 3));
+
+    core::SimOptions sim_options;
+    sim_options.threads =
+        static_cast<unsigned>(args.getInt("threads", 0));
+    sim_options.laneWords =
+        static_cast<unsigned>(args.getInt("lane-words", 0));
+
+    Rng rng(99);
+    const auto weights =
+        makeSignedElementSparseMatrix(dim, dim, bits, sparsity, rng);
+    const auto batch = makeSignedBatch(batch_rows, dim, bits, rng);
+
+    core::CompileOptions options;
+    options.inputBits = bits;
+    options.inputsSigned = true;
+    options.signMode = core::SignMode::Csd;
+
+    const auto compile_start = Clock::now();
+    const auto design = core::MatrixCompiler(options).compile(weights);
+    const double compile_s = secondsSince(compile_start);
+
+    const auto nodes = design.netlist().numNodes();
+    const auto drain = design.drainCycles();
+    std::printf("workload: %zux%zu, %d-bit, sparsity %.2f, batch %zu\n",
+                dim, dim, bits, sparsity, batch_rows);
+    std::printf("design:   %zu nodes, %u drain cycles, compiled in %.2fs\n",
+                nodes, drain, compile_s);
+
+    // Verify bit-exactness before timing anything.
+    const auto expected = design.multiplyBatch(
+        [&] {
+            // Scalar reference on a truncated batch: full scalar runs are
+            // ~64x the wide cost, so spot-check the first group only.
+            const std::size_t check = std::min<std::size_t>(64, batch_rows);
+            IntMatrix head(check, dim);
+            for (std::size_t b = 0; b < check; ++b)
+                for (std::size_t r = 0; r < dim; ++r)
+                    head.at(b, r) = batch.at(b, r);
+            return head;
+        }());
+    const auto legacy_out = design.multiplyBatchWideLegacy(batch);
+    const auto tape_out = design.multiplyBatchWide(batch, sim_options);
+    bool exact = legacy_out == tape_out;
+    for (std::size_t b = 0; exact && b < expected.rows(); ++b)
+        for (std::size_t c = 0; exact && c < expected.cols(); ++c)
+            exact = expected.at(b, c) == tape_out.at(b, c);
+    if (!exact) {
+        std::printf("ERROR: engines disagree; refusing to report timings\n");
+        return 1;
+    }
+
+    const double legacy_s = bestOf(
+        repeats, [&] { (void)design.multiplyBatchWideLegacy(batch); });
+    const double tape_s = bestOf(repeats, [&] {
+        (void)design.multiplyBatchWide(batch, sim_options);
+    });
+
+    const double node_evals = static_cast<double>(nodes) *
+                              static_cast<double>(drain) *
+                              static_cast<double>(batch_rows);
+    const double legacy_rate = node_evals / legacy_s;
+    const double tape_rate = node_evals / tape_s;
+    const double speedup = legacy_s / tape_s;
+    const unsigned lane_words =
+        core::resolvedLaneWords(design, sim_options, batch_rows);
+
+    std::printf("seed path (64-lane interpreter): %8.1f ms, %10.3g "
+                "node-evals/s\n",
+                legacy_s * 1e3, legacy_rate);
+    std::printf("tape engine (%3u lanes x %u thr): %8.1f ms, %10.3g "
+                "node-evals/s\n",
+                64 * lane_words, sim_options.threads, tape_s * 1e3,
+                tape_rate);
+    std::printf("speedup: %.2fx (bit-exact)\n", speedup);
+
+    if (args.has("json")) {
+        std::string path = args.getString("json", "");
+        if (path.empty() || path == "true")
+            path = "BENCH_sim_throughput.json";
+        std::ofstream out(path);
+        char buffer[1024];
+        std::snprintf(
+            buffer, sizeof buffer,
+            "{\n"
+            "  \"bench\": \"sim_throughput\",\n"
+            "  \"workload\": {\"dim\": %zu, \"bits\": %d, \"batch\": %zu,"
+            " \"sparsity\": %.3f, \"nodes\": %zu, \"drain_cycles\": %u},\n"
+            "  \"engine\": {\"lane_words\": %u, \"threads\": %u},\n"
+            "  \"legacy_ms\": %.3f,\n"
+            "  \"tape_ms\": %.3f,\n"
+            "  \"legacy_node_evals_per_sec\": %.6g,\n"
+            "  \"tape_node_evals_per_sec\": %.6g,\n"
+            "  \"speedup\": %.3f,\n"
+            "  \"bit_exact\": true\n"
+            "}\n",
+            dim, bits, batch_rows, sparsity, nodes, drain, lane_words,
+            sim_options.threads, legacy_s * 1e3, tape_s * 1e3, legacy_rate,
+            tape_rate, speedup);
+        out << buffer;
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tape-driven, >64-lane netlist simulator.
+ *
+ * BlockSimulator<W> executes an ExecPlan over W consecutive 64-bit
+ * lane-words per node, evaluating the same netlist for up to 64*W
+ * independent input vectors per step (W=1 matches WideSimulator's 64
+ * lanes; W=4 gives 256, W=8 gives 512).  W is a compile-time constant so
+ * every inner loop is a fixed-trip-count word loop the compiler can
+ * unroll and vectorize.
+ *
+ * Unlike the interpreters, a step touches only the ops that do work:
+ * constants are materialized once at reset, the settle tape is a single
+ * branch-free `(a & b) ^ inv` loop, and the commit tape is a single
+ * branch-free full-adder loop over the registers — no second pass over
+ * the whole netlist, no staging copies (the settled value array doubles
+ * as the register file; the tape's descending-id order makes in-place
+ * commit hazard-free).
+ *
+ * The cycle is split into the two synchronous phases explicitly:
+ * settle() computes every output for the cycle; outputs must be read
+ * between settle() and commit(); commit() latches all register next
+ * states.  step() runs both for callers that do not sample outputs.
+ *
+ * CountToggles selects lane-wise register toggle accounting, identical
+ * to WideSimulator's (for switching-activity probes); product paths
+ * instantiate the non-counting variant and skip the popcounts entirely.
+ *
+ * Lane semantics, toggle accounting, and reset state are bit-identical
+ * to WideSimulator per lane — verified by the equivalence test suite.
+ */
+
+#ifndef SPATIAL_CIRCUIT_BLOCK_SIMULATOR_H
+#define SPATIAL_CIRCUIT_BLOCK_SIMULATOR_H
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/exec_plan.h"
+#include "common/logging.h"
+
+namespace spatial::circuit
+{
+
+/** Executes an ExecPlan over 64*W lanes per step. */
+template <unsigned W, bool CountToggles = true>
+class BlockSimulator
+{
+    static_assert(W >= 1 && W <= 16, "1..16 lane-words per node");
+
+  public:
+    /** Lane-words per node. */
+    static constexpr unsigned kLaneWords = W;
+
+    /** Independent vectors evaluated per step. */
+    static constexpr unsigned kLanes = 64 * W;
+
+    /** Bind to a plan; the plan must outlive the simulator. */
+    explicit BlockSimulator(const ExecPlan &plan)
+        : plan_(plan),
+          cur_(plan.numSlots() * W, 0),
+          carry_(plan.regs().size() * W, 0)
+    {
+        reset();
+    }
+
+    /** Power-on state in every lane; clears toggle counters. */
+    void
+    reset()
+    {
+        cycle_ = 0;
+        toggles_ = 0;
+        std::fill(cur_.begin(), cur_.end(), 0);
+        for (unsigned w = 0; w < W; ++w)
+            cur_[std::size_t{plan_.onesSlot()} * W + w] = ~std::uint64_t{0};
+        for (const auto node : plan_.constOnes())
+            for (unsigned w = 0; w < W; ++w)
+                cur_[std::size_t{node} * W + w] = ~std::uint64_t{0};
+        const auto &regs = plan_.regs();
+        for (std::size_t k = 0; k < regs.size(); ++k)
+            for (unsigned w = 0; w < W; ++w)
+                carry_[k * W + w] = regs[k].carryInit;
+    }
+
+    /**
+     * Phase 1 of a cycle: drive the inputs and settle every output.
+     *
+     * @param input_words port-major plane of W lane-words per port
+     *        (port p's words at input_words[p*W .. p*W+W)); ports at or
+     *        beyond num_ports read 0 in all lanes.
+     */
+    void
+    settle(const std::uint64_t *input_words, std::size_t num_ports)
+    {
+        for (const auto &in : plan_.inputs()) {
+            std::uint64_t *dst = &cur_[std::size_t{in.node} * W];
+            if (in.port < num_ports) {
+                const std::uint64_t *src = input_words +
+                                           std::size_t{in.port} * W;
+                for (unsigned w = 0; w < W; ++w)
+                    dst[w] = src[w];
+            } else {
+                for (unsigned w = 0; w < W; ++w)
+                    dst[w] = 0;
+            }
+        }
+        for (const auto &op : plan_.comb()) {
+            const std::uint64_t *a = &cur_[std::size_t{op.a} * W];
+            const std::uint64_t *b = &cur_[std::size_t{op.b} * W];
+            std::uint64_t *__restrict dst = &cur_[std::size_t{op.dst} * W];
+            for (unsigned w = 0; w < W; ++w)
+                dst[w] = (a[w] & b[w]) ^ op.inv;
+        }
+    }
+
+    /** Phase 2: latch all register next states in one tape pass. */
+    void
+    commit()
+    {
+        const auto &regs = plan_.regs();
+        for (std::size_t k = 0; k < regs.size(); ++k) {
+            const auto &op = regs[k];
+            const std::uint64_t *a = &cur_[std::size_t{op.a} * W];
+            const std::uint64_t *b_raw = &cur_[std::size_t{op.b} * W];
+            std::uint64_t *carry = &carry_[k * W];
+            std::uint64_t *__restrict dst = &cur_[std::size_t{op.dst} * W];
+            for (unsigned w = 0; w < W; ++w) {
+                const std::uint64_t b = b_raw[w] ^ op.bInv;
+                const std::uint64_t c = carry[w];
+                const std::uint64_t sum = a[w] ^ b ^ c;
+                const std::uint64_t next_carry =
+                    (a[w] & b) | (a[w] & c) | (b & c);
+                if constexpr (CountToggles) {
+                    toggles_ += static_cast<std::uint64_t>(
+                        std::popcount(dst[w] ^ sum));
+                    toggles_ += static_cast<std::uint64_t>(
+                        std::popcount(c ^ next_carry));
+                }
+                dst[w] = sum;
+                carry[w] = next_carry;
+            }
+        }
+        ++cycle_;
+    }
+
+    /** settle() + commit() for callers that do not sample outputs. */
+    void
+    step(const std::uint64_t *input_words, std::size_t num_ports)
+    {
+        settle(input_words, num_ports);
+        commit();
+    }
+
+    /** Convenience overload matching the WideSimulator vector API. */
+    void
+    step(const std::vector<std::uint64_t> &input_words)
+    {
+        SPATIAL_ASSERT(input_words.size() % W == 0,
+                       "input plane must hold W words per port");
+        step(input_words.data(), input_words.size() / W);
+    }
+
+    /**
+     * The W settled lane-words of a component this cycle; valid between
+     * settle() and commit() (registers present next state afterwards).
+     */
+    const std::uint64_t *
+    outputWords(NodeId id) const
+    {
+        SPATIAL_ASSERT(id < plan_.numNodes(), "node ", id, " out of range");
+        return &cur_[std::size_t{id} * W];
+    }
+
+    /** Lane-word `w` of a component; see outputWords(). */
+    std::uint64_t
+    outputWord(NodeId id, unsigned w = 0) const
+    {
+        SPATIAL_ASSERT(w < W, "lane-word ", w, " out of range");
+        return outputWords(id)[w];
+    }
+
+    std::uint64_t cycle() const { return cycle_; }
+
+    /**
+     * Total register-bit toggles across all lanes since reset (always 0
+     * in the CountToggles = false variant).
+     */
+    std::uint64_t toggleCount() const { return toggles_; }
+
+    /** Toggles per register bit per cycle per lane (see WideSimulator). */
+    double
+    measuredActivity(std::size_t lanes_used = kLanes) const
+    {
+        static_assert(CountToggles,
+                      "activity requires the toggle-counting variant");
+        SPATIAL_ASSERT(lanes_used >= 1 && lanes_used <= kLanes, "lanes ",
+                       lanes_used);
+        if (cycle_ == 0 || plan_.registerBits() == 0)
+            return 0.0;
+        return static_cast<double>(toggles_) /
+               (static_cast<double>(plan_.registerBits()) *
+                static_cast<double>(cycle_) *
+                static_cast<double>(lanes_used));
+    }
+
+  private:
+    const ExecPlan &plan_;
+    std::vector<std::uint64_t> cur_;   //!< numSlots()*W settled values
+    std::vector<std::uint64_t> carry_; //!< per-RegOp carry registers
+    std::uint64_t cycle_ = 0;
+    std::uint64_t toggles_ = 0;
+};
+
+} // namespace spatial::circuit
+
+#endif // SPATIAL_CIRCUIT_BLOCK_SIMULATOR_H

@@ -1,0 +1,54 @@
+#include "circuit/exec_plan.h"
+
+#include <algorithm>
+
+namespace spatial::circuit
+{
+
+ExecPlan::ExecPlan(const Netlist &netlist)
+    : numNodes_(netlist.numNodes()),
+      numInputPorts_(netlist.numInputPorts()),
+      registerBits_(netlist.registerBits())
+{
+    const auto n = static_cast<NodeId>(numNodes_);
+    for (NodeId id = 0; id < n; ++id) {
+        switch (netlist.kind(id)) {
+          case CompKind::Const0:
+            // Value slots power on to zero and nothing ever writes a
+            // Const0 slot, so the tape carries no op for it.
+            break;
+          case CompKind::Const1:
+            constOnes_.push_back(id);
+            break;
+          case CompKind::Input:
+            inputs_.push_back(InputOp{id, netlist.inputPort(id)});
+            break;
+          case CompKind::Not:
+            comb_.push_back(
+                CombOp{id, netlist.srcA(id), onesSlot(), ~std::uint64_t{0}});
+            break;
+          case CompKind::And:
+            comb_.push_back(
+                CombOp{id, netlist.srcA(id), netlist.srcB(id), 0});
+            break;
+          case CompKind::Dff:
+            regs_.push_back(
+                RegOp{id, netlist.srcA(id), zeroSlot(), 0, 0});
+            break;
+          case CompKind::Adder:
+            regs_.push_back(
+                RegOp{id, netlist.srcA(id), netlist.srcB(id), 0, 0});
+            break;
+          case CompKind::Sub:
+            regs_.push_back(RegOp{id, netlist.srcA(id), netlist.srcB(id),
+                                  ~std::uint64_t{0}, ~std::uint64_t{0}});
+            break;
+        }
+    }
+
+    // Appended in ascending id order above; reverse for the in-place
+    // commit ordering (descending dst).
+    std::reverse(regs_.begin(), regs_.end());
+}
+
+} // namespace spatial::circuit

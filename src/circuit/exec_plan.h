@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Compiled execution plan for netlist simulation.
+ *
+ * The per-node `switch` interpreters (Simulator, WideSimulator) re-decide
+ * every component's kind for all N nodes every cycle — twice, once to
+ * settle and once to latch — and re-evaluate constants and inputs each
+ * pass.  An ExecPlan is built once per netlist and turns it into flat,
+ * branch-free instruction tapes:
+ *
+ *  - a combinational settle tape in topological (id) order, with NOT
+ *    folded into the single op form `(a & b) ^ inv` (b = the always-ones
+ *    slot), so the settle loop has no dispatch at all;
+ *  - one unified register commit tape covering DFF, adder, and
+ *    subtractor via the bit-serial full-adder form
+ *    `sum = a ^ (b ^ bInv) ^ carry`: a DFF is an adder with b = the
+ *    always-zero slot (carry stays 0), a subtractor an adder with b
+ *    inverted and carry seeded to 1.  The tape is sorted by descending
+ *    destination id, which makes in-place commit hazard-free — the
+ *    builder's SSA rule puts every source below its consumer, so all
+ *    readers of a node commit before that node's slot is overwritten;
+ *  - a dense input map (node, port) and the list of constant-one nodes,
+ *    so constants are materialized exactly once at reset.
+ *
+ * The plan owns all of its data: it does not reference the Netlist after
+ * construction, so a CompiledMatrix can cache one and share it across
+ * simulator instances and worker threads (the tapes are immutable after
+ * build and therefore safe for concurrent readers).
+ */
+
+#ifndef SPATIAL_CIRCUIT_EXEC_PLAN_H
+#define SPATIAL_CIRCUIT_EXEC_PLAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace spatial::circuit
+{
+
+/** Immutable, pre-scheduled instruction tapes for one netlist. */
+class ExecPlan
+{
+  public:
+    /**
+     * Combinational op: `cur[dst] = (cur[a] & cur[b]) ^ inv`.
+     * AND has inv = 0; NOT has b = the always-ones slot and inv = ~0.
+     */
+    struct CombOp
+    {
+        NodeId dst;
+        NodeId a;
+        NodeId b;
+        std::uint64_t inv;
+    };
+
+    /** Externally driven stream: `cur[node] = input_words[port]`. */
+    struct InputOp
+    {
+        NodeId node;
+        std::uint32_t port;
+    };
+
+    /**
+     * Unified register commit op (bit-serial full adder):
+     *
+     *   be         = cur[b] ^ bInv
+     *   sum        = cur[a] ^ be ^ carry
+     *   carry'     = majority(cur[a], be, carry)
+     *   cur[dst]   = sum
+     *
+     * DFF: b = zeroSlot(), bInv = 0, carry starts 0 (and stays 0).
+     * Adder: bInv = 0, carry starts 0.  Sub: bInv = ~0, carry starts 1.
+     * The carry register lives in a dense per-op array of the executing
+     * simulator, indexed by the op's tape position.
+     */
+    struct RegOp
+    {
+        NodeId dst;
+        NodeId a;
+        NodeId b;
+        std::uint64_t bInv;
+        std::uint64_t carryInit;
+    };
+
+    /** Build the tapes; the netlist is not referenced afterwards. */
+    explicit ExecPlan(const Netlist &netlist);
+
+    std::size_t numNodes() const { return numNodes_; }
+
+    /**
+     * Number of value slots a simulator must allocate: one per node
+     * plus the trailing always-ones and always-zero slots.
+     */
+    std::size_t numSlots() const { return numNodes_ + 2; }
+
+    /** Slot holding the all-ones word (index numNodes()). */
+    NodeId onesSlot() const { return static_cast<NodeId>(numNodes_); }
+
+    /** Slot holding the all-zeros word (index numNodes() + 1). */
+    NodeId zeroSlot() const { return static_cast<NodeId>(numNodes_ + 1); }
+
+    std::size_t numInputPorts() const { return numInputPorts_; }
+
+    /** Register bits (adder/sub = 2, dff = 1) for activity accounting. */
+    std::size_t registerBits() const { return registerBits_; }
+
+    const std::vector<CombOp> &comb() const { return comb_; }
+    const std::vector<InputOp> &inputs() const { return inputs_; }
+
+    /** Commit tape, sorted by descending dst (see class comment). */
+    const std::vector<RegOp> &regs() const { return regs_; }
+
+    /** Const1 nodes, materialized once at reset. */
+    const std::vector<NodeId> &constOnes() const { return constOnes_; }
+
+  private:
+    std::size_t numNodes_ = 0;
+    std::size_t numInputPorts_ = 0;
+    std::size_t registerBits_ = 0;
+    std::vector<CombOp> comb_;
+    std::vector<InputOp> inputs_;
+    std::vector<RegOp> regs_;
+    std::vector<NodeId> constOnes_;
+};
+
+} // namespace spatial::circuit
+
+#endif // SPATIAL_CIRCUIT_EXEC_PLAN_H

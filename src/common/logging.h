@@ -67,7 +67,19 @@ void informImpl(const std::string &msg);
     ::spatial::detail::informImpl(                                           \
         ::spatial::detail::formatMessage(__VA_ARGS__))
 
-/** Panic unless the given invariant holds. */
+/**
+ * Panic unless the given invariant holds.
+ *
+ * Compiles to nothing under NDEBUG (Release builds) so bounds checks do
+ * not tax the simulation inner loops; a Debug build keeps every check.
+ * User-facing validation that must survive Release belongs in
+ * SPATIAL_FATAL, not here.
+ */
+#ifdef NDEBUG
+#define SPATIAL_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+    } while (0)
+#else
 #define SPATIAL_ASSERT(cond, ...)                                            \
     do {                                                                     \
         if (!(cond)) {                                                       \
@@ -75,5 +87,6 @@ void informImpl(const std::string &msg);
                           ::spatial::detail::formatMessage(__VA_ARGS__));    \
         }                                                                    \
     } while (0)
+#endif
 
 #endif // SPATIAL_COMMON_LOGGING_H

@@ -1,0 +1,385 @@
+#include "core/batch_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/compiled_matrix.h"
+#include "matrix/bits.h"
+
+namespace spatial::core
+{
+
+namespace
+{
+
+/** Sign-extend a captured word from `out_bits` wide. */
+std::int64_t
+signExtend(std::uint64_t word, int out_bits)
+{
+    const std::uint64_t sign_bit = std::uint64_t{1} << (out_bits - 1);
+    if (word & sign_bit)
+        word |= ~((sign_bit << 1) - 1);
+    return static_cast<std::int64_t>(word);
+}
+
+/**
+ * In-place 64x64 bit-matrix transpose (Hacker's Delight): afterwards
+ * bit t of a[l] is the old bit l of a[t].  Turns 64 value-per-lane
+ * words into 64 bit-plane words (and back) in ~6 passes instead of a
+ * 64 * bits shift-and-mask loop.
+ */
+void
+transpose64(std::uint64_t a[64])
+{
+    std::uint64_t m = 0x00000000ffffffffull;
+    for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+        }
+    }
+}
+
+/**
+ * Per-worker execution context: one simulator plus the input/capture
+ * planes, reused across every group the worker processes.  Product
+ * paths skip toggle accounting; the activity probe turns it on.
+ */
+template <unsigned W, bool CountToggles = false>
+class GroupRunner
+{
+  public:
+    explicit GroupRunner(const CompiledMatrix &design)
+        : design_(design),
+          sim_(design.plan()),
+          planeStride_(design.rows() * W),
+          planes_((static_cast<std::size_t>(design.options().inputBits) + 1) *
+                      planeStride_,
+                  0),
+          capture_(design.cols() *
+                       static_cast<std::size_t>(design.outputBits()) * W,
+                   0)
+    {}
+
+    /**
+     * Run rows [first, first+lanes) of `batch` through the netlist and
+     * write the decoded products into the same rows of `out`.
+     */
+    void
+    run(const IntMatrix &batch, std::size_t first, std::size_t lanes,
+        IntMatrix &out)
+    {
+        const std::size_t rows = design_.rows();
+        const std::size_t cols = design_.cols();
+        const int bwi = design_.options().inputBits;
+        const bool inputs_signed = design_.options().inputsSigned;
+        const int out_bits = design_.outputBits();
+        const std::int64_t *data = batch.data().data();
+        const std::size_t batch_cols = batch.cols();
+
+        sim_.reset();
+
+        // Bit-transpose the group into port-major lane-word planes:
+        // plane b holds bit b of every vector element, plane bwi the
+        // sign extension.  Built once per group; the drain loop below
+        // just steps a plane pointer per cycle.
+        const std::uint64_t value_mask =
+            (std::uint64_t{1} << bwi) - 1; // inputBits <= 32
+        for (std::size_t r = 0; r < rows; ++r) {
+            std::uint64_t *base = planes_.data() + r * W;
+            for (unsigned wi = 0; wi < W; ++wi) {
+                std::uint64_t block[64] = {};
+                const std::size_t lane0 = std::size_t{wi} * 64;
+                const std::size_t count =
+                    lanes > lane0 ? std::min<std::size_t>(64, lanes - lane0)
+                                  : 0;
+                for (std::size_t l = 0; l < count; ++l) {
+                    const std::int64_t v =
+                        data[(first + lane0 + l) * batch_cols + r];
+                    // Low bwi bits of the value, sign flag at bit bwi.
+                    std::uint64_t enc =
+                        static_cast<std::uint64_t>(v) & value_mask;
+                    if (inputs_signed && v < 0)
+                        enc |= std::uint64_t{1} << bwi;
+                    block[l] = enc;
+                }
+                transpose64(block);
+                for (int b = 0; b <= bwi; ++b)
+                    base[static_cast<std::size_t>(b) * planeStride_ + wi] =
+                        block[b];
+            }
+        }
+
+        std::fill(capture_.begin(), capture_.end(), 0);
+        const auto &outputs = design_.outputs();
+        for (std::uint32_t cycle = 0; cycle < design_.drainCycles();
+             ++cycle) {
+            const int plane = std::min<int>(static_cast<int>(cycle), bwi);
+            sim_.settle(planes_.data() +
+                            static_cast<std::size_t>(plane) * planeStride_,
+                        rows);
+            for (std::size_t c = 0; c < cols; ++c) {
+                if (outputs[c].node == circuit::kNoNode)
+                    continue;
+                const std::int64_t t =
+                    static_cast<std::int64_t>(cycle) - outputs[c].lsbLatency;
+                if (t < 0 || t >= out_bits)
+                    continue;
+                const std::uint64_t *src = sim_.outputWords(outputs[c].node);
+                std::uint64_t *dst =
+                    capture_.data() +
+                    (c * static_cast<std::size_t>(out_bits) +
+                     static_cast<std::size_t>(t)) *
+                        W;
+                for (unsigned w = 0; w < W; ++w)
+                    dst[w] = src[w];
+            }
+            sim_.commit();
+        }
+
+        // Decode the captured bit-plane lane-words back to per-lane
+        // integers, one 64x64 transpose per (column, lane-word) block.
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::uint64_t *cap =
+                capture_.data() + c * static_cast<std::size_t>(out_bits) * W;
+            for (unsigned wi = 0; wi < W; ++wi) {
+                const std::size_t lane0 = std::size_t{wi} * 64;
+                if (lane0 >= lanes)
+                    break;
+                std::uint64_t block[64] = {};
+                for (int t = 0; t < out_bits; ++t)
+                    block[t] = cap[static_cast<std::size_t>(t) * W + wi];
+                transpose64(block);
+                const std::size_t count =
+                    std::min<std::size_t>(64, lanes - lane0);
+                for (std::size_t l = 0; l < count; ++l)
+                    out.at(first + lane0 + l, c) =
+                        signExtend(block[l], out_bits);
+            }
+        }
+    }
+
+    const circuit::BlockSimulator<W, CountToggles> &sim() const
+    {
+        return sim_;
+    }
+
+  private:
+    const CompiledMatrix &design_;
+    circuit::BlockSimulator<W, CountToggles> sim_;
+    std::size_t planeStride_; //!< words per input plane (rows * W)
+    std::vector<std::uint64_t> planes_;
+    std::vector<std::uint64_t> capture_;
+};
+
+template <unsigned W>
+void
+runBatchWideT(const CompiledMatrix &design, const IntMatrix &batch,
+              const SimOptions &options, IntMatrix &out)
+{
+    constexpr std::size_t lane_cap = 64 * W;
+    const std::size_t num_groups =
+        (batch.rows() + lane_cap - 1) / lane_cap;
+
+    unsigned threads = options.threads != 0
+                           ? options.threads
+                           : std::thread::hardware_concurrency();
+    threads = std::max(1u, std::min<unsigned>(
+                               threads,
+                               static_cast<unsigned>(num_groups)));
+
+    const auto run_group = [&](GroupRunner<W> &runner, std::size_t g) {
+        const std::size_t first = g * lane_cap;
+        const std::size_t lanes =
+            std::min<std::size_t>(lane_cap, batch.rows() - first);
+        runner.run(batch, first, lanes, out);
+    };
+
+    if (threads == 1) {
+        GroupRunner<W> runner(design);
+        for (std::size_t g = 0; g < num_groups; ++g)
+            run_group(runner, g);
+        return;
+    }
+
+    // Groups are fully independent (disjoint output rows, private
+    // simulator state), so a shared atomic cursor is the whole schedule.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        pool.emplace_back([&] {
+            GroupRunner<W> runner(design);
+            for (std::size_t g = next.fetch_add(1); g < num_groups;
+                 g = next.fetch_add(1))
+                run_group(runner, g);
+        });
+    }
+    for (auto &worker : pool)
+        worker.join();
+}
+
+/**
+ * Pick W for a design/batch pair.  Wider blocks amortize tape-metadata
+ * loads across more lanes, but multiply the simulator's value-array
+ * footprint, whose accesses are random; measurements show the break-even
+ * is where that footprint leaves mid-level cache.  So: the largest W
+ * whose state fits a conservative cache budget, and no wider than the
+ * batch needs.
+ */
+unsigned
+autoLaneWords(const CompiledMatrix &design, std::size_t batch_rows)
+{
+    constexpr std::size_t cache_budget_bytes = 256 * 1024;
+    const std::size_t words_needed = (batch_rows + 63) / 64;
+    const std::size_t state_bytes_per_word =
+        design.plan().numSlots() * sizeof(std::uint64_t);
+    for (unsigned w : {8u, 4u, 2u}) {
+        if (words_needed >= w &&
+            state_bytes_per_word * w <= cache_budget_bytes)
+            return w;
+    }
+    return 1;
+}
+
+} // namespace
+
+unsigned
+resolvedLaneWords(const CompiledMatrix &design, const SimOptions &options,
+                  std::size_t batch_rows)
+{
+    return options.laneWords != 0 ? options.laneWords
+                                  : autoLaneWords(design, batch_rows);
+}
+
+IntMatrix
+runBatchWide(const CompiledMatrix &design, const IntMatrix &batch,
+             const SimOptions &options)
+{
+    // API boundary: keep the shape check alive in Release — a mismatch
+    // would otherwise read out of bounds with no diagnostic.
+    if (batch.cols() != design.rows())
+        SPATIAL_FATAL("batch width ", batch.cols(), " != rows ",
+                      design.rows());
+    IntMatrix out(batch.rows(), design.cols());
+    if (batch.rows() == 0)
+        return out;
+
+    const unsigned lane_words =
+        resolvedLaneWords(design, options, batch.rows());
+    switch (lane_words) {
+      case 1:
+        runBatchWideT<1>(design, batch, options, out);
+        break;
+      case 2:
+        runBatchWideT<2>(design, batch, options, out);
+        break;
+      case 4:
+        runBatchWideT<4>(design, batch, options, out);
+        break;
+      case 8:
+        runBatchWideT<8>(design, batch, options, out);
+        break;
+      default:
+        SPATIAL_FATAL("SimOptions::laneWords must be 0, 1, 2, 4, or 8; got ",
+                      lane_words);
+    }
+    return out;
+}
+
+double
+measureSwitchingActivity(const CompiledMatrix &design,
+                         const IntMatrix &batch)
+{
+    if (batch.rows() < 1 || batch.rows() > 64)
+        SPATIAL_FATAL("activity probe takes 1..64 vectors, got ",
+                      batch.rows());
+    // One 64-lane group on the design's cached plan; the runner's flat
+    // planes replace the per-call WideSimulator and nested scratch
+    // vectors of the interpreter path.
+    GroupRunner<1, true> runner(design);
+    IntMatrix scratch(batch.rows(), design.cols());
+    runner.run(batch, 0, batch.rows(), scratch);
+    return runner.sim().measuredActivity(batch.rows());
+}
+
+TapeGemv::TapeGemv(const CompiledMatrix &design)
+    : design_(design),
+      sim_(design.plan()),
+      planes_((static_cast<std::size_t>(design.options().inputBits) + 1) *
+                  design.rows(),
+              0),
+      raw_(design.cols(), 0)
+{}
+
+std::vector<std::int64_t>
+TapeGemv::multiply(const std::vector<std::int64_t> &x)
+{
+    std::vector<std::int64_t> out(design_.cols());
+    multiplyInto(x, out);
+    return out;
+}
+
+void
+TapeGemv::multiplyInto(const std::vector<std::int64_t> &x,
+                       std::vector<std::int64_t> &out)
+{
+    const std::size_t rows = design_.rows();
+    const std::size_t cols = design_.cols();
+    const int bwi = design_.options().inputBits;
+    const bool inputs_signed = design_.options().inputsSigned;
+    const int out_bits = design_.outputBits();
+
+    if (x.size() != rows)
+        SPATIAL_FATAL("input length ", x.size(), " != rows ", rows);
+    // Per-element range validation stays debug-only, as on the scalar
+    // path: it is O(rows) per multiply.
+    for ([[maybe_unused]] const auto v : x) {
+        if (inputs_signed) {
+            SPATIAL_ASSERT(v >= minSigned(bwi) && v <= maxSigned(bwi),
+                           "input ", v, " out of signed ", bwi,
+                           "-bit range");
+        } else {
+            SPATIAL_ASSERT(v >= 0 && v <= maxUnsigned(bwi), "input ", v,
+                           " out of unsigned ", bwi, "-bit range");
+        }
+    }
+
+    sim_.reset();
+    std::fill(planes_.begin(), planes_.end(), 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto word = static_cast<std::uint64_t>(x[r]);
+        for (int b = 0; b < bwi; ++b)
+            planes_[static_cast<std::size_t>(b) * rows + r] =
+                (word >> b) & 1u;
+        planes_[static_cast<std::size_t>(bwi) * rows + r] =
+            inputs_signed && x[r] < 0 ? 1u : 0u;
+    }
+
+    std::fill(raw_.begin(), raw_.end(), 0);
+    const auto &outputs = design_.outputs();
+    for (std::uint32_t cycle = 0; cycle < design_.drainCycles(); ++cycle) {
+        const int plane = std::min<int>(static_cast<int>(cycle), bwi);
+        sim_.settle(planes_.data() +
+                        static_cast<std::size_t>(plane) * rows,
+                    rows);
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (outputs[c].node == circuit::kNoNode)
+                continue;
+            const std::int64_t t =
+                static_cast<std::int64_t>(cycle) - outputs[c].lsbLatency;
+            if (t >= 0 && t < out_bits &&
+                (sim_.outputWord(outputs[c].node) & 1u))
+                raw_[c] |= std::uint64_t{1} << t;
+        }
+        sim_.commit();
+    }
+
+    out.resize(cols);
+    for (std::size_t c = 0; c < cols; ++c)
+        out[c] = signExtend(raw_[c], out_bits);
+}
+
+} // namespace spatial::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Batched execution of compiled designs on the tape engine.
+ *
+ * This is the machinery behind CompiledMatrix::multiplyBatchWide and the
+ * batched ESN backend: it runs a design's cached ExecPlan on
+ * BlockSimulator<W> over groups of 64*W input vectors, sharding
+ * independent groups across worker threads.
+ *
+ * Per group, the input vectors are bit-transposed once into port-major
+ * lane-word planes (one plane per input bit position plus one
+ * sign-extension plane), so the drain loop feeds each cycle with a
+ * single pointer bump instead of re-gathering batch elements per row per
+ * cycle.  Output streams are captured as raw lane-words (a W-word copy
+ * per column per capture cycle) and decoded back to integers once per
+ * group.  All scratch planes live in a per-worker context that is reused
+ * across that worker's groups.
+ */
+
+#ifndef SPATIAL_CORE_BATCH_ENGINE_H
+#define SPATIAL_CORE_BATCH_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/block_simulator.h"
+#include "core/options.h"
+#include "matrix/dense.h"
+
+namespace spatial::core
+{
+
+class CompiledMatrix;
+
+/**
+ * Multiply every row of `batch` through the design's compiled tape.
+ * Bit-exact with CompiledMatrix::multiplyBatch (proved by the
+ * equivalence suite); groups run across `options.threads` workers.
+ */
+IntMatrix runBatchWide(const CompiledMatrix &design, const IntMatrix &batch,
+                       const SimOptions &options = {});
+
+/**
+ * The lane-word count W that runBatchWide uses for this design and a
+ * batch of `batch_rows` vectors under `options` (resolves
+ * laneWords == 0 auto sizing), so callers can account netlist passes
+ * exactly.
+ */
+unsigned resolvedLaneWords(const CompiledMatrix &design,
+                           const SimOptions &options,
+                           std::size_t batch_rows);
+
+/**
+ * Persistent single-vector executor on the tape engine.
+ *
+ * The recurrent ESN update is sequential (each state feeds the next), so
+ * it cannot use batch lanes — but it issues thousands of single-vector
+ * multiplies against one design.  TapeGemv keeps one BlockSimulator and
+ * all scratch planes alive across calls, replacing the per-call
+ * interpreter dispatch and allocation of the scalar path.
+ */
+class TapeGemv
+{
+  public:
+    /** Bind to a design; the design must outlive this object. */
+    explicit TapeGemv(const CompiledMatrix &design);
+
+    /** o = x^T V; bit-exact with CompiledMatrix::multiply(). */
+    std::vector<std::int64_t> multiply(const std::vector<std::int64_t> &x);
+
+    /** As multiply(), writing into a caller-owned output vector. */
+    void multiplyInto(const std::vector<std::int64_t> &x,
+                      std::vector<std::int64_t> &out);
+
+  private:
+    const CompiledMatrix &design_;
+    circuit::BlockSimulator<1, false> sim_;
+    std::vector<std::uint64_t> planes_; //!< (inputBits+1) x rows words
+    std::vector<std::uint64_t> raw_;    //!< per-column captured bits
+};
+
+} // namespace spatial::core
+
+#endif // SPATIAL_CORE_BATCH_ENGINE_H

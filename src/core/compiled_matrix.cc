@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "circuit/exec_plan.h"
 #include "circuit/wide_simulator.h"
+#include "core/batch_engine.h"
 #include "core/latency.h"
 #include "matrix/bits.h"
 
 namespace spatial::core
 {
+
+const circuit::ExecPlan &
+CompiledMatrix::plan() const
+{
+    SPATIAL_ASSERT(plan_ != nullptr,
+                   "design has no execution plan (not built by the "
+                   "compiler?)");
+    return *plan_;
+}
 
 std::uint32_t
 CompiledMatrix::paperLatencyCycles() const
@@ -35,7 +46,7 @@ CompiledMatrix::multiplyWith(circuit::Simulator &sim,
     SPATIAL_ASSERT(a.size() == rows_, "input length ", a.size(),
                    " != rows ", rows_);
     const int bwi = options_.inputBits;
-    for (const auto v : a) {
+    for ([[maybe_unused]] const auto v : a) {
         if (options_.inputsSigned) {
             SPATIAL_ASSERT(v >= minSigned(bwi) && v <= maxSigned(bwi),
                            "input ", v, " out of signed ", bwi, "-bit range");
@@ -155,7 +166,14 @@ runWideGroup(const CompiledMatrix &design, const IntMatrix &batch,
 } // namespace
 
 IntMatrix
-CompiledMatrix::multiplyBatchWide(const IntMatrix &batch) const
+CompiledMatrix::multiplyBatchWide(const IntMatrix &batch,
+                                  const SimOptions &sim_options) const
+{
+    return runBatchWide(*this, batch, sim_options);
+}
+
+IntMatrix
+CompiledMatrix::multiplyBatchWideLegacy(const IntMatrix &batch) const
 {
     SPATIAL_ASSERT(batch.cols() == rows_, "batch width ", batch.cols(),
                    " != rows ", rows_);
@@ -167,19 +185,6 @@ CompiledMatrix::multiplyBatchWide(const IntMatrix &batch) const
         runWideGroup(*this, batch, first, lanes, sim, out);
     }
     return out;
-}
-
-double
-measureSwitchingActivity(const CompiledMatrix &design,
-                         const IntMatrix &batch)
-{
-    SPATIAL_ASSERT(batch.rows() >= 1 && batch.rows() <= 64,
-                   "activity probe takes 1..64 vectors, got ",
-                   batch.rows());
-    circuit::WideSimulator sim(design.netlist());
-    IntMatrix scratch(batch.rows(), design.cols());
-    runWideGroup(design, batch, 0, batch.rows(), sim, scratch);
-    return sim.measuredActivity(batch.rows());
 }
 
 IntMatrix

@@ -9,12 +9,18 @@
 #define SPATIAL_CORE_COMPILED_MATRIX_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "circuit/netlist.h"
 #include "circuit/simulator.h"
 #include "core/options.h"
 #include "matrix/dense.h"
+
+namespace spatial::circuit
+{
+class ExecPlan;
+} // namespace spatial::circuit
 
 namespace spatial::core
 {
@@ -46,6 +52,13 @@ class CompiledMatrix
     const circuit::Netlist &netlist() const { return netlist_; }
     const std::vector<ColumnOutput> &outputs() const { return outputs_; }
     const CompileOptions &options() const { return options_; }
+
+    /**
+     * The netlist's compiled execution plan, built once at compile time
+     * and shared (immutably) by every simulator instance and worker
+     * thread that executes this design.
+     */
+    const circuit::ExecPlan &plan() const;
 
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
@@ -92,16 +105,29 @@ class CompiledMatrix
     IntMatrix multiplyBatch(const IntMatrix &batch) const;
 
     /**
-     * As multiplyBatch(), but evaluating up to 64 vectors per netlist
-     * pass with the lane-parallel WideSimulator; bit-exact with the
-     * scalar path and ~64x faster for large batches.
+     * As multiplyBatch(), but on the compiled-tape engine: up to
+     * 64 * SimOptions::laneWords vectors per netlist pass on
+     * BlockSimulator, with independent lane groups sharded across
+     * worker threads.  Bit-exact with the scalar path (proved by the
+     * equivalence suite) and the fast path for every batch workload.
      */
-    IntMatrix multiplyBatchWide(const IntMatrix &batch) const;
+    IntMatrix multiplyBatchWide(const IntMatrix &batch,
+                                const SimOptions &sim_options = {}) const;
+
+    /**
+     * The seed implementation of the wide batch path: one 64-lane
+     * WideSimulator group at a time, gathering input bits from the
+     * batch every cycle.  Retained as the reference baseline for the
+     * equivalence tests and the bench/sim_throughput speedup
+     * measurement; use multiplyBatchWide() everywhere else.
+     */
+    IntMatrix multiplyBatchWideLegacy(const IntMatrix &batch) const;
 
   private:
     friend class MatrixCompiler;
 
     circuit::Netlist netlist_;
+    std::shared_ptr<const circuit::ExecPlan> plan_;
     std::vector<ColumnOutput> outputs_;
     CompileOptions options_;
     std::size_t rows_ = 0;

@@ -1,9 +1,11 @@
 #include "core/compiler.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "circuit/exec_plan.h"
 #include "common/rng.h"
 #include "core/latency.h"
 #include "matrix/bits.h"
@@ -276,9 +278,14 @@ planeLeaves(Builder &builder, Netlist &netlist, const IntMatrix &side,
 
 MatrixCompiler::MatrixCompiler(CompileOptions options) : options_(options)
 {
-    SPATIAL_ASSERT(options_.inputBits >= 1 && options_.inputBits <= 32,
-                   "inputBits ", options_.inputBits);
-    SPATIAL_ASSERT(options_.extraOutputBits >= 0, "extraOutputBits");
+    // User configuration, not internal invariants: stay fatal in
+    // Release (inputBits 33..63 would shift past the input planes'
+    // encoding, >= 64 is undefined behavior in the engine).
+    if (options_.inputBits < 1 || options_.inputBits > 32)
+        SPATIAL_FATAL("inputBits must be 1..32, got ", options_.inputBits);
+    if (options_.extraOutputBits < 0)
+        SPATIAL_FATAL("extraOutputBits must be >= 0, got ",
+                      options_.extraOutputBits);
 }
 
 CompiledMatrix
@@ -286,8 +293,10 @@ MatrixCompiler::compile(const IntMatrix &weights) const
 {
     switch (options_.signMode) {
       case SignMode::Unsigned: {
-        SPATIAL_ASSERT(weights.isNonNegative(),
-                       "Unsigned mode requires a non-negative matrix");
+        // User configuration error, not an internal invariant: keep the
+        // check alive in Release builds where asserts compile out.
+        if (!weights.isNonNegative())
+            SPATIAL_FATAL("Unsigned mode requires a non-negative matrix");
         PnPair pair{weights, IntMatrix(weights.rows(), weights.cols())};
         return compilePair(pair);
       }
@@ -310,7 +319,9 @@ MatrixCompiler::compilePair(const PnPair &pn) const
                    "PN sides must be unsigned");
     const std::size_t rows = pn.p.rows();
     const std::size_t cols = pn.p.cols();
-    SPATIAL_ASSERT(rows >= 1 && cols >= 1, "empty matrix");
+    if (rows < 1 || cols < 1)
+        SPATIAL_FATAL("cannot compile an empty matrix (", rows, "x", cols,
+                      ")");
 
     CompiledMatrix out;
     out.options_ = options_;
@@ -321,8 +332,9 @@ MatrixCompiler::compilePair(const PnPair &pn) const
 
     const int out_bits = options_.inputBits + out.weightBits_ +
                          ceilLog2(rows) + 1 + options_.extraOutputBits;
-    SPATIAL_ASSERT(out_bits <= 62, "output width ", out_bits,
-                   " exceeds capture capability");
+    if (out_bits > 62)
+        SPATIAL_FATAL("output width ", out_bits,
+                      " exceeds capture capability");
     out.outputBits_ = out_bits;
 
     Netlist &netlist = out.netlist_;
@@ -402,6 +414,10 @@ MatrixCompiler::compilePair(const PnPair &pn) const
 
     out.drainCycles_ = static_cast<std::uint32_t>(
         std::max<std::int32_t>(0, max_latency) + out.outputBits_);
+
+    // Schedule the netlist into its execution tapes once, here, so every
+    // simulation of this design shares one immutable plan.
+    out.plan_ = std::make_shared<const circuit::ExecPlan>(out.netlist_);
     return out;
 }
 

@@ -72,6 +72,32 @@ struct CompileOptions
     std::uint64_t csdSeed = 0x5eed;
 };
 
+/**
+ * Runtime knobs of the compiled-tape batch simulation engine (the
+ * ExecPlan / BlockSimulator path behind CompiledMatrix::multiplyBatchWide
+ * and the batched ESN backend).  Defaults auto-size to the workload and
+ * machine; see docs/simulation.md for the threading model.
+ */
+struct SimOptions
+{
+    /**
+     * Worker threads sharding independent 64*laneWords-lane groups of a
+     * batch.  0 = one thread per hardware context (clamped to the number
+     * of groups, so small batches never pay thread-spawn overhead).
+     */
+    unsigned threads = 0;
+
+    /**
+     * 64-bit lane-words processed per node per pass (W): each netlist
+     * pass evaluates 64*laneWords independent vectors.  Must be one of
+     * 1, 2, 4, 8; 0 = auto — the widest block whose simulator state
+     * still fits a conservative mid-level-cache budget (wide blocks
+     * amortize tape metadata, but multiply the randomly accessed value
+     * array; small designs run best at 512 lanes, large ones at 64).
+     */
+    unsigned laneWords = 0;
+};
+
 } // namespace spatial::core
 
 #endif // SPATIAL_CORE_OPTIONS_H

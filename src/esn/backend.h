@@ -15,7 +15,7 @@
 #include <memory>
 #include <vector>
 
-#include "circuit/simulator.h"
+#include "core/batch_engine.h"
 #include "core/compiled_matrix.h"
 #include "matrix/csr.h"
 #include "matrix/dense.h"
@@ -32,6 +32,13 @@ class GemvBackend
     /** Multiply the length-rows state vector; returns length-cols. */
     virtual std::vector<std::int64_t>
     multiply(const std::vector<std::int64_t> &x) = 0;
+
+    /**
+     * Multiply every row of `xs` (xs.cols() == rows()).  The rows are
+     * independent, so backends may evaluate them in parallel; the
+     * default implementation loops over multiply().
+     */
+    virtual IntMatrix multiplyBatch(const IntMatrix &xs);
 
     virtual std::size_t rows() const = 0;
     virtual std::size_t cols() const = 0;
@@ -74,15 +81,17 @@ class CsrBackend : public GemvBackend
 
 /**
  * The paper's hardware: every multiply is a cycle-accurate simulation of
- * the compiled spatial design.  Also accumulates the total simulated
- * hardware cycles so callers can report hardware time.
+ * the compiled spatial design, executed on the compiled-tape engine
+ * through a persistent TapeGemv (no per-call interpreter dispatch or
+ * allocation).  Also accumulates the total simulated hardware cycles so
+ * callers can report hardware time.
  */
 class SpatialBackend : public GemvBackend
 {
   public:
     explicit SpatialBackend(core::CompiledMatrix design);
 
-    // The simulator references the owned netlist; pin the object.
+    // The tape executor references the owned design; pin the object.
     SpatialBackend(const SpatialBackend &) = delete;
     SpatialBackend &operator=(const SpatialBackend &) = delete;
 
@@ -97,10 +106,34 @@ class SpatialBackend : public GemvBackend
     /** Total hardware cycles simulated across all multiplies. */
     std::uint64_t totalCycles() const { return totalCycles_; }
 
+  protected:
+    void addCycles(std::uint64_t cycles) { totalCycles_ += cycles; }
+
   private:
     core::CompiledMatrix design_;
-    circuit::Simulator simulator_;
+    core::TapeGemv gemv_;
     std::uint64_t totalCycles_ = 0;
+};
+
+/**
+ * SpatialBackend with a lane-parallel batch path: independent vectors
+ * run through multiplyBatchWide on the multi-threaded, >64-lane
+ * BlockSimulator engine, so batched workloads (equivalence sweeps,
+ * readout evaluation over precomputed states, activity probes) cost one
+ * netlist pass per 64*laneWords vectors.  Sequential recurrent updates
+ * still take the persistent single-vector tape path via multiply().
+ */
+class BatchedSpatialBackend : public SpatialBackend
+{
+  public:
+    explicit BatchedSpatialBackend(core::CompiledMatrix design,
+                                   core::SimOptions sim_options = {});
+
+    IntMatrix multiplyBatch(const IntMatrix &xs) override;
+    const char *name() const override { return "spatial-batched"; }
+
+  private:
+    core::SimOptions simOptions_;
 };
 
 } // namespace spatial::esn

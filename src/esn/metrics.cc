@@ -12,7 +12,8 @@ namespace
 {
 
 void
-checkShapes(const std::vector<double> &a, const std::vector<double> &b)
+checkShapes([[maybe_unused]] const std::vector<double> &a,
+            [[maybe_unused]] const std::vector<double> &b)
 {
     SPATIAL_ASSERT(a.size() == b.size() && !a.empty(),
                    "metric shapes: ", a.size(), " vs ", b.size());

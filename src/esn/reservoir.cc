@@ -202,7 +202,7 @@ makeIntReservoir(const ReservoirWeights &weights,
         options.inputBits = config.stateBits;
         options.inputsSigned = true;
         options.signMode = core::SignMode::Csd;
-        backend = std::make_unique<SpatialBackend>(
+        backend = std::make_unique<BatchedSpatialBackend>(
             core::MatrixCompiler(options).compile(wq.values));
         break;
       }

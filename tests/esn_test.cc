@@ -288,6 +288,49 @@ TEST(IntReservoirTest, BackendsAgreeExactly)
     EXPECT_EQ(s_ref, s_hw);
 }
 
+TEST(IntReservoirTest, BatchedBackendMatchesReferenceAndCountsCycles)
+{
+    ReservoirConfig config;
+    config.dim = 24;
+    config.seed = 15;
+    const auto weights = makeReservoirWeights(config);
+    IntReservoirConfig iconfig;
+
+    auto hw = makeIntReservoir(weights, iconfig, BackendKind::Spatial);
+    auto ref = makeIntReservoir(weights, iconfig, BackendKind::Reference);
+    auto &batched = dynamic_cast<BatchedSpatialBackend &>(hw.backend());
+
+    // 70 independent vectors span two 64-lane groups.
+    Rng rng(16);
+    IntMatrix xs(70, 24);
+    for (std::size_t b = 0; b < xs.rows(); ++b)
+        for (std::size_t r = 0; r < xs.cols(); ++r)
+            xs.at(b, r) = rng.uniformInt(-127, 127);
+
+    // The wide batch path, the default loop-over-multiply path, and
+    // the per-vector tape path must all agree.
+    const auto wide = batched.multiplyBatch(xs);
+    const auto looped = ref.backend().multiplyBatch(xs);
+    EXPECT_EQ(wide, looped);
+    for (const std::size_t b : {std::size_t{0}, std::size_t{69}}) {
+        std::vector<std::int64_t> x(xs.cols());
+        for (std::size_t r = 0; r < xs.cols(); ++r)
+            x[r] = xs.at(b, r);
+        const auto single = batched.multiply(x);
+        for (std::size_t c = 0; c < single.size(); ++c)
+            EXPECT_EQ(wide.at(b, c), single[c]);
+    }
+
+    // Hardware-cycle accounting: one drain per netlist pass.  The
+    // batch above ran ceil(70 / lanes) passes, plus one per single
+    // multiply.
+    const auto lanes =
+        64 * core::resolvedLaneWords(batched.design(), {}, xs.rows());
+    const auto groups = (xs.rows() + lanes - 1) / lanes;
+    EXPECT_EQ(batched.totalCycles(),
+              (groups + 2) * batched.design().drainCycles());
+}
+
 TEST(IntReservoirTest, SpatialBackendCountsCycles)
 {
     ReservoirConfig config;
