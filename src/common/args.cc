@@ -1,5 +1,8 @@
 #include "common/args.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -7,12 +10,20 @@
 namespace spatial
 {
 
-Args::Args(int argc, const char *const *argv)
+Args::Args(int argc, const char *const *argv) : Args(argc, argv, false)
+{}
+
+Args::Args(int argc, const char *const *argv, bool allow_positionals)
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0)
-            SPATIAL_FATAL("unexpected positional argument '", arg, "'");
+        if (arg.rfind("--", 0) != 0) {
+            if (!allow_positionals)
+                SPATIAL_FATAL("unexpected positional argument '", arg,
+                              "'");
+            positionals_.push_back(std::move(arg));
+            continue;
+        }
         arg = arg.substr(2);
         const auto eq = arg.find('=');
         if (eq == std::string::npos) {
@@ -76,6 +87,80 @@ Args::getBool(const std::string &name, bool def) const
     if (v == "false" || v == "0")
         return false;
     SPATIAL_FATAL("flag --", name, " expects a boolean, got '", v, "'");
+}
+
+namespace
+{
+
+double
+parseRangeNumber(const std::string &token, const std::string &context)
+{
+    char *end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || token.empty())
+        SPATIAL_FATAL("range '", context, "' has non-numeric part '",
+                      token, "'");
+    return v;
+}
+
+/** Render a range element with the shortest text that round-trips. */
+std::string
+rangeText(double v)
+{
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        return std::to_string(static_cast<long long>(v));
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+} // namespace
+
+std::vector<std::string>
+Args::splitList(const std::string &value)
+{
+    std::vector<std::string> tokens;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const auto comma = value.find(',', start);
+        const auto token =
+            value.substr(start, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - start);
+        if (!token.empty())
+            tokens.push_back(token);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+
+    std::vector<std::string> out;
+    for (const auto &token : tokens) {
+        const auto first = token.find(':');
+        if (first == std::string::npos) {
+            out.push_back(token);
+            continue;
+        }
+        const auto second = token.find(':', first + 1);
+        if (second == std::string::npos)
+            SPATIAL_FATAL("range '", token,
+                          "' must be lo:hi:step");
+        const double lo =
+            parseRangeNumber(token.substr(0, first), token);
+        const double hi = parseRangeNumber(
+            token.substr(first + 1, second - first - 1), token);
+        const double step =
+            parseRangeNumber(token.substr(second + 1), token);
+        if (step <= 0.0 || hi < lo)
+            SPATIAL_FATAL("range '", token,
+                          "' must have lo <= hi and step > 0");
+        // Inclusive sweep with a half-step tolerance so "0.8:0.95:0.05"
+        // includes 0.95 despite accumulated floating-point error.
+        for (double v = lo; v <= hi + step * 0.5; v += step)
+            out.push_back(rangeText(std::min(v, hi)));
+    }
+    return out;
 }
 
 } // namespace spatial

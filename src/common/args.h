@@ -2,8 +2,10 @@
  * @file
  * Minimal command-line flag parsing for bench and example binaries.
  *
- * Flags take the form --name=value or --name (boolean true).  Unknown
- * positional arguments are rejected so typos fail loudly.
+ * Flags take the form --name=value or --name (boolean true).  By
+ * default unknown positional arguments are rejected so typos fail
+ * loudly; subcommand-style CLIs (spatial-bench) opt into collecting
+ * positionals instead.
  */
 
 #ifndef SPATIAL_COMMON_ARGS_H
@@ -12,7 +14,12 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+/**
+ * @namespace spatial
+ * Root namespace of the spatial bit-serial reproduction.
+ */
 namespace spatial
 {
 
@@ -22,6 +29,13 @@ class Args
   public:
     /** Parse argv; calls SPATIAL_FATAL on malformed arguments. */
     Args(int argc, const char *const *argv);
+
+    /**
+     * As above, but when `allow_positionals` is set, non-flag
+     * arguments are collected (in order) instead of rejected —
+     * subcommand CLIs read them via positionals().
+     */
+    Args(int argc, const char *const *argv, bool allow_positionals);
 
     /** True if the flag was present on the command line. */
     bool has(const std::string &name) const;
@@ -39,8 +53,29 @@ class Args
     /** Boolean flag: present without value, or =true/=false/=1/=0. */
     bool getBool(const std::string &name, bool def) const;
 
+    /** All flags in name order (override-style CLIs iterate this). */
+    const std::map<std::string, std::string> &flags() const
+    {
+        return values_;
+    }
+
+    /** Positional arguments, in order (empty unless opted in). */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /**
+     * Split a comma/range flag value into tokens: "64,256" yields
+     * {"64", "256"} and "0.8:0.95:0.05" expands the inclusive range
+     * into {"0.8", "0.85", ...}.  Range endpoints and step must be
+     * numeric; fatal otherwise.
+     */
+    static std::vector<std::string> splitList(const std::string &value);
+
   private:
     std::map<std::string, std::string> values_;
+    std::vector<std::string> positionals_;
 };
 
 } // namespace spatial

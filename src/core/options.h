@@ -8,6 +8,10 @@
 
 #include <cstdint>
 
+/**
+ * @namespace spatial::core
+ * The spatial matrix compiler and its batch simulation engine.
+ */
 namespace spatial::core
 {
 
@@ -70,6 +74,9 @@ struct CompileOptions
 
     /** Seed for the CSD length-2 chain coin flips. */
     std::uint64_t csdSeed = 0x5eed;
+
+    /** Field-wise equality (the experiment design cache keys on it). */
+    bool operator==(const CompileOptions &) const = default;
 };
 
 /**

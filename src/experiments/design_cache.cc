@@ -1,0 +1,130 @@
+#include "experiments/design_cache.h"
+
+namespace spatial::experiments
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+fnv1a(std::uint64_t hash, std::uint64_t word)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (word >> (i * 8)) & 0xff;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+std::uint64_t
+hashMatrix(const IntMatrix &m)
+{
+    std::uint64_t hash = kFnvOffset;
+    hash = fnv1a(hash, m.rows());
+    hash = fnv1a(hash, m.cols());
+    for (const std::int64_t v : m.data())
+        hash = fnv1a(hash, static_cast<std::uint64_t>(v));
+    return hash;
+}
+
+std::int64_t
+checksumMatrix(const IntMatrix &m)
+{
+    std::int64_t sum = 0;
+    for (const std::int64_t v : m.data())
+        sum += v;
+    return sum;
+}
+
+} // namespace
+
+std::size_t
+DesignCache::KeyHash::operator()(const Key &key) const
+{
+    std::uint64_t hash = key.contentHash;
+    hash = fnv1a(hash, static_cast<std::uint64_t>(key.checksum));
+    hash = fnv1a(hash, static_cast<std::uint64_t>(key.options.inputBits));
+    hash = fnv1a(hash,
+                 static_cast<std::uint64_t>(key.options.signMode));
+    hash = fnv1a(hash,
+                 (key.options.inputsSigned ? 1u : 0u) |
+                     (key.options.constantPropagation ? 2u : 0u) |
+                     (key.options.balancedTree ? 4u : 0u) |
+                     (key.options.alignOutputs ? 8u : 0u));
+    hash = fnv1a(hash, key.options.broadcastFanoutLimit);
+    hash = fnv1a(hash,
+                 static_cast<std::uint64_t>(key.options.extraOutputBits));
+    hash = fnv1a(hash, key.options.csdSeed);
+    return static_cast<std::size_t>(hash);
+}
+
+std::shared_ptr<const CompiledDesign>
+DesignCache::get(const IntMatrix &weights,
+                 const core::CompileOptions &options)
+{
+    const Key key{hashMatrix(weights), weights.rows(), weights.cols(),
+                  checksumMatrix(weights), options};
+
+    std::shared_future<std::shared_ptr<const CompiledDesign>> future;
+    std::promise<std::shared_ptr<const CompiledDesign>> promise;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.hits;
+            future = it->second;
+        } else {
+            ++stats_.misses;
+            owner = true;
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+        }
+    }
+    if (owner) {
+        try {
+            auto entry = std::make_shared<CompiledDesign>();
+            entry->design =
+                std::make_shared<const core::CompiledMatrix>(
+                    core::MatrixCompiler(options).compile(weights));
+            entry->point = fpga::evaluateDesign(*entry->design);
+            promise.set_value(std::move(entry));
+        } catch (...) {
+            // Hand the error to current waiters but evict the entry so
+            // later lookups retry instead of hitting a poisoned future.
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_.erase(key);
+            throw;
+        }
+    }
+    return future.get();
+}
+
+std::shared_ptr<const CompiledDesign>
+DesignCache::getFigure(const IntMatrix &weights, core::SignMode mode)
+{
+    return get(weights, figureCompileOptions(mode));
+}
+
+DesignCache::Stats
+DesignCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+core::CompileOptions
+figureCompileOptions(core::SignMode mode)
+{
+    core::CompileOptions options;
+    options.inputBits = 8;
+    options.inputsSigned = true;
+    options.signMode = mode;
+    return options;
+}
+
+} // namespace spatial::experiments

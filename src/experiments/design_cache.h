@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Memoization of compiled designs across an experiment sweep.
+ *
+ * Compiling a matrix (and evaluating the FPGA models on the result) is
+ * the dominant cost of every figure, and the figures overlap heavily:
+ * the FPGA/GPU/SIGMA sides of one figure share workloads, Figures
+ * 10-12 share one Section VI sweep, and the speedup figures re-derive
+ * the latency figures' design points.  The cache keys on (matrix
+ * content hash, compile options), so any two experiments — or two grid
+ * points of one sweep — that reach the same design compile it once.
+ *
+ * Thread-safe; concurrent requests for the same key block on the first
+ * requester's compilation instead of duplicating it.
+ */
+
+#ifndef SPATIAL_EXPERIMENTS_DESIGN_CACHE_H
+#define SPATIAL_EXPERIMENTS_DESIGN_CACHE_H
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/compiled_matrix.h"
+#include "core/compiler.h"
+#include "fpga/report.h"
+#include "matrix/dense.h"
+
+namespace spatial::experiments
+{
+
+/** A cached compilation: the design plus its FPGA evaluation. */
+struct CompiledDesign
+{
+    /** The compiled netlist, shared immutably across workers. */
+    std::shared_ptr<const core::CompiledMatrix> design;
+
+    /** fpga::evaluateDesign of the design (default model options). */
+    fpga::DesignPoint point;
+};
+
+/** Content-addressed, thread-safe cache of compiled designs. */
+class DesignCache
+{
+  public:
+    /** Hit/miss accounting (a hit may still wait on an in-flight miss). */
+    struct Stats
+    {
+        std::size_t hits = 0;   //!< lookups served from the cache
+        std::size_t misses = 0; //!< lookups that compiled
+
+        /** Memberwise difference (for per-run deltas). */
+        Stats operator-(const Stats &other) const
+        {
+            return Stats{hits - other.hits, misses - other.misses};
+        }
+    };
+
+    /**
+     * The design for (weights, options), compiling and evaluating on
+     * first request.  Never returns null.
+     */
+    std::shared_ptr<const CompiledDesign>
+    get(const IntMatrix &weights, const core::CompileOptions &options);
+
+    /**
+     * Convenience for the evaluation figures' standard configuration:
+     * 8-bit signed inputs with the given weight-sign mode (what the
+     * retired bench/harness.h evalFpga hard-coded).
+     */
+    std::shared_ptr<const CompiledDesign>
+    getFigure(const IntMatrix &weights,
+              core::SignMode mode = core::SignMode::Csd);
+
+    /** Current cumulative counters. */
+    Stats stats() const;
+
+  private:
+    struct Key
+    {
+        std::uint64_t contentHash;
+        std::size_t rows;
+        std::size_t cols;
+        std::int64_t checksum; //!< element sum, a second collision guard
+        core::CompileOptions options;
+
+        bool operator==(const Key &) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &key) const;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<Key,
+                       std::shared_future<std::shared_ptr<const CompiledDesign>>,
+                       KeyHash>
+        entries_;
+    Stats stats_;
+};
+
+/**
+ * The Section VI evaluation-figure compile options: 8-bit signed
+ * streamed inputs, the given weight-sign handling.
+ */
+core::CompileOptions figureCompileOptions(core::SignMode mode);
+
+} // namespace spatial::experiments
+
+#endif // SPATIAL_EXPERIMENTS_DESIGN_CACHE_H

@@ -1,0 +1,197 @@
+#include "experiments/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spatial::experiments
+{
+
+const Value *
+ParamPoint::find(const std::string &name) const
+{
+    for (const auto &[key, value] : values_)
+        if (key == name)
+            return &value;
+    return nullptr;
+}
+
+namespace
+{
+
+const Value &
+require(const ParamPoint &point, const std::string &name)
+{
+    const Value *v = point.find(name);
+    if (v == nullptr)
+        SPATIAL_FATAL("experiment point ", point.label(),
+                      " has no parameter '", name, "'");
+    return *v;
+}
+
+} // namespace
+
+std::int64_t
+ParamPoint::getInt(const std::string &name) const
+{
+    return asInt(require(*this, name));
+}
+
+double
+ParamPoint::getReal(const std::string &name) const
+{
+    return asReal(require(*this, name));
+}
+
+const std::string &
+ParamPoint::getString(const std::string &name) const
+{
+    return asString(require(*this, name));
+}
+
+std::string
+ParamPoint::label() const
+{
+    std::string out;
+    for (const auto &[key, value] : values_) {
+        if (!out.empty())
+            out += " ";
+        out += key + "=" + valueText(value);
+    }
+    return out;
+}
+
+Grid
+Grid::cartesian(std::vector<Axis> axes)
+{
+    Grid grid;
+    grid.axes_ = std::move(axes);
+    for (const auto &axis : grid.axes_)
+        if (axis.values.empty())
+            SPATIAL_FATAL("empty axis '", axis.name, "'");
+    return grid;
+}
+
+Grid
+Grid::cases(std::vector<std::string> names,
+            std::vector<std::vector<Value>> rows)
+{
+    Grid grid;
+    grid.caseMode_ = true;
+    grid.caseNames_ = std::move(names);
+    grid.caseRows_ = std::move(rows);
+    for (const auto &row : grid.caseRows_)
+        if (row.size() != grid.caseNames_.size())
+            SPATIAL_FATAL("case width ", row.size(), " vs ",
+                          grid.caseNames_.size(), " names");
+    return grid;
+}
+
+Grid
+Grid::single(std::vector<std::pair<std::string, Value>> values)
+{
+    std::vector<std::string> names;
+    std::vector<Value> row;
+    for (auto &[name, value] : values) {
+        names.push_back(name);
+        row.push_back(value);
+    }
+    return cases(std::move(names), {std::move(row)});
+}
+
+bool
+Grid::hasParam(const std::string &name) const
+{
+    if (caseMode_)
+        return std::find(caseNames_.begin(), caseNames_.end(), name) !=
+               caseNames_.end();
+    return std::any_of(axes_.begin(), axes_.end(),
+                       [&](const Axis &a) { return a.name == name; });
+}
+
+std::vector<std::string>
+Grid::paramNames() const
+{
+    if (caseMode_)
+        return caseNames_;
+    std::vector<std::string> names;
+    names.reserve(axes_.size());
+    for (const auto &axis : axes_)
+        names.push_back(axis.name);
+    return names;
+}
+
+std::string
+Grid::applyOverride(const std::string &name,
+                    const std::vector<Value> &values)
+{
+    if (values.empty())
+        return "override --" + name + " needs at least one value";
+    if (!caseMode_) {
+        for (auto &axis : axes_) {
+            if (axis.name == name) {
+                axis.values = values;
+                return "";
+            }
+        }
+        return "no axis '" + name + "'";
+    }
+    const auto it =
+        std::find(caseNames_.begin(), caseNames_.end(), name);
+    if (it == caseNames_.end())
+        return "no parameter '" + name + "'";
+    const auto column =
+        static_cast<std::size_t>(it - caseNames_.begin());
+    std::vector<std::vector<Value>> kept;
+    for (auto &row : caseRows_) {
+        const bool match =
+            std::any_of(values.begin(), values.end(), [&](const Value &v) {
+                return valueMatches(row[column], v);
+            });
+        if (match)
+            kept.push_back(std::move(row));
+    }
+    if (kept.empty())
+        return "no case matches --" + name;
+    caseRows_ = std::move(kept);
+    return "";
+}
+
+std::vector<ParamPoint>
+Grid::expand() const
+{
+    std::vector<ParamPoint> points;
+    if (caseMode_) {
+        points.reserve(caseRows_.size());
+        for (const auto &row : caseRows_) {
+            std::vector<std::pair<std::string, Value>> values;
+            for (std::size_t i = 0; i < caseNames_.size(); ++i)
+                values.emplace_back(caseNames_[i], row[i]);
+            points.emplace_back(std::move(values));
+        }
+        return points;
+    }
+
+    std::size_t total = axes_.empty() ? 0 : 1;
+    for (const auto &axis : axes_)
+        total *= axis.values.size();
+    points.reserve(total);
+    std::vector<std::size_t> index(axes_.size(), 0);
+    for (std::size_t n = 0; n < total; ++n) {
+        std::vector<std::pair<std::string, Value>> values;
+        values.reserve(axes_.size());
+        for (std::size_t a = 0; a < axes_.size(); ++a)
+            values.emplace_back(axes_[a].name,
+                                axes_[a].values[index[a]]);
+        points.emplace_back(std::move(values));
+        // Odometer increment, last axis fastest.
+        for (std::size_t a = axes_.size(); a-- > 0;) {
+            if (++index[a] < axes_[a].values.size())
+                break;
+            index[a] = 0;
+        }
+    }
+    return points;
+}
+
+} // namespace spatial::experiments

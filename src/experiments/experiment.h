@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Declarative experiment specifications.
+ *
+ * Every paper figure/table and every ESN scenario is one Experiment: a
+ * parameter grid, an optional serial prepare stage (for workloads whose
+ * generation draws from a shared RNG stream, as the original bench
+ * binaries did), a parallel evaluate stage producing typed rows, and an
+ * output schema.  The SweepEngine executes specs; the Registry holds
+ * them; the spatial-bench CLI fronts both.
+ */
+
+#ifndef SPATIAL_EXPERIMENTS_EXPERIMENT_H
+#define SPATIAL_EXPERIMENTS_EXPERIMENT_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/options.h"
+#include "experiments/value.h"
+
+namespace spatial::experiments
+{
+
+/** One grid point: an ordered set of named parameter values. */
+class ParamPoint
+{
+  public:
+    /** An empty point (no parameters). */
+    ParamPoint() = default;
+
+    /** Construct from (name, value) pairs, kept in the given order. */
+    ParamPoint(std::vector<std::pair<std::string, Value>> values)
+        : values_(std::move(values))
+    {}
+
+    /** The parameter value, or nullptr when the name is absent. */
+    const Value *find(const std::string &name) const;
+
+    /** Integer parameter; fatal when absent or non-integer. */
+    std::int64_t getInt(const std::string &name) const;
+
+    /** Numeric parameter (integers promote); fatal when absent. */
+    double getReal(const std::string &name) const;
+
+    /** String parameter; fatal when absent or non-string. */
+    const std::string &getString(const std::string &name) const;
+
+    /** All parameters in declaration order. */
+    const std::vector<std::pair<std::string, Value>> &values() const
+    {
+        return values_;
+    }
+
+    /** Human-readable "name=value name=value" label. */
+    std::string label() const;
+
+  private:
+    std::vector<std::pair<std::string, Value>> values_;
+};
+
+/** One named grid axis and its values. */
+struct Axis
+{
+    std::string name;          //!< parameter name (also the CLI flag)
+    std::vector<Value> values; //!< swept values, in order
+};
+
+/**
+ * The parameter space of an experiment: either the cartesian product
+ * of named axes (most figures) or an explicit case list (figures whose
+ * points are hand-picked (dim, sparsity) pairs).  CLI overrides
+ * replace an axis's values in cartesian mode and filter the case list
+ * otherwise.
+ */
+class Grid
+{
+  public:
+    /** An empty grid (expands to no points). */
+    Grid() = default;
+
+    /** Cartesian product of the given axes (last axis fastest). */
+    static Grid cartesian(std::vector<Axis> axes);
+
+    /** Explicit point list over the given parameter names. */
+    static Grid cases(std::vector<std::string> names,
+                      std::vector<std::vector<Value>> rows);
+
+    /** A single fixed point (degenerate one-row case list). */
+    static Grid single(std::vector<std::pair<std::string, Value>> values);
+
+    /** True when a parameter of this name exists in the grid. */
+    bool hasParam(const std::string &name) const;
+
+    /** All parameter names, in declaration order. */
+    std::vector<std::string> paramNames() const;
+
+    /**
+     * Apply a CLI override: replace the axis values (cartesian) or
+     * filter the case list to matching points.  Returns an error
+     * message, or empty on success.
+     */
+    std::string applyOverride(const std::string &name,
+                              const std::vector<Value> &values);
+
+    /** Materialize the points, in deterministic sweep order. */
+    std::vector<ParamPoint> expand() const;
+
+  private:
+    std::vector<Axis> axes_;                  //!< cartesian mode
+    std::vector<std::string> caseNames_;      //!< case mode
+    std::vector<std::vector<Value>> caseRows_; //!< case mode
+    bool caseMode_ = false;
+};
+
+class DesignCache;
+
+/** Context handed to the serial prepare stage. */
+struct PrepareContext
+{
+    /**
+     * The experiment's shared generator stream, seeded from
+     * Experiment::prepareSeed and advanced across points in grid
+     * order — exactly how the original bench binaries threaded one Rng
+     * through their sweep loops, so ported numbers are identical.
+     */
+    Rng &rng;
+};
+
+/** Context handed to the parallel evaluate stage. */
+struct EvalContext
+{
+    /** Shared memoizing design cache (thread-safe). */
+    DesignCache &cache;
+
+    /** Simulation-engine knobs for experiments that batch-simulate. */
+    core::SimOptions sim;
+};
+
+/**
+ * One declarative experiment: identity, output schema, parameter grid,
+ * and the stage functions the SweepEngine drives.
+ */
+struct Experiment
+{
+    /** Registry key and CLI name, e.g. "fig08". */
+    std::string name;
+
+    /** Paper anchor, e.g. "Figure 8" / "Table I" / "ours". */
+    std::string figure;
+
+    /** Table title, verbatim from the original binary. */
+    std::string title;
+
+    /** One-line summary shown by `spatial-bench list`. */
+    std::string description;
+
+    /** Order-of-magnitude runtime note for the docs and `list`. */
+    std::string runtime;
+
+    /** Column headers of the output schema. */
+    std::vector<std::string> columns;
+
+    /** The parameter space. */
+    Grid grid;
+
+    /** Seed of the PrepareContext Rng stream. */
+    std::uint64_t prepareSeed = 0;
+
+    /**
+     * Optional serial stage, run over the points in grid order before
+     * any evaluation: generate anything whose reproduction requires a
+     * shared RNG stream.  The returned payload is handed (const) to
+     * evaluate for the same point.
+     */
+    std::function<std::shared_ptr<const void>(const ParamPoint &,
+                                              PrepareContext &)>
+        prepare;
+
+    /**
+     * Parallel stage: produce this point's rows.  Must be a pure
+     * function of (point, prepared payload, context) — workers invoke
+     * it concurrently across points.
+     */
+    std::function<std::vector<Row>(const ParamPoint &, const void *,
+                                   EvalContext &)>
+        evaluate;
+
+    /** Trailing note printed after the table ("Expected shape: ..."). */
+    std::string expectedShape;
+
+    /**
+     * Optional dynamic note computed from all rows (overrides
+     * expectedShape; used by figures whose footer reports trend-line
+     * averages).
+     */
+    std::function<std::string(const std::vector<Row> &)> note;
+
+    /**
+     * Force single-worker execution regardless of the engine's thread
+     * count — for wall-clock timing experiments whose numbers
+     * concurrent neighbours would distort.
+     */
+    bool serialOnly = false;
+};
+
+} // namespace spatial::experiments
+
+#endif // SPATIAL_EXPERIMENTS_EXPERIMENT_H

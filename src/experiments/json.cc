@@ -1,0 +1,314 @@
+#include "experiments/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace spatial::experiments
+{
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonReal(double v)
+{
+    // JSON has no NaN/Inf literal; null is the conventional stand-in.
+    if (!std::isfinite(v))
+        return "null";
+    // max_digits10 guarantees the shortest-read-back-exact property a
+    // round-trip test depends on.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+bool
+JsonValue::boolean() const
+{
+    SPATIAL_ASSERT(kind_ == Kind::Boolean, "not a boolean");
+    return bool_;
+}
+
+double
+JsonValue::number() const
+{
+    SPATIAL_ASSERT(kind_ == Kind::Number, "not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::string() const
+{
+    SPATIAL_ASSERT(kind_ == Kind::String, "not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    SPATIAL_ASSERT(kind_ == Kind::Array, "not an array");
+    return array_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    SPATIAL_ASSERT(kind_ == Kind::Object, "not an object");
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const auto *v = find(key);
+    if (v == nullptr)
+        SPATIAL_FATAL("JSON object has no member '", key, "'");
+    return *v;
+}
+
+struct JsonValue::Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    bool failed = false;
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) == word) {
+            pos += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipSpace();
+        JsonValue v;
+        if (failed || pos >= text.size()) {
+            failed = true;
+            return v;
+        }
+        const char c = text[pos];
+        if (c == 'n' && literal("null"))
+            return v;
+        if (c == 't' && literal("true")) {
+            v.kind_ = Kind::Boolean;
+            v.bool_ = true;
+            return v;
+        }
+        if (c == 'f' && literal("false")) {
+            v.kind_ = Kind::Boolean;
+            v.bool_ = false;
+            return v;
+        }
+        if (c == '"')
+            return parseString();
+        if (c == '[')
+            return parseArray();
+        if (c == '{')
+            return parseObject();
+        return parseNumber();
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.kind_ = Kind::String;
+        ++pos; // opening quote
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size()) {
+                    failed = true;
+                    return v;
+                }
+                const char esc = text[pos++];
+                switch (esc) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'n': c = '\n'; break;
+                  case 'r': c = '\r'; break;
+                  case 't': c = '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size()) {
+                        failed = true;
+                        return v;
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text[pos++];
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(h))) {
+                            failed = true;
+                            return v;
+                        }
+                        code = code * 16 +
+                               static_cast<unsigned>(
+                                   h <= '9'   ? h - '0'
+                                   : h <= 'F' ? h - 'A' + 10
+                                              : h - 'a' + 10);
+                    }
+                    // BMP code points as UTF-8; surrogates rejected
+                    // (pair decoding is beyond this parser's remit).
+                    if (code >= 0xd800 && code <= 0xdfff) {
+                        failed = true;
+                        return v;
+                    }
+                    if (code < 0x80) {
+                        v.string_.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        v.string_.push_back(
+                            static_cast<char>(0xc0 | (code >> 6)));
+                        v.string_.push_back(
+                            static_cast<char>(0x80 | (code & 0x3f)));
+                    } else {
+                        v.string_.push_back(
+                            static_cast<char>(0xe0 | (code >> 12)));
+                        v.string_.push_back(static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3f)));
+                        v.string_.push_back(
+                            static_cast<char>(0x80 | (code & 0x3f)));
+                    }
+                    continue;
+                  }
+                  default: failed = true; return v;
+                }
+            }
+            v.string_.push_back(c);
+        }
+        if (pos >= text.size()) {
+            failed = true;
+            return v;
+        }
+        ++pos; // closing quote
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        const char *start = text.data() + pos;
+        char *end = nullptr;
+        v.number_ = std::strtod(start, &end);
+        if (end == start) {
+            failed = true;
+            return v;
+        }
+        v.kind_ = Kind::Number;
+        pos += static_cast<std::size_t>(end - start);
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        ++pos; // '['
+        if (consume(']'))
+            return v;
+        do {
+            v.array_.push_back(parseValue());
+            if (failed)
+                return v;
+        } while (consume(','));
+        if (!consume(']'))
+            failed = true;
+        return v;
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        ++pos; // '{'
+        if (consume('}'))
+            return v;
+        do {
+            skipSpace();
+            if (pos >= text.size() || text[pos] != '"') {
+                failed = true;
+                return v;
+            }
+            JsonValue key = parseString();
+            if (failed || !consume(':')) {
+                failed = true;
+                return v;
+            }
+            v.object_.emplace(key.string_, parseValue());
+            if (failed)
+                return v;
+        } while (consume(','));
+        if (!consume('}'))
+            failed = true;
+        return v;
+    }
+};
+
+std::optional<JsonValue>
+JsonValue::parse(std::string_view text)
+{
+    Parser parser{text};
+    JsonValue v = parser.parseValue();
+    parser.skipSpace();
+    if (parser.failed || parser.pos != text.size())
+        return std::nullopt;
+    return v;
+}
+
+} // namespace spatial::experiments

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal JSON support for the experiment subsystem: string escaping
+ * and number formatting for the sweep engine's result writer, and a
+ * small recursive-descent parser so tests (and downstream tools) can
+ * round-trip what the writer emits.  Deliberately tiny — objects,
+ * arrays, strings, numbers, booleans, and null; no comments, no
+ * streaming.
+ */
+
+#ifndef SPATIAL_EXPERIMENTS_JSON_H
+#define SPATIAL_EXPERIMENTS_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spatial::experiments
+{
+
+/** Quote and escape a string as a JSON string literal. */
+std::string jsonQuote(const std::string &s);
+
+/** Format a real so it round-trips bit-exactly through the parser. */
+std::string jsonReal(double v);
+
+/** A parsed JSON document node. */
+class JsonValue
+{
+  public:
+    /** The JSON type of this node. */
+    enum class Kind
+    {
+        Null,    //!< null
+        Boolean, //!< true / false
+        Number,  //!< double-precision number
+        String,  //!< string
+        Array,   //!< ordered list
+        Object,  //!< key/value map
+    };
+
+    /** Construct a null node. */
+    JsonValue() = default;
+
+    /**
+     * Parse a complete JSON document; returns nullopt on any syntax
+     * error or trailing garbage.
+     */
+    static std::optional<JsonValue> parse(std::string_view text);
+
+    /** This node's type. */
+    Kind kind() const { return kind_; }
+
+    /** Boolean payload (requires Kind::Boolean). */
+    bool boolean() const;
+    /** Numeric payload (requires Kind::Number). */
+    double number() const;
+    /** String payload (requires Kind::String). */
+    const std::string &string() const;
+    /** Array elements (requires Kind::Array). */
+    const std::vector<JsonValue> &array() const;
+
+    /** Object member, or nullptr when absent (requires Kind::Object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member; fatal when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+  private:
+    struct Parser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+} // namespace spatial::experiments
+
+#endif // SPATIAL_EXPERIMENTS_JSON_H

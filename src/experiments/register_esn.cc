@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Registry specs for the Echo State Network scenarios: NARMA-10,
+ * Mackey-Glass prediction, linear memory capacity, and nonlinear
+ * channel equalization — each running the quantized reservoir on the
+ * cycle-accurate simulated hardware and comparing against the float
+ * reference, as the example binaries do.
+ */
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "esn/capacity.h"
+#include "esn/esn.h"
+#include "esn/metrics.h"
+#include "esn/tasks.h"
+#include "experiments/registry.h"
+
+namespace spatial::experiments
+{
+
+namespace
+{
+
+using esn::BackendKind;
+using esn::EchoStateNetwork;
+using esn::IntEchoStateNetwork;
+using esn::IntReservoirConfig;
+using esn::ReservoirConfig;
+using esn::TaskData;
+
+Axis
+singleInt(std::string name, std::int64_t value)
+{
+    return Axis{std::move(name), {Value{value}}};
+}
+
+/** The examples' 4-bit-weight / 8-bit-state quantization. */
+IntReservoirConfig
+quantConfig()
+{
+    IntReservoirConfig config;
+    config.weightBits = 4;
+    config.stateBits = 8;
+    return config;
+}
+
+/** Prepared train/test sequences for the NARMA scenario. */
+struct NarmaInput
+{
+    TaskData train;
+    TaskData test;
+};
+
+Experiment
+makeEsnNarma()
+{
+    Experiment exp;
+    exp.name = "esn_narma";
+    exp.figure = "ESN scenario (paper Section II workload)";
+    exp.title = "NARMA-10: test NRMSE by reservoir backend";
+    exp.description =
+        "ESN on NARMA-10: float vs int software vs simulated hardware";
+    exp.runtime = "~1 min (cycle-accurate reservoir updates)";
+    exp.columns = {"backend", "test NRMSE"};
+    exp.grid = Grid::cartesian({singleInt("dim", 64),
+                                singleInt("train", 800),
+                                singleInt("test", 500)});
+    exp.prepareSeed = 2024;
+    exp.prepare = [](const ParamPoint &point, PrepareContext &ctx) {
+        auto input = std::make_shared<NarmaInput>();
+        input->train = esn::makeNarma10(
+            static_cast<std::size_t>(point.getInt("train")), ctx.rng);
+        input->test = esn::makeNarma10(
+            static_cast<std::size_t>(point.getInt("test")), ctx.rng);
+        return std::shared_ptr<const void>(input);
+    };
+    exp.evaluate = [](const ParamPoint &point, const void *inputPtr,
+                      EvalContext &) {
+        const auto &data = *static_cast<const NarmaInput *>(inputPtr);
+        const std::size_t washout = 60;
+
+        ReservoirConfig config;
+        config.dim = static_cast<std::size_t>(point.getInt("dim"));
+        config.sparsity = 0.9; // >80% per Gallicchio (citation [10])
+        config.spectralRadius = 0.9;
+        config.seed = 7;
+        const auto weights = esn::makeReservoirWeights(config);
+
+        auto evaluateNrmse = [&](std::vector<double> preds) {
+            std::vector<double> p(preds.begin() +
+                                      static_cast<std::ptrdiff_t>(washout),
+                                  preds.end());
+            std::vector<double> t(data.test.targets.begin() +
+                                      static_cast<std::ptrdiff_t>(washout),
+                                  data.test.targets.end());
+            return esn::nrmse(p, t);
+        };
+
+        EchoStateNetwork float_esn(weights, config);
+        float_esn.train(data.train.inputs, data.train.targets, washout,
+                        1e-6);
+        const double float_err =
+            evaluateNrmse(float_esn.predict(data.test.inputs));
+
+        IntEchoStateNetwork int_esn(weights, quantConfig(),
+                                    BackendKind::Reference);
+        int_esn.train(data.train.inputs, data.train.targets, washout,
+                      1e-4);
+        const double int_err =
+            evaluateNrmse(int_esn.predict(data.test.inputs));
+
+        IntEchoStateNetwork hw_esn(weights, quantConfig(),
+                                   BackendKind::Spatial);
+        hw_esn.train(data.train.inputs, data.train.targets, washout,
+                     1e-4);
+        const double hw_err =
+            evaluateNrmse(hw_esn.predict(data.test.inputs));
+
+        // The hardware path must match the software integer path
+        // exactly; anything else is a simulation-engine bug.
+        if (std::abs(hw_err - int_err) > 1e-9)
+            SPATIAL_FATAL("esn_narma: hardware NRMSE ", hw_err,
+                          " != software integer NRMSE ", int_err);
+
+        return std::vector<Row>{
+            {cell("float"), cell(float_err, 4)},
+            {cell("int8/4-bit software"), cell(int_err, 4)},
+            {cell("int8/4-bit hardware"), cell(hw_err, 4)}};
+    };
+    exp.expectedShape =
+        "Quantization costs some accuracy vs float; the hardware row "
+        "is enforced bit-exact with the software integer row.";
+    return exp;
+}
+
+Experiment
+makeEsnMackeyGlass()
+{
+    Experiment exp;
+    exp.name = "esn_mackey_glass";
+    exp.figure = "ESN scenario (chaotic prediction)";
+    exp.title = "Mackey-Glass prediction NRMSE vs horizon (dim 80)";
+    exp.description =
+        "ESN forecasting the Mackey-Glass series on simulated hardware";
+    exp.runtime = "~2 min per horizon point";
+    exp.columns = {"horizon", "NRMSE float", "NRMSE hardware"};
+    exp.grid = Grid::cartesian(
+        {Axis{"horizon",
+              {std::int64_t{1}, std::int64_t{4}, std::int64_t{8},
+               std::int64_t{16}}},
+         singleInt("dim", 80), singleInt("train", 1500),
+         singleInt("test", 800)});
+    exp.evaluate = [](const ParamPoint &point, const void *,
+                      EvalContext &) {
+        const auto horizon =
+            static_cast<std::size_t>(point.getInt("horizon"));
+        const auto train_len =
+            static_cast<std::size_t>(point.getInt("train"));
+        const auto test_len =
+            static_cast<std::size_t>(point.getInt("test"));
+        const std::size_t washout = 100;
+
+        ReservoirConfig config;
+        config.dim = static_cast<std::size_t>(point.getInt("dim"));
+        config.sparsity = 0.9;
+        config.spectralRadius = 0.95; // chaotic series reward memory
+        config.inputScale = 0.4;
+        config.seed = 23;
+        const auto weights = esn::makeReservoirWeights(config);
+
+        const auto series =
+            esn::makeMackeyGlass(train_len + test_len, horizon);
+        const auto split = static_cast<std::ptrdiff_t>(train_len);
+        std::vector<double> train_u(series.inputs.begin(),
+                                    series.inputs.begin() + split);
+        std::vector<double> train_y(series.targets.begin(),
+                                    series.targets.begin() + split);
+        std::vector<double> test_u(series.inputs.begin() + split,
+                                   series.inputs.end());
+        std::vector<double> test_y(series.targets.begin() + split,
+                                   series.targets.end());
+
+        auto score = [&](std::vector<double> preds) {
+            std::vector<double> p(preds.begin() +
+                                      static_cast<std::ptrdiff_t>(washout),
+                                  preds.end());
+            std::vector<double> t(test_y.begin() +
+                                      static_cast<std::ptrdiff_t>(washout),
+                                  test_y.end());
+            return esn::nrmse(p, t);
+        };
+
+        EchoStateNetwork float_esn(weights, config);
+        float_esn.train(train_u, train_y, washout, 1e-7);
+        const double float_err = score(float_esn.predict(test_u));
+
+        IntEchoStateNetwork hw_esn(weights, quantConfig(),
+                                   BackendKind::Spatial);
+        hw_esn.train(train_u, train_y, washout, 1e-4);
+        const double hw_err = score(hw_esn.predict(test_u));
+
+        return std::vector<Row>{{cell(static_cast<int>(horizon)),
+                                 cell(float_err, 4),
+                                 cell(hw_err, 4)}};
+    };
+    exp.expectedShape =
+        "Error grows with horizon (chaos); the hardware reservoir "
+        "tracks the float reference.";
+    return exp;
+}
+
+Experiment
+makeEsnMemoryCapacity()
+{
+    Experiment exp;
+    exp.name = "esn_memory_capacity";
+    exp.figure = "ESN scenario (memory-capacity probe)";
+    exp.title = "Linear memory capacity (max delay 30)";
+    exp.description =
+        "reservoir memory capacity: float vs hardware-backed integer";
+    exp.runtime = "~2 min per (dim, sparsity) point";
+    exp.columns = {"dim", "sparsity", "MC float",
+                   "MC hardware (int8/4b)"};
+    exp.grid = Grid::cartesian(
+        {Axis{"dim", {std::int64_t{32}, std::int64_t{64}}},
+         Axis{"sparsity", {0.5, 0.9}}, singleInt("length", 1200),
+         singleInt("delay", 30)});
+    exp.evaluate = [](const ParamPoint &point, const void *,
+                      EvalContext &) {
+        const auto dim = static_cast<std::size_t>(point.getInt("dim"));
+        const double sparsity = point.getReal("sparsity");
+        const auto length =
+            static_cast<std::size_t>(point.getInt("length"));
+        const auto max_delay =
+            static_cast<std::size_t>(point.getInt("delay"));
+        const std::size_t washout = max_delay + 20;
+
+        ReservoirConfig config;
+        config.dim = dim;
+        config.sparsity = sparsity;
+        config.spectralRadius = 0.9;
+        config.inputScale = 0.25;
+        config.seed = 17 + dim;
+        const auto weights = esn::makeReservoirWeights(config);
+
+        esn::FloatReservoir float_res(weights, config);
+        Rng probe_a(55);
+        const auto mc_float = esn::measureMemoryCapacity(
+            float_res, max_delay, length, washout, 1e-7, probe_a);
+
+        auto hw_res = esn::makeIntReservoir(weights, quantConfig(),
+                                            BackendKind::Spatial);
+        Rng probe_b(55);
+        const auto mc_hw = esn::measureMemoryCapacity(
+            hw_res, max_delay, length, washout, 1e-4, probe_b);
+
+        return std::vector<Row>{{cell(dim), cell(sparsity, 3),
+                                 cell(mc_float.total, 4),
+                                 cell(mc_hw.total, 4)}};
+    };
+    exp.expectedShape =
+        "MC is bounded by the reservoir dimension; quantization trades "
+        "some capacity for the integer datapath the spatial multiplier "
+        "implements.";
+    return exp;
+}
+
+Experiment
+makeEsnChannelEq()
+{
+    Experiment exp;
+    exp.name = "esn_channel_eq";
+    exp.figure = "ESN scenario (citation [3] use case)";
+    exp.title = "Channel equalization: symbol error rate vs SNR";
+    exp.description =
+        "4-PAM channel equalization: float vs hardware symbol error";
+    exp.runtime = "~2 min per SNR point";
+    exp.columns = {"SNR (dB)", "SER float", "SER hardware"};
+    exp.grid = Grid::cartesian(
+        {Axis{"snr", {12.0, 16.0, 20.0, 24.0, 28.0}},
+         singleInt("dim", 64), singleInt("train", 1500),
+         singleInt("test", 1000)});
+    exp.evaluate = [](const ParamPoint &point, const void *,
+                      EvalContext &) {
+        const double snr = point.getReal("snr");
+        const auto train_len =
+            static_cast<std::size_t>(point.getInt("train"));
+        const auto test_len =
+            static_cast<std::size_t>(point.getInt("test"));
+        const std::size_t washout = 50;
+
+        ReservoirConfig config;
+        config.dim = static_cast<std::size_t>(point.getInt("dim"));
+        config.sparsity = 0.9;
+        config.spectralRadius = 0.7; // equalization needs short memory
+        config.inputScale = 0.3;
+        config.seed = 11;
+        const auto weights = esn::makeReservoirWeights(config);
+
+        Rng rng(100 + static_cast<std::uint64_t>(snr));
+        const auto train_data =
+            esn::makeChannelEqualization(train_len, snr, rng);
+        const auto test_data =
+            esn::makeChannelEqualization(test_len, snr, rng);
+
+        auto ser_of = [&](std::vector<double> preds) {
+            std::vector<double> p(preds.begin() +
+                                      static_cast<std::ptrdiff_t>(washout),
+                                  preds.end());
+            std::vector<double> t(test_data.targets.begin() +
+                                      static_cast<std::ptrdiff_t>(washout),
+                                  test_data.targets.end());
+            return esn::symbolErrorRate(p, t, esn::kChannelSymbols);
+        };
+
+        EchoStateNetwork float_esn(weights, config);
+        float_esn.train(train_data.inputs, train_data.targets, washout,
+                        1e-6);
+        const double float_ser =
+            ser_of(float_esn.predict(test_data.inputs));
+
+        IntEchoStateNetwork hw_esn(weights, quantConfig(),
+                                   BackendKind::Spatial);
+        hw_esn.train(train_data.inputs, train_data.targets, washout,
+                     1e-4);
+        const double hw_ser =
+            ser_of(hw_esn.predict(test_data.inputs));
+
+        return std::vector<Row>{{cell(snr, 3), cell(float_ser, 4),
+                                 cell(hw_ser, 4)}};
+    };
+    exp.expectedShape =
+        "higher SNR -> lower SER; the quantized hardware reservoir "
+        "tracks the float reference.";
+    return exp;
+}
+
+} // namespace
+
+void
+registerEsnExperiments(Registry &registry)
+{
+    registry.add(makeEsnNarma());
+    registry.add(makeEsnMackeyGlass());
+    registry.add(makeEsnMemoryCapacity());
+    registry.add(makeEsnChannelEq());
+}
+
+} // namespace spatial::experiments

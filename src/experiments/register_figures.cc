@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Registry specs for the small-matrix utilization figures (5-9) and
+ * Table I.  Each spec reproduces its retired bench binary exactly:
+ * same generator seeds and draw order (via the serial prepare stage),
+ * same evaluation, same cell formatting.
+ */
+
+#include "circuit/netlist.h"
+#include "circuit/simulator.h"
+#include "common/logging.h"
+#include "experiments/design_cache.h"
+#include "experiments/registry.h"
+#include "matrix/generate.h"
+
+namespace spatial::experiments
+{
+
+namespace
+{
+
+Axis
+percentAxis(std::vector<std::int64_t> percents)
+{
+    std::vector<Value> values;
+    for (const auto pct : percents)
+        values.emplace_back(pct);
+    return Axis{"pct", std::move(values)};
+}
+
+/** Payload of one prepared matrix. */
+struct MatrixInput
+{
+    IntMatrix weights;
+};
+
+/** Payload of fig06's paired element/bit-sparse matrices. */
+struct PairedInput
+{
+    IntMatrix elementSparse;
+    IntMatrix bitSparse;
+    double measuredBitSparsity = 0.0;
+};
+
+Experiment
+makeFig05()
+{
+    Experiment exp;
+    exp.name = "fig05";
+    exp.figure = "Figure 5";
+    exp.title = "Figure 5: utilization vs bit-sparsity (64x64, 8-bit)";
+    exp.description =
+        "hardware utilization vs bit-sparsity of a 64x64 8-bit matrix";
+    exp.runtime = "seconds";
+    exp.columns = {"bit-sparsity %", "ones", "LUT", "FF", "LUTRAM"};
+    exp.grid = Grid::cartesian({percentAxis(
+        {0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100})});
+    exp.prepareSeed = 505;
+    exp.prepare = [](const ParamPoint &point, PrepareContext &ctx) {
+        auto input = std::make_shared<MatrixInput>();
+        input->weights = makeBitSparseMatrix(
+            64, 64, 8, static_cast<double>(point.getInt("pct")) / 100.0,
+            ctx.rng);
+        return std::shared_ptr<const void>(input);
+    };
+    exp.evaluate = [](const ParamPoint &point, const void *input,
+                      EvalContext &ctx) {
+        const auto &weights =
+            static_cast<const MatrixInput *>(input)->weights;
+        const auto entry =
+            ctx.cache.getFigure(weights, core::SignMode::Unsigned);
+        const auto &p = entry->point;
+        return std::vector<Row>{
+            {cell(static_cast<int>(point.getInt("pct"))),
+             cell(weights.onesCount()), cell(p.resources.luts),
+             cell(p.resources.ffs), cell(p.resources.lutrams)}};
+    };
+    exp.expectedShape =
+        "Expected shape: LUT ~ ones (linear), FF ~ 2x LUT, LUTRAM "
+        "roughly flat wrapper cost.";
+    return exp;
+}
+
+Experiment
+makeFig06()
+{
+    Experiment exp;
+    exp.name = "fig06";
+    exp.figure = "Figure 6";
+    exp.title = "Figure 6: element-sparse (es) vs bit-sparse (bs) cost "
+                "(64x64, 8-bit)";
+    exp.description =
+        "element-sparse vs bit-sparse cost at matched bit-sparsity";
+    exp.runtime = "seconds";
+    exp.columns = {"bit-sparsity %", "LUT (es)", "FF (es)", "LUTRAM (es)",
+                   "LUT (bs)", "FF (bs)", "LUTRAM (bs)", "LUT ratio"};
+    exp.grid = Grid::cartesian({Axis{
+        "es", {0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.98}}});
+    exp.prepareSeed = 606;
+    exp.prepare = [](const ParamPoint &point, PrepareContext &ctx) {
+        auto input = std::make_shared<PairedInput>();
+        input->elementSparse = makeElementSparseMatrix(
+            64, 64, 8, point.getReal("es"), ctx.rng);
+        input->measuredBitSparsity = input->elementSparse.bitSparsity(8);
+        input->bitSparse = makeBitSparseMatrix(
+            64, 64, 8, input->measuredBitSparsity, ctx.rng);
+        return std::shared_ptr<const void>(input);
+    };
+    exp.evaluate = [](const ParamPoint &, const void *input,
+                      EvalContext &ctx) {
+        const auto &pair = *static_cast<const PairedInput *>(input);
+        const auto &p_es =
+            ctx.cache.getFigure(pair.elementSparse,
+                                core::SignMode::Unsigned)->point;
+        const auto &p_bs =
+            ctx.cache.getFigure(pair.bitSparse,
+                                core::SignMode::Unsigned)->point;
+        const double ratio =
+            p_bs.resources.luts == 0
+                ? 1.0
+                : static_cast<double>(p_es.resources.luts) /
+                      static_cast<double>(p_bs.resources.luts);
+        return std::vector<Row>{
+            {cell(pair.measuredBitSparsity * 100.0, 4),
+             cell(p_es.resources.luts), cell(p_es.resources.ffs),
+             cell(p_es.resources.lutrams), cell(p_bs.resources.luts),
+             cell(p_bs.resources.ffs), cell(p_bs.resources.lutrams),
+             cell(ratio, 4)}};
+    };
+    exp.expectedShape =
+        "Expected shape: the (es) and (bs) series coincide (ratio ~ 1) "
+        "— bit concentration does not matter.";
+    return exp;
+}
+
+Experiment
+makeFig07()
+{
+    Experiment exp;
+    exp.name = "fig07";
+    exp.figure = "Figure 7";
+    exp.title = "Figure 7: utilization vs matrix size (random 8-bit)";
+    exp.description =
+        "hardware utilization vs matrix size, 2x2 through 128x128";
+    exp.runtime = "seconds";
+    exp.columns = {"size", "elements", "LUT", "FF", "LUT/element"};
+    exp.grid = Grid::cartesian({Axis{
+        "dim",
+        {std::int64_t{2}, std::int64_t{4}, std::int64_t{8},
+         std::int64_t{16}, std::int64_t{32}, std::int64_t{64},
+         std::int64_t{128}}}});
+    exp.prepareSeed = 707;
+    exp.prepare = [](const ParamPoint &point, PrepareContext &ctx) {
+        const auto dim =
+            static_cast<std::size_t>(point.getInt("dim"));
+        auto input = std::make_shared<MatrixInput>();
+        input->weights =
+            makeElementSparseMatrix(dim, dim, 8, 0.0, ctx.rng);
+        return std::shared_ptr<const void>(input);
+    };
+    exp.evaluate = [](const ParamPoint &point, const void *input,
+                      EvalContext &ctx) {
+        const auto dim =
+            static_cast<std::size_t>(point.getInt("dim"));
+        const auto &weights =
+            static_cast<const MatrixInput *>(input)->weights;
+        const auto &p =
+            ctx.cache.getFigure(weights, core::SignMode::Unsigned)
+                ->point;
+        const double per_element =
+            static_cast<double>(p.resources.luts) /
+            static_cast<double>(dim * dim);
+        return std::vector<Row>{
+            {cell(std::to_string(dim) + "x" + std::to_string(dim)),
+             cell(dim * dim), cell(p.resources.luts),
+             cell(p.resources.ffs), cell(per_element, 4)}};
+    };
+    exp.expectedShape =
+        "Expected shape: LUT/element constant (~4 for uniform 8-bit "
+        "values) — cost linear in element count.";
+    return exp;
+}
+
+Experiment
+makeFig08()
+{
+    Experiment exp;
+    exp.name = "fig08";
+    exp.figure = "Figure 8";
+    exp.title = "Figure 8: utilization vs weight bitwidth (64x64)";
+    exp.description =
+        "hardware utilization vs weight bitwidth 1..32 (64x64)";
+    exp.runtime = "seconds";
+    exp.columns = {"bitwidth", "ones", "LUT", "FF", "LUT/bit"};
+    exp.grid = Grid::cartesian({Axis{
+        "bits",
+        {std::int64_t{1}, std::int64_t{2}, std::int64_t{4},
+         std::int64_t{8}, std::int64_t{16}, std::int64_t{32}}}});
+    exp.prepareSeed = 808;
+    exp.prepare = [](const ParamPoint &point, PrepareContext &ctx) {
+        auto input = std::make_shared<MatrixInput>();
+        input->weights = makeElementSparseMatrix(
+            64, 64, static_cast<int>(point.getInt("bits")), 0.0,
+            ctx.rng);
+        return std::shared_ptr<const void>(input);
+    };
+    exp.evaluate = [](const ParamPoint &point, const void *input,
+                      EvalContext &ctx) {
+        const int bits = static_cast<int>(point.getInt("bits"));
+        const auto &weights =
+            static_cast<const MatrixInput *>(input)->weights;
+        const auto &p =
+            ctx.cache.getFigure(weights, core::SignMode::Unsigned)
+                ->point;
+        const double per_bit = static_cast<double>(p.resources.luts) /
+                               static_cast<double>(bits);
+        return std::vector<Row>{
+            {cell(bits), cell(weights.onesCount()),
+             cell(p.resources.luts), cell(p.resources.ffs),
+             cell(per_bit, 4)}};
+    };
+    exp.expectedShape =
+        "Expected shape: LUT and FF linear in bitwidth (constant "
+        "LUT/bit).";
+    return exp;
+}
+
+Experiment
+makeFig09()
+{
+    Experiment exp;
+    exp.name = "fig09";
+    exp.figure = "Figure 9";
+    exp.title = "Figure 9: CSD vs naive (V) utilization "
+                "(64x64 element-sparse, 8-bit)";
+    exp.description =
+        "CSD vs naive binary utilization across element sparsity";
+    exp.runtime = "seconds";
+    exp.columns = {"element-sparsity %", "LUT (V)", "FF (V)",
+                   "LUTRAM (V)", "LUT (CSD)", "FF (CSD)", "LUTRAM (CSD)",
+                   "saving %"};
+    exp.grid =
+        Grid::cartesian({percentAxis({0, 25, 50, 75, 90, 98, 100})});
+    exp.prepareSeed = 909;
+    exp.prepare = [](const ParamPoint &point, PrepareContext &ctx) {
+        auto input = std::make_shared<MatrixInput>();
+        input->weights = makeElementSparseMatrix(
+            64, 64, 8, static_cast<double>(point.getInt("pct")) / 100.0,
+            ctx.rng);
+        return std::shared_ptr<const void>(input);
+    };
+    exp.evaluate = [](const ParamPoint &point, const void *input,
+                      EvalContext &ctx) {
+        const auto &weights =
+            static_cast<const MatrixInput *>(input)->weights;
+        const auto &naive =
+            ctx.cache.getFigure(weights, core::SignMode::Unsigned)
+                ->point;
+        const auto &csd =
+            ctx.cache.getFigure(weights, core::SignMode::Csd)->point;
+        const double saving =
+            naive.resources.luts == 0
+                ? 0.0
+                : 100.0 *
+                      (1.0 - static_cast<double>(csd.resources.luts) /
+                                 static_cast<double>(
+                                     naive.resources.luts));
+        return std::vector<Row>{
+            {cell(static_cast<int>(point.getInt("pct"))),
+             cell(naive.resources.luts), cell(naive.resources.ffs),
+             cell(naive.resources.lutrams), cell(csd.resources.luts),
+             cell(csd.resources.ffs), cell(csd.resources.lutrams),
+             cell(saving, 3)}};
+    };
+    exp.expectedShape =
+        "Expected shape: CSD strictly below V at every sparsity, ~17% "
+        "LUT saving for uniform 8-bit data.";
+    return exp;
+}
+
+Experiment
+makeTab1()
+{
+    Experiment exp;
+    exp.name = "tab1";
+    exp.figure = "Table I";
+    exp.title = "Table I: bit-serial addition of 3 + 7 = 10";
+    exp.description =
+        "cycle-by-cycle bit-serial adder trace of 3 + 7 = 10";
+    exp.runtime = "instant";
+    exp.columns = {"Cycle", "Cin", "A", "B", "S", "Cout", "Result"};
+    exp.grid = Grid::single({{"example", Value{std::string("3+7")}}});
+    exp.evaluate = [](const ParamPoint &, const void *, EvalContext &) {
+        using namespace spatial::circuit;
+
+        Netlist netlist;
+        const auto a = netlist.addInput(0);
+        const auto b = netlist.addInput(1);
+        const auto sum = netlist.addAdder(a, b);
+
+        // 3 = 011b, 7 = 111b, streamed LSb first over 4 cycles.
+        const int a_bits[4] = {1, 1, 0, 0};
+        const int b_bits[4] = {1, 1, 1, 0};
+
+        std::vector<Row> rows;
+        Simulator sim(netlist);
+        int carry_in = 0;
+        std::string result = "0000";
+        for (int cycle = 0; cycle < 4; ++cycle) {
+            sim.step({static_cast<std::uint8_t>(a_bits[cycle]),
+                      static_cast<std::uint8_t>(b_bits[cycle])});
+            // The adder registers S and Cout; recompute the
+            // combinational view the paper tabulates from the trace.
+            const int s = (a_bits[cycle] + b_bits[cycle] + carry_in) & 1;
+            const int cout =
+                (a_bits[cycle] + b_bits[cycle] + carry_in) >> 1;
+            // The result register shifts right; the new sum bit enters
+            // on the MSb side, exactly as Table I displays it.
+            result = std::string(s ? "1" : "0") + result.substr(0, 3);
+            rows.push_back({cell(cycle + 1), cell(carry_in),
+                            cell(a_bits[cycle]), cell(b_bits[cycle]),
+                            cell(s), cell(cout), cell(result)});
+            carry_in = cout;
+        }
+
+        // Cross-check against the simulated register contents: the sum
+        // bits appear on the adder's output one cycle delayed.
+        Simulator check(netlist);
+        long long value = 0;
+        for (int cycle = 0; cycle < 5; ++cycle) {
+            const int ain = cycle < 4 ? a_bits[cycle] : 0;
+            const int bin = cycle < 4 ? b_bits[cycle] : 0;
+            check.step({static_cast<std::uint8_t>(ain),
+                        static_cast<std::uint8_t>(bin)});
+            if (cycle >= 1 && check.outputBit(sum))
+                value |= 1ll << (cycle - 1);
+        }
+        if (value != 10)
+            SPATIAL_FATAL("tab1: simulated adder output ", value,
+                          " != 10");
+        return rows;
+    };
+    exp.expectedShape =
+        "simulated adder output: 10 (expected 10) — cross-checked "
+        "against the cycle-accurate register trace.";
+    return exp;
+}
+
+} // namespace
+
+void
+registerFigureExperiments(Registry &registry)
+{
+    registry.add(makeFig05());
+    registry.add(makeFig06());
+    registry.add(makeFig07());
+    registry.add(makeFig08());
+    registry.add(makeFig09());
+    registry.add(makeTab1());
+}
+
+} // namespace spatial::experiments

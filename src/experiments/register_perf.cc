@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Registry spec for the simulation-engine throughput benchmark: the
+ * compiled-tape batch engine against the seed 64-lane interpreter
+ * path, verified bit-exact before any number is reported.  Mirrors
+ * bench/sim_throughput.cc so CI can collect the same trajectory
+ * through the spatial-bench JSON artifact.
+ */
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/batch_engine.h"
+#include "experiments/design_cache.h"
+#include "experiments/registry.h"
+#include "matrix/generate.h"
+
+namespace spatial::experiments
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Best-of-N wall-clock seconds for one batch multiply. */
+template <typename F>
+double
+bestOf(int repeats, F &&run)
+{
+    double best = 1e300;
+    for (int i = 0; i < repeats; ++i) {
+        const auto start = Clock::now();
+        run();
+        best = std::min(best, secondsSince(start));
+    }
+    return best;
+}
+
+Experiment
+makeSimThroughput()
+{
+    Experiment exp;
+    exp.name = "sim_throughput";
+    exp.figure = "ours (engine perf trajectory)";
+    exp.title = "Simulation-engine throughput: compiled tape vs seed "
+                "interpreter";
+    exp.description =
+        "batch-engine wall-clock speedup over the seed path, bit-exact";
+    exp.runtime = "~1 min (timing loops)";
+    exp.columns = {"dim", "bits", "batch", "sparsity", "nodes",
+                   "drain cycles", "lane words", "threads", "legacy ms",
+                   "tape ms", "speedup"};
+    exp.grid = Grid::cartesian(
+        {Axis{"dim", {std::int64_t{256}}},
+         Axis{"batch", {std::int64_t{1024}}},
+         Axis{"bits", {std::int64_t{8}}},
+         Axis{"sparsity", {0.9}},
+         Axis{"repeats", {std::int64_t{3}}}});
+    exp.serialOnly = true; // wall-clock timing; no concurrent neighbours
+    exp.evaluate = [](const ParamPoint &point, const void *,
+                      EvalContext &ctx) {
+        const auto dim =
+            static_cast<std::size_t>(point.getInt("dim"));
+        const auto batch_rows =
+            static_cast<std::size_t>(point.getInt("batch"));
+        const int bits = static_cast<int>(point.getInt("bits"));
+        const double sparsity = point.getReal("sparsity");
+        const int repeats = static_cast<int>(point.getInt("repeats"));
+
+        Rng rng(99);
+        const auto weights = makeSignedElementSparseMatrix(
+            dim, dim, bits, sparsity, rng);
+        const auto batch = makeSignedBatch(batch_rows, dim, bits, rng);
+
+        core::CompileOptions options;
+        options.inputBits = bits;
+        options.inputsSigned = true;
+        options.signMode = core::SignMode::Csd;
+        const auto entry = ctx.cache.get(weights, options);
+        const auto &design = *entry->design;
+
+        // Verify bit-exactness before timing anything: scalar
+        // reference on the first 64-lane group, then full legacy.
+        const std::size_t check =
+            std::min<std::size_t>(64, batch_rows);
+        IntMatrix head(check, dim);
+        for (std::size_t b = 0; b < check; ++b)
+            for (std::size_t r = 0; r < dim; ++r)
+                head.at(b, r) = batch.at(b, r);
+        const auto expected = design.multiplyBatch(head);
+        const auto legacy_out = design.multiplyBatchWideLegacy(batch);
+        const auto tape_out = design.multiplyBatchWide(batch, ctx.sim);
+        bool exact = legacy_out == tape_out;
+        for (std::size_t b = 0; exact && b < expected.rows(); ++b)
+            for (std::size_t c = 0; exact && c < expected.cols(); ++c)
+                exact = expected.at(b, c) == tape_out.at(b, c);
+        if (!exact)
+            SPATIAL_FATAL("sim_throughput: engines disagree; refusing "
+                          "to report timings");
+
+        const double legacy_s = bestOf(repeats, [&] {
+            (void)design.multiplyBatchWideLegacy(batch);
+        });
+        const double tape_s = bestOf(repeats, [&] {
+            (void)design.multiplyBatchWide(batch, ctx.sim);
+        });
+        const unsigned lane_words =
+            core::resolvedLaneWords(design, ctx.sim, batch_rows);
+
+        return std::vector<Row>{
+            {cell(dim), cell(bits), cell(batch_rows),
+             cell(sparsity, 3), cell(design.netlist().numNodes()),
+             cell(std::uint64_t{design.drainCycles()}),
+             cell(static_cast<int>(lane_words)),
+             cell(static_cast<int>(ctx.sim.threads)),
+             cell(legacy_s * 1e3, 4), cell(tape_s * 1e3, 4),
+             cell(legacy_s / tape_s, 3)}};
+    };
+    exp.expectedShape =
+        "Speedup is the wall-clock ratio of the seed interpreter to "
+        "the compiled-tape engine on identical (bit-exact) work; "
+        "multi-core machines add near-linear thread scaling.";
+    return exp;
+}
+
+} // namespace
+
+void
+registerPerfExperiments(Registry &registry)
+{
+    registry.add(makeSimThroughput());
+}
+
+} // namespace spatial::experiments

@@ -1,0 +1,240 @@
+#include "experiments/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+#include "experiments/json.h"
+
+namespace spatial::experiments
+{
+
+namespace
+{
+
+std::string
+valueJson(const Value &v)
+{
+    if (const auto *i = std::get_if<std::int64_t>(&v))
+        return std::to_string(*i);
+    if (const auto *d = std::get_if<double>(&v))
+        return jsonReal(*d);
+    return jsonQuote(std::get<std::string>(v));
+}
+
+} // namespace
+
+Table
+ExperimentResult::toTable() const
+{
+    Table table(title, columns);
+    for (const auto &row : rows) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (const auto &c : row)
+            cells.push_back(c.text);
+        table.addRow(std::move(cells));
+    }
+    return table;
+}
+
+std::string
+ExperimentResult::toJson() const
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"spatial-bench/v1\",\n";
+    out << "  \"experiment\": " << jsonQuote(name) << ",\n";
+    out << "  \"figure\": " << jsonQuote(figure) << ",\n";
+    out << "  \"title\": " << jsonQuote(title) << ",\n";
+    out << "  \"columns\": [";
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        out << (i ? ", " : "") << jsonQuote(columns[i]);
+    out << "],\n";
+    out << "  \"points\": " << points.size() << ",\n";
+    out << "  \"rows\": [";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        out << (r ? ",\n    " : "\n    ") << "[";
+        for (std::size_t c = 0; c < rows[r].size(); ++c)
+            out << (c ? ", " : "") << valueJson(rows[r][c].value);
+        out << "]";
+    }
+    out << (rows.empty() ? "" : "\n  ") << "],\n";
+    out << "  \"cache\": {\"design_hits\": " << cacheDelta.hits
+        << ", \"design_misses\": " << cacheDelta.misses << "},\n";
+    out << "  \"wall_seconds\": " << jsonReal(wallSeconds) << ",\n";
+    out << "  \"note\": " << jsonQuote(note) << "\n";
+    out << "}\n";
+    return out.str();
+}
+
+void
+ExperimentResult::writeCsv(std::ostream &os) const
+{
+    toTable().printCsv(os);
+}
+
+bool
+parseResultJson(const std::string &text,
+                std::vector<std::string> &columns,
+                std::vector<std::vector<Value>> &rows)
+{
+    const auto doc = JsonValue::parse(text);
+    if (!doc || doc->kind() != JsonValue::Kind::Object)
+        return false;
+    const auto *schema = doc->find("schema");
+    if (schema == nullptr ||
+        schema->kind() != JsonValue::Kind::String ||
+        schema->string() != "spatial-bench/v1")
+        return false;
+    const auto *cols = doc->find("columns");
+    const auto *rowsNode = doc->find("rows");
+    if (cols == nullptr || cols->kind() != JsonValue::Kind::Array ||
+        rowsNode == nullptr ||
+        rowsNode->kind() != JsonValue::Kind::Array)
+        return false;
+
+    columns.clear();
+    for (const auto &c : cols->array()) {
+        if (c.kind() != JsonValue::Kind::String)
+            return false;
+        columns.push_back(c.string());
+    }
+    rows.clear();
+    for (const auto &row : rowsNode->array()) {
+        if (row.kind() != JsonValue::Kind::Array ||
+            row.array().size() != columns.size())
+            return false;
+        std::vector<Value> cells;
+        for (const auto &c : row.array()) {
+            switch (c.kind()) {
+              case JsonValue::Kind::Number:
+                cells.emplace_back(c.number());
+                break;
+              case JsonValue::Kind::String:
+                cells.emplace_back(c.string());
+                break;
+              case JsonValue::Kind::Null:
+                // The writer emits null for non-finite reals.
+                cells.emplace_back(std::nan(""));
+                break;
+              default:
+                return false;
+            }
+        }
+        rows.push_back(std::move(cells));
+    }
+    return true;
+}
+
+SweepEngine::SweepEngine(SweepOptions options) : options_(options) {}
+
+ExperimentResult
+SweepEngine::run(const Experiment &experiment,
+                 const std::vector<GridOverride> &overrides)
+{
+    SPATIAL_ASSERT(experiment.evaluate != nullptr, "experiment '",
+                   experiment.name, "' has no evaluate stage");
+    const auto start = std::chrono::steady_clock::now();
+    const auto statsBefore = cache_.stats();
+
+    Grid grid = experiment.grid;
+    for (const auto &override_ : overrides) {
+        const std::string error =
+            grid.applyOverride(override_.name, override_.values);
+        if (!error.empty())
+            SPATIAL_FATAL("experiment '", experiment.name, "': ", error);
+    }
+
+    ExperimentResult result;
+    result.name = experiment.name;
+    result.figure = experiment.figure;
+    result.title = experiment.title;
+    result.columns = experiment.columns;
+    result.points = grid.expand();
+
+    // Serial prepare stage, in grid order, on one Rng stream.
+    std::vector<std::shared_ptr<const void>> inputs(result.points.size());
+    if (experiment.prepare) {
+        Rng rng(experiment.prepareSeed);
+        PrepareContext ctx{rng};
+        for (std::size_t i = 0; i < result.points.size(); ++i)
+            inputs[i] = experiment.prepare(result.points[i], ctx);
+    }
+
+    // Parallel evaluate stage.
+    unsigned threads = options_.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    if (experiment.serialOnly)
+        threads = 1;
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, result.points.size()));
+
+    std::vector<std::vector<Row>> pointRows(result.points.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr failure;
+    std::mutex failureMutex;
+
+    auto worker = [&] {
+        EvalContext ctx{cache_, options_.sim};
+        for (;;) {
+            // Stop claiming points once any worker has failed, so a
+            // first-point error is not hidden behind the full sweep.
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            const std::size_t i = next.fetch_add(1);
+            if (i >= result.points.size())
+                return;
+            try {
+                pointRows[i] = experiment.evaluate(
+                    result.points[i], inputs[i].get(), ctx);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(failureMutex);
+                if (!failure)
+                    failure = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
+    if (failure)
+        std::rethrow_exception(failure);
+
+    for (auto &rows : pointRows)
+        for (auto &row : rows) {
+            SPATIAL_ASSERT(row.size() == result.columns.size(),
+                           "experiment '", experiment.name,
+                           "' row width ", row.size(), " vs ",
+                           result.columns.size(), " columns");
+            result.rows.push_back(std::move(row));
+        }
+
+    result.note = experiment.note ? experiment.note(result.rows)
+                                  : experiment.expectedShape;
+    result.cacheDelta = cache_.stats() - statsBefore;
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+}
+
+} // namespace spatial::experiments

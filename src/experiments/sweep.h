@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The sweep engine: executes an Experiment's grid across a worker
+ * pool, memoizing compiled designs, and assembles results for the
+ * table renderer, JSON, and CSV.
+ *
+ * Execution model per experiment:
+ *
+ *  1. expand the grid (after CLI overrides) into ordered points;
+ *  2. run the serial prepare stage over the points in grid order with
+ *     the experiment's Rng stream (reproducing the original binaries'
+ *     sequential generation exactly);
+ *  3. shard the evaluate stage across min(threads, points) workers,
+ *     each pulling the next unclaimed point;
+ *  4. reassemble rows in point order — results are identical for any
+ *     worker count.
+ */
+
+#ifndef SPATIAL_EXPERIMENTS_SWEEP_H
+#define SPATIAL_EXPERIMENTS_SWEEP_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/options.h"
+#include "experiments/design_cache.h"
+#include "experiments/experiment.h"
+
+namespace spatial::experiments
+{
+
+/** Engine-wide knobs. */
+struct SweepOptions
+{
+    /**
+     * Worker threads for the evaluate stage; 0 = one per hardware
+     * context, clamped to the point count.
+     */
+    unsigned threads = 0;
+
+    /** Simulation-engine knobs forwarded to EvalContext. */
+    core::SimOptions sim;
+};
+
+/** One CLI/grid override: replace or filter a named parameter. */
+struct GridOverride
+{
+    std::string name;          //!< parameter name
+    std::vector<Value> values; //!< replacement / filter values
+};
+
+/** The outcome of running one experiment. */
+struct ExperimentResult
+{
+    std::string name;                 //!< experiment name
+    std::string figure;               //!< paper anchor
+    std::string title;                //!< table title
+    std::vector<std::string> columns; //!< output schema
+    std::vector<ParamPoint> points;   //!< evaluated grid points
+    std::vector<Row> rows;            //!< all rows, in point order
+    std::string note;                 //!< trailing expected-shape note
+    DesignCache::Stats cacheDelta;    //!< cache activity of this run
+    double wallSeconds = 0.0;         //!< end-to-end wall clock
+
+    /** Render as the figure's table (identical to the old binaries). */
+    Table toTable() const;
+
+    /** Serialize as a self-describing JSON document. */
+    std::string toJson() const;
+
+    /** Emit as CSV (header + rows). */
+    void writeCsv(std::ostream &os) const;
+};
+
+/**
+ * Parse an ExperimentResult's JSON back into (columns, rows) — the
+ * schema round-trip the tests enforce.  Returns false on malformed
+ * input.
+ */
+bool parseResultJson(const std::string &text,
+                     std::vector<std::string> &columns,
+                     std::vector<std::vector<Value>> &rows);
+
+/** Executes experiments; owns the shared design cache. */
+class SweepEngine
+{
+  public:
+    /** Create an engine with the given knobs. */
+    explicit SweepEngine(SweepOptions options = {});
+
+    /** Run one experiment with optional grid overrides. */
+    ExperimentResult run(const Experiment &experiment,
+                         const std::vector<GridOverride> &overrides = {});
+
+    /** The engine-lifetime design cache (shared across run calls). */
+    DesignCache &cache() { return cache_; }
+
+    /** The engine's knobs. */
+    const SweepOptions &options() const { return options_; }
+
+  private:
+    SweepOptions options_;
+    DesignCache cache_;
+};
+
+} // namespace spatial::experiments
+
+#endif // SPATIAL_EXPERIMENTS_SWEEP_H

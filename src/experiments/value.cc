@@ -1,0 +1,112 @@
+#include "experiments/value.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace spatial::experiments
+{
+
+bool
+isInt(const Value &v)
+{
+    return std::holds_alternative<std::int64_t>(v);
+}
+
+bool
+isReal(const Value &v)
+{
+    return std::holds_alternative<double>(v);
+}
+
+bool
+isString(const Value &v)
+{
+    return std::holds_alternative<std::string>(v);
+}
+
+std::int64_t
+asInt(const Value &v)
+{
+    if (const auto *i = std::get_if<std::int64_t>(&v))
+        return *i;
+    SPATIAL_FATAL("expected an integer value, got ", valueText(v));
+}
+
+double
+asReal(const Value &v)
+{
+    if (const auto *i = std::get_if<std::int64_t>(&v))
+        return static_cast<double>(*i);
+    if (const auto *d = std::get_if<double>(&v))
+        return *d;
+    SPATIAL_FATAL("expected a numeric value, got ", valueText(v));
+}
+
+const std::string &
+asString(const Value &v)
+{
+    if (const auto *s = std::get_if<std::string>(&v))
+        return *s;
+    SPATIAL_FATAL("expected a string value, got ", valueText(v));
+}
+
+bool
+valueMatches(const Value &a, const Value &b)
+{
+    if (isString(a) || isString(b)) {
+        return isString(a) && isString(b) &&
+               std::get<std::string>(a) == std::get<std::string>(b);
+    }
+    return asReal(a) == asReal(b);
+}
+
+std::string
+valueText(const Value &v)
+{
+    if (const auto *i = std::get_if<std::int64_t>(&v))
+        return std::to_string(*i);
+    if (const auto *d = std::get_if<double>(&v))
+        return Table::cell(*d, 6);
+    return std::get<std::string>(v);
+}
+
+Cell
+cell(double v, int precision)
+{
+    return Cell{v, Table::cell(v, precision)};
+}
+
+Cell
+cell(std::int64_t v)
+{
+    return Cell{v, Table::cell(v)};
+}
+
+Cell
+cell(std::uint64_t v)
+{
+    return Cell{static_cast<std::int64_t>(v), Table::cell(v)};
+}
+
+Cell
+cell(int v)
+{
+    return Cell{std::int64_t{v}, Table::cell(v)};
+}
+
+Cell
+cell(std::string v)
+{
+    std::string text = v;
+    return Cell{Value{std::move(v)}, std::move(text)};
+}
+
+Cell
+cell(const char *v)
+{
+    return cell(std::string(v));
+}
+
+} // namespace spatial::experiments

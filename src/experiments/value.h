@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Typed values and result rows for the experiment subsystem.
+ *
+ * Every experiment declares an output schema (column names) and emits
+ * rows of Cell, each carrying both the typed value (for JSON/CSV
+ * emission and programmatic checks) and the exact text the table
+ * renderer prints — so porting a figure onto the registry cannot change
+ * a single character of its table.
+ */
+
+#ifndef SPATIAL_EXPERIMENTS_VALUE_H
+#define SPATIAL_EXPERIMENTS_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+/**
+ * @namespace spatial::experiments
+ * The experiment subsystem: declarative figure/scenario specs, the
+ * registry, the threaded sweep engine, and the design cache behind
+ * the spatial-bench CLI.
+ */
+namespace spatial::experiments
+{
+
+/** A typed scalar: integer, real, or string. */
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/** True when the value holds an integer. */
+bool isInt(const Value &v);
+
+/** True when the value holds a real. */
+bool isReal(const Value &v);
+
+/** True when the value holds a string. */
+bool isString(const Value &v);
+
+/** The integer payload; fatal if the value is not an integer. */
+std::int64_t asInt(const Value &v);
+
+/** The numeric payload, promoting integers; fatal on strings. */
+double asReal(const Value &v);
+
+/** The string payload; fatal if the value is not a string. */
+const std::string &asString(const Value &v);
+
+/**
+ * Loose equality for grid-override filtering: numerics compare by
+ * value (so an integer 64 matches a real 64.0), strings exactly.
+ */
+bool valueMatches(const Value &a, const Value &b);
+
+/** Render a value for labels and error messages. */
+std::string valueText(const Value &v);
+
+/**
+ * One result cell: the typed value plus the pre-formatted table text.
+ *
+ * The factory functions mirror Table::cell exactly, so a row renders
+ * identically to the hand-written bench binaries they replaced.
+ */
+struct Cell
+{
+    Value value;      //!< typed payload (JSON/CSV, tests)
+    std::string text; //!< table rendering (Table::cell formatting)
+};
+
+/** Real-valued cell formatted with the given precision. */
+Cell cell(double v, int precision = 4);
+/** Integer cell. */
+Cell cell(std::int64_t v);
+/** Integer cell (unsigned sources). */
+Cell cell(std::uint64_t v);
+/** Integer cell (plain int sources). */
+Cell cell(int v);
+/** String cell. */
+Cell cell(std::string v);
+/** String cell from a literal. */
+Cell cell(const char *v);
+
+/** One output row; width must match the experiment's column count. */
+using Row = std::vector<Cell>;
+
+} // namespace spatial::experiments
+
+#endif // SPATIAL_EXPERIMENTS_VALUE_H

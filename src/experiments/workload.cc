@@ -1,9 +1,9 @@
-#include "bench/harness.h"
+#include "experiments/workload.h"
 
 #include "common/rng.h"
 #include "matrix/generate.h"
 
-namespace spatial::bench
+namespace spatial::experiments
 {
 
 Workload
@@ -18,15 +18,4 @@ makeWorkload(std::size_t dim, double sparsity, std::uint64_t seed)
     return workload;
 }
 
-fpga::DesignPoint
-evalFpga(const IntMatrix &weights, core::SignMode mode)
-{
-    core::CompileOptions options;
-    options.inputBits = 8;
-    options.inputsSigned = true;
-    options.signMode = mode;
-    const auto design = core::MatrixCompiler(options).compile(weights);
-    return fpga::evaluateDesign(design);
-}
-
-} // namespace spatial::bench
+} // namespace spatial::experiments

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared evaluation workloads (formerly bench/harness.h).
+ *
+ * The evaluation figures all multiply against the same family of
+ * matrices — Section VI's signed 8-bit element-sparse scheme — so the
+ * generator lives here once, routed through matrix/generate, and is
+ * deterministic per (dim, sparsity, seed) so overlapping sweeps hash to
+ * identical matrices and hit the design cache.
+ */
+
+#ifndef SPATIAL_EXPERIMENTS_WORKLOAD_H
+#define SPATIAL_EXPERIMENTS_WORKLOAD_H
+
+#include <cstdint>
+
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+
+namespace spatial::experiments
+{
+
+/** One evaluation workload: the fixed matrix in dense and CSR form. */
+struct Workload
+{
+    IntMatrix weights;            //!< dense weights (compiler input)
+    CsrMatrix<std::int64_t> csr;  //!< same matrix for the baselines
+};
+
+/**
+ * Signed 8-bit element-sparse matrix per Section VI's scheme, shared
+ * by the FPGA, GPU, and SIGMA sides of each figure.  The Rng is seeded
+ * from (seed, dim, sparsity) so equal parameters reproduce the same
+ * matrix in any sweep order.
+ */
+Workload makeWorkload(std::size_t dim, double sparsity,
+                      std::uint64_t seed = 99);
+
+} // namespace spatial::experiments
+
+#endif // SPATIAL_EXPERIMENTS_WORKLOAD_H

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the experiment subsystem: grid expansion and overrides,
+ * deterministic results under 1 vs N workers, design-cache hit
+ * accounting, JSON schema round-trip, and port-identity spot checks —
+ * fig08, fig17, and tab1 must reproduce the retired standalone bench
+ * binaries' numbers exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gpu_model.h"
+#include "common/args.h"
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "experiments/design_cache.h"
+#include "experiments/json.h"
+#include "experiments/registry.h"
+#include "experiments/sweep.h"
+#include "fpga/report.h"
+#include "matrix/csr.h"
+#include "matrix/generate.h"
+
+namespace
+{
+
+using namespace spatial;
+using namespace spatial::experiments;
+
+const Experiment &
+findExperiment(const std::string &name)
+{
+    const auto *exp = Registry::instance().find(name);
+    EXPECT_NE(exp, nullptr) << "missing experiment " << name;
+    return *exp;
+}
+
+TEST(Grid, CartesianExpansionOrder)
+{
+    const Grid grid = Grid::cartesian(
+        {Axis{"a", {std::int64_t{1}, std::int64_t{2}}},
+         Axis{"b",
+              {Value{std::string("x")}, Value{std::string("y")},
+               Value{std::string("z")}}}});
+    const auto points = grid.expand();
+    ASSERT_EQ(points.size(), 6u);
+    // Last axis fastest: (1,x) (1,y) (1,z) (2,x) (2,y) (2,z).
+    EXPECT_EQ(points[0].getInt("a"), 1);
+    EXPECT_EQ(points[0].getString("b"), "x");
+    EXPECT_EQ(points[2].getInt("a"), 1);
+    EXPECT_EQ(points[2].getString("b"), "z");
+    EXPECT_EQ(points[3].getInt("a"), 2);
+    EXPECT_EQ(points[3].getString("b"), "x");
+    EXPECT_EQ(points[5].getString("b"), "z");
+}
+
+TEST(Grid, CartesianOverrideReplacesAxis)
+{
+    Grid grid = Grid::cartesian(
+        {Axis{"dim", {std::int64_t{64}, std::int64_t{128}}},
+         Axis{"sparsity", {0.9}}});
+    EXPECT_EQ(grid.applyOverride(
+                  "dim", {Value{std::int64_t{256}},
+                          Value{std::int64_t{512}},
+                          Value{std::int64_t{1024}}}),
+              "");
+    const auto points = grid.expand();
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].getInt("dim"), 256);
+    EXPECT_EQ(points[2].getInt("dim"), 1024);
+    EXPECT_NE(grid.applyOverride("nope", {Value{std::int64_t{1}}}),
+              "");
+}
+
+TEST(Grid, CaseListOverrideFilters)
+{
+    Grid grid = Grid::cases({"dim", "sparsity"},
+                            {{std::int64_t{64}, 0.9},
+                             {std::int64_t{1024}, 0.9},
+                             {std::int64_t{1024}, 0.6}});
+    EXPECT_EQ(grid.applyOverride("dim", {Value{std::int64_t{1024}}}),
+              "");
+    const auto points = grid.expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].getInt("dim"), 1024);
+    EXPECT_DOUBLE_EQ(points[0].getReal("sparsity"), 0.9);
+    EXPECT_DOUBLE_EQ(points[1].getReal("sparsity"), 0.6);
+    // Filtering to nothing is an error, not an empty sweep.
+    EXPECT_NE(grid.applyOverride("dim", {Value{std::int64_t{7}}}), "");
+}
+
+TEST(Args, SplitListAndRanges)
+{
+    const auto plain = Args::splitList("64,256,1024");
+    ASSERT_EQ(plain.size(), 3u);
+    EXPECT_EQ(plain[0], "64");
+    EXPECT_EQ(plain[2], "1024");
+
+    const auto range = Args::splitList("0.8:0.95:0.05");
+    ASSERT_EQ(range.size(), 4u);
+    EXPECT_EQ(range[0], "0.8");
+    EXPECT_EQ(range[3], "0.95");
+
+    const auto mixed = Args::splitList("1,4:6:1,9");
+    ASSERT_EQ(mixed.size(), 5u);
+    EXPECT_EQ(mixed[1], "4");
+    EXPECT_EQ(mixed[3], "6");
+    EXPECT_EQ(mixed[4], "9");
+}
+
+TEST(Args, SubcommandPositionals)
+{
+    const char *argv[] = {"spatial-bench", "run", "fig08",
+                          "--threads=4"};
+    const Args args(4, argv, /*allow_positionals=*/true);
+    ASSERT_EQ(args.positionals().size(), 2u);
+    EXPECT_EQ(args.positionals()[0], "run");
+    EXPECT_EQ(args.positionals()[1], "fig08");
+    EXPECT_EQ(args.getInt("threads", 0), 4);
+}
+
+void
+expectSameRows(const ExperimentResult &a, const ExperimentResult &b)
+{
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t r = 0; r < a.rows.size(); ++r) {
+        ASSERT_EQ(a.rows[r].size(), b.rows[r].size());
+        for (std::size_t c = 0; c < a.rows[r].size(); ++c) {
+            EXPECT_EQ(a.rows[r][c].text, b.rows[r][c].text)
+                << "row " << r << " col " << c;
+            EXPECT_TRUE(
+                valueMatches(a.rows[r][c].value, b.rows[r][c].value))
+                << "row " << r << " col " << c;
+        }
+    }
+}
+
+TEST(SweepEngine, DeterministicAcrossWorkerCounts)
+{
+    const auto &exp = findExperiment("fig05");
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepOptions parallel;
+    parallel.threads = 4;
+    const auto a = SweepEngine(serial).run(exp);
+    const auto b = SweepEngine(parallel).run(exp);
+    EXPECT_EQ(a.points.size(), 11u);
+    expectSameRows(a, b);
+}
+
+TEST(SweepEngine, DesignCacheSharedAcrossExperiments)
+{
+    // fig13 (latency) and fig14 (speedup) derive from the same
+    // workloads; the second sweep must be all hits.
+    const std::vector<GridOverride> small = {GridOverride{
+        "dim", {Value{std::int64_t{64}}, Value{std::int64_t{128}}}}};
+    SweepEngine engine;
+    const auto latency = engine.run(findExperiment("fig13"), small);
+    EXPECT_EQ(latency.cacheDelta.misses, 2u);
+    const auto speedup = engine.run(findExperiment("fig14"), small);
+    EXPECT_EQ(speedup.cacheDelta.misses, 0u);
+    EXPECT_GT(speedup.cacheDelta.hits, 0u);
+}
+
+TEST(SweepEngine, SameExperimentIsFullyCached)
+{
+    SweepEngine engine;
+    const auto &exp = findExperiment("fig08");
+    const auto first = engine.run(exp);
+    EXPECT_EQ(first.cacheDelta.misses, 6u);
+    const auto second = engine.run(exp);
+    EXPECT_EQ(second.cacheDelta.misses, 0u);
+    EXPECT_EQ(second.cacheDelta.hits, 6u);
+    expectSameRows(first, second);
+}
+
+TEST(Json, SchemaRoundTrip)
+{
+    SweepEngine engine;
+    const auto result = engine.run(findExperiment("fig08"));
+    const auto text = result.toJson();
+
+    std::vector<std::string> columns;
+    std::vector<std::vector<Value>> rows;
+    ASSERT_TRUE(parseResultJson(text, columns, rows));
+    EXPECT_EQ(columns, result.columns);
+    ASSERT_EQ(rows.size(), result.rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        ASSERT_EQ(rows[r].size(), result.rows[r].size());
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            const Value &expected = result.rows[r][c].value;
+            const Value &parsed = rows[r][c];
+            if (isString(expected)) {
+                EXPECT_EQ(asString(parsed), asString(expected));
+            } else {
+                // Numbers survive bit-exactly (%.17g writer).
+                EXPECT_EQ(asReal(parsed), asReal(expected))
+                    << "row " << r << " col " << c;
+            }
+        }
+    }
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    std::vector<std::string> columns;
+    std::vector<std::vector<Value>> rows;
+    EXPECT_FALSE(parseResultJson("", columns, rows));
+    EXPECT_FALSE(parseResultJson("{\"schema\": \"nope\"}", columns,
+                                 rows));
+    EXPECT_FALSE(parseResultJson("{\"schema\": \"spatial-bench/v1\","
+                                 "\"columns\": [\"a\"], \"rows\": "
+                                 "[[1, 2]]}",
+                                 columns, rows));
+}
+
+TEST(Json, NonFiniteRealsAndUnicodeEscapes)
+{
+    // Non-finite reals must not produce invalid JSON tokens.
+    EXPECT_EQ(jsonReal(std::nan("")), "null");
+    EXPECT_EQ(jsonReal(1.0 / 0.0 * 1.0), "null");
+
+    // Null cells parse back as NaN.
+    std::vector<std::string> columns;
+    std::vector<std::vector<Value>> rows;
+    ASSERT_TRUE(parseResultJson(
+        "{\"schema\": \"spatial-bench/v1\", \"columns\": [\"x\"], "
+        "\"rows\": [[null]]}",
+        columns, rows));
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_TRUE(std::isnan(asReal(rows[0][0])));
+
+    // Unicode escapes: UTF-8 encoding, invalid hex rejected.
+    const auto euro = JsonValue::parse("\"\\u20ac\"");
+    ASSERT_TRUE(euro.has_value());
+    EXPECT_EQ(euro->string(), "\xe2\x82\xac");
+    EXPECT_FALSE(JsonValue::parse("\"\\uZZZZ\"").has_value());
+    EXPECT_FALSE(JsonValue::parse("\"\\ud800\"").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Port-identity spot checks: the registry must reproduce the retired
+// standalone binaries exactly.  Each check re-derives the expected
+// numbers with the original binary's logic inlined.
+// ---------------------------------------------------------------------
+
+TEST(PortIdentity, Fig08MatchesPrePortBinary)
+{
+    SweepEngine engine;
+    const auto result = engine.run(findExperiment("fig08"));
+    ASSERT_EQ(result.rows.size(), 6u);
+
+    // Original bench/fig08_bitwidth.cc main loop.
+    Rng rng(808);
+    std::size_t row = 0;
+    for (const int bits : {1, 2, 4, 8, 16, 32}) {
+        const auto weights =
+            makeElementSparseMatrix(64, 64, bits, 0.0, rng);
+        core::CompileOptions options;
+        options.inputBits = 8;
+        options.inputsSigned = true;
+        options.signMode = core::SignMode::Unsigned;
+        const auto design =
+            core::MatrixCompiler(options).compile(weights);
+        const auto point = fpga::evaluateDesign(design);
+        const double per_bit =
+            static_cast<double>(point.resources.luts) /
+            static_cast<double>(bits);
+
+        EXPECT_EQ(asInt(result.rows[row][0].value), bits);
+        EXPECT_EQ(asInt(result.rows[row][1].value),
+                  static_cast<std::int64_t>(weights.onesCount()));
+        EXPECT_EQ(asInt(result.rows[row][2].value),
+                  static_cast<std::int64_t>(point.resources.luts));
+        EXPECT_EQ(asInt(result.rows[row][3].value),
+                  static_cast<std::int64_t>(point.resources.ffs));
+        EXPECT_EQ(asReal(result.rows[row][4].value), per_bit);
+        ++row;
+    }
+}
+
+TEST(PortIdentity, Fig17MatchesPrePortBinary)
+{
+    SweepEngine engine;
+    const auto result = engine.run(findExperiment("fig17"));
+    ASSERT_EQ(result.rows.size(), 6u);
+
+    // Original bench/fig17_gpu_batch_1024.cc, including the retired
+    // bench/harness.cc makeWorkload seeding.
+    const std::size_t dim = 1024;
+    const double sparsity = 0.95;
+    Rng rng(99 + dim * 31 +
+            static_cast<std::uint64_t>(sparsity * 1000.0));
+    const auto weights =
+        makeSignedElementSparseMatrix(dim, dim, 8, sparsity, rng);
+    const auto csr = CsrMatrix<std::int64_t>::fromDense(weights);
+    const auto nnz = csr.nnz();
+
+    core::CompileOptions options;
+    options.inputBits = 8;
+    options.inputsSigned = true;
+    options.signMode = core::SignMode::Csd;
+    const auto design = core::MatrixCompiler(options).compile(weights);
+    const auto point = fpga::evaluateDesign(design);
+
+    const baselines::GpuModel cusparse(baselines::GpuLibrary::CuSparse);
+    const baselines::GpuModel optimized(
+        baselines::GpuLibrary::OptimizedKernel);
+
+    std::size_t row = 0;
+    for (const std::size_t batch : {1u, 2u, 4u, 16u, 32u, 64u}) {
+        const double fpga_ns = point.batchLatencyNs(batch);
+        EXPECT_EQ(asInt(result.rows[row][0].value),
+                  static_cast<std::int64_t>(batch));
+        EXPECT_EQ(asReal(result.rows[row][1].value), fpga_ns);
+        EXPECT_EQ(asReal(result.rows[row][2].value),
+                  cusparse.latencyNs(dim, dim, nnz, batch) / fpga_ns);
+        EXPECT_EQ(asReal(result.rows[row][3].value),
+                  optimized.latencyNs(dim, dim, nnz, batch) / fpga_ns);
+        ++row;
+    }
+}
+
+TEST(PortIdentity, Tab1MatchesPrePortBinary)
+{
+    SweepEngine engine;
+    const auto result = engine.run(findExperiment("tab1"));
+
+    // The exact 3 + 7 = 10 trace the retired binary tabulated.
+    const struct
+    {
+        int cycle, cin, a, b, s, cout;
+        const char *reg;
+    } expected[] = {{1, 0, 1, 1, 0, 1, "0000"},
+                    {2, 1, 1, 1, 1, 1, "1000"},
+                    {3, 1, 0, 1, 0, 1, "0100"},
+                    {4, 1, 0, 0, 1, 0, "1010"}};
+
+    ASSERT_EQ(result.rows.size(), 4u);
+    for (std::size_t r = 0; r < 4; ++r) {
+        EXPECT_EQ(asInt(result.rows[r][0].value), expected[r].cycle);
+        EXPECT_EQ(asInt(result.rows[r][1].value), expected[r].cin);
+        EXPECT_EQ(asInt(result.rows[r][2].value), expected[r].a);
+        EXPECT_EQ(asInt(result.rows[r][3].value), expected[r].b);
+        EXPECT_EQ(asInt(result.rows[r][4].value), expected[r].s);
+        EXPECT_EQ(asInt(result.rows[r][5].value), expected[r].cout);
+        EXPECT_EQ(asString(result.rows[r][6].value), expected[r].reg);
+    }
+}
+
+TEST(DesignCache, DistinguishesOptions)
+{
+    DesignCache cache;
+    Rng rng(5);
+    const auto weights =
+        makeSignedElementSparseMatrix(16, 16, 8, 0.9, rng);
+    const auto pn = cache.getFigure(weights, core::SignMode::PnSplit);
+    const auto csd = cache.getFigure(weights, core::SignMode::Csd);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    const auto again = cache.getFigure(weights, core::SignMode::Csd);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(again.get(), csd.get());
+    EXPECT_NE(pn.get(), csd.get());
+}
+
+} // namespace
