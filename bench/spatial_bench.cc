@@ -56,6 +56,8 @@ usage()
         "  --threads=N          sweep worker threads (0 = hardware)\n"
         "  --sim-threads=N      batch-engine threads inside a point\n"
         "  --lane-words=W       batch-engine lane words (0 = auto)\n"
+        "  --seed=N             workload-stream seed override (0 =\n"
+        "                       each experiment's built-in stream)\n"
         "  --quiet              suppress tables (summaries only)\n"
         "  --<param>=v1,v2      override a grid axis; lo:hi:step ranges\n"
         "                       expand inclusively\n");
@@ -145,7 +147,7 @@ runRun(const Args &args)
     const auto &registry = Registry::instance();
     const std::set<std::string> reserved = {
         "all", "json", "csv", "threads", "sim-threads", "lane-words",
-        "quiet"};
+        "seed", "quiet"};
 
     // Which experiments.
     const bool allSelected = args.getBool("all", false);
@@ -203,6 +205,7 @@ runRun(const Args &args)
         static_cast<unsigned>(args.getInt("sim-threads", 0));
     options.sim.laneWords =
         static_cast<unsigned>(args.getInt("lane-words", 0));
+    options.seed = static_cast<std::uint64_t>(args.getInt("seed", 0));
 
     const bool quiet = args.getBool("quiet", false);
     const bool wantJson = args.has("json");

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * spatial-serve: load-test the online serving layer.
+ *
+ * Hosts the built-in load generator against an in-process Server:
+ * open-loop Poisson arrivals at a target QPS, closed-loop clients, or
+ * drain mode (submit everything, then drain — the batch-saturating
+ * ceiling, optionally compared bit-for-bit against the naive
+ * one-request-per-multiply path).
+ *
+ *   spatial-serve --mode=drain --requests=4096 --compare
+ *   spatial-serve --mode=open --qps=20000 --duration=2
+ *   spatial-serve --mode=closed --clients=128 --duration=2
+ *   spatial-serve --designs=4 --batch_frac=0.2 --esn_frac=0.1
+ *   spatial-serve --mode=drain --compare --check_speedup=3 --json
+ *
+ * --json[=path] writes BENCH_serve.json (CI trends it next to the
+ * sim_throughput artifact).  --check_speedup=R exits 1 unless drain
+ * mode measured a >= R batching speedup with bit-identical outputs.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/args.h"
+#include "common/logging.h"
+#include "serve/loadgen.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace spatial;
+    using namespace spatial::serve;
+
+    const Args args(argc, argv);
+
+    LoadGenOptions options;
+    options.mode = parseMode(args.getString("mode", "drain"));
+    options.qps = args.getReal("qps", 20000.0);
+    options.clients =
+        static_cast<unsigned>(args.getInt("clients", 128));
+    options.duration = args.getReal("duration", 1.0);
+    options.requests =
+        static_cast<std::size_t>(args.getInt("requests", 4096));
+    options.designs =
+        static_cast<std::size_t>(args.getInt("designs", 1));
+    options.dim = static_cast<std::size_t>(args.getInt("dim", 128));
+    options.bits = static_cast<int>(args.getInt("bits", 8));
+    options.sparsity = args.getReal("sparsity", 0.9);
+    options.batchFraction = args.getReal("batch_frac", 0.0);
+    options.batchSize =
+        static_cast<std::size_t>(args.getInt("batch_size", 16));
+    options.esnFraction = args.getReal("esn_frac", 0.0);
+    options.seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 42));
+    options.compareNaive =
+        args.getBool("compare", false) || args.has("check_speedup");
+
+    options.serve.maxBatch =
+        static_cast<std::size_t>(args.getInt("max_batch", 256));
+    // Named like the serving_throughput grid axis so the two CLIs
+    // spell the knob identically.
+    options.serve.maxDelay = std::chrono::microseconds(
+        args.getInt("max_delay_us", 2000));
+    options.serve.workers =
+        static_cast<unsigned>(args.getInt("workers", 0));
+    options.serve.storeCapacity =
+        static_cast<std::size_t>(args.getInt("store_capacity", 64));
+    options.serve.sim.laneWords =
+        static_cast<unsigned>(args.getInt("lane-words", 0));
+
+    if (options.compareNaive &&
+        options.mode != LoadGenOptions::Mode::Drain)
+        SPATIAL_FATAL("--compare/--check_speedup need --mode=drain "
+                      "(the naive path replays the identical request "
+                      "list)");
+
+    std::printf("spatial-serve: mode=%s designs=%zu dim=%zu bits=%d "
+                "max_batch=%zu max_delay=%lldus seed=%llu\n",
+                modeName(options.mode), options.designs, options.dim,
+                options.bits, options.serve.maxBatch,
+                static_cast<long long>(options.serve.maxDelay.count()),
+                static_cast<unsigned long long>(options.seed));
+
+    const LoadGenResult result = runLoadGen(options);
+
+    std::printf("completed %zu requests in %.3fs: %.0f req/s\n",
+                result.completed, result.seconds, result.throughput);
+    std::printf("latency ms: p50=%.3f p95=%.3f p99=%.3f mean=%.3f "
+                "max=%.3f\n",
+                result.latencyMs.p50, result.latencyMs.p95,
+                result.latencyMs.p99, result.latencyMs.mean,
+                result.latencyMs.max);
+    std::printf("batching: %zu groups, %zu/%zu lanes used (occupancy "
+                "%.2f), flushes full=%zu deadline=%zu drain=%zu, "
+                "sequences=%zu\n",
+                result.stats.groups, result.stats.lanes,
+                result.stats.paddedLanes, result.stats.occupancy(),
+                result.stats.flushFull, result.stats.flushDeadline,
+                result.stats.flushDrain, result.stats.sequences);
+    std::printf("store: %zu hits / %zu misses, %zu evictions, %zu "
+                "resident\n",
+                result.stats.store.cache.hits,
+                result.stats.store.cache.misses,
+                result.stats.store.evictions,
+                result.stats.store.resident);
+    if (options.compareNaive) {
+        std::printf("naive path: %.0f req/s (%.3fs); batched speedup "
+                    "%.2fx, outputs %s\n",
+                    result.naiveThroughput, result.naiveSeconds,
+                    result.speedup,
+                    result.bitExact ? "bit-identical" : "MISMATCH");
+        if (!result.bitExact)
+            SPATIAL_FATAL("batched outputs differ from the naive "
+                          "path; refusing to report timings");
+    }
+
+    if (args.has("json")) {
+        std::string path = args.getString("json", "BENCH_serve.json");
+        if (path.empty() || path == "true")
+            path = "BENCH_serve.json";
+        std::ofstream out(path);
+        if (!out)
+            SPATIAL_FATAL("cannot write ", path);
+        out << result.toJson(options);
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+    if (args.has("check_speedup")) {
+        const double want = args.getReal("check_speedup", 3.0);
+        if (result.speedup < want) {
+            std::fprintf(stderr,
+                         "FAIL: batching speedup %.2fx below required "
+                         "%.2fx\n",
+                         result.speedup, want);
+            return 1;
+        }
+        std::printf("OK: batching speedup %.2fx >= %.2fx\n",
+                    result.speedup, want);
+    }
+    return 0;
+}

@@ -41,8 +41,15 @@ checksumMatrix(const IntMatrix &m)
 
 } // namespace
 
+DesignKey
+makeDesignKey(const IntMatrix &weights, const core::CompileOptions &options)
+{
+    return DesignKey{hashMatrix(weights), weights.rows(), weights.cols(),
+                     checksumMatrix(weights), options};
+}
+
 std::size_t
-DesignCache::KeyHash::operator()(const Key &key) const
+DesignKeyHash::operator()(const DesignKey &key) const
 {
     std::uint64_t hash = key.contentHash;
     hash = fnv1a(hash, static_cast<std::uint64_t>(key.checksum));
@@ -65,8 +72,7 @@ std::shared_ptr<const CompiledDesign>
 DesignCache::get(const IntMatrix &weights,
                  const core::CompileOptions &options)
 {
-    const Key key{hashMatrix(weights), weights.rows(), weights.cols(),
-                  checksumMatrix(weights), options};
+    const DesignKey key = makeDesignKey(weights, options);
 
     std::shared_future<std::shared_ptr<const CompiledDesign>> future;
     std::promise<std::shared_ptr<const CompiledDesign>> promise;
@@ -75,10 +81,10 @@ DesignCache::get(const IntMatrix &weights,
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
-            ++stats_.hits;
+            hits_.fetch_add(1, std::memory_order_relaxed);
             future = it->second;
         } else {
-            ++stats_.misses;
+            misses_.fetch_add(1, std::memory_order_relaxed);
             owner = true;
             future = promise.get_future().share();
             entries_.emplace(key, future);
@@ -113,8 +119,8 @@ DesignCache::getFigure(const IntMatrix &weights, core::SignMode mode)
 DesignCache::Stats
 DesignCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    return Stats{hits_.load(std::memory_order_relaxed),
+                 misses_.load(std::memory_order_relaxed)};
 }
 
 core::CompileOptions

@@ -11,12 +11,15 @@
  * points of one sweep — that reach the same design compile it once.
  *
  * Thread-safe; concurrent requests for the same key block on the first
- * requester's compilation instead of duplicating it.
+ * requester's compilation instead of duplicating it.  The key type and
+ * hit/miss snapshot struct are shared with serve::DesignStore, the
+ * online serving layer's LRU front for the same identity scheme.
  */
 
 #ifndef SPATIAL_EXPERIMENTS_DESIGN_CACHE_H
 #define SPATIAL_EXPERIMENTS_DESIGN_CACHE_H
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -41,11 +44,49 @@ struct CompiledDesign
     fpga::DesignPoint point;
 };
 
+/**
+ * The content-addressed identity of a compiled design: matrix FNV hash
+ * (plus shape and an element-sum collision guard) and the full compile
+ * options.  Both DesignCache and serve::DesignStore key on this, so a
+ * design is "the same design" under exactly one definition repo-wide.
+ */
+struct DesignKey
+{
+    std::uint64_t contentHash = 0; //!< FNV-1a over shape and elements
+    std::size_t rows = 0;          //!< matrix rows
+    std::size_t cols = 0;          //!< matrix cols
+    std::int64_t checksum = 0;     //!< element sum, a collision guard
+    core::CompileOptions options;  //!< full compiler configuration
+
+    /** Memberwise equality (hash-map key semantics). */
+    bool operator==(const DesignKey &) const = default;
+};
+
+/** Build the key for (weights, options); hashes every element. */
+DesignKey makeDesignKey(const IntMatrix &weights,
+                        const core::CompileOptions &options);
+
+/** Hash functor over DesignKey for unordered containers. */
+struct DesignKeyHash
+{
+    /** FNV-mix of the content hash, checksum, and options fields. */
+    std::size_t operator()(const DesignKey &key) const;
+};
+
 /** Content-addressed, thread-safe cache of compiled designs. */
 class DesignCache
 {
   public:
-    /** Hit/miss accounting (a hit may still wait on an in-flight miss). */
+    /**
+     * Hit/miss snapshot (a hit may still wait on an in-flight miss).
+     * The live counters are atomics, so stats() never takes the cache
+     * lock — concurrent readers (the serve layer polls them while
+     * request workers compile) get monotonic counters without
+     * blocking anyone.  The two loads are independent, so a snapshot
+     * taken mid-burst may pair a slightly older hits with a newer
+     * misses; exact pairing would need the lock the sweep/serving hot
+     * paths deliberately avoid.
+     */
     struct Stats
     {
         std::size_t hits = 0;   //!< lookups served from the cache
@@ -74,32 +115,17 @@ class DesignCache
     getFigure(const IntMatrix &weights,
               core::SignMode mode = core::SignMode::Csd);
 
-    /** Current cumulative counters. */
+    /** Current cumulative counters (lock-free snapshot). */
     Stats stats() const;
 
   private:
-    struct Key
-    {
-        std::uint64_t contentHash;
-        std::size_t rows;
-        std::size_t cols;
-        std::int64_t checksum; //!< element sum, a second collision guard
-        core::CompileOptions options;
-
-        bool operator==(const Key &) const = default;
-    };
-
-    struct KeyHash
-    {
-        std::size_t operator()(const Key &key) const;
-    };
-
     mutable std::mutex mutex_;
-    std::unordered_map<Key,
+    std::unordered_map<DesignKey,
                        std::shared_future<std::shared_ptr<const CompiledDesign>>,
-                       KeyHash>
+                       DesignKeyHash>
         entries_;
-    Stats stats_;
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
 };
 
 /**

@@ -7,6 +7,13 @@
 namespace spatial::experiments
 {
 
+std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t override_)
+{
+    return override_ == 0 ? base
+                          : base ^ (override_ * 0x9e3779b97f4a7c15ull);
+}
+
 const Value *
 ParamPoint::find(const std::string &name) const
 {

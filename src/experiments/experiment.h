@@ -119,6 +119,15 @@ class Grid
 
 class DesignCache;
 
+/**
+ * Mix a `--seed` override into a built-in stream seed: `base`
+ * unchanged when `override_` is 0 (the experiment's published
+ * numbers), otherwise a golden-ratio perturbation of `base` — so one
+ * flag value gives every experiment a distinct but reproducible
+ * fresh stream.
+ */
+std::uint64_t mixSeed(std::uint64_t base, std::uint64_t override_);
+
 /** Context handed to the serial prepare stage. */
 struct PrepareContext
 {
@@ -139,6 +148,14 @@ struct EvalContext
 
     /** Simulation-engine knobs for experiments that batch-simulate. */
     core::SimOptions sim;
+
+    /**
+     * The run's `--seed` override (0 = none): experiments that draw
+     * workload or arrival streams inside evaluate mix this into their
+     * default seeds, so a run is reproducible for a given flag value
+     * and variable across values.
+     */
+    std::uint64_t seed = 0;
 };
 
 /**

@@ -15,6 +15,7 @@ Registry::instance()
         registerBaselineExperiments(*r);
         registerEsnExperiments(*r);
         registerPerfExperiments(*r);
+        registerServeExperiments(*r);
         return r;
     }();
     return *registry;

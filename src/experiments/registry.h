@@ -44,6 +44,7 @@ void registerLargeScaleExperiments(Registry &registry); //!< fig10-12, ablation,
 void registerBaselineExperiments(Registry &registry);   //!< fig13-23
 void registerEsnExperiments(Registry &registry);        //!< ESN scenarios
 void registerPerfExperiments(Registry &registry);       //!< sim_throughput
+void registerServeExperiments(Registry &registry);      //!< serving_throughput
 ///@}
 
 } // namespace spatial::experiments

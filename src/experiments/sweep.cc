@@ -158,10 +158,13 @@ SweepEngine::run(const Experiment &experiment,
     result.columns = experiment.columns;
     result.points = grid.expand();
 
-    // Serial prepare stage, in grid order, on one Rng stream.
+    // Serial prepare stage, in grid order, on one Rng stream.  A
+    // --seed override perturbs each experiment's own seed (rather
+    // than replacing it) so distinct experiments keep distinct
+    // streams under one flag value.
     std::vector<std::shared_ptr<const void>> inputs(result.points.size());
     if (experiment.prepare) {
-        Rng rng(experiment.prepareSeed);
+        Rng rng(mixSeed(experiment.prepareSeed, options_.seed));
         PrepareContext ctx{rng};
         for (std::size_t i = 0; i < result.points.size(); ++i)
             inputs[i] = experiment.prepare(result.points[i], ctx);
@@ -183,7 +186,7 @@ SweepEngine::run(const Experiment &experiment,
     std::mutex failureMutex;
 
     auto worker = [&] {
-        EvalContext ctx{cache_, options_.sim};
+        EvalContext ctx{cache_, options_.sim, options_.seed};
         for (;;) {
             // Stop claiming points once any worker has failed, so a
             // first-point error is not hidden behind the full sweep.

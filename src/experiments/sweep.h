@@ -42,6 +42,15 @@ struct SweepOptions
 
     /** Simulation-engine knobs forwarded to EvalContext. */
     core::SimOptions sim;
+
+    /**
+     * Workload-stream seed override (the CLI's `--seed`).  0 keeps
+     * every experiment's built-in seed (the paper's numbers); any
+     * other value is mixed into the prepare-stage Rng seed and exposed
+     * through EvalContext::seed, so repeated runs with one value are
+     * identical and different values draw fresh streams.
+     */
+    std::uint64_t seed = 0;
 };
 
 /** One CLI/grid override: replace or filter a named parameter. */

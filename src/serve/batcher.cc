@@ -1,0 +1,77 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spatial::serve
+{
+
+Batcher::Batcher(DesignId design, BatchPolicy policy)
+    : design_(design), policy_(policy)
+{
+    policy_.maxBatch = std::max<std::size_t>(1, policy_.maxBatch);
+}
+
+Group
+Batcher::cut(FlushReason reason, std::chrono::time_point<Clock> now)
+{
+    Group group;
+    group.design = design_;
+    group.requests = std::move(pending_);
+    group.lanes = pendingLanes_;
+    group.reason = reason;
+    group.flushAt = now;
+    pending_.clear();
+    pendingLanes_ = 0;
+    return group;
+}
+
+std::vector<Group>
+Batcher::enqueue(PendingRequest pending, std::chrono::time_point<Clock> now)
+{
+    SPATIAL_ASSERT(pending.request.kind != RequestKind::EsnSequence,
+                   "sequences bypass the batcher");
+    std::vector<Group> flushed;
+    const std::size_t lanes = pending.request.lanes();
+
+    // An incoming request never splits across groups: if it would
+    // overflow the open group, that group ships first.
+    if (pendingLanes_ > 0 && pendingLanes_ + lanes > policy_.maxBatch)
+        flushed.push_back(cut(FlushReason::Full, now));
+
+    if (pending_.empty())
+        deadline_ = pending.submitAt + policy_.maxDelay;
+    pendingLanes_ += lanes;
+    pending_.push_back(std::move(pending));
+
+    if (pendingLanes_ >= policy_.maxBatch)
+        flushed.push_back(cut(FlushReason::Full, now));
+    return flushed;
+}
+
+std::optional<Group>
+Batcher::pollDeadline(std::chrono::time_point<Clock> now)
+{
+    if (pending_.empty() || now < deadline_)
+        return std::nullopt;
+    return cut(FlushReason::Deadline, now);
+}
+
+std::optional<Group>
+Batcher::flush(FlushReason reason, std::chrono::time_point<Clock> now)
+{
+    if (pending_.empty())
+        return std::nullopt;
+    return cut(reason, now);
+}
+
+std::optional<std::chrono::time_point<Clock>>
+Batcher::deadline() const
+{
+    if (pending_.empty())
+        return std::nullopt;
+    return deadline_;
+}
+
+} // namespace spatial::serve

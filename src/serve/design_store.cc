@@ -1,0 +1,102 @@
+#include "serve/design_store.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/compiler.h"
+
+namespace spatial::serve
+{
+
+DesignStore::DesignStore(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity))
+{}
+
+void
+DesignStore::evictLocked()
+{
+    // Evict least-recently-used first, but never an entry whose
+    // compilation is still in flight: evicting it would let a
+    // concurrent request start a duplicate compile, and would leave
+    // the owner's error-cleanup erasing someone else's entry.  If
+    // everything over budget is in flight, capacity is exceeded
+    // transiently and the next get() retries.
+    auto it = lru_.end();
+    while (entries_.size() > capacity_ && it != lru_.begin()) {
+        --it;
+        const auto entry = entries_.find(*it);
+        if (entry->second.future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+            continue;
+        entries_.erase(entry);
+        it = lru_.erase(it);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+std::shared_ptr<const core::CompiledMatrix>
+DesignStore::get(const IntMatrix &weights,
+                 const core::CompileOptions &options)
+{
+    return get(experiments::makeDesignKey(weights, options), weights,
+               options);
+}
+
+std::shared_ptr<const core::CompiledMatrix>
+DesignStore::get(const experiments::DesignKey &key,
+                 const IntMatrix &weights,
+                 const core::CompileOptions &options)
+{
+    Future future;
+    std::promise<std::shared_ptr<const core::CompiledMatrix>> promise;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            future = it->second.future;
+        } else {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            owner = true;
+            future = promise.get_future().share();
+            lru_.push_front(key);
+            entries_.emplace(key, Entry{future, lru_.begin()});
+            evictLocked();
+        }
+    }
+    if (owner) {
+        try {
+            promise.set_value(
+                std::make_shared<const core::CompiledMatrix>(
+                    core::MatrixCompiler(options).compile(weights)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = entries_.find(key);
+            if (it != entries_.end()) {
+                lru_.erase(it->second.lruIt);
+                entries_.erase(it);
+            }
+            throw;
+        }
+    }
+    return future.get();
+}
+
+DesignStore::Stats
+DesignStore::stats() const
+{
+    Stats stats;
+    stats.cache.hits = hits_.load(std::memory_order_relaxed);
+    stats.cache.misses = misses_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats.resident = entries_.size();
+    }
+    return stats;
+}
+
+} // namespace spatial::serve

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * LRU store of hot compiled designs for the serving layer.
+ *
+ * Serving traffic references a working set of models that changes over
+ * time; unlike an offline sweep (experiments::DesignCache, which only
+ * ever grows), the serving compile cache must be bounded.  The store
+ * keys on the exact same identity as the sweep cache —
+ * experiments::DesignKey, the matrix FNV content hash plus
+ * CompileOptions — so "same design" means the same thing online and
+ * offline, and reuses DesignCache::Stats as its hit/miss snapshot.
+ * Note the bound is on the *cache*: callers holding a returned
+ * shared_ptr (e.g. a Server, which pins every registered design for
+ * its lifetime) keep evicted designs alive until they let go.
+ *
+ * Thread-safe.  Concurrent get()s for one key compile once: the first
+ * requester owns the compilation and everyone else blocks on its
+ * shared future (in-flight dedup).  Eviction is strict LRU over
+ * completed entries; evicted designs stay alive for holders of the
+ * returned shared_ptr.
+ */
+
+#ifndef SPATIAL_SERVE_DESIGN_STORE_H
+#define SPATIAL_SERVE_DESIGN_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/compiled_matrix.h"
+#include "experiments/design_cache.h"
+#include "matrix/dense.h"
+
+namespace spatial::serve
+{
+
+/** Bounded LRU of compiled designs with in-flight compile dedup. */
+class DesignStore
+{
+  public:
+    /** Snapshot of the store's accounting. */
+    struct Stats
+    {
+        /** Hit/miss counters (same struct the sweep cache exposes). */
+        experiments::DesignCache::Stats cache;
+
+        std::size_t evictions = 0; //!< entries dropped by the LRU
+        std::size_t resident = 0;  //!< entries currently held
+    };
+
+    /** Store holding at most `capacity` designs (min 1). */
+    explicit DesignStore(std::size_t capacity = 64);
+
+    /**
+     * The compiled design for (weights, options), compiling on first
+     * request.  Never returns null; rethrows the owner's compile error
+     * to every waiter and evicts the entry so later calls retry.
+     */
+    std::shared_ptr<const core::CompiledMatrix>
+    get(const IntMatrix &weights, const core::CompileOptions &options);
+
+    /**
+     * As get(), for callers that already computed the key (avoids
+     * re-hashing the matrix); `key` must equal
+     * makeDesignKey(weights, options).
+     */
+    std::shared_ptr<const core::CompiledMatrix>
+    get(const experiments::DesignKey &key, const IntMatrix &weights,
+        const core::CompileOptions &options);
+
+    /** Current accounting (counters are lock-free reads). */
+    Stats stats() const;
+
+    /** The configured capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    using Future =
+        std::shared_future<std::shared_ptr<const core::CompiledMatrix>>;
+
+    struct Entry
+    {
+        Future future;
+        std::list<experiments::DesignKey>::iterator lruIt;
+    };
+
+    /** Drop least-recently-used entries beyond capacity (lock held). */
+    void evictLocked();
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::unordered_map<experiments::DesignKey, Entry,
+                       experiments::DesignKeyHash>
+        entries_;
+    /** Keys in recency order, most recent first. */
+    std::list<experiments::DesignKey> lru_;
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
+    std::atomic<std::size_t> evictions_{0};
+};
+
+} // namespace spatial::serve
+
+#endif // SPATIAL_SERVE_DESIGN_STORE_H

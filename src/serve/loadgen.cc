@@ -1,0 +1,398 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/batch_engine.h"
+#include "experiments/json.h"
+#include "matrix/bits.h"
+#include "matrix/generate.h"
+
+namespace spatial::serve
+{
+
+namespace
+{
+
+/** ESN-step knobs the generated workload uses throughout. */
+constexpr int kEsnPostShift = 2;
+
+struct Workload
+{
+    std::vector<IntMatrix> weights; //!< per-design matrices
+    std::vector<DesignId> ids;      //!< registered design ids
+    /** Request templates, paired with their target design. */
+    std::vector<std::pair<std::size_t, Request>> stream;
+};
+
+/** Generate designs + a request stream from one seeded Rng. */
+Workload
+makeWorkload(const LoadGenOptions &options, Server &server,
+             std::size_t stream_length)
+{
+    Workload workload;
+    Rng rng(options.seed);
+
+    core::CompileOptions compile;
+    compile.inputBits = options.bits;
+    compile.inputsSigned = true;
+    compile.signMode = core::SignMode::Csd;
+
+    const std::size_t designs = std::max<std::size_t>(1, options.designs);
+    for (std::size_t d = 0; d < designs; ++d) {
+        workload.weights.push_back(makeSignedElementSparseMatrix(
+            options.dim, options.dim, options.bits, options.sparsity,
+            rng));
+        workload.ids.push_back(
+            server.registerDesign(workload.weights.back(), compile));
+    }
+
+    workload.stream.reserve(stream_length);
+    for (std::size_t i = 0; i < stream_length; ++i) {
+        const std::size_t d = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(designs) - 1));
+        const double mix = rng.uniformReal();
+        Request request;
+        if (mix < options.esnFraction) {
+            request = Request::esnStep(
+                makeSignedVector(options.dim, options.bits, rng),
+                makeSignedVector(options.dim, options.bits, rng),
+                kEsnPostShift, options.bits);
+        } else if (mix < options.esnFraction + options.batchFraction) {
+            request = Request::gemvBatch(makeSignedBatch(
+                std::max<std::size_t>(1, options.batchSize), options.dim,
+                options.bits, rng));
+        } else {
+            request = Request::gemv(
+                makeSignedVector(options.dim, options.bits, rng));
+        }
+        workload.stream.emplace_back(d, std::move(request));
+    }
+    return workload;
+}
+
+double
+secondsBetween(std::chrono::time_point<Clock> a,
+               std::chrono::time_point<Clock> b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+LatencySummary
+summarize(std::vector<double> &latencies_ms)
+{
+    LatencySummary summary;
+    if (latencies_ms.empty())
+        return summary;
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const auto at = [&](double q) {
+        const std::size_t i = std::min(
+            latencies_ms.size() - 1,
+            static_cast<std::size_t>(
+                q * static_cast<double>(latencies_ms.size())));
+        return latencies_ms[i];
+    };
+    summary.p50 = at(0.50);
+    summary.p95 = at(0.95);
+    summary.p99 = at(0.99);
+    summary.max = latencies_ms.back();
+    double sum = 0.0;
+    for (const double v : latencies_ms)
+        sum += v;
+    summary.mean = sum / static_cast<double>(latencies_ms.size());
+    return summary;
+}
+
+/** The naive path's answer to one request (one multiply per vector). */
+IntMatrix
+naiveAnswer(core::TapeGemv &gemv, const Request &request,
+            std::size_t cols)
+{
+    if (request.kind == RequestKind::GemvBatch) {
+        IntMatrix out(request.batch.rows(), cols);
+        std::vector<std::int64_t> x(request.batch.cols());
+        std::vector<std::int64_t> o;
+        for (std::size_t b = 0; b < request.batch.rows(); ++b) {
+            for (std::size_t r = 0; r < x.size(); ++r)
+                x[r] = request.batch.at(b, r);
+            gemv.multiplyInto(x, o);
+            for (std::size_t c = 0; c < cols; ++c)
+                out.at(b, c) = o[c];
+        }
+        return out;
+    }
+    std::vector<std::int64_t> o;
+    gemv.multiplyInto(request.vec, o);
+    IntMatrix out(1, cols);
+    if (request.kind == RequestKind::EsnStep) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::int64_t inj =
+                request.inject.empty() ? 0 : request.inject[c];
+            out.at(0, c) = esnClipUpdate(o[c] + inj, request.postShift,
+                                         request.stateBits);
+        }
+    } else {
+        for (std::size_t c = 0; c < cols; ++c)
+            out.at(0, c) = o[c];
+    }
+    return out;
+}
+
+/** Time the identical stream on per-worker TapeGemv executors. */
+double
+runNaive(Server &server, const Workload &workload,
+         std::vector<IntMatrix> &outputs)
+{
+    outputs.assign(workload.stream.size(), IntMatrix());
+    const unsigned workers = server.options().workers;
+    std::atomic<std::size_t> next{0};
+    const auto start = Clock::now();
+    auto body = [&] {
+        // One persistent single-vector executor per (worker, design).
+        std::vector<std::unique_ptr<core::TapeGemv>> gemvs;
+        gemvs.reserve(workload.ids.size());
+        for (const DesignId id : workload.ids)
+            gemvs.push_back(
+                std::make_unique<core::TapeGemv>(server.design(id)));
+        const std::size_t cols =
+            server.design(workload.ids.front()).cols();
+        for (std::size_t i = next.fetch_add(1);
+             i < workload.stream.size(); i = next.fetch_add(1)) {
+            const auto &[d, request] = workload.stream[i];
+            outputs[i] = naiveAnswer(*gemvs[d], request, cols);
+        }
+    };
+    if (workers <= 1) {
+        body();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(body);
+        for (auto &thread : pool)
+            thread.join();
+    }
+    return secondsBetween(start, Clock::now());
+}
+
+} // namespace
+
+const char *
+modeName(LoadGenOptions::Mode mode)
+{
+    switch (mode) {
+      case LoadGenOptions::Mode::Open:
+        return "open";
+      case LoadGenOptions::Mode::Closed:
+        return "closed";
+      case LoadGenOptions::Mode::Drain:
+        return "drain";
+    }
+    return "?";
+}
+
+LoadGenOptions::Mode
+parseMode(const std::string &name)
+{
+    if (name == "open")
+        return LoadGenOptions::Mode::Open;
+    if (name == "closed")
+        return LoadGenOptions::Mode::Closed;
+    if (name == "drain")
+        return LoadGenOptions::Mode::Drain;
+    SPATIAL_FATAL("unknown load mode '", name,
+                  "' (expected open, closed, or drain)");
+}
+
+LoadGenResult
+runLoadGen(const LoadGenOptions &options)
+{
+    LoadGenResult result;
+    Server server(options.serve);
+
+    if (options.mode == LoadGenOptions::Mode::Drain) {
+        auto workload = makeWorkload(options, server, options.requests);
+        std::vector<std::future<Response>> futures;
+        futures.reserve(workload.stream.size());
+
+        const auto start = Clock::now();
+        for (const auto &[d, request] : workload.stream)
+            futures.push_back(
+                server.submit(workload.ids[d], Request(request)));
+        server.drain();
+        result.seconds = secondsBetween(start, Clock::now());
+
+        std::vector<Response> responses;
+        responses.reserve(futures.size());
+        std::vector<double> latencies;
+        for (auto &future : futures) {
+            responses.push_back(future.get());
+            latencies.push_back(responses.back().latencySeconds() * 1e3);
+        }
+        result.completed = responses.size();
+        result.latencyMs = summarize(latencies);
+
+        if (options.compareNaive) {
+            std::vector<IntMatrix> naive;
+            result.naiveSeconds = runNaive(server, workload, naive);
+            result.naiveThroughput =
+                static_cast<double>(result.completed) /
+                result.naiveSeconds;
+            for (std::size_t i = 0; i < naive.size(); ++i)
+                if (!(naive[i] == responses[i].output)) {
+                    result.bitExact = false;
+                    break;
+                }
+        }
+    } else if (options.mode == LoadGenOptions::Mode::Open) {
+        if (!(options.qps > 0.0))
+            SPATIAL_FATAL("open-loop load needs qps > 0, got ",
+                          options.qps);
+        // Template pool cycled by the arrival process: generation cost
+        // stays off the submission path.
+        const std::size_t pool =
+            std::min<std::size_t>(1024, std::max<std::size_t>(
+                                            64, options.requests));
+        auto workload = makeWorkload(options, server, pool);
+        Rng arrivals(options.seed ^ 0xa11afeedull);
+
+        std::vector<std::future<Response>> futures;
+        futures.reserve(static_cast<std::size_t>(
+            options.qps * options.duration * 1.2 + 64));
+        const auto start = Clock::now();
+        const auto end =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(options.duration));
+        auto next = start;
+        std::size_t i = 0;
+        for (;;) {
+            const auto now = Clock::now();
+            if (now >= end)
+                break;
+            if (now < next) {
+                std::this_thread::sleep_until(std::min(next, end));
+                continue;
+            }
+            const auto &[d, request] = workload.stream[i % pool];
+            futures.push_back(
+                server.submit(workload.ids[d], Request(request)));
+            ++i;
+            const double u = std::min(arrivals.uniformReal(), 0.999999);
+            next += std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(-std::log1p(-u) /
+                                              options.qps));
+        }
+        server.drain();
+        result.seconds = secondsBetween(start, Clock::now());
+
+        std::vector<double> latencies;
+        latencies.reserve(futures.size());
+        for (auto &future : futures)
+            latencies.push_back(future.get().latencySeconds() * 1e3);
+        result.completed = latencies.size();
+        result.latencyMs = summarize(latencies);
+    } else {
+        const std::size_t pool = 1024;
+        auto workload = makeWorkload(options, server, pool);
+        const unsigned clients = std::max(1u, options.clients);
+
+        std::atomic<bool> stop{false};
+        std::atomic<std::size_t> completed{0};
+        std::mutex latMutex;
+        std::vector<double> latencies;
+
+        const auto start = Clock::now();
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (unsigned t = 0; t < clients; ++t) {
+            threads.emplace_back([&, t] {
+                Rng pick(options.seed + 1 + t);
+                std::vector<double> local;
+                while (!stop.load(std::memory_order_relaxed)) {
+                    const auto &[d, request] = workload.stream
+                        [static_cast<std::size_t>(pick.uniformInt(
+                            0, static_cast<std::int64_t>(pool) - 1))];
+                    auto future = server.submit(workload.ids[d],
+                                                Request(request));
+                    local.push_back(future.get().latencySeconds() * 1e3);
+                }
+                completed.fetch_add(local.size());
+                std::lock_guard<std::mutex> lock(latMutex);
+                latencies.insert(latencies.end(), local.begin(),
+                                 local.end());
+            });
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options.duration));
+        stop.store(true);
+        for (auto &thread : threads)
+            thread.join();
+        server.drain();
+        result.seconds = secondsBetween(start, Clock::now());
+        result.completed = completed.load();
+        result.latencyMs = summarize(latencies);
+    }
+
+    result.throughput = result.seconds > 0.0
+                            ? static_cast<double>(result.completed) /
+                                  result.seconds
+                            : 0.0;
+    if (result.naiveThroughput > 0.0)
+        result.speedup = result.throughput / result.naiveThroughput;
+    result.stats = server.stats();
+    return result;
+}
+
+std::string
+LoadGenResult::toJson(const LoadGenOptions &options) const
+{
+    using experiments::jsonQuote;
+    using experiments::jsonReal;
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"spatial-serve/v1\",\n";
+    out << "  \"mode\": " << jsonQuote(modeName(options.mode)) << ",\n";
+    out << "  \"designs\": " << options.designs << ",\n";
+    out << "  \"dim\": " << options.dim << ",\n";
+    out << "  \"bits\": " << options.bits << ",\n";
+    out << "  \"sparsity\": " << jsonReal(options.sparsity) << ",\n";
+    out << "  \"max_batch\": " << options.serve.maxBatch << ",\n";
+    out << "  \"max_delay_us\": " << options.serve.maxDelay.count()
+        << ",\n";
+    out << "  \"workers\": " << options.serve.workers << ",\n";
+    out << "  \"seed\": " << options.seed << ",\n";
+    out << "  \"qps_target\": " << jsonReal(options.qps) << ",\n";
+    out << "  \"completed\": " << completed << ",\n";
+    out << "  \"seconds\": " << jsonReal(seconds) << ",\n";
+    out << "  \"throughput\": " << jsonReal(throughput) << ",\n";
+    out << "  \"p50_ms\": " << jsonReal(latencyMs.p50) << ",\n";
+    out << "  \"p95_ms\": " << jsonReal(latencyMs.p95) << ",\n";
+    out << "  \"p99_ms\": " << jsonReal(latencyMs.p99) << ",\n";
+    out << "  \"mean_ms\": " << jsonReal(latencyMs.mean) << ",\n";
+    out << "  \"max_ms\": " << jsonReal(latencyMs.max) << ",\n";
+    out << "  \"groups\": " << stats.groups << ",\n";
+    out << "  \"lanes\": " << stats.lanes << ",\n";
+    out << "  \"padded_lanes\": " << stats.paddedLanes << ",\n";
+    out << "  \"occupancy\": " << jsonReal(stats.occupancy()) << ",\n";
+    out << "  \"flush_full\": " << stats.flushFull << ",\n";
+    out << "  \"flush_deadline\": " << stats.flushDeadline << ",\n";
+    out << "  \"flush_drain\": " << stats.flushDrain << ",\n";
+    out << "  \"sequences\": " << stats.sequences << ",\n";
+    out << "  \"store_hits\": " << stats.store.cache.hits << ",\n";
+    out << "  \"store_misses\": " << stats.store.cache.misses << ",\n";
+    out << "  \"store_evictions\": " << stats.store.evictions << ",\n";
+    out << "  \"naive_seconds\": " << jsonReal(naiveSeconds) << ",\n";
+    out << "  \"naive_throughput\": " << jsonReal(naiveThroughput)
+        << ",\n";
+    out << "  \"speedup\": " << jsonReal(speedup) << ",\n";
+    out << "  \"bit_exact\": " << (bitExact ? "true" : "false") << "\n";
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace spatial::serve

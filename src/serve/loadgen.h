@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Load generation against the serving layer.
+ *
+ * One harness behind both the spatial-serve CLI and the registry's
+ * serving_throughput experiment: it builds a mixed multi-design
+ * workload from a seeded Rng, drives a Server in one of three modes —
+ * open loop (Poisson arrivals at a target QPS), closed loop (N clients
+ * in submit/wait cycles), or drain (submit everything, then drain: the
+ * batch-saturating ceiling) — and reports throughput, latency
+ * percentiles, and batching behaviour.  Drain mode can additionally
+ * execute the identical request list on the naive
+ * one-request-per-multiply path (per-worker core::TapeGemv) to measure
+ * the batching speedup, verifying both sides bit-identical first.
+ */
+
+#ifndef SPATIAL_SERVE_LOADGEN_H
+#define SPATIAL_SERVE_LOADGEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/server.h"
+
+namespace spatial::serve
+{
+
+/** Workload and drive-mode knobs of one load-generation run. */
+struct LoadGenOptions
+{
+    /** How the generator applies load. */
+    enum class Mode
+    {
+        Open,   //!< Poisson arrivals at `qps` for `duration` seconds
+        Closed, //!< `clients` threads in submit/wait loops
+        Drain,  //!< submit `requests` up front, then drain
+    };
+
+    Mode mode = Mode::Drain;
+
+    /** Open loop: target arrival rate (requests/second). */
+    double qps = 20000.0;
+
+    /** Closed loop: concurrent clients. */
+    unsigned clients = 128;
+
+    /** Open/closed loop: run length in seconds. */
+    double duration = 1.0;
+
+    /** Drain mode: total requests submitted before the drain. */
+    std::size_t requests = 4096;
+
+    /** Distinct designs receiving traffic (round-robin-ish mix). */
+    std::size_t designs = 1;
+
+    /** Design shape: dim x dim signed matrices. */
+    std::size_t dim = 128;
+
+    /** Weight / input bitwidth. */
+    int bits = 8;
+
+    /** Element sparsity of the generated weights. */
+    double sparsity = 0.9;
+
+    /** Fraction of requests that are pre-batched GemvBatch. */
+    double batchFraction = 0.0;
+
+    /** Rows per GemvBatch request. */
+    std::size_t batchSize = 16;
+
+    /** Fraction of requests that are EsnStep updates. */
+    double esnFraction = 0.0;
+
+    /** Workload / arrival-stream seed (reproducible run-to-run). */
+    std::uint64_t seed = 42;
+
+    /** Drain mode: also time the naive path and check bit-identity. */
+    bool compareNaive = false;
+
+    /** Server configuration. */
+    ServeOptions serve;
+};
+
+/** Latency distribution summary (milliseconds). */
+struct LatencySummary
+{
+    double p50 = 0.0;  //!< median
+    double p95 = 0.0;  //!< 95th percentile
+    double p99 = 0.0;  //!< 99th percentile
+    double mean = 0.0; //!< arithmetic mean
+    double max = 0.0;  //!< worst observed
+};
+
+/** The outcome of one load-generation run. */
+struct LoadGenResult
+{
+    std::size_t completed = 0;  //!< requests fulfilled
+    double seconds = 0.0;       //!< wall clock of the loaded phase
+    double throughput = 0.0;    //!< completed / seconds
+    LatencySummary latencyMs;   //!< submit-to-scatter latency
+    ServerStats stats;          //!< server counters after the run
+
+    /** Drain mode with compareNaive: the naive path's numbers. */
+    double naiveSeconds = 0.0;
+    double naiveThroughput = 0.0;
+    double speedup = 0.0; //!< batched / naive throughput
+    bool bitExact = true; //!< batched outputs == naive outputs
+
+    /** Flat JSON object for BENCH_serve.json / CI trending. */
+    std::string toJson(const LoadGenOptions &options) const;
+};
+
+/** Mode name for reports ("open" / "closed" / "drain"). */
+const char *modeName(LoadGenOptions::Mode mode);
+
+/** Parse a mode name; fatal on anything unknown. */
+LoadGenOptions::Mode parseMode(const std::string &name);
+
+/** Build the workload, run the server under it, summarize. */
+LoadGenResult runLoadGen(const LoadGenOptions &options);
+
+} // namespace spatial::serve
+
+#endif // SPATIAL_SERVE_LOADGEN_H

@@ -1,0 +1,403 @@
+#include "serve/server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/batch_engine.h"
+#include "matrix/bits.h"
+
+namespace spatial::serve
+{
+
+Server::Server(ServeOptions options) : options_(options), store_(options.storeCapacity)
+{
+    options_.maxBatch = std::max<std::size_t>(1, options_.maxBatch);
+    unsigned workers = options_.workers != 0
+                           ? options_.workers
+                           : std::thread::hardware_concurrency();
+    workers = std::max(1u, workers);
+    options_.workers = workers;
+
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    timer_ = std::thread([this] { timerLoop(); });
+}
+
+Server::~Server()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    timerCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    timer_.join();
+}
+
+DesignId
+Server::registerDesign(const IntMatrix &weights,
+                       const core::CompileOptions &options)
+{
+    const auto key = experiments::makeDesignKey(weights, options);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = designIds_.find(key);
+        if (it != designIds_.end())
+            return it->second;
+    }
+    // Compile outside the scheduling lock; the store dedups concurrent
+    // compilations of the same design (and reuses the key computed
+    // above instead of re-hashing the matrix).
+    auto design = store_.get(key, weights, options);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = designIds_.find(key);
+    if (it != designIds_.end())
+        return it->second;
+    const DesignId id = designs_.size();
+    BatchPolicy policy{options_.maxBatch, options_.maxDelay};
+    designs_.push_back(
+        std::make_unique<DesignEntry>(id, std::move(design), policy));
+    designIds_.emplace(key, id);
+    return id;
+}
+
+std::future<Response>
+Server::submit(DesignId id, Request request)
+{
+    PendingRequest pending;
+    pending.request = std::move(request);
+    pending.submitAt = Clock::now();
+    auto future = pending.promise.get_future();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id >= designs_.size())
+        SPATIAL_FATAL("submit to unregistered design ", id);
+    DesignEntry &entry = *designs_[id];
+    const auto &design = *entry.design;
+    const Request &req = pending.request;
+
+    switch (req.kind) {
+      case RequestKind::Gemv:
+        if (req.vec.size() != design.rows())
+            SPATIAL_FATAL("gemv input length ", req.vec.size(),
+                          " != design rows ", design.rows());
+        break;
+      case RequestKind::GemvBatch:
+        if (req.batch.rows() == 0 || req.batch.cols() != design.rows())
+            SPATIAL_FATAL("gemv batch shape ", req.batch.rows(), "x",
+                          req.batch.cols(), " vs design rows ",
+                          design.rows());
+        break;
+      case RequestKind::EsnStep:
+        if (req.vec.size() != design.rows())
+            SPATIAL_FATAL("esn state length ", req.vec.size(),
+                          " != design rows ", design.rows());
+        if (!req.inject.empty() && req.inject.size() != design.cols())
+            SPATIAL_FATAL("esn inject length ", req.inject.size(),
+                          " != design cols ", design.cols());
+        break;
+      case RequestKind::EsnSequence:
+        if (design.rows() != design.cols())
+            SPATIAL_FATAL("esn sequence needs a square design, got ",
+                          design.rows(), "x", design.cols());
+        if (req.vec.size() != design.rows())
+            SPATIAL_FATAL("esn state length ", req.vec.size(),
+                          " != design rows ", design.rows());
+        if (req.injectSeq.rows() > 0 &&
+            req.injectSeq.cols() != design.cols())
+            SPATIAL_FATAL("esn inject width ", req.injectSeq.cols(),
+                          " != design cols ", design.cols());
+        break;
+    }
+    if ((req.kind == RequestKind::EsnStep ||
+         req.kind == RequestKind::EsnSequence) &&
+        (req.postShift < 0 || req.postShift > 62 ||
+         req.stateBits < 1 || req.stateBits > 62))
+        SPATIAL_FATAL("esn postShift/stateBits out of range: ",
+                      req.postShift, "/", req.stateBits);
+
+    ++stats_.requests;
+
+    if (req.kind == RequestKind::EsnSequence) {
+        // Sequential job: no lanes to pack, straight to the scheduler.
+        Group group;
+        group.design = id;
+        group.lanes = 0;
+        group.reason = FlushReason::Direct;
+        group.flushAt = pending.submitAt;
+        group.requests.push_back(std::move(pending));
+        std::vector<Group> direct;
+        direct.push_back(std::move(group));
+        pushGroupsLocked(std::move(direct));
+    } else {
+        auto flushed = entry.batcher.enqueue(std::move(pending),
+                                             Clock::now());
+        pushGroupsLocked(std::move(flushed));
+        // The deadline horizon only moves when this enqueue opened a
+        // fresh group (queue was empty, or an overflow flush left the
+        // request alone); skip the timer wakeup otherwise.
+        if (entry.batcher.pendingRequests() == 1)
+            timerCv_.notify_one();
+    }
+    return future;
+}
+
+void
+Server::pushGroupsLocked(std::vector<Group> groups)
+{
+    for (auto &group : groups) {
+        switch (group.reason) {
+          case FlushReason::Full:
+            ++stats_.flushFull;
+            break;
+          case FlushReason::Deadline:
+            ++stats_.flushDeadline;
+            break;
+          case FlushReason::Drain:
+            ++stats_.flushDrain;
+            break;
+          case FlushReason::Direct:
+            break;
+        }
+        designs_[group.design]->ready.push_back(std::move(group));
+        ++readyGroups_;
+    }
+    if (!groups.empty())
+        workCv_.notify_all();
+}
+
+std::optional<Group>
+Server::popGroupLocked()
+{
+    if (readyGroups_ == 0 || designs_.empty())
+        return std::nullopt;
+    // Round-robin across designs: scan from the cursor, take the first
+    // non-empty queue, and advance the cursor past it, so a design with
+    // a deep backlog yields to its neighbours after every group.
+    const std::size_t n = designs_.size();
+    for (std::size_t offset = 0; offset < n; ++offset) {
+        const std::size_t d = (rrCursor_ + offset) % n;
+        auto &ready = designs_[d]->ready;
+        if (ready.empty())
+            continue;
+        Group group = std::move(ready.front());
+        ready.pop_front();
+        --readyGroups_;
+        rrCursor_ = (d + 1) % n;
+        return group;
+    }
+    return std::nullopt;
+}
+
+void
+Server::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workCv_.wait(lock,
+                     [this] { return readyGroups_ > 0 || stopping_; });
+        if (stopping_ && readyGroups_ == 0)
+            return;
+        auto group = popGroupLocked();
+        if (!group)
+            continue;
+        ++inFlight_;
+        // Pin the design across the unlocked execution window.
+        auto design = designs_[group->design]->design;
+        lock.unlock();
+        if (!group->requests.empty() &&
+            group->requests.front().request.kind ==
+                RequestKind::EsnSequence)
+            executeSequence(*design, std::move(*group));
+        else
+            executeGroup(*design, std::move(*group));
+        lock.lock();
+        --inFlight_;
+        if (readyGroups_ == 0 && inFlight_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
+void
+Server::executeGroup(const core::CompiledMatrix &design, Group group)
+{
+    const std::size_t rows = design.rows();
+    const std::size_t cols = design.cols();
+
+    // Pad the group to the engine's 64-lane boundary; the zero lanes
+    // are valid inputs and their outputs are simply dropped.
+    const std::size_t padded = (group.lanes + 63) / 64 * 64;
+    IntMatrix batch(padded, rows);
+    std::size_t lane = 0;
+    for (const auto &p : group.requests) {
+        const Request &req = p.request;
+        if (req.kind == RequestKind::GemvBatch) {
+            for (std::size_t b = 0; b < req.batch.rows(); ++b, ++lane)
+                for (std::size_t r = 0; r < rows; ++r)
+                    batch.at(lane, r) = req.batch.at(b, r);
+        } else {
+            for (std::size_t r = 0; r < rows; ++r)
+                batch.at(lane, r) = req.vec[r];
+            ++lane;
+        }
+    }
+    SPATIAL_ASSERT(lane == group.lanes, "lane accounting");
+
+    // One worker, one group: intra-group threading would fight the
+    // pool's group-level parallelism.
+    core::SimOptions sim = options_.sim;
+    sim.threads = 1;
+    const IntMatrix out = core::runBatchWide(design, batch, sim);
+
+    const auto done = Clock::now();
+    lane = 0;
+    for (auto &p : group.requests) {
+        const Request &req = p.request;
+        Response resp;
+        resp.submitAt = p.submitAt;
+        resp.flushAt = group.flushAt;
+        resp.doneAt = done;
+        resp.groupLanes = static_cast<std::uint32_t>(group.lanes);
+        resp.flushReason = group.reason;
+        if (req.kind == RequestKind::GemvBatch) {
+            resp.output = IntMatrix(req.batch.rows(), cols);
+            for (std::size_t b = 0; b < req.batch.rows(); ++b, ++lane)
+                for (std::size_t c = 0; c < cols; ++c)
+                    resp.output.at(b, c) = out.at(lane, c);
+        } else if (req.kind == RequestKind::EsnStep) {
+            resp.output = IntMatrix(1, cols);
+            for (std::size_t c = 0; c < cols; ++c) {
+                const std::int64_t inj =
+                    req.inject.empty() ? 0 : req.inject[c];
+                resp.output.at(0, c) =
+                    esnClipUpdate(out.at(lane, c) + inj, req.postShift,
+                                  req.stateBits);
+            }
+            ++lane;
+        } else {
+            resp.output = IntMatrix(1, cols);
+            for (std::size_t c = 0; c < cols; ++c)
+                resp.output.at(0, c) = out.at(lane, c);
+            ++lane;
+        }
+        p.promise.set_value(std::move(resp));
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.groups;
+    stats_.lanes += group.lanes;
+    stats_.paddedLanes += padded;
+}
+
+void
+Server::executeSequence(const core::CompiledMatrix &design, Group group)
+{
+    auto &p = group.requests.front();
+    const Request &req = p.request;
+    const std::size_t cols = design.cols();
+    const std::size_t steps = req.injectSeq.rows();
+
+    core::TapeGemv gemv(design);
+    std::vector<std::int64_t> state = req.vec;
+    std::vector<std::int64_t> product(cols);
+    IntMatrix trajectory(steps, cols);
+    for (std::size_t t = 0; t < steps; ++t) {
+        gemv.multiplyInto(state, product);
+        for (std::size_t c = 0; c < cols; ++c) {
+            state[c] =
+                esnClipUpdate(product[c] + req.injectSeq.at(t, c),
+                              req.postShift, req.stateBits);
+            trajectory.at(t, c) = state[c];
+        }
+    }
+
+    Response resp;
+    resp.submitAt = p.submitAt;
+    resp.flushAt = group.flushAt;
+    resp.doneAt = Clock::now();
+    resp.groupLanes = 1;
+    resp.flushReason = FlushReason::Direct;
+    resp.output = std::move(trajectory);
+    p.promise.set_value(std::move(resp));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.sequences;
+    stats_.sequenceSteps += steps;
+}
+
+void
+Server::timerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        // Earliest pending deadline across all batchers.
+        std::optional<std::chrono::time_point<Clock>> earliest;
+        for (const auto &entry : designs_) {
+            const auto d = entry->batcher.deadline();
+            if (d && (!earliest || *d < *earliest))
+                earliest = d;
+        }
+        if (!earliest) {
+            timerCv_.wait(lock);
+            continue;
+        }
+        if (timerCv_.wait_until(lock, *earliest) ==
+            std::cv_status::no_timeout)
+            continue; // new submit or stop: recompute the horizon
+        const auto now = Clock::now();
+        std::vector<Group> expired;
+        for (const auto &entry : designs_)
+            if (auto group = entry->batcher.pollDeadline(now))
+                expired.push_back(std::move(*group));
+        pushGroupsLocked(std::move(expired));
+    }
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto now = Clock::now();
+    std::vector<Group> flushed;
+    for (const auto &entry : designs_)
+        if (auto group = entry->batcher.flush(FlushReason::Drain, now))
+            flushed.push_back(std::move(*group));
+    pushGroupsLocked(std::move(flushed));
+    idleCv_.wait(lock,
+                 [this] { return readyGroups_ == 0 && inFlight_ == 0; });
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats stats;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats = stats_;
+    }
+    stats.store = store_.stats();
+    return stats;
+}
+
+const core::CompiledMatrix &
+Server::design(DesignId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id >= designs_.size())
+        SPATIAL_FATAL("unknown design ", id);
+    return *designs_[id]->design;
+}
+
+std::size_t
+Server::designCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return designs_.size();
+}
+
+} // namespace spatial::serve

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The in-process serving subsystem: multi-design request scheduling
+ * with deadline-aware lane batching on the wide tape engine.
+ *
+ * Request lifecycle:
+ *
+ *  1. registerDesign() compiles (or LRU-fetches) the model through the
+ *     DesignStore and creates its Batcher;
+ *  2. submit() queues a Request on the design's Batcher and returns a
+ *     future; the batcher cuts groups on max_batch lanes, max_delay
+ *     deadlines (a timer thread watches the earliest deadline), or
+ *     drain;
+ *  3. flushed groups enter per-design ready queues; a persistent
+ *     worker pool pops them round-robin across designs (one hot model
+ *     cannot starve the rest), pads each group to the 64-lane engine
+ *     boundary, runs it through core::runBatchWide, and scatters the
+ *     decoded rows back to the member futures.  EsnSequence requests
+ *     are inherently sequential and run on a per-job core::TapeGemv
+ *     instead, scheduled through the same fair queues.
+ *
+ * All synchronization lives here: Batcher and the ready queues are
+ * driven under one scheduling mutex; group execution (the expensive
+ * part) runs outside it.
+ */
+
+#ifndef SPATIAL_SERVE_SERVER_H
+#define SPATIAL_SERVE_SERVER_H
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.h"
+#include "serve/batcher.h"
+#include "serve/design_store.h"
+#include "serve/request.h"
+
+namespace spatial::serve
+{
+
+/** Server-wide configuration. */
+struct ServeOptions
+{
+    /** Lane budget per flushed group (Batcher full trigger). */
+    std::size_t maxBatch = 256;
+
+    /** Deadline for a queued request before a forced flush. */
+    std::chrono::microseconds maxDelay{2000};
+
+    /** Execution workers; 0 = one per hardware context. */
+    unsigned workers = 0;
+
+    /** DesignStore capacity (resident compiled designs). */
+    std::size_t storeCapacity = 64;
+
+    /**
+     * Engine knobs for group execution.  `threads` is ignored: each
+     * group runs single-threaded inside one worker — parallelism comes
+     * from the pool running independent groups.
+     */
+    core::SimOptions sim;
+};
+
+/** Cumulative server counters (point-in-time snapshot). */
+struct ServerStats
+{
+    std::size_t requests = 0;      //!< submits accepted
+    std::size_t lanes = 0;         //!< engine lanes of real work
+    std::size_t groups = 0;        //!< batched groups executed
+    std::size_t paddedLanes = 0;   //!< lanes after 64-lane padding
+    std::size_t flushFull = 0;     //!< groups cut by the lane budget
+    std::size_t flushDeadline = 0; //!< groups cut by max_delay
+    std::size_t flushDrain = 0;    //!< groups cut by drain()
+    std::size_t sequences = 0;     //!< EsnSequence jobs executed
+    std::size_t sequenceSteps = 0; //!< total sequential ESN steps
+    DesignStore::Stats store;      //!< compile cache accounting
+
+    /** Fraction of padded engine lanes carrying real work. */
+    double occupancy() const
+    {
+        return paddedLanes == 0
+                   ? 0.0
+                   : static_cast<double>(lanes) /
+                         static_cast<double>(paddedLanes);
+    }
+};
+
+/**
+ * Asynchronous multi-design server over the wide tape engine.
+ *
+ * Thread-safe: submit() may be called from any number of client
+ * threads.  The destructor drains outstanding work before joining the
+ * pool, so every returned future is fulfilled.
+ */
+class Server
+{
+  public:
+    /** Start the worker pool and deadline timer. */
+    explicit Server(ServeOptions options = {});
+
+    /** Drain outstanding work and join the pool. */
+    ~Server();
+
+    /** Non-copyable: owns worker threads and pending promises. */
+    Server(const Server &) = delete;
+    /** Non-assignable (same reason). */
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Register (weights, options) for serving, compiling through the
+     * LRU store on first sight.  Re-registering an identical design
+     * returns the existing id (requests then share its batcher).  A
+     * registered design stays resident for the server's lifetime —
+     * the store's LRU bounds compile-cache churn, not registrations.
+     */
+    DesignId registerDesign(const IntMatrix &weights,
+                            const core::CompileOptions &options);
+
+    /**
+     * Queue one request against a registered design.  Shape errors are
+     * fatal (the caller holds the design's dimensions).  The future is
+     * fulfilled when the request's group has executed.
+     */
+    std::future<Response> submit(DesignId id, Request request);
+
+    /** Flush every open group and wait until all work has executed. */
+    void drain();
+
+    /** Current counters. */
+    ServerStats stats() const;
+
+    /** The compiled design behind an id (for reference checks). */
+    const core::CompiledMatrix &design(DesignId id) const;
+
+    /** Number of registered designs. */
+    std::size_t designCount() const;
+
+    /** The server's configuration (after clamping). */
+    const ServeOptions &options() const { return options_; }
+
+  private:
+    struct DesignEntry
+    {
+        std::shared_ptr<const core::CompiledMatrix> design;
+        Batcher batcher;
+        std::deque<Group> ready;
+
+        DesignEntry(DesignId id,
+                    std::shared_ptr<const core::CompiledMatrix> d,
+                    const BatchPolicy &policy)
+            : design(std::move(d)), batcher(id, policy)
+        {}
+    };
+
+    void workerLoop();
+    void timerLoop();
+
+    /** Pop the next ready group round-robin; nullopt when idle. */
+    std::optional<Group> popGroupLocked();
+
+    /** Enqueue flushed groups and account their flush reason. */
+    void pushGroupsLocked(std::vector<Group> groups);
+
+    /** Execute one group outside the lock and fulfill its futures. */
+    void executeGroup(const core::CompiledMatrix &design, Group group);
+
+    /** Run one EsnSequence request on a persistent tape executor. */
+    void executeSequence(const core::CompiledMatrix &design, Group group);
+
+    ServeOptions options_;
+    DesignStore store_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_;  //!< workers: ready or stopping
+    std::condition_variable timerCv_; //!< timer: deadlines changed
+    std::condition_variable idleCv_;  //!< drain(): all work finished
+
+    std::vector<std::unique_ptr<DesignEntry>> designs_;
+    std::unordered_map<experiments::DesignKey, DesignId,
+                       experiments::DesignKeyHash>
+        designIds_;
+    std::size_t rrCursor_ = 0;  //!< round-robin design cursor
+    std::size_t readyGroups_ = 0;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+
+    ServerStats stats_;
+
+    std::vector<std::thread> workers_;
+    std::thread timer_;
+};
+
+} // namespace spatial::serve
+
+#endif // SPATIAL_SERVE_SERVER_H
