@@ -5,9 +5,11 @@
  * BlockSimulator<W> executes an ExecPlan over W consecutive 64-bit
  * lane-words per node, evaluating the same netlist for up to 64*W
  * independent input vectors per step (W=1 matches WideSimulator's 64
- * lanes; W=4 gives 256, W=8 gives 512).  W is a compile-time constant so
- * every inner loop is a fixed-trip-count word loop the compiler can
- * unroll and vectorize.
+ * lanes; W=4 gives 256, W=8 gives 512).  The settle and commit sweeps
+ * are executed by a circuit::kernels::Kernel — explicit SIMD code
+ * (AVX2/AVX-512/NEON) selected once per process by runtime CPU
+ * detection, or injected by the caller to pin a specific dispatch
+ * target (the equivalence suite cross-checks every one).
  *
  * Unlike the interpreters, a step touches only the ops that do work:
  * constants are materialized once at reset, the settle tape is a single
@@ -34,12 +36,12 @@
 #define SPATIAL_CIRCUIT_BLOCK_SIMULATOR_H
 
 #include <algorithm>
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "circuit/exec_plan.h"
+#include "circuit/kernels.h"
 #include "common/logging.h"
 
 namespace spatial::circuit
@@ -58,9 +60,14 @@ class BlockSimulator
     /** Independent vectors evaluated per step. */
     static constexpr unsigned kLanes = 64 * W;
 
-    /** Bind to a plan; the plan must outlive the simulator. */
-    explicit BlockSimulator(const ExecPlan &plan)
+    /**
+     * Bind to a plan; the plan must outlive the simulator.  The sweeps
+     * run on `kernel` (default: the runtime-detected process kernel).
+     */
+    explicit BlockSimulator(const ExecPlan &plan,
+                            const kernels::Kernel *kernel = nullptr)
         : plan_(plan),
+          kernel_(kernel != nullptr ? *kernel : kernels::activeKernel()),
           cur_(plan.numSlots() * W, 0),
           carry_(plan.regs().size() * W, 0)
     {
@@ -107,13 +114,8 @@ class BlockSimulator
                     dst[w] = 0;
             }
         }
-        for (const auto &op : plan_.comb()) {
-            const std::uint64_t *a = &cur_[std::size_t{op.a} * W];
-            const std::uint64_t *b = &cur_[std::size_t{op.b} * W];
-            std::uint64_t *__restrict dst = &cur_[std::size_t{op.dst} * W];
-            for (unsigned w = 0; w < W; ++w)
-                dst[w] = (a[w] & b[w]) ^ op.inv;
-        }
+        const auto &comb = plan_.comb();
+        kernel_.settle(comb.data(), comb.size(), cur_.data(), W);
     }
 
     /** Phase 2: latch all register next states in one tape pass. */
@@ -121,28 +123,11 @@ class BlockSimulator
     commit()
     {
         const auto &regs = plan_.regs();
-        for (std::size_t k = 0; k < regs.size(); ++k) {
-            const auto &op = regs[k];
-            const std::uint64_t *a = &cur_[std::size_t{op.a} * W];
-            const std::uint64_t *b_raw = &cur_[std::size_t{op.b} * W];
-            std::uint64_t *carry = &carry_[k * W];
-            std::uint64_t *__restrict dst = &cur_[std::size_t{op.dst} * W];
-            for (unsigned w = 0; w < W; ++w) {
-                const std::uint64_t b = b_raw[w] ^ op.bInv;
-                const std::uint64_t c = carry[w];
-                const std::uint64_t sum = a[w] ^ b ^ c;
-                const std::uint64_t next_carry =
-                    (a[w] & b) | (a[w] & c) | (b & c);
-                if constexpr (CountToggles) {
-                    toggles_ += static_cast<std::uint64_t>(
-                        std::popcount(dst[w] ^ sum));
-                    toggles_ += static_cast<std::uint64_t>(
-                        std::popcount(c ^ next_carry));
-                }
-                dst[w] = sum;
-                carry[w] = next_carry;
-            }
-        }
+        const std::uint64_t toggles =
+            kernel_.commit(regs.data(), regs.size(), cur_.data(),
+                           carry_.data(), W, CountToggles);
+        if constexpr (CountToggles)
+            toggles_ += toggles;
         ++cycle_;
     }
 
@@ -206,8 +191,12 @@ class BlockSimulator
                 static_cast<double>(lanes_used));
     }
 
+    /** The kernel executing this simulator's sweeps. */
+    const kernels::Kernel &kernel() const { return kernel_; }
+
   private:
     const ExecPlan &plan_;
+    const kernels::Kernel &kernel_;    //!< sweep implementation
     std::vector<std::uint64_t> cur_;   //!< numSlots()*W settled values
     std::vector<std::uint64_t> carry_; //!< per-RegOp carry registers
     std::uint64_t cycle_ = 0;

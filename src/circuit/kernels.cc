@@ -1,0 +1,692 @@
+#include "circuit/kernels.h"
+
+#include <bit>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+#if defined(__x86_64__)
+#define SPATIAL_KERNELS_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define SPATIAL_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace spatial::circuit::kernels
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Scalar reference kernel (always compiled, every architecture)
+// ---------------------------------------------------------------------
+
+template <unsigned W>
+void
+settleScalarT(const ExecPlan::CombOp *ops, std::size_t count,
+              std::uint64_t *cur)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &op = ops[i];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b = cur + std::size_t{op.b} * W;
+        std::uint64_t *__restrict dst = cur + std::size_t{op.dst} * W;
+        for (unsigned w = 0; w < W; ++w)
+            dst[w] = (a[w] & b[w]) ^ op.inv;
+    }
+}
+
+void
+settleScalarGeneric(const ExecPlan::CombOp *ops, std::size_t count,
+                    std::uint64_t *cur, unsigned lane_words)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &op = ops[i];
+        const std::uint64_t *a = cur + std::size_t{op.a} * lane_words;
+        const std::uint64_t *b = cur + std::size_t{op.b} * lane_words;
+        std::uint64_t *__restrict dst =
+            cur + std::size_t{op.dst} * lane_words;
+        for (unsigned w = 0; w < lane_words; ++w)
+            dst[w] = (a[w] & b[w]) ^ op.inv;
+    }
+}
+
+void
+settleScalar(const ExecPlan::CombOp *ops, std::size_t count,
+             std::uint64_t *cur, unsigned lane_words)
+{
+    switch (lane_words) {
+      case 1:
+        return settleScalarT<1>(ops, count, cur);
+      case 2:
+        return settleScalarT<2>(ops, count, cur);
+      case 4:
+        return settleScalarT<4>(ops, count, cur);
+      case 8:
+        return settleScalarT<8>(ops, count, cur);
+      default:
+        return settleScalarGeneric(ops, count, cur, lane_words);
+    }
+}
+
+template <unsigned W, bool Count>
+std::uint64_t
+commitScalarT(const ExecPlan::RegOp *ops, std::size_t count,
+              std::uint64_t *cur, std::uint64_t *carry)
+{
+    std::uint64_t toggles = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const auto &op = ops[k];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b_raw = cur + std::size_t{op.b} * W;
+        std::uint64_t *cw = carry + k * W;
+        std::uint64_t *__restrict dst = cur + std::size_t{op.dst} * W;
+        for (unsigned w = 0; w < W; ++w) {
+            const std::uint64_t b = b_raw[w] ^ op.bInv;
+            const std::uint64_t c = cw[w];
+            const std::uint64_t sum = a[w] ^ b ^ c;
+            const std::uint64_t next_carry =
+                (a[w] & b) | (a[w] & c) | (b & c);
+            if constexpr (Count) {
+                toggles += static_cast<std::uint64_t>(
+                    std::popcount(dst[w] ^ sum));
+                toggles += static_cast<std::uint64_t>(
+                    std::popcount(c ^ next_carry));
+            }
+            dst[w] = sum;
+            cw[w] = next_carry;
+        }
+    }
+    return toggles;
+}
+
+template <bool Count>
+std::uint64_t
+commitScalarGeneric(const ExecPlan::RegOp *ops, std::size_t count,
+                    std::uint64_t *cur, std::uint64_t *carry,
+                    unsigned lane_words)
+{
+    std::uint64_t toggles = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const auto &op = ops[k];
+        const std::uint64_t *a = cur + std::size_t{op.a} * lane_words;
+        const std::uint64_t *b_raw = cur + std::size_t{op.b} * lane_words;
+        std::uint64_t *cw = carry + k * lane_words;
+        std::uint64_t *__restrict dst =
+            cur + std::size_t{op.dst} * lane_words;
+        for (unsigned w = 0; w < lane_words; ++w) {
+            const std::uint64_t b = b_raw[w] ^ op.bInv;
+            const std::uint64_t c = cw[w];
+            const std::uint64_t sum = a[w] ^ b ^ c;
+            const std::uint64_t next_carry =
+                (a[w] & b) | (a[w] & c) | (b & c);
+            if constexpr (Count) {
+                toggles += static_cast<std::uint64_t>(
+                    std::popcount(dst[w] ^ sum));
+                toggles += static_cast<std::uint64_t>(
+                    std::popcount(c ^ next_carry));
+            }
+            dst[w] = sum;
+            cw[w] = next_carry;
+        }
+    }
+    return toggles;
+}
+
+std::uint64_t
+commitScalar(const ExecPlan::RegOp *ops, std::size_t count,
+             std::uint64_t *cur, std::uint64_t *carry, unsigned lane_words,
+             bool count_toggles)
+{
+    if (count_toggles) {
+        switch (lane_words) {
+          case 1:
+            return commitScalarT<1, true>(ops, count, cur, carry);
+          case 2:
+            return commitScalarT<2, true>(ops, count, cur, carry);
+          case 4:
+            return commitScalarT<4, true>(ops, count, cur, carry);
+          case 8:
+            return commitScalarT<8, true>(ops, count, cur, carry);
+          default:
+            return commitScalarGeneric<true>(ops, count, cur, carry,
+                                             lane_words);
+        }
+    }
+    switch (lane_words) {
+      case 1:
+        return commitScalarT<1, false>(ops, count, cur, carry);
+      case 2:
+        return commitScalarT<2, false>(ops, count, cur, carry);
+      case 4:
+        return commitScalarT<4, false>(ops, count, cur, carry);
+      case 8:
+        return commitScalarT<8, false>(ops, count, cur, carry);
+      default:
+        return commitScalarGeneric<false>(ops, count, cur, carry,
+                                          lane_words);
+    }
+}
+
+/** In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3). */
+void
+transposeScalar(std::uint64_t a[64])
+{
+    std::uint64_t m = 0x00000000ffffffffull;
+    for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+        }
+    }
+}
+
+#if SPATIAL_KERNELS_X86
+
+// ---------------------------------------------------------------------
+// AVX2: 256-bit registers, 4 lane-words per vector op
+// ---------------------------------------------------------------------
+
+template <unsigned W>
+__attribute__((target("avx2"))) void
+settleAvx2T(const ExecPlan::CombOp *ops, std::size_t count,
+            std::uint64_t *cur)
+{
+    static_assert(W % 4 == 0);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &op = ops[i];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b = cur + std::size_t{op.b} * W;
+        std::uint64_t *dst = cur + std::size_t{op.dst} * W;
+        const __m256i inv =
+            _mm256_set1_epi64x(static_cast<long long>(op.inv));
+        for (unsigned w = 0; w < W; w += 4) {
+            const __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + w));
+            const __m256i vb = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b + w));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(dst + w),
+                _mm256_xor_si256(_mm256_and_si256(va, vb), inv));
+        }
+    }
+}
+
+void
+settleAvx2(const ExecPlan::CombOp *ops, std::size_t count,
+           std::uint64_t *cur, unsigned lane_words)
+{
+    switch (lane_words) {
+      case 4:
+        return settleAvx2T<4>(ops, count, cur);
+      case 8:
+        return settleAvx2T<8>(ops, count, cur);
+      default:
+        // Narrower than one register: the scalar sweep is already
+        // optimal (and bit-identical by construction).
+        return settleScalar(ops, count, cur, lane_words);
+    }
+}
+
+template <unsigned W, bool Count>
+__attribute__((target("avx2"))) std::uint64_t
+commitAvx2T(const ExecPlan::RegOp *ops, std::size_t count,
+            std::uint64_t *cur, std::uint64_t *carry)
+{
+    static_assert(W % 4 == 0);
+    std::uint64_t toggles = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const auto &op = ops[k];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b_raw = cur + std::size_t{op.b} * W;
+        std::uint64_t *cw = carry + k * W;
+        std::uint64_t *dst = cur + std::size_t{op.dst} * W;
+        const __m256i binv =
+            _mm256_set1_epi64x(static_cast<long long>(op.bInv));
+        for (unsigned w = 0; w < W; w += 4) {
+            const __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + w));
+            const __m256i vb = _mm256_xor_si256(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(b_raw + w)),
+                binv);
+            const __m256i vc = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(cw + w));
+            const __m256i sum =
+                _mm256_xor_si256(_mm256_xor_si256(va, vb), vc);
+            const __m256i next = _mm256_or_si256(
+                _mm256_or_si256(_mm256_and_si256(va, vb),
+                                _mm256_and_si256(va, vc)),
+                _mm256_and_si256(vb, vc));
+            if constexpr (Count) {
+                alignas(32) std::uint64_t dt[4];
+                alignas(32) std::uint64_t ct[4];
+                _mm256_store_si256(
+                    reinterpret_cast<__m256i *>(dt),
+                    _mm256_xor_si256(
+                        _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(dst + w)),
+                        sum));
+                _mm256_store_si256(reinterpret_cast<__m256i *>(ct),
+                                   _mm256_xor_si256(vc, next));
+                for (int i = 0; i < 4; ++i)
+                    toggles += static_cast<std::uint64_t>(
+                        std::popcount(dt[i]) + std::popcount(ct[i]));
+            }
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + w),
+                                sum);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(cw + w),
+                                next);
+        }
+    }
+    return toggles;
+}
+
+std::uint64_t
+commitAvx2(const ExecPlan::RegOp *ops, std::size_t count,
+           std::uint64_t *cur, std::uint64_t *carry, unsigned lane_words,
+           bool count_toggles)
+{
+    switch (lane_words) {
+      case 4:
+        return count_toggles
+                   ? commitAvx2T<4, true>(ops, count, cur, carry)
+                   : commitAvx2T<4, false>(ops, count, cur, carry);
+      case 8:
+        return count_toggles
+                   ? commitAvx2T<8, true>(ops, count, cur, carry)
+                   : commitAvx2T<8, false>(ops, count, cur, carry);
+      default:
+        return commitScalar(ops, count, cur, carry, lane_words,
+                            count_toggles);
+    }
+}
+
+/**
+ * Transpose with the j >= 4 butterfly passes on 256-bit registers (the
+ * paired indices are contiguous runs of length j, so four consecutive k
+ * fit one register); the j = 2, 1 passes pair within-register words and
+ * stay scalar.
+ */
+__attribute__((target("avx2"))) void
+transposeAvx2(std::uint64_t a[64])
+{
+    static constexpr std::uint64_t kMasks[4] = {
+        0x00000000ffffffffull, 0x0000ffff0000ffffull,
+        0x00ff00ff00ff00ffull, 0x0f0f0f0f0f0f0f0full};
+    unsigned j = 32;
+    for (int mi = 0; mi < 4; ++mi, j >>= 1) {
+        const __m256i m =
+            _mm256_set1_epi64x(static_cast<long long>(kMasks[mi]));
+        for (unsigned k0 = 0; k0 < 64; k0 += 2 * j) {
+            for (unsigned k = k0; k < k0 + j; k += 4) {
+                __m256i lo = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(a + k));
+                __m256i hi = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(a + k + j));
+                const __m256i t = _mm256_and_si256(
+                    _mm256_xor_si256(
+                        _mm256_srli_epi64(lo, static_cast<int>(j)), hi),
+                    m);
+                lo = _mm256_xor_si256(
+                    lo, _mm256_slli_epi64(t, static_cast<int>(j)));
+                hi = _mm256_xor_si256(hi, t);
+                _mm256_storeu_si256(reinterpret_cast<__m256i *>(a + k),
+                                    lo);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(a + k + j), hi);
+            }
+        }
+    }
+    std::uint64_t m = 0x3333333333333333ull;
+    for (j = 2; j != 0; j >>= 1, m ^= m << j) {
+        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX-512F: 512-bit registers, 8 lane-words per vector op, with the
+// settle and full-adder expressions folded into ternary-logic ops
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx512f"))) void
+settleAvx512W8(const ExecPlan::CombOp *ops, std::size_t count,
+               std::uint64_t *cur)
+{
+    constexpr unsigned W = 8;
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &op = ops[i];
+        const __m512i va =
+            _mm512_loadu_si512(cur + std::size_t{op.a} * W);
+        const __m512i vb =
+            _mm512_loadu_si512(cur + std::size_t{op.b} * W);
+        const __m512i inv =
+            _mm512_set1_epi64(static_cast<long long>(op.inv));
+        // 0x6A = (a & b) ^ c.
+        _mm512_storeu_si512(cur + std::size_t{op.dst} * W,
+                            _mm512_ternarylogic_epi64(va, vb, inv, 0x6a));
+    }
+}
+
+void
+settleAvx512(const ExecPlan::CombOp *ops, std::size_t count,
+             std::uint64_t *cur, unsigned lane_words)
+{
+    switch (lane_words) {
+      case 8:
+        return settleAvx512W8(ops, count, cur);
+      case 4:
+        return settleAvx2T<4>(ops, count, cur); // AVX-512 implies AVX2
+      default:
+        return settleScalar(ops, count, cur, lane_words);
+    }
+}
+
+template <bool Count>
+__attribute__((target("avx512f"))) std::uint64_t
+commitAvx512W8(const ExecPlan::RegOp *ops, std::size_t count,
+               std::uint64_t *cur, std::uint64_t *carry)
+{
+    constexpr unsigned W = 8;
+    std::uint64_t toggles = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const auto &op = ops[k];
+        std::uint64_t *cw = carry + k * W;
+        std::uint64_t *dst = cur + std::size_t{op.dst} * W;
+        const __m512i va =
+            _mm512_loadu_si512(cur + std::size_t{op.a} * W);
+        const __m512i vb = _mm512_xor_epi64(
+            _mm512_loadu_si512(cur + std::size_t{op.b} * W),
+            _mm512_set1_epi64(static_cast<long long>(op.bInv)));
+        const __m512i vc = _mm512_loadu_si512(cw);
+        // 0x96 = a ^ b ^ c; 0xE8 = majority(a, b, c).
+        const __m512i sum = _mm512_ternarylogic_epi64(va, vb, vc, 0x96);
+        const __m512i next = _mm512_ternarylogic_epi64(va, vb, vc, 0xe8);
+        if constexpr (Count) {
+            alignas(64) std::uint64_t dt[8];
+            alignas(64) std::uint64_t ct[8];
+            _mm512_store_si512(
+                dt, _mm512_xor_epi64(_mm512_loadu_si512(dst), sum));
+            _mm512_store_si512(ct, _mm512_xor_epi64(vc, next));
+            for (int i = 0; i < 8; ++i)
+                toggles += static_cast<std::uint64_t>(
+                    std::popcount(dt[i]) + std::popcount(ct[i]));
+        }
+        _mm512_storeu_si512(dst, sum);
+        _mm512_storeu_si512(cw, next);
+    }
+    return toggles;
+}
+
+std::uint64_t
+commitAvx512(const ExecPlan::RegOp *ops, std::size_t count,
+             std::uint64_t *cur, std::uint64_t *carry, unsigned lane_words,
+             bool count_toggles)
+{
+    switch (lane_words) {
+      case 8:
+        return count_toggles
+                   ? commitAvx512W8<true>(ops, count, cur, carry)
+                   : commitAvx512W8<false>(ops, count, cur, carry);
+      case 4:
+        return count_toggles
+                   ? commitAvx2T<4, true>(ops, count, cur, carry)
+                   : commitAvx2T<4, false>(ops, count, cur, carry);
+      default:
+        return commitScalar(ops, count, cur, carry, lane_words,
+                            count_toggles);
+    }
+}
+
+#endif // SPATIAL_KERNELS_X86
+
+#if SPATIAL_KERNELS_NEON
+
+// ---------------------------------------------------------------------
+// NEON: 128-bit registers, 2 lane-words per vector op (AArch64
+// baseline, no runtime detection needed)
+// ---------------------------------------------------------------------
+
+template <unsigned W>
+void
+settleNeonT(const ExecPlan::CombOp *ops, std::size_t count,
+            std::uint64_t *cur)
+{
+    static_assert(W % 2 == 0);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &op = ops[i];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b = cur + std::size_t{op.b} * W;
+        std::uint64_t *dst = cur + std::size_t{op.dst} * W;
+        const uint64x2_t inv = vdupq_n_u64(op.inv);
+        for (unsigned w = 0; w < W; w += 2)
+            vst1q_u64(dst + w,
+                      veorq_u64(vandq_u64(vld1q_u64(a + w),
+                                          vld1q_u64(b + w)),
+                                inv));
+    }
+}
+
+void
+settleNeon(const ExecPlan::CombOp *ops, std::size_t count,
+           std::uint64_t *cur, unsigned lane_words)
+{
+    switch (lane_words) {
+      case 2:
+        return settleNeonT<2>(ops, count, cur);
+      case 4:
+        return settleNeonT<4>(ops, count, cur);
+      case 8:
+        return settleNeonT<8>(ops, count, cur);
+      default:
+        return settleScalar(ops, count, cur, lane_words);
+    }
+}
+
+template <unsigned W, bool Count>
+std::uint64_t
+commitNeonT(const ExecPlan::RegOp *ops, std::size_t count,
+            std::uint64_t *cur, std::uint64_t *carry)
+{
+    static_assert(W % 2 == 0);
+    std::uint64_t toggles = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const auto &op = ops[k];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b_raw = cur + std::size_t{op.b} * W;
+        std::uint64_t *cw = carry + k * W;
+        std::uint64_t *dst = cur + std::size_t{op.dst} * W;
+        const uint64x2_t binv = vdupq_n_u64(op.bInv);
+        for (unsigned w = 0; w < W; w += 2) {
+            const uint64x2_t va = vld1q_u64(a + w);
+            const uint64x2_t vb = veorq_u64(vld1q_u64(b_raw + w), binv);
+            const uint64x2_t vc = vld1q_u64(cw + w);
+            const uint64x2_t sum = veorq_u64(veorq_u64(va, vb), vc);
+            const uint64x2_t next =
+                vorrq_u64(vorrq_u64(vandq_u64(va, vb), vandq_u64(va, vc)),
+                          vandq_u64(vb, vc));
+            if constexpr (Count) {
+                std::uint64_t dt[2];
+                std::uint64_t ct[2];
+                vst1q_u64(dt, veorq_u64(vld1q_u64(dst + w), sum));
+                vst1q_u64(ct, veorq_u64(vc, next));
+                toggles += static_cast<std::uint64_t>(
+                    std::popcount(dt[0]) + std::popcount(dt[1]) +
+                    std::popcount(ct[0]) + std::popcount(ct[1]));
+            }
+            vst1q_u64(dst + w, sum);
+            vst1q_u64(cw + w, next);
+        }
+    }
+    return toggles;
+}
+
+std::uint64_t
+commitNeon(const ExecPlan::RegOp *ops, std::size_t count,
+           std::uint64_t *cur, std::uint64_t *carry, unsigned lane_words,
+           bool count_toggles)
+{
+    switch (lane_words) {
+      case 2:
+        return count_toggles
+                   ? commitNeonT<2, true>(ops, count, cur, carry)
+                   : commitNeonT<2, false>(ops, count, cur, carry);
+      case 4:
+        return count_toggles
+                   ? commitNeonT<4, true>(ops, count, cur, carry)
+                   : commitNeonT<4, false>(ops, count, cur, carry);
+      case 8:
+        return count_toggles
+                   ? commitNeonT<8, true>(ops, count, cur, carry)
+                   : commitNeonT<8, false>(ops, count, cur, carry);
+      default:
+        return commitScalar(ops, count, cur, carry, lane_words,
+                            count_toggles);
+    }
+}
+
+/** Transpose with the j >= 2 butterfly passes on 128-bit registers. */
+void
+transposeNeon(std::uint64_t a[64])
+{
+    static constexpr std::uint64_t kMasks[5] = {
+        0x00000000ffffffffull, 0x0000ffff0000ffffull,
+        0x00ff00ff00ff00ffull, 0x0f0f0f0f0f0f0f0full,
+        0x3333333333333333ull};
+    unsigned j = 32;
+    for (int mi = 0; mi < 5; ++mi, j >>= 1) {
+        const uint64x2_t m = vdupq_n_u64(kMasks[mi]);
+        const int64x2_t sr = vdupq_n_s64(-static_cast<std::int64_t>(j));
+        const int64x2_t sl = vdupq_n_s64(static_cast<std::int64_t>(j));
+        for (unsigned k0 = 0; k0 < 64; k0 += 2 * j) {
+            for (unsigned k = k0; k < k0 + j; k += 2) {
+                uint64x2_t lo = vld1q_u64(a + k);
+                uint64x2_t hi = vld1q_u64(a + k + j);
+                const uint64x2_t t = vandq_u64(
+                    veorq_u64(vshlq_u64(lo, sr), hi), m);
+                lo = veorq_u64(lo, vshlq_u64(t, sl));
+                hi = veorq_u64(hi, t);
+                vst1q_u64(a + k, lo);
+                vst1q_u64(a + k + j, hi);
+            }
+        }
+    }
+    constexpr std::uint64_t m1 = 0x5555555555555555ull;
+    for (unsigned k = 0; k < 64; k += 2) {
+        const std::uint64_t t = ((a[k] >> 1) ^ a[k + 1]) & m1;
+        a[k] ^= t << 1;
+        a[k + 1] ^= t;
+    }
+}
+
+#endif // SPATIAL_KERNELS_NEON
+
+#if SPATIAL_KERNELS_X86
+
+const Kernel &
+avx2Kernel()
+{
+    static const Kernel kernel{"avx2", 4, settleAvx2, commitAvx2,
+                               transposeAvx2};
+    return kernel;
+}
+
+const Kernel &
+avx512Kernel()
+{
+    // The transpose reuses the AVX2 butterfly (AVX-512 implies AVX2);
+    // the settle/commit sweeps are where the extra width pays.
+    static const Kernel kernel{"avx512", 8, settleAvx512, commitAvx512,
+                               transposeAvx2};
+    return kernel;
+}
+
+#endif
+
+#if SPATIAL_KERNELS_NEON
+
+const Kernel &
+neonKernel()
+{
+    static const Kernel kernel{"neon", 2, settleNeon, commitNeon,
+                               transposeNeon};
+    return kernel;
+}
+
+#endif
+
+} // namespace
+
+const Kernel &
+scalarKernel()
+{
+    static const Kernel kernel{"scalar", 1, settleScalar, commitScalar,
+                               transposeScalar};
+    return kernel;
+}
+
+const std::vector<const Kernel *> &
+supportedKernels()
+{
+    static const std::vector<const Kernel *> kernels = [] {
+        std::vector<const Kernel *> list;
+#if SPATIAL_KERNELS_X86
+        // avx2 outranks avx512 on purpose: the wider kernel measures
+        // 5-15% slower on the Skylake-era servers we benchmark (512-bit
+        // port limits / license-based downclocking), so the widest ISA
+        // is opt-in via SPATIAL_KERNEL=avx512 rather than the default.
+        if (__builtin_cpu_supports("avx2"))
+            list.push_back(&avx2Kernel());
+        if (__builtin_cpu_supports("avx512f"))
+            list.push_back(&avx512Kernel());
+#endif
+#if SPATIAL_KERNELS_NEON
+        list.push_back(&neonKernel());
+#endif
+        list.push_back(&scalarKernel());
+        return list;
+    }();
+    return kernels;
+}
+
+const Kernel *
+findKernel(const std::string &name)
+{
+    for (const Kernel *kernel : supportedKernels())
+        if (name == kernel->name)
+            return kernel;
+    return nullptr;
+}
+
+const Kernel &
+activeKernel()
+{
+    static const Kernel &active = []() -> const Kernel & {
+        if (const char *env = std::getenv("SPATIAL_KERNEL");
+            env != nullptr && *env != '\0') {
+            if (const Kernel *forced = findKernel(env))
+                return *forced;
+            std::string have;
+            for (const Kernel *kernel : supportedKernels()) {
+                if (!have.empty())
+                    have += ", ";
+                have += kernel->name;
+            }
+            SPATIAL_FATAL("SPATIAL_KERNEL='", env,
+                          "' is not a supported kernel on this machine "
+                          "(supported: ",
+                          have, ")");
+        }
+        return *supportedKernels().front();
+    }();
+    return active;
+}
+
+} // namespace spatial::circuit::kernels

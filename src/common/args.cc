@@ -121,15 +121,22 @@ std::vector<std::string>
 Args::splitList(const std::string &value)
 {
     std::vector<std::string> tokens;
+    if (value.empty())
+        return tokens;
     std::size_t start = 0;
-    while (start <= value.size()) {
+    for (;;) {
         const auto comma = value.find(',', start);
         const auto token =
             value.substr(start, comma == std::string::npos
                                     ? std::string::npos
                                     : comma - start);
-        if (!token.empty())
-            tokens.push_back(token);
+        // An empty entry is always a typo ("64,,256", "64,", ",64");
+        // swallowing it silently would run a sweep over fewer points
+        // than the user asked for.
+        if (token.empty())
+            SPATIAL_FATAL("list '", value,
+                          "' has an empty entry (stray comma?)");
+        tokens.push_back(token);
         if (comma == std::string::npos)
             break;
         start = comma + 1;

@@ -69,7 +69,8 @@ class Args
      * Split a comma/range flag value into tokens: "64,256" yields
      * {"64", "256"} and "0.8:0.95:0.05" expands the inclusive range
      * into {"0.8", "0.85", ...}.  Range endpoints and step must be
-     * numeric; fatal otherwise.
+     * numeric, and empty entries ("64,,256", a trailing comma) are
+     * fatal; an empty value yields an empty list.
      */
     static std::vector<std::string> splitList(const std::string &value);
 

@@ -24,25 +24,6 @@ signExtend(std::uint64_t word, int out_bits)
 }
 
 /**
- * In-place 64x64 bit-matrix transpose (Hacker's Delight): afterwards
- * bit t of a[l] is the old bit l of a[t].  Turns 64 value-per-lane
- * words into 64 bit-plane words (and back) in ~6 passes instead of a
- * 64 * bits shift-and-mask loop.
- */
-void
-transpose64(std::uint64_t a[64])
-{
-    std::uint64_t m = 0x00000000ffffffffull;
-    for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
-        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
-            const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
-            a[k] ^= t << j;
-            a[k + j] ^= t;
-        }
-    }
-}
-
-/**
  * Per-worker execution context: one simulator plus the input/capture
  * planes, reused across every group the worker processes.  Product
  * paths skip toggle accounting; the activity probe turns it on.
@@ -51,9 +32,10 @@ template <unsigned W, bool CountToggles = false>
 class GroupRunner
 {
   public:
-    explicit GroupRunner(const CompiledMatrix &design)
+    GroupRunner(const CompiledMatrix &design,
+                const circuit::kernels::Kernel &kernel)
         : design_(design),
-          sim_(design.plan()),
+          sim_(design.plan(), &kernel),
           planeStride_(design.rows() * W),
           planes_((static_cast<std::size_t>(design.options().inputBits) + 1) *
                       planeStride_,
@@ -105,7 +87,7 @@ class GroupRunner
                         enc |= std::uint64_t{1} << bwi;
                     block[l] = enc;
                 }
-                transpose64(block);
+                sim_.kernel().transpose64(block);
                 for (int b = 0; b <= bwi; ++b)
                     base[static_cast<std::size_t>(b) * planeStride_ + wi] =
                         block[b];
@@ -151,7 +133,7 @@ class GroupRunner
                 std::uint64_t block[64] = {};
                 for (int t = 0; t < out_bits; ++t)
                     block[t] = cap[static_cast<std::size_t>(t) * W + wi];
-                transpose64(block);
+                sim_.kernel().transpose64(block);
                 const std::size_t count =
                     std::min<std::size_t>(64, lanes - lane0);
                 for (std::size_t l = 0; l < count; ++l)
@@ -177,7 +159,8 @@ class GroupRunner
 template <unsigned W>
 void
 runBatchWideT(const CompiledMatrix &design, const IntMatrix &batch,
-              const SimOptions &options, IntMatrix &out)
+              const SimOptions &options,
+              const circuit::kernels::Kernel &kernel, IntMatrix &out)
 {
     constexpr std::size_t lane_cap = 64 * W;
     const std::size_t num_groups =
@@ -198,7 +181,7 @@ runBatchWideT(const CompiledMatrix &design, const IntMatrix &batch,
     };
 
     if (threads == 1) {
-        GroupRunner<W> runner(design);
+        GroupRunner<W> runner(design, kernel);
         for (std::size_t g = 0; g < num_groups; ++g)
             run_group(runner, g);
         return;
@@ -211,7 +194,7 @@ runBatchWideT(const CompiledMatrix &design, const IntMatrix &batch,
     pool.reserve(threads);
     for (unsigned i = 0; i < threads; ++i) {
         pool.emplace_back([&] {
-            GroupRunner<W> runner(design);
+            GroupRunner<W> runner(design, kernel);
             for (std::size_t g = next.fetch_add(1); g < num_groups;
                  g = next.fetch_add(1))
                 run_group(runner, g);
@@ -222,36 +205,56 @@ runBatchWideT(const CompiledMatrix &design, const IntMatrix &batch,
 }
 
 /**
- * Pick W for a design/batch pair.  Wider blocks amortize tape-metadata
- * loads across more lanes, but multiply the simulator's value-array
- * footprint, whose accesses are random; measurements show the break-even
- * is where that footprint leaves mid-level cache.  So: the largest W
- * whose state fits a conservative cache budget, and no wider than the
- * batch needs.
+ * Pick W for a design/batch pair on a given kernel.  Start from the
+ * widest block the batch can fill (capped at the engine's maximum of
+ * 8), then shrink while the simulator's value-array footprint — whose
+ * accesses are random — overflows a conservative mid-level-cache
+ * budget.  When the batch fills at least one vector register, the
+ * shrink floors at the kernel's vector width: below it the pass count
+ * stays the same but the sweeps lose their SIMD width, and measurement
+ * shows one over-budget W=4 AVX2 pass beats four cached scalar passes
+ * (18.6 ms vs 29.3 ms on the 26k-node acceptance design).  When the
+ * batch cannot fill a vector, the floor does not apply — there the
+ * same measurement flips (one half-empty W=8 AVX-512 pass is 2.7x
+ * slower than two cached scalar passes), so the kernel's scalar
+ * fallback at a cache-fitting W is the fast path.
  */
 unsigned
-autoLaneWords(const CompiledMatrix &design, std::size_t batch_rows)
+autoLaneWords(const CompiledMatrix &design, std::size_t batch_rows,
+              const circuit::kernels::Kernel &kernel)
 {
     constexpr std::size_t cache_budget_bytes = 256 * 1024;
     const std::size_t words_needed = (batch_rows + 63) / 64;
     const std::size_t state_bytes_per_word =
         design.plan().numSlots() * sizeof(std::uint64_t);
-    for (unsigned w : {8u, 4u, 2u}) {
-        if (words_needed >= w &&
-            state_bytes_per_word * w <= cache_budget_bytes)
-            return w;
-    }
-    return 1;
+    const unsigned vec = std::min(8u, std::max(1u, kernel.vectorWords));
+    const unsigned floor = words_needed >= vec ? vec : 1;
+
+    unsigned w = 1;
+    while (w < 8 && words_needed >= 2 * w)
+        w *= 2;
+    while (w > floor && state_bytes_per_word * w > cache_budget_bytes)
+        w /= 2;
+    return w;
 }
 
 } // namespace
+
+const circuit::kernels::Kernel &
+resolvedKernel(const SimOptions &options)
+{
+    return options.kernel != nullptr ? *options.kernel
+                                     : circuit::kernels::activeKernel();
+}
 
 unsigned
 resolvedLaneWords(const CompiledMatrix &design, const SimOptions &options,
                   std::size_t batch_rows)
 {
-    return options.laneWords != 0 ? options.laneWords
-                                  : autoLaneWords(design, batch_rows);
+    return options.laneWords != 0
+               ? options.laneWords
+               : autoLaneWords(design, batch_rows,
+                               resolvedKernel(options));
 }
 
 IntMatrix
@@ -267,20 +270,21 @@ runBatchWide(const CompiledMatrix &design, const IntMatrix &batch,
     if (batch.rows() == 0)
         return out;
 
+    const circuit::kernels::Kernel &kernel = resolvedKernel(options);
     const unsigned lane_words =
         resolvedLaneWords(design, options, batch.rows());
     switch (lane_words) {
       case 1:
-        runBatchWideT<1>(design, batch, options, out);
+        runBatchWideT<1>(design, batch, options, kernel, out);
         break;
       case 2:
-        runBatchWideT<2>(design, batch, options, out);
+        runBatchWideT<2>(design, batch, options, kernel, out);
         break;
       case 4:
-        runBatchWideT<4>(design, batch, options, out);
+        runBatchWideT<4>(design, batch, options, kernel, out);
         break;
       case 8:
-        runBatchWideT<8>(design, batch, options, out);
+        runBatchWideT<8>(design, batch, options, kernel, out);
         break;
       default:
         SPATIAL_FATAL("SimOptions::laneWords must be 0, 1, 2, 4, or 8; got ",
@@ -299,7 +303,7 @@ measureSwitchingActivity(const CompiledMatrix &design,
     // One 64-lane group on the design's cached plan; the runner's flat
     // planes replace the per-call WideSimulator and nested scratch
     // vectors of the interpreter path.
-    GroupRunner<1, true> runner(design);
+    GroupRunner<1, true> runner(design, circuit::kernels::activeKernel());
     IntMatrix scratch(batch.rows(), design.cols());
     runner.run(batch, 0, batch.rows(), scratch);
     return runner.sim().measuredActivity(batch.rows());

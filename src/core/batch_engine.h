@@ -43,12 +43,19 @@ IntMatrix runBatchWide(const CompiledMatrix &design, const IntMatrix &batch,
 /**
  * The lane-word count W that runBatchWide uses for this design and a
  * batch of `batch_rows` vectors under `options` (resolves
- * laneWords == 0 auto sizing), so callers can account netlist passes
- * exactly.
+ * laneWords == 0 auto sizing against the resolved kernel's vector
+ * width), so callers can account netlist passes exactly.
  */
 unsigned resolvedLaneWords(const CompiledMatrix &design,
                            const SimOptions &options,
                            std::size_t batch_rows);
+
+/**
+ * The SIMD kernel runBatchWide executes under `options`: the injected
+ * SimOptions::kernel, or the process-wide runtime-detected one.
+ * Callers use it to report the dispatched kernel by name.
+ */
+const circuit::kernels::Kernel &resolvedKernel(const SimOptions &options);
 
 /**
  * Persistent single-vector executor on the tape engine.

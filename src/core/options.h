@@ -8,6 +8,11 @@
 
 #include <cstdint>
 
+namespace spatial::circuit::kernels
+{
+struct Kernel;
+}
+
 /**
  * @namespace spatial::core
  * The spatial matrix compiler and its batch simulation engine.
@@ -97,12 +102,23 @@ struct SimOptions
     /**
      * 64-bit lane-words processed per node per pass (W): each netlist
      * pass evaluates 64*laneWords independent vectors.  Must be one of
-     * 1, 2, 4, 8; 0 = auto — the widest block whose simulator state
-     * still fits a conservative mid-level-cache budget (wide blocks
-     * amortize tape metadata, but multiply the randomly accessed value
-     * array; small designs run best at 512 lanes, large ones at 64).
+     * 1, 2, 4, 8; 0 = auto — the widest block the batch can fill,
+     * shrunk while the simulator state overflows a conservative
+     * mid-level-cache budget; when the batch fills at least one vector
+     * register of the dispatched kernel (an AVX2 op covers 4 words,
+     * AVX-512 covers 8), the shrink floors at that width so large
+     * batches always ride the SIMD sweeps.
      */
     unsigned laneWords = 0;
+
+    /**
+     * SIMD kernel executing the settle/commit sweeps and transposes
+     * (see circuit/kernels.h).  nullptr = the process-wide kernel
+     * picked by runtime CPU detection (overridable with the
+     * SPATIAL_KERNEL environment variable); tests and the throughput
+     * bench inject specific kernels to compare dispatch targets.
+     */
+    const circuit::kernels::Kernel *kernel = nullptr;
 };
 
 } // namespace spatial::core

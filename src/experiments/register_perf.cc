@@ -2,14 +2,17 @@
  * @file
  * Registry spec for the simulation-engine throughput benchmark: the
  * compiled-tape batch engine against the seed 64-lane interpreter
- * path, verified bit-exact before any number is reported.  Mirrors
+ * path, one row per SIMD dispatch target supported by the running CPU,
+ * every row verified bit-exact before any number is reported.  Mirrors
  * bench/sim_throughput.cc so CI can collect the same trajectory
  * through the spatial-bench JSON artifact.
  */
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
+#include "circuit/kernels.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/batch_engine.h"
@@ -53,12 +56,13 @@ makeSimThroughput()
     exp.figure = "ours (engine perf trajectory)";
     exp.title = "Simulation-engine throughput: compiled tape vs seed "
                 "interpreter";
-    exp.description =
-        "batch-engine wall-clock speedup over the seed path, bit-exact";
+    exp.description = "batch-engine wall-clock speedup over the seed "
+                      "path per SIMD kernel, bit-exact";
     exp.runtime = "~1 min (timing loops)";
     exp.columns = {"dim", "bits", "batch", "sparsity", "nodes",
-                   "drain cycles", "lane words", "threads", "legacy ms",
-                   "tape ms", "speedup"};
+                   "drain cycles", "kernel", "lane words", "threads",
+                   "legacy ms", "tape ms", "gemv/s", "speedup",
+                   "vs scalar"};
     exp.grid = Grid::cartesian(
         {Axis{"dim", {std::int64_t{256}}},
          Axis{"batch", {std::int64_t{1024}}},
@@ -110,25 +114,56 @@ makeSimThroughput()
         const double legacy_s = bestOf(repeats, [&] {
             (void)design.multiplyBatchWideLegacy(batch);
         });
-        const double tape_s = bestOf(repeats, [&] {
-            (void)design.multiplyBatchWide(batch, ctx.sim);
-        });
-        const unsigned lane_words =
-            core::resolvedLaneWords(design, ctx.sim, batch_rows);
 
-        return std::vector<Row>{
-            {cell(dim), cell(bits), cell(batch_rows),
-             cell(sparsity, 3), cell(design.netlist().numNodes()),
-             cell(std::uint64_t{design.drainCycles()}),
-             cell(static_cast<int>(lane_words)),
-             cell(static_cast<int>(ctx.sim.threads)),
-             cell(legacy_s * 1e3, 4), cell(tape_s * 1e3, 4),
-             cell(legacy_s / tape_s, 3)}};
+        // One row per dispatch target, timed in ascending vector
+        // width: scalar first so the last column can report each
+        // vector kernel against it, and AVX-512 last so its lingering
+        // license-based downclock stays out of the other kernels'
+        // timing windows.
+        auto kernels = circuit::kernels::supportedKernels();
+        std::sort(kernels.begin(), kernels.end(),
+                  [](const auto *a, const auto *b) {
+                      return a->vectorWords < b->vectorWords;
+                  });
+        std::vector<Row> rows;
+        double scalar_s = 0.0;
+        for (const auto *kernel : kernels) {
+            core::SimOptions sim = ctx.sim;
+            sim.kernel = kernel;
+            // Single-threaded unless --threads was given, mirroring
+            // the bench: the vs-scalar column should measure kernel
+            // code, not how the group scheduler shares the machine.
+            if (sim.threads == 0)
+                sim.threads = 1;
+            if (!(legacy_out == design.multiplyBatchWide(batch, sim)))
+                SPATIAL_FATAL("sim_throughput: kernel ", kernel->name,
+                              " disagrees with the seed path");
+            const double tape_s = bestOf(repeats, [&] {
+                (void)design.multiplyBatchWide(batch, sim);
+            });
+            if (std::string("scalar") == kernel->name)
+                scalar_s = tape_s;
+            const unsigned lane_words =
+                core::resolvedLaneWords(design, sim, batch_rows);
+            rows.push_back(
+                {cell(dim), cell(bits), cell(batch_rows),
+                 cell(sparsity, 3), cell(design.netlist().numNodes()),
+                 cell(std::uint64_t{design.drainCycles()}),
+                 cell(std::string(kernel->name)),
+                 cell(static_cast<int>(lane_words)),
+                 cell(static_cast<int>(sim.threads)),
+                 cell(legacy_s * 1e3, 4), cell(tape_s * 1e3, 4),
+                 cell(static_cast<double>(batch_rows) / tape_s, 1),
+                 cell(legacy_s / tape_s, 3),
+                 cell(scalar_s > 0.0 ? scalar_s / tape_s : 0.0, 3)});
+        }
+        return rows;
     };
     exp.expectedShape =
         "Speedup is the wall-clock ratio of the seed interpreter to "
-        "the compiled-tape engine on identical (bit-exact) work; "
-        "multi-core machines add near-linear thread scaling.";
+        "the compiled-tape engine on identical (bit-exact) work, one "
+        "row per SIMD kernel; the preferred vector kernel should lead, "
+        "and multi-core machines add near-linear thread scaling.";
     return exp;
 }
 

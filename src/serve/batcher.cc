@@ -40,8 +40,12 @@ Batcher::enqueue(PendingRequest pending, std::chrono::time_point<Clock> now)
     if (pendingLanes_ > 0 && pendingLanes_ + lanes > policy_.maxBatch)
         flushed.push_back(cut(FlushReason::Full, now));
 
+    // The group's deadline counts from when it opens, not from when its
+    // first request was submitted: a request that already waited in the
+    // server queue longer than maxDelay would otherwise open a group
+    // that is born expired and flush with a single lane.
     if (pending_.empty())
-        deadline_ = pending.submitAt + policy_.maxDelay;
+        deadline_ = std::max(pending.submitAt, now) + policy_.maxDelay;
     pendingLanes_ += lanes;
     pending_.push_back(std::move(pending));
 

@@ -68,7 +68,10 @@ class Batcher
     /**
      * Queue one lane-shaped request (not EsnSequence).  Returns the
      * groups this enqueue completed: the previously open group when the
-     * request would have overflowed it, and/or the now-full group.
+     * request would have overflowed it, and/or the now-full group.  A
+     * request that opens a group sets its deadline to
+     * max(submitAt, now) + maxDelay, so queueing time spent upstream of
+     * the batcher never produces an already-expired group.
      */
     std::vector<Group> enqueue(PendingRequest pending,
                                std::chrono::time_point<Clock> now);

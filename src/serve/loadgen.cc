@@ -83,31 +83,6 @@ secondsBetween(std::chrono::time_point<Clock> a,
     return std::chrono::duration<double>(b - a).count();
 }
 
-LatencySummary
-summarize(std::vector<double> &latencies_ms)
-{
-    LatencySummary summary;
-    if (latencies_ms.empty())
-        return summary;
-    std::sort(latencies_ms.begin(), latencies_ms.end());
-    const auto at = [&](double q) {
-        const std::size_t i = std::min(
-            latencies_ms.size() - 1,
-            static_cast<std::size_t>(
-                q * static_cast<double>(latencies_ms.size())));
-        return latencies_ms[i];
-    };
-    summary.p50 = at(0.50);
-    summary.p95 = at(0.95);
-    summary.p99 = at(0.99);
-    summary.max = latencies_ms.back();
-    double sum = 0.0;
-    for (const double v : latencies_ms)
-        sum += v;
-    summary.mean = sum / static_cast<double>(latencies_ms.size());
-    return summary;
-}
-
 /** The naive path's answer to one request (one multiply per vector). */
 IntMatrix
 naiveAnswer(core::TapeGemv &gemv, const Request &request,
@@ -181,6 +156,36 @@ runNaive(Server &server, const Workload &workload,
 }
 
 } // namespace
+
+LatencySummary
+summarize(std::vector<double> &latencies_ms)
+{
+    LatencySummary summary;
+    if (latencies_ms.empty())
+        return summary;
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    // Nearest-rank percentile: the smallest sample with at least q*N
+    // observations at or below it, i.e. index ceil(q*N) - 1.  (The
+    // previous floor(q*N) read one rank too high: p50 of a 2-sample
+    // set returned the max.)
+    const auto at = [&](double q) {
+        const double rank =
+            std::ceil(q * static_cast<double>(latencies_ms.size()));
+        const std::size_t i = std::min(
+            latencies_ms.size() - 1,
+            static_cast<std::size_t>(std::max(rank, 1.0)) - 1);
+        return latencies_ms[i];
+    };
+    summary.p50 = at(0.50);
+    summary.p95 = at(0.95);
+    summary.p99 = at(0.99);
+    summary.max = latencies_ms.back();
+    double sum = 0.0;
+    for (const double v : latencies_ms)
+        sum += v;
+    summary.mean = sum / static_cast<double>(latencies_ms.size());
+    return summary;
+}
 
 const char *
 modeName(LoadGenOptions::Mode mode)
@@ -365,6 +370,9 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     out << "  \"max_delay_us\": " << options.serve.maxDelay.count()
         << ",\n";
     out << "  \"workers\": " << options.serve.workers << ",\n";
+    out << "  \"kernel\": "
+        << jsonQuote(core::resolvedKernel(options.serve.sim).name)
+        << ",\n";
     out << "  \"seed\": " << options.seed << ",\n";
     out << "  \"qps_target\": " << jsonReal(options.qps) << ",\n";
     out << "  \"completed\": " << completed << ",\n";
@@ -382,6 +390,7 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     out << "  \"flush_full\": " << stats.flushFull << ",\n";
     out << "  \"flush_deadline\": " << stats.flushDeadline << ",\n";
     out << "  \"flush_drain\": " << stats.flushDrain << ",\n";
+    out << "  \"engine_passes\": " << stats.enginePasses << ",\n";
     out << "  \"sequences\": " << stats.sequences << ",\n";
     out << "  \"store_hits\": " << stats.store.cache.hits << ",\n";
     out << "  \"store_misses\": " << stats.store.cache.misses << ",\n";

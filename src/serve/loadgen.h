@@ -110,6 +110,13 @@ struct LoadGenResult
     std::string toJson(const LoadGenOptions &options) const;
 };
 
+/**
+ * Nearest-rank percentile summary of a latency sample (sorts the
+ * sample in place).  Percentile q is the smallest observation with at
+ * least ceil(q*N) samples at or below it.
+ */
+LatencySummary summarize(std::vector<double> &latencies_ms);
+
 /** Mode name for reports ("open" / "closed" / "drain"). */
 const char *modeName(LoadGenOptions::Mode mode);
 

@@ -249,9 +249,13 @@ Server::executeGroup(const core::CompiledMatrix &design, Group group)
     SPATIAL_ASSERT(lane == group.lanes, "lane accounting");
 
     // One worker, one group: intra-group threading would fight the
-    // pool's group-level parallelism.
+    // pool's group-level parallelism.  The engine sizes its lane-words
+    // to the dispatched SIMD kernel and this group's padded size, so a
+    // full 256-lane group is one AVX2 pass instead of four.
     core::SimOptions sim = options_.sim;
     sim.threads = 1;
+    const std::size_t pass_lanes =
+        64 * core::resolvedLaneWords(design, sim, padded);
     const IntMatrix out = core::runBatchWide(design, batch, sim);
 
     const auto done = Clock::now();
@@ -292,6 +296,7 @@ Server::executeGroup(const core::CompiledMatrix &design, Group group)
     ++stats_.groups;
     stats_.lanes += group.lanes;
     stats_.paddedLanes += padded;
+    stats_.enginePasses += (padded + pass_lanes - 1) / pass_lanes;
 }
 
 void

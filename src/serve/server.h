@@ -78,6 +78,8 @@ struct ServerStats
     std::size_t flushFull = 0;     //!< groups cut by the lane budget
     std::size_t flushDeadline = 0; //!< groups cut by max_delay
     std::size_t flushDrain = 0;    //!< groups cut by drain()
+    std::size_t enginePasses = 0;  //!< netlist passes across all groups
+                                   //!< (group lanes / adaptive 64*W)
     std::size_t sequences = 0;     //!< EsnSequence jobs executed
     std::size_t sequenceSteps = 0; //!< total sequential ESN steps
     DesignStore::Stats store;      //!< compile cache accounting

@@ -5,16 +5,22 @@
  * simulators bit for bit — outputs and register toggle counts — at
  * every lane width, across sign modes, signed/unsigned inputs,
  * unaligned (including negative-latency) output columns, and batch
- * sizes that do not divide the lane count.  This is the proof that
- * multiplyBatchWide's rewrite onto the engine is a pure speedup.
+ * sizes that do not divide the lane count.  Every check runs once per
+ * SIMD kernel the running CPU supports (scalar plus AVX2/AVX-512/NEON
+ * where present), so each dispatch target of circuit::kernels is
+ * proved bit-identical to WideSimulator, not just the one the process
+ * would auto-select.  This is the proof that multiplyBatchWide's
+ * rewrite onto the engine is a pure speedup.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "circuit/block_simulator.h"
 #include "circuit/exec_plan.h"
+#include "circuit/kernels.h"
 #include "circuit/simulator.h"
 #include "circuit/wide_simulator.h"
 #include "common/rng.h"
@@ -52,17 +58,19 @@ makeKitchenSinkNetlist()
 }
 
 /**
- * Drive a BlockSimulator<W> and W independent WideSimulators with the
- * same per-lane-word streams; every node must agree every cycle, and
- * the block toggle total must equal the sum of the per-word totals.
+ * Drive a BlockSimulator<W> on one kernel and W independent
+ * WideSimulators with the same per-lane-word streams; every node must
+ * agree every cycle, and the block toggle total must equal the sum of
+ * the per-word totals.
  */
 template <unsigned W>
 void
-checkAgainstWideLanes(std::uint64_t seed)
+checkAgainstWideLanes(std::uint64_t seed,
+                      const circuit::kernels::Kernel *kernel)
 {
     const auto nl = makeKitchenSinkNetlist();
     const circuit::ExecPlan plan(nl);
-    circuit::BlockSimulator<W> block(plan);
+    circuit::BlockSimulator<W> block(plan, kernel);
     std::vector<circuit::WideSimulator> wides(W, circuit::WideSimulator(nl));
 
     Rng rng(seed);
@@ -81,7 +89,8 @@ checkAgainstWideLanes(std::uint64_t seed)
             wides[w].step(words);
             for (circuit::NodeId id = 0; id < nl.numNodes(); ++id) {
                 ASSERT_EQ(block.outputWord(id, w), wides[w].outputWord(id))
-                    << "cycle " << t << " word " << w << " node " << id;
+                    << "kernel " << block.kernel().name << " cycle " << t
+                    << " word " << w << " node " << id;
             }
         }
         block.commit();
@@ -90,28 +99,38 @@ checkAgainstWideLanes(std::uint64_t seed)
     std::uint64_t wide_toggles = 0;
     for (const auto &wide : wides)
         wide_toggles += wide.toggleCount();
-    EXPECT_EQ(block.toggleCount(), wide_toggles);
+    EXPECT_EQ(block.toggleCount(), wide_toggles)
+        << "kernel " << block.kernel().name;
     EXPECT_EQ(block.cycle(), static_cast<std::uint64_t>(cycles));
+}
+
+/** Run the wide-lane check at W on every kernel this CPU supports. */
+template <unsigned W>
+void
+checkAgainstWideLanesAllKernels(std::uint64_t seed)
+{
+    for (const auto *kernel : circuit::kernels::supportedKernels())
+        checkAgainstWideLanes<W>(seed, kernel);
 }
 
 TEST(BlockSimulator, MatchesWideSimulatorEveryLaneWordW1)
 {
-    checkAgainstWideLanes<1>(11);
+    checkAgainstWideLanesAllKernels<1>(11);
 }
 
 TEST(BlockSimulator, MatchesWideSimulatorEveryLaneWordW2)
 {
-    checkAgainstWideLanes<2>(12);
+    checkAgainstWideLanesAllKernels<2>(12);
 }
 
 TEST(BlockSimulator, MatchesWideSimulatorEveryLaneWordW4)
 {
-    checkAgainstWideLanes<4>(13);
+    checkAgainstWideLanesAllKernels<4>(13);
 }
 
 TEST(BlockSimulator, MatchesWideSimulatorEveryLaneWordW8)
 {
-    checkAgainstWideLanes<8>(14);
+    checkAgainstWideLanesAllKernels<8>(14);
 }
 
 TEST(BlockSimulator, MatchesScalarSimulatorPerLane)
@@ -216,12 +235,20 @@ checkBatchEquivalence(const IntMatrix &weights, CompileOptions options,
         const auto legacy = design.multiplyBatchWideLegacy(batch);
         ASSERT_EQ(scalar, legacy);
 
+        // Every explicit W on every supported kernel, including the
+        // widths where a vector kernel falls back to its scalar tail.
         for (const unsigned lane_words : {1u, 2u, 4u, 8u}) {
-            SimOptions sim_options;
-            sim_options.laneWords = lane_words;
-            sim_options.threads = 1;
-            ASSERT_EQ(scalar, design.multiplyBatchWide(batch, sim_options))
-                << "W=" << lane_words << " batch=" << batch_rows;
+            for (const auto *kernel :
+                 circuit::kernels::supportedKernels()) {
+                SimOptions sim_options;
+                sim_options.laneWords = lane_words;
+                sim_options.threads = 1;
+                sim_options.kernel = kernel;
+                ASSERT_EQ(scalar,
+                          design.multiplyBatchWide(batch, sim_options))
+                    << "W=" << lane_words << " batch=" << batch_rows
+                    << " kernel=" << kernel->name;
+            }
         }
 
         SimOptions threaded;
@@ -307,6 +334,51 @@ TEST(BatchEquivalence, AllZeroColumnsDecodeToZero)
     CompileOptions options;
     options.inputBits = 5;
     checkBatchEquivalence(v, options, 145);
+}
+
+// ---------------------------------------------------------------------
+// Kernel registry and per-kernel primitives
+// ---------------------------------------------------------------------
+
+TEST(Kernels, RegistryAlwaysEndsWithScalar)
+{
+    const auto &kernels = circuit::kernels::supportedKernels();
+    ASSERT_FALSE(kernels.empty());
+    EXPECT_STREQ(kernels.back()->name, "scalar");
+    for (const auto *kernel : kernels) {
+        EXPECT_GE(kernel->vectorWords, 1u);
+        EXPECT_EQ(circuit::kernels::findKernel(kernel->name), kernel);
+    }
+    EXPECT_EQ(circuit::kernels::findKernel("no-such-kernel"), nullptr);
+
+    // The dispatched kernel must be one of the supported ones.
+    const auto &active = circuit::kernels::activeKernel();
+    EXPECT_NE(std::find(kernels.begin(), kernels.end(), &active),
+              kernels.end());
+}
+
+TEST(Kernels, TransposeMatchesScalarReferenceAndRoundTrips)
+{
+    Rng rng(77);
+    for (const auto *kernel : circuit::kernels::supportedKernels()) {
+        std::uint64_t reference[64];
+        std::uint64_t block[64];
+        for (int i = 0; i < 64; ++i)
+            reference[i] = block[i] = rng.next();
+
+        circuit::kernels::scalarKernel().transpose64(reference);
+        kernel->transpose64(block);
+        for (int i = 0; i < 64; ++i)
+            ASSERT_EQ(block[i], reference[i])
+                << "kernel " << kernel->name << " row " << i;
+
+        // A bit-matrix transpose is an involution.
+        kernel->transpose64(block);
+        kernel->transpose64(block);
+        for (int i = 0; i < 64; ++i)
+            ASSERT_EQ(block[i], reference[i])
+                << "kernel " << kernel->name << " row " << i;
+    }
 }
 
 // ---------------------------------------------------------------------

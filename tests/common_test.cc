@@ -162,6 +162,31 @@ TEST(Table, CellFormatting)
     EXPECT_NEAR(std::stod(s), 3.25, 1e-9);
 }
 
+TEST(Args, SplitListPlainTokensAndRanges)
+{
+    const auto plain = Args::splitList("64,256");
+    ASSERT_EQ(plain.size(), 2u);
+    EXPECT_EQ(plain[0], "64");
+    EXPECT_EQ(plain[1], "256");
+
+    const auto range = Args::splitList("1:3:1");
+    ASSERT_EQ(range.size(), 3u);
+    EXPECT_EQ(range[0], "1");
+    EXPECT_EQ(range[2], "3");
+
+    EXPECT_TRUE(Args::splitList("").empty());
+}
+
+TEST(Args, SplitListRejectsEmptyEntries)
+{
+    // "64,,256" used to parse as two values with no diagnostic, so a
+    // sweep silently ran over fewer points than requested.
+    EXPECT_DEATH(Args::splitList("64,,256"), "empty entry");
+    EXPECT_DEATH(Args::splitList("64,"), "empty entry");
+    EXPECT_DEATH(Args::splitList(",64"), "empty entry");
+    EXPECT_DEATH(Args::splitList(","), "empty entry");
+}
+
 TEST(Args, ParsesFlagsAndDefaults)
 {
     const char *argv[] = {"prog", "--dim=128", "--csv", "--rate=0.5",

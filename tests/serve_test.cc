@@ -117,6 +117,102 @@ TEST(Batcher, DeadlineExpiryWithOneQueuedRequest)
     EXPECT_EQ(batcher.pendingRequests(), 0u);
 }
 
+TEST(Batcher, StaleSubmitDoesNotOpenExpiredGroup)
+{
+    // Regression: the group deadline used to derive from the first
+    // request's submitAt, so a request that waited in the server queue
+    // longer than maxDelay opened a group that was born expired and
+    // flushed with a single lane.  The deadline must count from when
+    // the group opens.
+    const auto delay = std::chrono::microseconds(1000);
+    Batcher batcher(0, BatchPolicy{64, delay});
+    Rng rng(9);
+    const auto now = Clock::now();
+    const auto stale_submit = now - 10 * delay;
+
+    EXPECT_TRUE(batcher.enqueue(pendingGemv(8, rng, stale_submit), now)
+                    .empty());
+    ASSERT_TRUE(batcher.deadline().has_value());
+    EXPECT_EQ(*batcher.deadline(), now + delay);
+    EXPECT_FALSE(batcher.pollDeadline(now).has_value());
+
+    // Under backlog, further stale requests keep batching into the
+    // open group for the full maxDelay window.
+    for (int i = 0; i < 7; ++i)
+        EXPECT_TRUE(
+            batcher.enqueue(pendingGemv(8, rng, stale_submit), now)
+                .empty());
+    EXPECT_FALSE(batcher
+                     .pollDeadline(now + delay -
+                                   std::chrono::microseconds(1))
+                     .has_value());
+
+    auto group = batcher.pollDeadline(now + delay);
+    ASSERT_TRUE(group.has_value());
+    EXPECT_EQ(group->reason, FlushReason::Deadline);
+    EXPECT_EQ(group->lanes, 8u);
+    EXPECT_EQ(group->requests.size(), 8u);
+}
+
+TEST(Batcher, FutureSubmitKeepsItsOwnDeadline)
+{
+    // A submitAt ahead of `now` (virtual clocks, clock skew) still
+    // anchors the deadline at the later of the two.
+    const auto delay = std::chrono::microseconds(1000);
+    Batcher batcher(0, BatchPolicy{64, delay});
+    Rng rng(10);
+    const auto now = Clock::now();
+    const auto future_submit = now + 5 * delay;
+
+    EXPECT_TRUE(batcher.enqueue(pendingGemv(8, rng, future_submit), now)
+                    .empty());
+    ASSERT_TRUE(batcher.deadline().has_value());
+    EXPECT_EQ(*batcher.deadline(), future_submit + delay);
+}
+
+TEST(LatencySummary, NearestRankPercentilesOnSmallSamples)
+{
+    // Regression: the index used to be floor(q*N), one rank too high —
+    // p50 of a 2-sample set returned the max.
+    std::vector<double> two{7.0, 1.0};
+    const auto s2 = summarize(two);
+    EXPECT_DOUBLE_EQ(s2.p50, 1.0);
+    EXPECT_DOUBLE_EQ(s2.p95, 7.0);
+    EXPECT_DOUBLE_EQ(s2.p99, 7.0);
+    EXPECT_DOUBLE_EQ(s2.mean, 4.0);
+    EXPECT_DOUBLE_EQ(s2.max, 7.0);
+
+    std::vector<double> one{3.5};
+    const auto s1 = summarize(one);
+    EXPECT_DOUBLE_EQ(s1.p50, 3.5);
+    EXPECT_DOUBLE_EQ(s1.p95, 3.5);
+    EXPECT_DOUBLE_EQ(s1.p99, 3.5);
+
+    // 1..20 (submitted shuffled): nearest-rank p50 = ceil(10) -> 10,
+    // p95 = ceil(19) -> 19, p99 = ceil(19.8) -> 20.
+    std::vector<double> twenty;
+    for (int i = 20; i >= 1; --i)
+        twenty.push_back(static_cast<double>(i));
+    const auto s20 = summarize(twenty);
+    EXPECT_DOUBLE_EQ(s20.p50, 10.0);
+    EXPECT_DOUBLE_EQ(s20.p95, 19.0);
+    EXPECT_DOUBLE_EQ(s20.p99, 20.0);
+
+    // 1..100: the ranks land exactly on 50 / 95 / 99.
+    std::vector<double> hundred;
+    for (int i = 100; i >= 1; --i)
+        hundred.push_back(static_cast<double>(i));
+    const auto s100 = summarize(hundred);
+    EXPECT_DOUBLE_EQ(s100.p50, 50.0);
+    EXPECT_DOUBLE_EQ(s100.p95, 95.0);
+    EXPECT_DOUBLE_EQ(s100.p99, 99.0);
+
+    std::vector<double> none;
+    const auto s0 = summarize(none);
+    EXPECT_DOUBLE_EQ(s0.p50, 0.0);
+    EXPECT_DOUBLE_EQ(s0.max, 0.0);
+}
+
 TEST(Batcher, OversizedBatchFlushesAlone)
 {
     Batcher batcher(0, BatchPolicy{64, std::chrono::microseconds(1000)});
