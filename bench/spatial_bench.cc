@@ -56,6 +56,8 @@ usage()
         "  --threads=N          sweep worker threads (0 = hardware)\n"
         "  --sim-threads=N      batch-engine threads inside a point\n"
         "  --lane-words=W       batch-engine lane words (0 = auto)\n"
+        "  --activity-gating=B  segmented activity gating (default 1)\n"
+        "  --segment-kib=K      gated segment working-set target\n"
         "  --seed=N             workload-stream seed override (0 =\n"
         "                       each experiment's built-in stream)\n"
         "  --quiet              suppress tables (summaries only)\n"
@@ -146,7 +148,8 @@ runRun(const Args &args)
 {
     const auto &registry = Registry::instance();
     const std::set<std::string> reserved = {
-        "all", "json", "csv", "threads", "sim-threads", "lane-words",
+        "all",  "json",          "csv",         "threads",
+        "sim-threads", "lane-words", "activity-gating", "segment-kib",
         "seed", "quiet"};
 
     // Which experiments.
@@ -205,6 +208,9 @@ runRun(const Args &args)
         static_cast<unsigned>(args.getInt("sim-threads", 0));
     options.sim.laneWords =
         static_cast<unsigned>(args.getInt("lane-words", 0));
+    options.sim.activityGating = args.getBool("activity-gating", true);
+    options.sim.segmentKib = static_cast<unsigned>(
+        args.getInt("segment-kib", options.sim.segmentKib));
     options.seed = static_cast<std::uint64_t>(args.getInt("seed", 0));
 
     const bool quiet = args.getBool("quiet", false);

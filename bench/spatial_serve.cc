@@ -13,6 +13,7 @@
  *   spatial-serve --mode=closed --clients=128 --duration=2
  *   spatial-serve --designs=4 --batch_frac=0.2 --esn_frac=0.1
  *   spatial-serve --mode=drain --compare --check_speedup=3 --json
+ *   spatial-serve --activity_gating=0 --segment_kib=8
  *
  * --json[=path] writes BENCH_serve.json (CI trends it next to the
  * sim_throughput artifact).  --check_speedup=R exits 1 unless drain
@@ -68,6 +69,10 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getInt("store_capacity", 64));
     options.serve.sim.laneWords =
         static_cast<unsigned>(args.getInt("lane-words", 0));
+    options.serve.sim.activityGating =
+        args.getBool("activity_gating", true);
+    options.serve.sim.segmentKib = static_cast<unsigned>(
+        args.getInt("segment_kib", options.serve.sim.segmentKib));
 
     if (options.compareNaive &&
         options.mode != LoadGenOptions::Mode::Drain)
@@ -98,6 +103,15 @@ main(int argc, char **argv)
                 result.stats.paddedLanes, result.stats.occupancy(),
                 result.stats.flushFull, result.stats.flushDeadline,
                 result.stats.flushDrain, result.stats.sequences);
+    std::printf("engine: %u workers, %zu passes, activity gating %s "
+                "(%llu/%llu segments skipped)\n",
+                result.workersResolved, result.stats.enginePasses,
+                options.serve.sim.activityGating ? "on" : "off",
+                static_cast<unsigned long long>(
+                    result.stats.segmentsSkipped),
+                static_cast<unsigned long long>(
+                    result.stats.segmentsSkipped +
+                    result.stats.segmentsExecuted));
     std::printf("store: %zu hits / %zu misses, %zu evictions, %zu "
                 "resident\n",
                 result.stats.store.cache.hits,

@@ -51,4 +51,210 @@ ExecPlan::ExecPlan(const Netlist &netlist)
     std::reverse(regs_.begin(), regs_.end());
 }
 
+std::shared_ptr<const Segmentation>
+ExecPlan::segmentation(std::size_t ops_per_segment) const
+{
+    ops_per_segment = std::max<std::size_t>(1, ops_per_segment);
+    std::lock_guard<std::mutex> lock(segmentationMutex_);
+    auto &slot = segmentations_[ops_per_segment];
+    if (slot == nullptr)
+        slot = std::make_shared<const Segmentation>(*this, ops_per_segment);
+    return slot;
+}
+
+std::size_t
+Segmentation::opsForBudget(std::size_t segment_kib, unsigned lane_words)
+{
+    const std::size_t op_bytes =
+        4 * sizeof(std::uint64_t) * std::max(1u, lane_words);
+    return std::max<std::size_t>(16, segment_kib * 1024 / op_bytes);
+}
+
+Segmentation::Segmentation(const ExecPlan &plan, std::size_t ops_per_segment)
+    : opsPerSegment_(std::max<std::size_t>(1, ops_per_segment))
+{
+    const auto &plan_comb = plan.comb();
+    const auto &plan_regs = plan.regs();
+    const std::size_t num_slots = plan.numSlots();
+    const auto num_nodes = static_cast<NodeId>(plan.numNodes());
+
+    // Register depth per slot (== bit-serial stream latency): inputs
+    // and constants are 0, registers are one past their deepest source,
+    // comb ops propagate within the cycle.  Both tapes are sorted by
+    // dst (comb ascending, regs descending) and every source id is
+    // below its dst, so one ascending id walk resolves all depths.
+    std::vector<std::uint32_t> depth(num_slots, 0);
+    std::size_t ci = 0;
+    std::size_t ri = plan_regs.size();
+    for (NodeId id = 0; id < num_nodes; ++id) {
+        if (ci < plan_comb.size() && plan_comb[ci].dst == id) {
+            const auto &op = plan_comb[ci++];
+            depth[id] = std::max(depth[op.a], depth[op.b]);
+        } else if (ri > 0 && plan_regs[ri - 1].dst == id) {
+            const auto &op = plan_regs[--ri];
+            depth[id] = std::max(depth[op.a], depth[op.b]) + 1;
+        }
+    }
+
+    // Order every op by (depth, dst).  Sources sort strictly before
+    // their consumers (comb sources at the same depth have lower ids;
+    // register sources sit one depth below), so the comb subsequence
+    // stays topological while nodes that quiesce together share
+    // segments.
+    struct Slot
+    {
+        std::uint64_t key;
+        std::uint32_t index;
+        bool isReg;
+    };
+    std::vector<Slot> order;
+    order.reserve(plan_comb.size() + plan_regs.size());
+    const auto key = [&](NodeId dst) {
+        return (static_cast<std::uint64_t>(depth[dst]) << 32) | dst;
+    };
+    for (std::uint32_t i = 0; i < plan_comb.size(); ++i)
+        order.push_back(Slot{key(plan_comb[i].dst), i, false});
+    for (std::uint32_t i = 0; i < plan_regs.size(); ++i)
+        order.push_back(Slot{key(plan_regs[i].dst), i, true});
+    std::sort(order.begin(), order.end(),
+              [](const Slot &a, const Slot &b) { return a.key < b.key; });
+
+    // Renumber value slots into schedule order so each segment owns one
+    // contiguous slice of the value array: non-op nodes (inputs and
+    // constants, never written by a sweep) keep the front of the slot
+    // space in id order, op destinations follow in schedule order, and
+    // the ones/zero slots stay at numNodes and numNodes + 1 so a
+    // simulator's reset code is layout-agnostic.
+    std::vector<bool> is_op_dst(num_slots, false);
+    for (const auto &op : plan_comb)
+        is_op_dst[op.dst] = true;
+    for (const auto &op : plan_regs)
+        is_op_dst[op.dst] = true;
+    slotOf_.assign(num_slots, 0);
+    NodeId next_slot = 0;
+    for (NodeId id = 0; id < num_nodes; ++id)
+        if (!is_op_dst[id])
+            slotOf_[id] = next_slot++;
+    for (const Slot &slot : order) {
+        const NodeId dst = slot.isReg ? plan_regs[slot.index].dst
+                                      : plan_comb[slot.index].dst;
+        slotOf_[dst] = next_slot++;
+    }
+    slotOf_[num_nodes] = static_cast<NodeId>(num_nodes);         // ones
+    slotOf_[num_nodes + 1] = static_cast<NodeId>(num_nodes + 1); // zero
+
+    // Chunk into segments, rewriting every op into slot space, and
+    // record which segment owns each dst slot (for the frontier scan).
+    constexpr std::uint32_t kUnowned = 0xffffffffu;
+    std::vector<std::uint32_t> owner(num_slots, kUnowned);
+    comb_.reserve(plan_comb.size());
+    regs_.reserve(plan_regs.size());
+    for (std::size_t first = 0; first < order.size();
+         first += opsPerSegment_) {
+        const std::size_t last =
+            std::min(order.size(), first + opsPerSegment_);
+        Segment seg{};
+        seg.combBegin = static_cast<std::uint32_t>(comb_.size());
+        seg.regBegin = static_cast<std::uint32_t>(regs_.size());
+        const auto index = static_cast<std::uint32_t>(segments_.size());
+        for (std::size_t i = first; i < last; ++i) {
+            const Slot &slot = order[i];
+            if (slot.isReg) {
+                const auto &op = plan_regs[slot.index];
+                owner[slotOf_[op.dst]] = index;
+                regs_.push_back(ExecPlan::RegOp{slotOf_[op.dst],
+                                                slotOf_[op.a],
+                                                slotOf_[op.b], op.bInv,
+                                                op.carryInit});
+            } else {
+                const auto &op = plan_comb[slot.index];
+                owner[slotOf_[op.dst]] = index;
+                comb_.push_back(ExecPlan::CombOp{slotOf_[op.dst],
+                                                 slotOf_[op.a],
+                                                 slotOf_[op.b], op.inv});
+            }
+        }
+        seg.combEnd = static_cast<std::uint32_t>(comb_.size());
+        seg.regEnd = static_cast<std::uint32_t>(regs_.size());
+        segments_.push_back(seg);
+    }
+
+
+    inputs_.reserve(plan.inputs().size());
+    for (const auto &in : plan.inputs())
+        inputs_.push_back(ExecPlan::InputOp{slotOf_[in.node], in.port});
+    constOnes_.reserve(plan.constOnes().size());
+    for (const auto node : plan.constOnes())
+        constOnes_.push_back(slotOf_[node]);
+
+    // Frontier: the distinct segments owning each segment's sources,
+    // plus itself when it has registers (carries are self-feeding).
+    // Input-node sources become the readsInputs flag instead; constant
+    // sources (Const0/Const1 and the ones/zero slots) never change
+    // after reset and contribute nothing.  Scanned in slot space,
+    // where the rewritten ops and the owner map live.
+    std::vector<bool> is_input(num_slots, false);
+    for (const auto &in : inputs_)
+        is_input[in.node] = true;
+    std::vector<bool> is_reg_dst(num_slots, false);
+    for (const auto &op : regs_)
+        is_reg_dst[op.dst] = true;
+
+    const std::size_t num_segments = segments_.size();
+    std::vector<std::vector<std::uint32_t>> comb_readers(num_segments);
+    std::vector<std::vector<std::uint32_t>> reg_readers(num_segments);
+    for (std::size_t s = 0; s < num_segments; ++s) {
+        Segment &seg = segments_[s];
+        const auto addSource = [&](NodeId src) {
+            // Input sources need no index: cycles whose driven planes
+            // changed run the dense fallback, which executes every
+            // segment anyway.  Constants never change after reset.
+            if (is_input[src])
+                return;
+            const std::uint32_t i = owner[src];
+            if (i == kUnowned)
+                return;
+            // The inverse index (who to wake on a change), split by
+            // what is being read: comb values propagate within the
+            // cycle, register values only after the next flip.  Reads
+            // inside the owning segment need no wake — a segment
+            // recomputes everything when it runs, and its own register
+            // changes re-arm it via the reg_change self-wake.
+            if (i == s)
+                return;
+            auto &readers = is_reg_dst[src] ? reg_readers[i]
+                                            : comb_readers[i];
+            if (readers.empty() ||
+                readers.back() != static_cast<std::uint32_t>(s))
+                readers.push_back(static_cast<std::uint32_t>(s));
+        };
+        for (std::uint32_t i = seg.combBegin; i < seg.combEnd; ++i) {
+            addSource(comb_[i].a);
+            addSource(comb_[i].b);
+        }
+        for (std::uint32_t i = seg.regBegin; i < seg.regEnd; ++i) {
+            addSource(regs_[i].a);
+            addSource(regs_[i].b);
+        }
+    }
+
+    for (std::size_t s = 0; s < num_segments; ++s) {
+        Segment &seg = segments_[s];
+        const auto pack = [&](std::vector<std::uint32_t> &readers,
+                              std::uint32_t &begin, std::uint32_t &end) {
+            std::sort(readers.begin(), readers.end());
+            readers.erase(std::unique(readers.begin(), readers.end()),
+                          readers.end());
+            begin = static_cast<std::uint32_t>(consumers_.size());
+            consumers_.insert(consumers_.end(), readers.begin(),
+                              readers.end());
+            end = static_cast<std::uint32_t>(consumers_.size());
+        };
+        pack(comb_readers[s], seg.combConsumersBegin,
+             seg.combConsumersEnd);
+        pack(reg_readers[s], seg.regConsumersBegin, seg.regConsumersEnd);
+    }
+
+}
+
 } // namespace spatial::circuit

@@ -71,13 +71,14 @@ settleScalar(const ExecPlan::CombOp *ops, std::size_t count,
     }
 }
 
-template <unsigned W, bool Count>
+template <unsigned W, bool Count, bool Reverse = false>
 std::uint64_t
 commitScalarT(const ExecPlan::RegOp *ops, std::size_t count,
               std::uint64_t *cur, std::uint64_t *carry)
 {
     std::uint64_t toggles = 0;
-    for (std::size_t k = 0; k < count; ++k) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t k = Reverse ? count - 1 - i : i;
         const auto &op = ops[k];
         const std::uint64_t *a = cur + std::size_t{op.a} * W;
         const std::uint64_t *b_raw = cur + std::size_t{op.b} * W;
@@ -102,14 +103,15 @@ commitScalarT(const ExecPlan::RegOp *ops, std::size_t count,
     return toggles;
 }
 
-template <bool Count>
+template <bool Count, bool Reverse = false>
 std::uint64_t
 commitScalarGeneric(const ExecPlan::RegOp *ops, std::size_t count,
                     std::uint64_t *cur, std::uint64_t *carry,
                     unsigned lane_words)
 {
     std::uint64_t toggles = 0;
-    for (std::size_t k = 0; k < count; ++k) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t k = Reverse ? count - 1 - i : i;
         const auto &op = ops[k];
         const std::uint64_t *a = cur + std::size_t{op.a} * lane_words;
         const std::uint64_t *b_raw = cur + std::size_t{op.b} * lane_words;
@@ -167,6 +169,239 @@ commitScalar(const ExecPlan::RegOp *ops, std::size_t count,
       default:
         return commitScalarGeneric<false>(ops, count, cur, carry,
                                           lane_words);
+    }
+}
+
+std::uint64_t
+commitReverseScalar(const ExecPlan::RegOp *ops, std::size_t count,
+                    std::uint64_t *cur, std::uint64_t *carry,
+                    unsigned lane_words, bool count_toggles)
+{
+    if (count_toggles) {
+        switch (lane_words) {
+          case 1:
+            return commitScalarT<1, true, true>(ops, count, cur, carry);
+          case 2:
+            return commitScalarT<2, true, true>(ops, count, cur, carry);
+          case 4:
+            return commitScalarT<4, true, true>(ops, count, cur, carry);
+          case 8:
+            return commitScalarT<8, true, true>(ops, count, cur, carry);
+          default:
+            return commitScalarGeneric<true, true>(ops, count, cur,
+                                                   carry, lane_words);
+        }
+    }
+    switch (lane_words) {
+      case 1:
+        return commitScalarT<1, false, true>(ops, count, cur, carry);
+      case 2:
+        return commitScalarT<2, false, true>(ops, count, cur, carry);
+      case 4:
+        return commitScalarT<4, false, true>(ops, count, cur, carry);
+      case 8:
+        return commitScalarT<8, false, true>(ops, count, cur, carry);
+      default:
+        return commitScalarGeneric<false, true>(ops, count, cur, carry,
+                                                lane_words);
+    }
+}
+
+template <unsigned W>
+std::uint64_t
+settleMaskedScalarT(const ExecPlan::CombOp *ops, std::size_t count,
+                    std::uint64_t *cur)
+{
+    std::uint64_t change = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &op = ops[i];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b = cur + std::size_t{op.b} * W;
+        std::uint64_t *__restrict dst = cur + std::size_t{op.dst} * W;
+        for (unsigned w = 0; w < W; ++w) {
+            const std::uint64_t next = (a[w] & b[w]) ^ op.inv;
+            change |= dst[w] ^ next;
+            dst[w] = next;
+        }
+    }
+    return change;
+}
+
+std::uint64_t
+settleMaskedScalarGeneric(const ExecPlan::CombOp *ops, std::size_t count,
+                          std::uint64_t *cur, unsigned lane_words)
+{
+    std::uint64_t change = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &op = ops[i];
+        const std::uint64_t *a = cur + std::size_t{op.a} * lane_words;
+        const std::uint64_t *b = cur + std::size_t{op.b} * lane_words;
+        std::uint64_t *__restrict dst =
+            cur + std::size_t{op.dst} * lane_words;
+        for (unsigned w = 0; w < lane_words; ++w) {
+            const std::uint64_t next = (a[w] & b[w]) ^ op.inv;
+            change |= dst[w] ^ next;
+            dst[w] = next;
+        }
+    }
+    return change;
+}
+
+std::uint64_t
+settleMaskedScalar(const ExecPlan::CombOp *ops, std::size_t count,
+                   std::uint64_t *cur, unsigned lane_words)
+{
+    switch (lane_words) {
+      case 1:
+        return settleMaskedScalarT<1>(ops, count, cur);
+      case 2:
+        return settleMaskedScalarT<2>(ops, count, cur);
+      case 4:
+        return settleMaskedScalarT<4>(ops, count, cur);
+      case 8:
+        return settleMaskedScalarT<8>(ops, count, cur);
+      default:
+        return settleMaskedScalarGeneric(ops, count, cur, lane_words);
+    }
+}
+
+template <unsigned W, bool Count>
+std::uint64_t
+commitGatedScalarT(const ExecPlan::RegOp *ops, std::size_t count,
+                   const std::uint64_t *cur, std::uint64_t *carry,
+                   std::uint64_t *pending, std::uint64_t *toggles,
+                   std::uint64_t *flip_cur)
+{
+    std::uint64_t change = 0;
+    std::uint64_t local_toggles = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const auto &op = ops[k];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b_raw = cur + std::size_t{op.b} * W;
+        std::uint64_t *cw = carry + k * W;
+        std::uint64_t *__restrict pend = pending + k * W;
+        std::uint64_t *fd = flip_cur == nullptr
+                                ? nullptr
+                                : flip_cur + std::size_t{op.dst} * W;
+        for (unsigned w = 0; w < W; ++w) {
+            const std::uint64_t b = b_raw[w] ^ op.bInv;
+            const std::uint64_t c = cw[w];
+            const std::uint64_t sum = a[w] ^ b ^ c;
+            const std::uint64_t next_carry =
+                (a[w] & b) | (a[w] & c) | (b & c);
+            // pend[w] still holds the op's presented value (the flip
+            // keeps cur[dst] equal to it), so the old state comes from
+            // this sequential stream instead of a scattered load; an
+            // owed flip stores it to the dst slot on the way.
+            const std::uint64_t old = pend[w];
+            if (fd != nullptr)
+                fd[w] = old;
+            const std::uint64_t dst_change = old ^ sum;
+            const std::uint64_t carry_change = c ^ next_carry;
+            change |= dst_change | carry_change;
+            if constexpr (Count) {
+                local_toggles += static_cast<std::uint64_t>(
+                    std::popcount(dst_change) +
+                    std::popcount(carry_change));
+            }
+            pend[w] = sum;
+            cw[w] = next_carry;
+        }
+    }
+    if constexpr (Count)
+        *toggles += local_toggles;
+    return change;
+}
+
+template <bool Count>
+std::uint64_t
+commitGatedScalarGeneric(const ExecPlan::RegOp *ops, std::size_t count,
+                         const std::uint64_t *cur, std::uint64_t *carry,
+                         std::uint64_t *pending, unsigned lane_words,
+                         std::uint64_t *toggles, std::uint64_t *flip_cur)
+{
+    std::uint64_t change = 0;
+    std::uint64_t local_toggles = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const auto &op = ops[k];
+        const std::uint64_t *a = cur + std::size_t{op.a} * lane_words;
+        const std::uint64_t *b_raw = cur + std::size_t{op.b} * lane_words;
+        std::uint64_t *cw = carry + k * lane_words;
+        std::uint64_t *__restrict pend = pending + k * lane_words;
+        std::uint64_t *fd =
+            flip_cur == nullptr
+                ? nullptr
+                : flip_cur + std::size_t{op.dst} * lane_words;
+        for (unsigned w = 0; w < lane_words; ++w) {
+            const std::uint64_t b = b_raw[w] ^ op.bInv;
+            const std::uint64_t c = cw[w];
+            const std::uint64_t sum = a[w] ^ b ^ c;
+            const std::uint64_t next_carry =
+                (a[w] & b) | (a[w] & c) | (b & c);
+            const std::uint64_t old = pend[w];
+            if (fd != nullptr)
+                fd[w] = old;
+            const std::uint64_t dst_change = old ^ sum;
+            const std::uint64_t carry_change = c ^ next_carry;
+            change |= dst_change | carry_change;
+            if constexpr (Count) {
+                local_toggles += static_cast<std::uint64_t>(
+                    std::popcount(dst_change) +
+                    std::popcount(carry_change));
+            }
+            pend[w] = sum;
+            cw[w] = next_carry;
+        }
+    }
+    if constexpr (Count)
+        *toggles += local_toggles;
+    return change;
+}
+
+std::uint64_t
+commitGatedScalar(const ExecPlan::RegOp *ops, std::size_t count,
+                  const std::uint64_t *cur, std::uint64_t *carry,
+                  std::uint64_t *pending, unsigned lane_words,
+                  bool count_toggles, std::uint64_t *toggles,
+                  std::uint64_t *flip_cur)
+{
+    if (count_toggles) {
+        switch (lane_words) {
+          case 1:
+            return commitGatedScalarT<1, true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur);
+          case 2:
+            return commitGatedScalarT<2, true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur);
+          case 4:
+            return commitGatedScalarT<4, true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur);
+          case 8:
+            return commitGatedScalarT<8, true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur);
+          default:
+            return commitGatedScalarGeneric<true>(ops, count, cur, carry,
+                                                  pending, lane_words,
+                                                  toggles, flip_cur);
+        }
+    }
+    switch (lane_words) {
+      case 1:
+        return commitGatedScalarT<1, false>(ops, count, cur, carry,
+                                            pending, toggles, flip_cur);
+      case 2:
+        return commitGatedScalarT<2, false>(ops, count, cur, carry,
+                                            pending, toggles, flip_cur);
+      case 4:
+        return commitGatedScalarT<4, false>(ops, count, cur, carry,
+                                            pending, toggles, flip_cur);
+      case 8:
+        return commitGatedScalarT<8, false>(ops, count, cur, carry,
+                                            pending, toggles, flip_cur);
+      default:
+        return commitGatedScalarGeneric<false>(ops, count, cur, carry,
+                                               pending, lane_words,
+                                               toggles, flip_cur);
     }
 }
 
@@ -231,14 +466,15 @@ settleAvx2(const ExecPlan::CombOp *ops, std::size_t count,
     }
 }
 
-template <unsigned W, bool Count>
+template <unsigned W, bool Count, bool Reverse = false>
 __attribute__((target("avx2"))) std::uint64_t
 commitAvx2T(const ExecPlan::RegOp *ops, std::size_t count,
             std::uint64_t *cur, std::uint64_t *carry)
 {
     static_assert(W % 4 == 0);
     std::uint64_t toggles = 0;
-    for (std::size_t k = 0; k < count; ++k) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t k = Reverse ? count - 1 - i : i;
         const auto &op = ops[k];
         const std::uint64_t *a = cur + std::size_t{op.a} * W;
         const std::uint64_t *b_raw = cur + std::size_t{op.b} * W;
@@ -302,6 +538,182 @@ commitAvx2(const ExecPlan::RegOp *ops, std::size_t count,
       default:
         return commitScalar(ops, count, cur, carry, lane_words,
                             count_toggles);
+    }
+}
+
+std::uint64_t
+commitReverseAvx2(const ExecPlan::RegOp *ops, std::size_t count,
+                  std::uint64_t *cur, std::uint64_t *carry,
+                  unsigned lane_words, bool count_toggles)
+{
+    switch (lane_words) {
+      case 4:
+        return count_toggles
+                   ? commitAvx2T<4, true, true>(ops, count, cur, carry)
+                   : commitAvx2T<4, false, true>(ops, count, cur, carry);
+      case 8:
+        return count_toggles
+                   ? commitAvx2T<8, true, true>(ops, count, cur, carry)
+                   : commitAvx2T<8, false, true>(ops, count, cur, carry);
+      default:
+        return commitReverseScalar(ops, count, cur, carry, lane_words,
+                                   count_toggles);
+    }
+}
+
+/** Horizontal OR of the four 64-bit lanes of a 256-bit register. */
+__attribute__((target("avx2"))) inline std::uint64_t
+reduceOrAvx2(__m256i v)
+{
+    const __m128i folded = _mm_or_si128(_mm256_castsi256_si128(v),
+                                        _mm256_extracti128_si256(v, 1));
+    return static_cast<std::uint64_t>(_mm_cvtsi128_si64(folded)) |
+           static_cast<std::uint64_t>(
+               _mm_cvtsi128_si64(_mm_unpackhi_epi64(folded, folded)));
+}
+
+template <unsigned W>
+__attribute__((target("avx2"))) std::uint64_t
+settleMaskedAvx2T(const ExecPlan::CombOp *ops, std::size_t count,
+                  std::uint64_t *cur)
+{
+    static_assert(W % 4 == 0);
+    __m256i change = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &op = ops[i];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b = cur + std::size_t{op.b} * W;
+        std::uint64_t *dst = cur + std::size_t{op.dst} * W;
+        const __m256i inv =
+            _mm256_set1_epi64x(static_cast<long long>(op.inv));
+        for (unsigned w = 0; w < W; w += 4) {
+            const __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + w));
+            const __m256i vb = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b + w));
+            const __m256i next =
+                _mm256_xor_si256(_mm256_and_si256(va, vb), inv);
+            const __m256i old = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(dst + w));
+            change = _mm256_or_si256(change,
+                                     _mm256_xor_si256(old, next));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + w),
+                                next);
+        }
+    }
+    return reduceOrAvx2(change);
+}
+
+std::uint64_t
+settleMaskedAvx2(const ExecPlan::CombOp *ops, std::size_t count,
+                 std::uint64_t *cur, unsigned lane_words)
+{
+    switch (lane_words) {
+      case 4:
+        return settleMaskedAvx2T<4>(ops, count, cur);
+      case 8:
+        return settleMaskedAvx2T<8>(ops, count, cur);
+      default:
+        return settleMaskedScalar(ops, count, cur, lane_words);
+    }
+}
+
+template <unsigned W, bool Count>
+__attribute__((target("avx2"))) std::uint64_t
+commitGatedAvx2T(const ExecPlan::RegOp *ops, std::size_t count,
+                 const std::uint64_t *cur, std::uint64_t *carry,
+                 std::uint64_t *pending, std::uint64_t *toggles,
+                 std::uint64_t *flip_cur)
+{
+    static_assert(W % 4 == 0);
+    __m256i change = _mm256_setzero_si256();
+    std::uint64_t local_toggles = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const auto &op = ops[k];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b_raw = cur + std::size_t{op.b} * W;
+        std::uint64_t *cw = carry + k * W;
+        std::uint64_t *pend = pending + k * W;
+        std::uint64_t *fd = flip_cur == nullptr
+                                ? nullptr
+                                : flip_cur + std::size_t{op.dst} * W;
+        const __m256i binv =
+            _mm256_set1_epi64x(static_cast<long long>(op.bInv));
+        for (unsigned w = 0; w < W; w += 4) {
+            const __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + w));
+            const __m256i vb = _mm256_xor_si256(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(b_raw + w)),
+                binv);
+            const __m256i vc = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(cw + w));
+            const __m256i sum =
+                _mm256_xor_si256(_mm256_xor_si256(va, vb), vc);
+            const __m256i next = _mm256_or_si256(
+                _mm256_or_si256(_mm256_and_si256(va, vb),
+                                _mm256_and_si256(va, vc)),
+                _mm256_and_si256(vb, vc));
+            // pend still holds the presented value (see the scalar
+            // reference): sequential reload, no scattered dst access;
+            // an owed flip stores it to the dst slot on the way.
+            const __m256i old = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(pend + w));
+            if (fd != nullptr)
+                _mm256_storeu_si256(reinterpret_cast<__m256i *>(fd + w),
+                                    old);
+            const __m256i dst_change = _mm256_xor_si256(old, sum);
+            const __m256i carry_change = _mm256_xor_si256(vc, next);
+            change = _mm256_or_si256(
+                change, _mm256_or_si256(dst_change, carry_change));
+            if constexpr (Count) {
+                alignas(32) std::uint64_t dt[4];
+                alignas(32) std::uint64_t ct[4];
+                _mm256_store_si256(reinterpret_cast<__m256i *>(dt),
+                                   dst_change);
+                _mm256_store_si256(reinterpret_cast<__m256i *>(ct),
+                                   carry_change);
+                for (int i = 0; i < 4; ++i)
+                    local_toggles += static_cast<std::uint64_t>(
+                        std::popcount(dt[i]) + std::popcount(ct[i]));
+            }
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(pend + w),
+                                sum);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(cw + w),
+                                next);
+        }
+    }
+    if constexpr (Count)
+        *toggles += local_toggles;
+    return reduceOrAvx2(change);
+}
+
+std::uint64_t
+commitGatedAvx2(const ExecPlan::RegOp *ops, std::size_t count,
+                const std::uint64_t *cur, std::uint64_t *carry,
+                std::uint64_t *pending, unsigned lane_words,
+                bool count_toggles, std::uint64_t *toggles,
+                std::uint64_t *flip_cur)
+{
+    switch (lane_words) {
+      case 4:
+        return count_toggles
+                   ? commitGatedAvx2T<4, true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur)
+                   : commitGatedAvx2T<4, false>(ops, count, cur, carry,
+                                                pending, toggles,
+                                                flip_cur);
+      case 8:
+        return count_toggles
+                   ? commitGatedAvx2T<8, true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur)
+                   : commitGatedAvx2T<8, false>(ops, count, cur, carry,
+                                                pending, toggles,
+                                                flip_cur);
+      default:
+        return commitGatedScalar(ops, count, cur, carry, pending,
+                                 lane_words, count_toggles, toggles,
+                                 flip_cur);
     }
 }
 
@@ -389,14 +801,15 @@ settleAvx512(const ExecPlan::CombOp *ops, std::size_t count,
     }
 }
 
-template <bool Count>
+template <bool Count, bool Reverse = false>
 __attribute__((target("avx512f"))) std::uint64_t
 commitAvx512W8(const ExecPlan::RegOp *ops, std::size_t count,
                std::uint64_t *cur, std::uint64_t *carry)
 {
     constexpr unsigned W = 8;
     std::uint64_t toggles = 0;
-    for (std::size_t k = 0; k < count; ++k) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t k = Reverse ? count - 1 - i : i;
         const auto &op = ops[k];
         std::uint64_t *cw = carry + k * W;
         std::uint64_t *dst = cur + std::size_t{op.dst} * W;
@@ -445,6 +858,154 @@ commitAvx512(const ExecPlan::RegOp *ops, std::size_t count,
     }
 }
 
+std::uint64_t
+commitReverseAvx512(const ExecPlan::RegOp *ops, std::size_t count,
+                    std::uint64_t *cur, std::uint64_t *carry,
+                    unsigned lane_words, bool count_toggles)
+{
+    switch (lane_words) {
+      case 8:
+        return count_toggles
+                   ? commitAvx512W8<true, true>(ops, count, cur, carry)
+                   : commitAvx512W8<false, true>(ops, count, cur, carry);
+      case 4:
+        return count_toggles
+                   ? commitAvx2T<4, true, true>(ops, count, cur, carry)
+                   : commitAvx2T<4, false, true>(ops, count, cur, carry);
+      default:
+        return commitReverseScalar(ops, count, cur, carry, lane_words,
+                                   count_toggles);
+    }
+}
+
+__attribute__((target("avx512f"))) std::uint64_t
+settleMaskedAvx512W8(const ExecPlan::CombOp *ops, std::size_t count,
+                     std::uint64_t *cur)
+{
+    constexpr unsigned W = 8;
+    __m512i change = _mm512_setzero_si512();
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &op = ops[i];
+        std::uint64_t *dst = cur + std::size_t{op.dst} * W;
+        const __m512i va =
+            _mm512_loadu_si512(cur + std::size_t{op.a} * W);
+        const __m512i vb =
+            _mm512_loadu_si512(cur + std::size_t{op.b} * W);
+        const __m512i inv =
+            _mm512_set1_epi64(static_cast<long long>(op.inv));
+        // 0x6A = (a & b) ^ c.
+        const __m512i next =
+            _mm512_ternarylogic_epi64(va, vb, inv, 0x6a);
+        change = _mm512_or_epi64(
+            change, _mm512_xor_epi64(_mm512_loadu_si512(dst), next));
+        _mm512_storeu_si512(dst, next);
+    }
+    // _mm512_reduce_or_epi64 trips a GCC -Wuninitialized false positive
+    // (its extract idiom reads an undefined register), so reduce by
+    // store + OR — once per segment call, cost-free.
+    alignas(64) std::uint64_t folded[8];
+    _mm512_store_si512(folded, change);
+    std::uint64_t mask = 0;
+    for (int i = 0; i < 8; ++i)
+        mask |= folded[i];
+    return mask;
+}
+
+std::uint64_t
+settleMaskedAvx512(const ExecPlan::CombOp *ops, std::size_t count,
+                   std::uint64_t *cur, unsigned lane_words)
+{
+    switch (lane_words) {
+      case 8:
+        return settleMaskedAvx512W8(ops, count, cur);
+      case 4:
+        return settleMaskedAvx2T<4>(ops, count, cur);
+      default:
+        return settleMaskedScalar(ops, count, cur, lane_words);
+    }
+}
+
+template <bool Count>
+__attribute__((target("avx512f"))) std::uint64_t
+commitGatedAvx512W8(const ExecPlan::RegOp *ops, std::size_t count,
+                    const std::uint64_t *cur, std::uint64_t *carry,
+                    std::uint64_t *pending, std::uint64_t *toggles,
+                    std::uint64_t *flip_cur)
+{
+    constexpr unsigned W = 8;
+    __m512i change = _mm512_setzero_si512();
+    std::uint64_t local_toggles = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const auto &op = ops[k];
+        std::uint64_t *cw = carry + k * W;
+        std::uint64_t *pend = pending + k * W;
+        const __m512i va =
+            _mm512_loadu_si512(cur + std::size_t{op.a} * W);
+        const __m512i vb = _mm512_xor_epi64(
+            _mm512_loadu_si512(cur + std::size_t{op.b} * W),
+            _mm512_set1_epi64(static_cast<long long>(op.bInv)));
+        const __m512i vc = _mm512_loadu_si512(cw);
+        // 0x96 = a ^ b ^ c; 0xE8 = majority(a, b, c).
+        const __m512i sum = _mm512_ternarylogic_epi64(va, vb, vc, 0x96);
+        const __m512i next = _mm512_ternarylogic_epi64(va, vb, vc, 0xe8);
+        const __m512i old = _mm512_loadu_si512(pend);
+        if (flip_cur != nullptr)
+            _mm512_storeu_si512(flip_cur + std::size_t{op.dst} * W, old);
+        const __m512i dst_change = _mm512_xor_epi64(old, sum);
+        const __m512i carry_change = _mm512_xor_epi64(vc, next);
+        change = _mm512_or_epi64(
+            change, _mm512_or_epi64(dst_change, carry_change));
+        if constexpr (Count) {
+            alignas(64) std::uint64_t dt[8];
+            alignas(64) std::uint64_t ct[8];
+            _mm512_store_si512(dt, dst_change);
+            _mm512_store_si512(ct, carry_change);
+            for (int i = 0; i < 8; ++i)
+                local_toggles += static_cast<std::uint64_t>(
+                    std::popcount(dt[i]) + std::popcount(ct[i]));
+        }
+        _mm512_storeu_si512(pend, sum);
+        _mm512_storeu_si512(cw, next);
+    }
+    if constexpr (Count)
+        *toggles += local_toggles;
+    alignas(64) std::uint64_t folded[8];
+    _mm512_store_si512(folded, change);
+    std::uint64_t mask = 0;
+    for (int i = 0; i < 8; ++i)
+        mask |= folded[i];
+    return mask;
+}
+
+std::uint64_t
+commitGatedAvx512(const ExecPlan::RegOp *ops, std::size_t count,
+                  const std::uint64_t *cur, std::uint64_t *carry,
+                  std::uint64_t *pending, unsigned lane_words,
+                  bool count_toggles, std::uint64_t *toggles,
+                  std::uint64_t *flip_cur)
+{
+    switch (lane_words) {
+      case 8:
+        return count_toggles
+                   ? commitGatedAvx512W8<true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur)
+                   : commitGatedAvx512W8<false>(ops, count, cur, carry,
+                                                pending, toggles,
+                                                flip_cur);
+      case 4:
+        return count_toggles
+                   ? commitGatedAvx2T<4, true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur)
+                   : commitGatedAvx2T<4, false>(ops, count, cur, carry,
+                                                pending, toggles,
+                                                flip_cur);
+      default:
+        return commitGatedScalar(ops, count, cur, carry, pending,
+                                 lane_words, count_toggles, toggles,
+                                 flip_cur);
+    }
+}
+
 #endif // SPATIAL_KERNELS_X86
 
 #if SPATIAL_KERNELS_NEON
@@ -490,14 +1051,15 @@ settleNeon(const ExecPlan::CombOp *ops, std::size_t count,
     }
 }
 
-template <unsigned W, bool Count>
+template <unsigned W, bool Count, bool Reverse = false>
 std::uint64_t
 commitNeonT(const ExecPlan::RegOp *ops, std::size_t count,
             std::uint64_t *cur, std::uint64_t *carry)
 {
     static_assert(W % 2 == 0);
     std::uint64_t toggles = 0;
-    for (std::size_t k = 0; k < count; ++k) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t k = Reverse ? count - 1 - i : i;
         const auto &op = ops[k];
         const std::uint64_t *a = cur + std::size_t{op.a} * W;
         const std::uint64_t *b_raw = cur + std::size_t{op.b} * W;
@@ -552,6 +1114,160 @@ commitNeon(const ExecPlan::RegOp *ops, std::size_t count,
     }
 }
 
+std::uint64_t
+commitReverseNeon(const ExecPlan::RegOp *ops, std::size_t count,
+                  std::uint64_t *cur, std::uint64_t *carry,
+                  unsigned lane_words, bool count_toggles)
+{
+    switch (lane_words) {
+      case 2:
+        return count_toggles
+                   ? commitNeonT<2, true, true>(ops, count, cur, carry)
+                   : commitNeonT<2, false, true>(ops, count, cur, carry);
+      case 4:
+        return count_toggles
+                   ? commitNeonT<4, true, true>(ops, count, cur, carry)
+                   : commitNeonT<4, false, true>(ops, count, cur, carry);
+      case 8:
+        return count_toggles
+                   ? commitNeonT<8, true, true>(ops, count, cur, carry)
+                   : commitNeonT<8, false, true>(ops, count, cur, carry);
+      default:
+        return commitReverseScalar(ops, count, cur, carry, lane_words,
+                                   count_toggles);
+    }
+}
+
+template <unsigned W>
+std::uint64_t
+settleMaskedNeonT(const ExecPlan::CombOp *ops, std::size_t count,
+                  std::uint64_t *cur)
+{
+    static_assert(W % 2 == 0);
+    uint64x2_t change = vdupq_n_u64(0);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &op = ops[i];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b = cur + std::size_t{op.b} * W;
+        std::uint64_t *dst = cur + std::size_t{op.dst} * W;
+        const uint64x2_t inv = vdupq_n_u64(op.inv);
+        for (unsigned w = 0; w < W; w += 2) {
+            const uint64x2_t next =
+                veorq_u64(vandq_u64(vld1q_u64(a + w), vld1q_u64(b + w)),
+                          inv);
+            change = vorrq_u64(change,
+                               veorq_u64(vld1q_u64(dst + w), next));
+            vst1q_u64(dst + w, next);
+        }
+    }
+    return vgetq_lane_u64(change, 0) | vgetq_lane_u64(change, 1);
+}
+
+std::uint64_t
+settleMaskedNeon(const ExecPlan::CombOp *ops, std::size_t count,
+                 std::uint64_t *cur, unsigned lane_words)
+{
+    switch (lane_words) {
+      case 2:
+        return settleMaskedNeonT<2>(ops, count, cur);
+      case 4:
+        return settleMaskedNeonT<4>(ops, count, cur);
+      case 8:
+        return settleMaskedNeonT<8>(ops, count, cur);
+      default:
+        return settleMaskedScalar(ops, count, cur, lane_words);
+    }
+}
+
+template <unsigned W, bool Count>
+std::uint64_t
+commitGatedNeonT(const ExecPlan::RegOp *ops, std::size_t count,
+                 const std::uint64_t *cur, std::uint64_t *carry,
+                 std::uint64_t *pending, std::uint64_t *toggles,
+                 std::uint64_t *flip_cur)
+{
+    static_assert(W % 2 == 0);
+    uint64x2_t change = vdupq_n_u64(0);
+    std::uint64_t local_toggles = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const auto &op = ops[k];
+        const std::uint64_t *a = cur + std::size_t{op.a} * W;
+        const std::uint64_t *b_raw = cur + std::size_t{op.b} * W;
+        std::uint64_t *cw = carry + k * W;
+        std::uint64_t *pend = pending + k * W;
+        std::uint64_t *fd = flip_cur == nullptr
+                                ? nullptr
+                                : flip_cur + std::size_t{op.dst} * W;
+        const uint64x2_t binv = vdupq_n_u64(op.bInv);
+        for (unsigned w = 0; w < W; w += 2) {
+            const uint64x2_t va = vld1q_u64(a + w);
+            const uint64x2_t vb = veorq_u64(vld1q_u64(b_raw + w), binv);
+            const uint64x2_t vc = vld1q_u64(cw + w);
+            const uint64x2_t sum = veorq_u64(veorq_u64(va, vb), vc);
+            const uint64x2_t next =
+                vorrq_u64(vorrq_u64(vandq_u64(va, vb), vandq_u64(va, vc)),
+                          vandq_u64(vb, vc));
+            const uint64x2_t old = vld1q_u64(pend + w);
+            if (fd != nullptr)
+                vst1q_u64(fd + w, old);
+            const uint64x2_t dst_change = veorq_u64(old, sum);
+            const uint64x2_t carry_change = veorq_u64(vc, next);
+            change = vorrq_u64(change,
+                               vorrq_u64(dst_change, carry_change));
+            if constexpr (Count) {
+                std::uint64_t dt[2];
+                std::uint64_t ct[2];
+                vst1q_u64(dt, dst_change);
+                vst1q_u64(ct, carry_change);
+                local_toggles += static_cast<std::uint64_t>(
+                    std::popcount(dt[0]) + std::popcount(dt[1]) +
+                    std::popcount(ct[0]) + std::popcount(ct[1]));
+            }
+            vst1q_u64(pend + w, sum);
+            vst1q_u64(cw + w, next);
+        }
+    }
+    if constexpr (Count)
+        *toggles += local_toggles;
+    return vgetq_lane_u64(change, 0) | vgetq_lane_u64(change, 1);
+}
+
+std::uint64_t
+commitGatedNeon(const ExecPlan::RegOp *ops, std::size_t count,
+                const std::uint64_t *cur, std::uint64_t *carry,
+                std::uint64_t *pending, unsigned lane_words,
+                bool count_toggles, std::uint64_t *toggles,
+                std::uint64_t *flip_cur)
+{
+    switch (lane_words) {
+      case 2:
+        return count_toggles
+                   ? commitGatedNeonT<2, true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur)
+                   : commitGatedNeonT<2, false>(ops, count, cur, carry,
+                                                pending, toggles,
+                                                flip_cur);
+      case 4:
+        return count_toggles
+                   ? commitGatedNeonT<4, true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur)
+                   : commitGatedNeonT<4, false>(ops, count, cur, carry,
+                                                pending, toggles,
+                                                flip_cur);
+      case 8:
+        return count_toggles
+                   ? commitGatedNeonT<8, true>(ops, count, cur, carry,
+                                               pending, toggles, flip_cur)
+                   : commitGatedNeonT<8, false>(ops, count, cur, carry,
+                                                pending, toggles,
+                                                flip_cur);
+      default:
+        return commitGatedScalar(ops, count, cur, carry, pending,
+                                 lane_words, count_toggles, toggles,
+                                 flip_cur);
+    }
+}
+
 /** Transpose with the j >= 2 butterfly passes on 128-bit registers. */
 void
 transposeNeon(std::uint64_t a[64])
@@ -593,7 +1309,10 @@ transposeNeon(std::uint64_t a[64])
 const Kernel &
 avx2Kernel()
 {
-    static const Kernel kernel{"avx2", 4, settleAvx2, commitAvx2,
+    static const Kernel kernel{"avx2",         4,
+                               settleAvx2,     commitAvx2,
+                               commitReverseAvx2,
+                               settleMaskedAvx2, commitGatedAvx2,
                                transposeAvx2};
     return kernel;
 }
@@ -603,7 +1322,10 @@ avx512Kernel()
 {
     // The transpose reuses the AVX2 butterfly (AVX-512 implies AVX2);
     // the settle/commit sweeps are where the extra width pays.
-    static const Kernel kernel{"avx512", 8, settleAvx512, commitAvx512,
+    static const Kernel kernel{"avx512",        8,
+                               settleAvx512,    commitAvx512,
+                               commitReverseAvx512,
+                               settleMaskedAvx512, commitGatedAvx512,
                                transposeAvx2};
     return kernel;
 }
@@ -615,7 +1337,10 @@ avx512Kernel()
 const Kernel &
 neonKernel()
 {
-    static const Kernel kernel{"neon", 2, settleNeon, commitNeon,
+    static const Kernel kernel{"neon",         2,
+                               settleNeon,     commitNeon,
+                               commitReverseNeon,
+                               settleMaskedNeon, commitGatedNeon,
                                transposeNeon};
     return kernel;
 }
@@ -627,7 +1352,10 @@ neonKernel()
 const Kernel &
 scalarKernel()
 {
-    static const Kernel kernel{"scalar", 1, settleScalar, commitScalar,
+    static const Kernel kernel{"scalar",        1,
+                               settleScalar,    commitScalar,
+                               commitReverseScalar,
+                               settleMaskedScalar, commitGatedScalar,
                                transposeScalar};
     return kernel;
 }

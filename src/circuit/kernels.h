@@ -98,6 +98,62 @@ struct Kernel
                             unsigned laneWords, bool countToggles);
 
     /**
+     * As commit(), but processing the tape from the last op to the
+     * first.  On a tape sorted by ascending destination slot this is
+     * the hazard-free in-place order (every reader commits before its
+     * source is overwritten), which is how gated simulators run their
+     * dense full-sweep cycles without disturbing the ascending layout
+     * the per-segment sweeps prefer.
+     */
+    std::uint64_t (*commitReverse)(const ExecPlan::RegOp *ops,
+                                   std::size_t count, std::uint64_t *cur,
+                                   std::uint64_t *carry,
+                                   unsigned laneWords, bool countToggles);
+
+    /**
+     * Settle sweep that additionally OR-reduces every value change:
+     * returns the OR over all ops and lane-words of
+     * `old dst ^ new dst` — the segment's combinational change mask
+     * for activity gating (zero means the sweep was a fixed point).
+     * Same writes as settle().
+     */
+    std::uint64_t (*settleMasked)(const ExecPlan::CombOp *ops,
+                                  std::size_t count, std::uint64_t *cur,
+                                  unsigned laneWords);
+
+    /**
+     * Gated commit sweep: computes each register's next state into
+     * `pending` (W words per RegOp, tape position order) instead of
+     * writing `cur` in place, advances `carry`, and returns the
+     * OR-reduced register change mask
+     * `(old dst ^ sum) | (carry ^ carry')`.  When `countToggles` is
+     * set, adds the pass's exact toggle count (identical to commit's
+     * accounting) to `*toggles`.
+     *
+     * The previous pending value *is* the op's presented value (the
+     * simulator keeps `cur[dst]` equal to it), so the old state is
+     * read from the sequential pending stream rather than a scattered
+     * dst load.  When `flipCur` is non-null (the segment still owes
+     * the flip of its previous next states into the value array), the
+     * sweep performs that flip inline — `flipCur[dst] = old pending` —
+     * before overwriting pending, folding what would be a separate
+     * pass over both arrays into stores the sweep already has in
+     * registers.  The simulator makes this cycle's next states visible
+     * the same way at the segment's following execution, which keeps
+     * every reader of a register — including ops in segments executed
+     * after this one — on the presented value for the rest of the
+     * cycle.
+     */
+    std::uint64_t (*commitGated)(const ExecPlan::RegOp *ops,
+                                 std::size_t count,
+                                 const std::uint64_t *cur,
+                                 std::uint64_t *carry,
+                                 std::uint64_t *pending,
+                                 unsigned laneWords, bool countToggles,
+                                 std::uint64_t *toggles,
+                                 std::uint64_t *flipCur);
+
+    /**
      * In-place 64x64 bit-matrix transpose: afterwards bit t of
      * block[l] is the old bit l of block[t].
      */

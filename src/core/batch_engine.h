@@ -33,12 +33,37 @@ namespace spatial::core
 class CompiledMatrix;
 
 /**
+ * Engine-side accounting of one batched run: how many tape segments
+ * the activity-gated simulators executed versus skipped as quiescent
+ * (both zero when gating is disabled).
+ */
+struct BatchStats
+{
+    /** Segments executed across all groups and workers. */
+    std::uint64_t segmentsExecuted = 0;
+
+    /** Segments skipped as provably quiescent. */
+    std::uint64_t segmentsSkipped = 0;
+
+    /** Accumulate another run's counters. */
+    void
+    add(const BatchStats &other)
+    {
+        segmentsExecuted += other.segmentsExecuted;
+        segmentsSkipped += other.segmentsSkipped;
+    }
+};
+
+/**
  * Multiply every row of `batch` through the design's compiled tape.
  * Bit-exact with CompiledMatrix::multiplyBatch (proved by the
  * equivalence suite); groups run across `options.threads` workers.
+ * When `stats` is non-null, the run's segment accounting is added to
+ * it.
  */
 IntMatrix runBatchWide(const CompiledMatrix &design, const IntMatrix &batch,
-                       const SimOptions &options = {});
+                       const SimOptions &options = {},
+                       BatchStats *stats = nullptr);
 
 /**
  * The lane-word count W that runBatchWide uses for this design and a
@@ -58,6 +83,17 @@ unsigned resolvedLaneWords(const CompiledMatrix &design,
 const circuit::kernels::Kernel &resolvedKernel(const SimOptions &options);
 
 /**
+ * The worker-thread count runBatchWide actually spawns for this
+ * design/batch pair under `options`: SimOptions::threads with the 0 =
+ * "one per hardware context" sentinel resolved and the result clamped
+ * to the number of 64*W-lane groups, so benches and serving stats can
+ * report the real parallelism instead of the raw option value.
+ */
+unsigned resolvedThreads(const CompiledMatrix &design,
+                         const SimOptions &options,
+                         std::size_t batch_rows);
+
+/**
  * Persistent single-vector executor on the tape engine.
  *
  * The recurrent ESN update is sequential (each state feeds the next), so
@@ -69,8 +105,14 @@ const circuit::kernels::Kernel &resolvedKernel(const SimOptions &options);
 class TapeGemv
 {
   public:
-    /** Bind to a design; the design must outlive this object. */
-    explicit TapeGemv(const CompiledMatrix &design);
+    /**
+     * Bind to a design; the design must outlive this object.  The
+     * gating knobs of `options` apply per multiply (threads and
+     * laneWords are meaningless for a single-vector executor and are
+     * ignored).
+     */
+    explicit TapeGemv(const CompiledMatrix &design,
+                      const SimOptions &options = {});
 
     /** o = x^T V; bit-exact with CompiledMatrix::multiply(). */
     std::vector<std::int64_t> multiply(const std::vector<std::int64_t> &x);
@@ -79,11 +121,15 @@ class TapeGemv
     void multiplyInto(const std::vector<std::int64_t> &x,
                       std::vector<std::int64_t> &out);
 
+    /** Cumulative segment accounting across this object's multiplies. */
+    const BatchStats &engineStats() const { return stats_; }
+
   private:
     const CompiledMatrix &design_;
     circuit::BlockSimulator<1, false> sim_;
     std::vector<std::uint64_t> planes_; //!< (inputBits+1) x rows words
     std::vector<std::uint64_t> raw_;    //!< per-column captured bits
+    BatchStats stats_;                  //!< cumulative segment counters
 };
 
 } // namespace spatial::core

@@ -143,10 +143,13 @@ class CompiledMatrix
  * given vectors (up to 64, one per simulator lane) through the
  * netlist: toggles per register bit per cycle per lane.  Feed the
  * result into fpga::PowerCoefficients::activity to replace the default
- * Vivado-style assumption with data-dependent switching.
+ * Vivado-style assumption with data-dependent switching.  The engine
+ * knobs of `options` (kernel, activity gating) select the execution
+ * path; every path counts toggles identically.
  */
 double measureSwitchingActivity(const CompiledMatrix &design,
-                                const IntMatrix &batch);
+                                const IntMatrix &batch,
+                                const SimOptions &options = {});
 
 } // namespace spatial::core
 

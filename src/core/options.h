@@ -107,7 +107,10 @@ struct SimOptions
      * mid-level-cache budget; when the batch fills at least one vector
      * register of the dispatched kernel (an AVX2 op covers 4 words,
      * AVX-512 covers 8), the shrink floors at that width so large
-     * batches always ride the SIMD sweeps.
+     * batches always ride the SIMD sweeps.  Under activity gating the
+     * cache shrink is skipped entirely: execution is already blocked
+     * into L1-sized segments, and the widest fillable block amortizes
+     * the gated sweeps' per-op overhead over the most lanes.
      */
     unsigned laneWords = 0;
 
@@ -119,6 +122,28 @@ struct SimOptions
      * bench inject specific kernels to compare dispatch targets.
      */
     const circuit::kernels::Kernel *kernel = nullptr;
+
+    /**
+     * Segmented, activity-gated execution (circuit::Segmentation): the
+     * tapes run as cache-sized segments settled and committed in one
+     * fused pass each, and a segment is skipped entirely in cycles
+     * where its dependency frontier did not change — bit-exact
+     * (outputs and toggle counts) with the full sweeps, and the big
+     * win on the drain cycles of a bit-serial stream, where most of
+     * the circuit is provably quiescent.  Disabling falls back to the
+     * monolithic settle/commit sweeps.
+     */
+    bool activityGating = true;
+
+    /**
+     * Working-set target per segment in KiB for activity-gated
+     * execution: smaller segments gate at a finer grain (more skipped
+     * work) but pay more per-segment bookkeeping.  The default keeps a
+     * segment's slice of the value array L1-resident between its
+     * settle and its commit — measured fastest around 2-8 KiB on the
+     * acceptance workload, degrading past the L1 size.
+     */
+    unsigned segmentKib = 4;
 };
 
 } // namespace spatial::core

@@ -57,17 +57,19 @@ makeSimThroughput()
     exp.title = "Simulation-engine throughput: compiled tape vs seed "
                 "interpreter";
     exp.description = "batch-engine wall-clock speedup over the seed "
-                      "path per SIMD kernel, bit-exact";
-    exp.runtime = "~1 min (timing loops)";
+                      "path per SIMD kernel, gated and ungated, "
+                      "bit-exact";
+    exp.runtime = "~2 min (timing loops)";
     exp.columns = {"dim", "bits", "batch", "sparsity", "nodes",
                    "drain cycles", "kernel", "lane words", "threads",
-                   "legacy ms", "tape ms", "gemv/s", "speedup",
-                   "vs scalar"};
+                   "gating", "seg skip %", "legacy ms", "tape ms",
+                   "gemv/s", "speedup", "vs scalar"};
     exp.grid = Grid::cartesian(
         {Axis{"dim", {std::int64_t{256}}},
          Axis{"batch", {std::int64_t{1024}}},
          Axis{"bits", {std::int64_t{8}}},
          Axis{"sparsity", {0.9}},
+         Axis{"gating", {std::int64_t{1}, std::int64_t{0}}},
          Axis{"repeats", {std::int64_t{3}}}});
     exp.serialOnly = true; // wall-clock timing; no concurrent neighbours
     exp.evaluate = [](const ParamPoint &point, const void *,
@@ -78,6 +80,7 @@ makeSimThroughput()
             static_cast<std::size_t>(point.getInt("batch"));
         const int bits = static_cast<int>(point.getInt("bits"));
         const double sparsity = point.getReal("sparsity");
+        const bool gating = point.getInt("gating") != 0;
         const int repeats = static_cast<int>(point.getInt("repeats"));
 
         Rng rng(99);
@@ -101,8 +104,10 @@ makeSimThroughput()
             for (std::size_t r = 0; r < dim; ++r)
                 head.at(b, r) = batch.at(b, r);
         const auto expected = design.multiplyBatch(head);
+        core::SimOptions base_sim = ctx.sim;
+        base_sim.activityGating = gating;
         const auto legacy_out = design.multiplyBatchWideLegacy(batch);
-        const auto tape_out = design.multiplyBatchWide(batch, ctx.sim);
+        const auto tape_out = design.multiplyBatchWide(batch, base_sim);
         bool exact = legacy_out == tape_out;
         for (std::size_t b = 0; exact && b < expected.rows(); ++b)
             for (std::size_t c = 0; exact && c < expected.cols(); ++c)
@@ -128,16 +133,26 @@ makeSimThroughput()
         std::vector<Row> rows;
         double scalar_s = 0.0;
         for (const auto *kernel : kernels) {
-            core::SimOptions sim = ctx.sim;
+            core::SimOptions sim = base_sim;
             sim.kernel = kernel;
             // Single-threaded unless --threads was given, mirroring
             // the bench: the vs-scalar column should measure kernel
             // code, not how the group scheduler shares the machine.
             if (sim.threads == 0)
                 sim.threads = 1;
-            if (!(legacy_out == design.multiplyBatchWide(batch, sim)))
+            core::BatchStats seg_stats;
+            if (!(legacy_out ==
+                  core::runBatchWide(design, batch, sim, &seg_stats)))
                 SPATIAL_FATAL("sim_throughput: kernel ", kernel->name,
                               " disagrees with the seed path");
+            const double seg_total = static_cast<double>(
+                seg_stats.segmentsExecuted + seg_stats.segmentsSkipped);
+            const double skip_pct =
+                seg_total > 0.0
+                    ? 100.0 *
+                          static_cast<double>(seg_stats.segmentsSkipped) /
+                          seg_total
+                    : 0.0;
             const double tape_s = bestOf(repeats, [&] {
                 (void)design.multiplyBatchWide(batch, sim);
             });
@@ -152,7 +167,9 @@ makeSimThroughput()
                  cell(std::string(kernel->name)),
                  cell(static_cast<int>(lane_words)),
                  cell(static_cast<int>(sim.threads)),
-                 cell(legacy_s * 1e3, 4), cell(tape_s * 1e3, 4),
+                 cell(static_cast<int>(gating ? 1 : 0)),
+                 cell(skip_pct, 3), cell(legacy_s * 1e3, 4),
+                 cell(tape_s * 1e3, 4),
                  cell(static_cast<double>(batch_rows) / tape_s, 1),
                  cell(legacy_s / tape_s, 3),
                  cell(scalar_s > 0.0 ? scalar_s / tape_s : 0.0, 3)});
@@ -162,8 +179,10 @@ makeSimThroughput()
     exp.expectedShape =
         "Speedup is the wall-clock ratio of the seed interpreter to "
         "the compiled-tape engine on identical (bit-exact) work, one "
-        "row per SIMD kernel; the preferred vector kernel should lead, "
-        "and multi-core machines add near-linear thread scaling.";
+        "row per (SIMD kernel, activity gating) pair; the preferred "
+        "vector kernel should lead, gated rows should skip over half "
+        "of all segment-cycles on this drain-heavy workload, and "
+        "multi-core machines add near-linear thread scaling.";
     return exp;
 }
 

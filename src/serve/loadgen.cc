@@ -128,12 +128,14 @@ runNaive(Server &server, const Workload &workload,
     std::atomic<std::size_t> next{0};
     const auto start = Clock::now();
     auto body = [&] {
-        // One persistent single-vector executor per (worker, design).
+        // One persistent single-vector executor per (worker, design),
+        // on the run's configured engine knobs — the comparison must
+        // vary only the batching dimension, not the gating mode.
         std::vector<std::unique_ptr<core::TapeGemv>> gemvs;
         gemvs.reserve(workload.ids.size());
         for (const DesignId id : workload.ids)
-            gemvs.push_back(
-                std::make_unique<core::TapeGemv>(server.design(id)));
+            gemvs.push_back(std::make_unique<core::TapeGemv>(
+                server.design(id), server.options().sim));
         const std::size_t cols =
             server.design(workload.ids.front()).cols();
         for (std::size_t i = next.fetch_add(1);
@@ -350,6 +352,7 @@ runLoadGen(const LoadGenOptions &options)
     if (result.naiveThroughput > 0.0)
         result.speedup = result.throughput / result.naiveThroughput;
     result.stats = server.stats();
+    result.workersResolved = server.options().workers;
     return result;
 }
 
@@ -369,9 +372,16 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     out << "  \"max_batch\": " << options.serve.maxBatch << ",\n";
     out << "  \"max_delay_us\": " << options.serve.maxDelay.count()
         << ",\n";
-    out << "  \"workers\": " << options.serve.workers << ",\n";
+    // The resolved worker count, not the raw option: a 0 = "auto"
+    // sentinel in an artifact is useless for comparing runs across
+    // machines.
+    out << "  \"workers\": " << workersResolved << ",\n";
     out << "  \"kernel\": "
         << jsonQuote(core::resolvedKernel(options.serve.sim).name)
+        << ",\n";
+    out << "  \"activity_gating\": "
+        << (options.serve.sim.activityGating ? "true" : "false") << ",\n";
+    out << "  \"segment_kib\": " << options.serve.sim.segmentKib
         << ",\n";
     out << "  \"seed\": " << options.seed << ",\n";
     out << "  \"qps_target\": " << jsonReal(options.qps) << ",\n";
@@ -391,6 +401,9 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     out << "  \"flush_deadline\": " << stats.flushDeadline << ",\n";
     out << "  \"flush_drain\": " << stats.flushDrain << ",\n";
     out << "  \"engine_passes\": " << stats.enginePasses << ",\n";
+    out << "  \"segments_executed\": " << stats.segmentsExecuted
+        << ",\n";
+    out << "  \"segments_skipped\": " << stats.segmentsSkipped << ",\n";
     out << "  \"sequences\": " << stats.sequences << ",\n";
     out << "  \"store_hits\": " << stats.store.cache.hits << ",\n";
     out << "  \"store_misses\": " << stats.store.cache.misses << ",\n";

@@ -100,6 +100,10 @@ struct LoadGenResult
     LatencySummary latencyMs;   //!< submit-to-scatter latency
     ServerStats stats;          //!< server counters after the run
 
+    /** Worker threads the server actually ran (the 0 = "one per
+     * hardware context" option sentinel resolved at startup). */
+    unsigned workersResolved = 0;
+
     /** Drain mode with compareNaive: the naive path's numbers. */
     double naiveSeconds = 0.0;
     double naiveThroughput = 0.0;

@@ -169,6 +169,15 @@ struct Response
     /** Why the group this request rode in was flushed. */
     FlushReason flushReason = FlushReason::Direct;
 
+    /**
+     * Activity-gated tape segments the executing engine ran for this
+     * request's group (or EsnSequence job); 0 when gating is disabled.
+     */
+    std::uint64_t segmentsExecuted = 0;
+
+    /** Segments the engine skipped as provably quiescent. */
+    std::uint64_t segmentsSkipped = 0;
+
     /** End-to-end latency in seconds (submit to scatter). */
     double latencySeconds() const
     {

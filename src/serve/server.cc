@@ -256,7 +256,21 @@ Server::executeGroup(const core::CompiledMatrix &design, Group group)
     sim.threads = 1;
     const std::size_t pass_lanes =
         64 * core::resolvedLaneWords(design, sim, padded);
-    const IntMatrix out = core::runBatchWide(design, batch, sim);
+    core::BatchStats engine_stats;
+    const IntMatrix out =
+        core::runBatchWide(design, batch, sim, &engine_stats);
+
+    // Book the group's counters before fulfilling any promise: a
+    // client that synchronizes on its future must observe them.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.groups;
+        stats_.lanes += group.lanes;
+        stats_.paddedLanes += padded;
+        stats_.enginePasses += (padded + pass_lanes - 1) / pass_lanes;
+        stats_.segmentsExecuted += engine_stats.segmentsExecuted;
+        stats_.segmentsSkipped += engine_stats.segmentsSkipped;
+    }
 
     const auto done = Clock::now();
     lane = 0;
@@ -268,6 +282,8 @@ Server::executeGroup(const core::CompiledMatrix &design, Group group)
         resp.doneAt = done;
         resp.groupLanes = static_cast<std::uint32_t>(group.lanes);
         resp.flushReason = group.reason;
+        resp.segmentsExecuted = engine_stats.segmentsExecuted;
+        resp.segmentsSkipped = engine_stats.segmentsSkipped;
         if (req.kind == RequestKind::GemvBatch) {
             resp.output = IntMatrix(req.batch.rows(), cols);
             for (std::size_t b = 0; b < req.batch.rows(); ++b, ++lane)
@@ -291,12 +307,6 @@ Server::executeGroup(const core::CompiledMatrix &design, Group group)
         }
         p.promise.set_value(std::move(resp));
     }
-
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.groups;
-    stats_.lanes += group.lanes;
-    stats_.paddedLanes += padded;
-    stats_.enginePasses += (padded + pass_lanes - 1) / pass_lanes;
 }
 
 void
@@ -307,7 +317,7 @@ Server::executeSequence(const core::CompiledMatrix &design, Group group)
     const std::size_t cols = design.cols();
     const std::size_t steps = req.injectSeq.rows();
 
-    core::TapeGemv gemv(design);
+    core::TapeGemv gemv(design, options_.sim);
     std::vector<std::int64_t> state = req.vec;
     std::vector<std::int64_t> product(cols);
     IntMatrix trajectory(steps, cols);
@@ -321,18 +331,24 @@ Server::executeSequence(const core::CompiledMatrix &design, Group group)
         }
     }
 
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.sequences;
+        stats_.sequenceSteps += steps;
+        stats_.segmentsExecuted += gemv.engineStats().segmentsExecuted;
+        stats_.segmentsSkipped += gemv.engineStats().segmentsSkipped;
+    }
+
     Response resp;
     resp.submitAt = p.submitAt;
     resp.flushAt = group.flushAt;
     resp.doneAt = Clock::now();
     resp.groupLanes = 1;
     resp.flushReason = FlushReason::Direct;
+    resp.segmentsExecuted = gemv.engineStats().segmentsExecuted;
+    resp.segmentsSkipped = gemv.engineStats().segmentsSkipped;
     resp.output = std::move(trajectory);
     p.promise.set_value(std::move(resp));
-
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.sequences;
-    stats_.sequenceSteps += steps;
 }
 
 void

@@ -80,6 +80,8 @@ struct ServerStats
     std::size_t flushDrain = 0;    //!< groups cut by drain()
     std::size_t enginePasses = 0;  //!< netlist passes across all groups
                                    //!< (group lanes / adaptive 64*W)
+    std::uint64_t segmentsExecuted = 0; //!< activity-gated tape segments run
+    std::uint64_t segmentsSkipped = 0;  //!< segments skipped as quiescent
     std::size_t sequences = 0;     //!< EsnSequence jobs executed
     std::size_t sequenceSteps = 0; //!< total sequential ESN steps
     DesignStore::Stats store;      //!< compile cache accounting

@@ -16,6 +16,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "circuit/block_simulator.h"
@@ -236,18 +238,24 @@ checkBatchEquivalence(const IntMatrix &weights, CompileOptions options,
         ASSERT_EQ(scalar, legacy);
 
         // Every explicit W on every supported kernel, including the
-        // widths where a vector kernel falls back to its scalar tail.
+        // widths where a vector kernel falls back to its scalar tail,
+        // with activity gating both on (the default) and off.
         for (const unsigned lane_words : {1u, 2u, 4u, 8u}) {
             for (const auto *kernel :
                  circuit::kernels::supportedKernels()) {
-                SimOptions sim_options;
-                sim_options.laneWords = lane_words;
-                sim_options.threads = 1;
-                sim_options.kernel = kernel;
-                ASSERT_EQ(scalar,
-                          design.multiplyBatchWide(batch, sim_options))
-                    << "W=" << lane_words << " batch=" << batch_rows
-                    << " kernel=" << kernel->name;
+                for (const bool gating : {true, false}) {
+                    SimOptions sim_options;
+                    sim_options.laneWords = lane_words;
+                    sim_options.threads = 1;
+                    sim_options.kernel = kernel;
+                    sim_options.activityGating = gating;
+                    ASSERT_EQ(scalar,
+                              design.multiplyBatchWide(batch,
+                                                       sim_options))
+                        << "W=" << lane_words << " batch=" << batch_rows
+                        << " kernel=" << kernel->name
+                        << " gating=" << gating;
+                }
             }
         }
 
@@ -355,6 +363,53 @@ TEST(Kernels, RegistryAlwaysEndsWithScalar)
     const auto &active = circuit::kernels::activeKernel();
     EXPECT_NE(std::find(kernels.begin(), kernels.end(), &active),
               kernels.end());
+}
+
+TEST(Kernels, DispatchPreferenceOrderIsPinned)
+{
+    // The default dispatch deliberately prefers AVX2 over AVX-512 (the
+    // wider kernel measures slower on the Skylake-era servers we
+    // benchmark), scalar is always the final fallback, and the
+    // process-wide active kernel is the first supported entry unless
+    // SPATIAL_KERNEL pins another one.  A stale bench artifact once
+    // recorded an avx512 engine row from a machine whose preferred
+    // kernel is avx2; this pins the order so dispatch regressions (or
+    // silently pinned artifacts) fail loudly.
+    const auto &kernels = circuit::kernels::supportedKernels();
+    ASSERT_FALSE(kernels.empty());
+    EXPECT_STREQ(kernels.back()->name, "scalar");
+
+    int avx2_at = -1;
+    int avx512_at = -1;
+    int neon_at = -1;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        if (std::string("avx2") == kernels[i]->name)
+            avx2_at = static_cast<int>(i);
+        else if (std::string("avx512") == kernels[i]->name)
+            avx512_at = static_cast<int>(i);
+        else if (std::string("neon") == kernels[i]->name)
+            neon_at = static_cast<int>(i);
+    }
+    if (avx2_at >= 0 && avx512_at >= 0) {
+        EXPECT_LT(avx2_at, avx512_at)
+            << "avx2 must outrank avx512 in the default dispatch";
+    }
+    if (avx2_at >= 0) {
+        EXPECT_EQ(avx2_at, 0) << "avx2, when supported, is preferred";
+    }
+    if (neon_at >= 0) {
+        EXPECT_EQ(neon_at, 0) << "neon leads on AArch64";
+    }
+
+    const char *env = std::getenv("SPATIAL_KERNEL");
+    if (env == nullptr || *env == '\0') {
+        EXPECT_EQ(&circuit::kernels::activeKernel(), kernels.front())
+            << "auto dispatch must resolve to the preferred kernel";
+    } else {
+        EXPECT_EQ(&circuit::kernels::activeKernel(),
+                  circuit::kernels::findKernel(env))
+            << "SPATIAL_KERNEL must pin the dispatched kernel";
+    }
 }
 
 TEST(Kernels, TransposeMatchesScalarReferenceAndRoundTrips)
