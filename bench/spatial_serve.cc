@@ -14,6 +14,7 @@
  *   spatial-serve --designs=4 --batch_frac=0.2 --esn_frac=0.1
  *   spatial-serve --mode=drain --compare --check_speedup=3 --json
  *   spatial-serve --activity_gating=0 --segment_kib=8
+ *   spatial-serve --jit=1         # JIT admission at registration
  *
  * --json[=path] writes BENCH_serve.json (CI trends it next to the
  * sim_throughput artifact).  --check_speedup=R exits 1 unless drain
@@ -73,6 +74,10 @@ main(int argc, char **argv)
         args.getBool("activity_gating", true);
     options.serve.sim.segmentKib = static_cast<unsigned>(
         args.getInt("segment_kib", options.serve.sim.segmentKib));
+    // JIT admission at registration; designs fall back to the
+    // interpreted tape when no toolchain is reachable (visible in the
+    // jit_admitted/jit_failed and jit_groups counters below).
+    options.serve.sim.jit = args.getBool("jit", false);
 
     if (options.compareNaive &&
         options.mode != LoadGenOptions::Mode::Drain)
@@ -118,6 +123,16 @@ main(int argc, char **argv)
                 result.stats.store.cache.misses,
                 result.stats.store.evictions,
                 result.stats.store.resident);
+    if (options.serve.sim.jit)
+        std::printf("jit: %zu designs admitted (%zu failed) in %.2fs; "
+                    "%llu groups jitted, %llu fell back\n",
+                    result.stats.store.jitAdmitted,
+                    result.stats.store.jitFailed,
+                    result.stats.store.jitCompileSeconds,
+                    static_cast<unsigned long long>(
+                        result.stats.jitGroups),
+                    static_cast<unsigned long long>(
+                        result.stats.jitFallbackGroups));
     if (options.compareNaive) {
         std::printf("naive path: %.0f req/s (%.3fs); batched speedup "
                     "%.2fx, outputs %s\n",

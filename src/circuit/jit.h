@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Per-design JIT codegen backend for the tape engine.
+ *
+ * The interpreted tape still pays a per-op tax every settle/commit
+ * step: load a CombOp/RegOp descriptor, scale three slot indices into
+ * addresses, branch back around the loop — even though a design's
+ * netlist (and therefore its entire op stream) is frozen at compile
+ * time.  This backend removes that tax by *generating* the executor:
+ * it walks the ExecPlan / Segmentation exactly the way
+ * `core/verilog.cc` walks the netlist to emit RTL, but targets C —
+ * one straight-line statement per op with the slot indices constant-
+ * folded into immediate address offsets, GCC/Clang vector extensions
+ * for the W lane-words, the per-segment change-mask gating baked in,
+ * and the op *kind* specialized at generation time:
+ *
+ *  - NOT (`b` = the ones slot, `inv` = ~0) becomes `dst = ~a`;
+ *  - DFF (`b` = the zero slot, `bInv` = 0, carry pinned at 0) becomes
+ *    a plain copy with no carry traffic at all — the interpreter runs
+ *    the full three-input adder for every one of them;
+ *  - adder/subtractor keep the full-adder form with `bInv` folded.
+ *
+ * The generated translation unit is compiled out of process
+ * (`cc -O1 -shared -fPIC`; straight-line vector code gains nothing
+ * from higher tiers, and -O1 halves the compile latency), `dlopen`'d,
+ * and exposes per-lane-word
+ * function tables mirroring the entry points BlockSimulator already
+ * calls — dense settle/commit sweeps plus, for gated modules, one
+ * *fused step* function per segment that folds the owed pending flip,
+ * the post-dense restore, the masked comb settle, and the gated
+ * register commit into a single pass, with the change-mask gating
+ * baked in as the return value.  Comb values consumed only inside
+ * their own segment are *inlined* — held in vector registers across
+ * the adder expressions, never stored to the value array — when the
+ * caller declares which nodes it samples (JitSpec::sampledNodes).
+ * Register-only tapes — every CSD-compiled design — whose gated
+ * working set spills past per-core cache get a leaner *in-place* step
+ * flavor instead: drained in reverse segment order at commit() time
+ * they write new register states straight into the value array,
+ * eliminating the pending buffer (a full extra copy of the register
+ * state), the owed-flip pass, and the post-dense restore outright
+ * (see JitTables::inPlace; SPATIAL_JIT_INPLACE=0/1 pins the choice).
+ * The host keeps all of the wake-set / dense-hysteresis control
+ * logic; outputs and toggle counts are bit-identical to the
+ * interpreted tape and to WideSimulator (proved by tests/jit_test.cc).
+ *
+ * Lifecycle: compilation is seconds-scale for large designs, so
+ * modules are built once at admission (DesignStore) or bench setup and
+ * attached to the CompiledMatrix.  The temporary `.c`/`.so` are
+ * unlinked as soon as the module is loaded (the mapping keeps the
+ * object alive), so eviction storms and crashes can never leak disk;
+ * the destructor `dlclose`s the handle, so they cannot leak fds
+ * either.  Hosts without a toolchain (or with SPATIAL_JIT_CC pointing
+ * at nothing) degrade gracefully: compileJitModule() returns null and
+ * every caller falls back to the interpreted tape.
+ */
+
+#ifndef SPATIAL_CIRCUIT_JIT_H
+#define SPATIAL_CIRCUIT_JIT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/exec_plan.h"
+
+/**
+ * @namespace spatial::circuit::jit
+ * Generation, compilation, and loading of per-design native executors.
+ */
+namespace spatial::circuit::jit
+{
+
+/**
+ * One fused gated step for one segment: the owed pending->cur flip
+ * (when `flip`), the pending-invariant restore after a dense cycle
+ * (when `restore`), the segment's masked comb settle, and its gated
+ * register commit — one call, one pass over the segment's slice of the
+ * state arrays.  `toggles` non-null adds the exact popcount toggle
+ * accounting.  Returns kCombChanged when any comb value changed (wake
+ * the same-cycle consumers) and kRegChanged when any register next
+ * state differs from the presented one (wake the next-cycle consumers
+ * and owe a flip).  All arrays are the *base* arrays — every slot and
+ * carry/pending offset is an immediate in the generated code.
+ */
+using SegStepFn = std::uint64_t (*)(std::uint64_t *cur,
+                                    std::uint64_t *carry,
+                                    std::uint64_t *pending,
+                                    std::uint64_t *toggles, int flip,
+                                    int restore);
+
+/** SegStepFn result bit: a comb value in the segment changed. */
+constexpr std::uint64_t kCombChanged = 1;
+
+/** SegStepFn result bit: a register next state changed. */
+constexpr std::uint64_t kRegChanged = 2;
+
+/** Dense settle sweep over the whole comb tape (Kernel::settle). */
+using DenseSettleFn = void (*)(std::uint64_t *cur);
+
+/** Dense in-place commit sweep over the whole reg tape; returns the
+ *  toggle count when `count_toggles` is non-zero (Kernel::commit /
+ *  Kernel::commitReverse semantics depending on the table slot). */
+using DenseCommitFn = std::uint64_t (*)(std::uint64_t *cur,
+                                        std::uint64_t *carry,
+                                        int count_toggles);
+
+/**
+ * The generated entry points for one lane-word count W.  All slot
+ * indices, tape offsets, and op kinds are compiled into the code; the
+ * caller only supplies the base arrays it already owns.
+ */
+struct JitTables
+{
+    /** Lane-words per node these functions were generated for. */
+    unsigned laneWords = 0;
+
+    /**
+     * Gated register-only tapes whose working set at this W spills
+     * past per-core cache (or with SPATIAL_JIT_INPLACE=1) are
+     * generated *in-place*: each fused step reads its operands from
+     * the value array and writes the new register states straight back
+     * — no pending buffer, no owed flip, no post-dense restore — which
+     * is sound exactly when the host drains the wake set in reverse
+     * segment order at commit() time (every reader of a register then
+     * runs before its producer's overwrite, the same hazard-free order
+     * the dense reverse commit uses).  The host must route segStep
+     * calls through commit() for such modules so values sampled
+     * between settle() and commit() still present the pre-latch state;
+     * `flip`/`restore` arguments are ignored by them.
+     */
+    bool inPlace = false;
+
+    /** Dense settle over the full tape (plan order when ungated,
+     *  segment-schedule order when gated). */
+    DenseSettleFn settle = nullptr;
+
+    /**
+     * Dense in-place commit.  Ungated modules emit the plan tape in
+     * forward (descending-dst) order; gated modules emit the
+     * segmentation tape *backwards* (Kernel::commitReverse), the
+     * hazard-free order their dense fallback cycles need.
+     */
+    DenseCommitFn commit = nullptr;
+
+    /** Gated only: one fused step function per segment (segment
+     *  order); nullptr for ungated modules. */
+    SegStepFn const *segStep = nullptr;
+};
+
+/** What to generate a module for. */
+struct JitSpec
+{
+    /**
+     * Gated modules bake this Segmentation's schedule (renumbered
+     * slots, per-segment functions); null generates an ungated module
+     * over the plan's own tapes.
+     */
+    std::shared_ptr<const Segmentation> segmentation;
+
+    /** Lane-word counts to emit tables for (each in {1,2,4,8,16}). */
+    std::vector<unsigned> laneWords = {1};
+
+    /**
+     * Extra flags appended to the compile command (after the built-in
+     * `-O1 -march=native -shared -fPIC`, so a later `-O2` wins), e.g.
+     * to trade compile latency for runtime on long-lived designs.
+     */
+    std::string extraCflags;
+
+    /**
+     * Node ids (netlist numbering) whose settled values the host reads
+     * through BlockSimulator::outputWords() between settle() and
+     * commit().  When engaged, a gated module may *inline* any comb
+     * value consumed only inside its own segment's fused step — the
+     * value lives in a vector register and is never stored to the
+     * value array, so reading its slot on such a module returns stale
+     * data outside dense cycles.  Disengaged (the default) means every
+     * node may be sampled: all values are materialized and per-node
+     * reads stay exact, at some runtime cost.  The engine passes the
+     * design's output columns here; differential tests that probe
+     * arbitrary nodes leave it disengaged.
+     */
+    std::optional<std::vector<NodeId>> sampledNodes;
+};
+
+/**
+ * A loaded per-design native executor: the dlopen handle plus the
+ * resolved per-W tables.  Immutable after load and safe to share
+ * across threads (the generated code is reentrant — all state lives
+ * in caller-owned arrays).  Destruction dlcloses the handle; the
+ * temporary artifacts are already unlinked at load time unless
+ * SPATIAL_JIT_KEEP=1 asked to keep them for inspection.
+ */
+class JitModule
+{
+  public:
+    /** dlclose the handle (liveCount() drops back by one). */
+    ~JitModule();
+
+    /** Non-copyable: owns the dlopen handle. */
+    JitModule(const JitModule &) = delete;
+    /** Non-assignable (same reason). */
+    JitModule &operator=(const JitModule &) = delete;
+
+    /** Whether the module was generated from a Segmentation. */
+    bool gated() const { return opsPerSegment_ != 0; }
+
+    /** The segmentation op budget baked in (0 for ungated modules). */
+    std::size_t opsPerSegment() const { return opsPerSegment_; }
+
+    /** Number of per-segment functions (0 for ungated modules). */
+    std::size_t numSegments() const { return numSegments_; }
+
+    /**
+     * The entry points for `lane_words` if this module matches the
+     * caller's execution mode — `gated` plus, when gated, the same
+     * segmentation op budget — and was generated for that W; null
+     * otherwise (caller falls back to the interpreted tape).
+     */
+    const JitTables *tables(unsigned lane_words, bool gated,
+                            std::size_t ops_per_segment) const;
+
+    /**
+     * Per-slot materialization map (renumbered slot -> non-zero when
+     * the generated code stores the slot's settled value to the value
+     * array every executed gated step).  Empty means every slot is
+     * materialized.  Inlined slots (see JitSpec::sampledNodes) are
+     * only current right after a *dense* cycle; per-node differential
+     * checks must skip them.
+     */
+    const std::vector<std::uint8_t> &materializedSlots() const
+    {
+        return materializedSlots_;
+    }
+
+    /** Wall-clock seconds the out-of-process compile took. */
+    double compileSeconds() const { return compileSeconds_; }
+
+    /** Generated C source size in bytes (codegen cost telemetry). */
+    std::size_t sourceBytes() const { return sourceBytes_; }
+
+    /**
+     * Live loaded modules in this process — the fd/leak regression
+     * counter: every successful load increments it, every destruction
+     * decrements it, so an eviction storm must return it to its
+     * baseline.
+     */
+    static std::size_t liveCount();
+
+  private:
+    friend std::shared_ptr<const JitModule>
+    compileJitModule(const ExecPlan &plan, const JitSpec &spec);
+
+    JitModule() = default;
+
+    void *handle_ = nullptr; //!< dlopen handle, closed by the dtor
+    std::size_t opsPerSegment_ = 0;
+    std::size_t numSegments_ = 0;
+    std::vector<JitTables> tables_;
+    std::vector<std::uint8_t> materializedSlots_; //!< see accessor
+    double compileSeconds_ = 0.0;
+    std::size_t sourceBytes_ = 0;
+    std::string keptSource_; //!< path when SPATIAL_JIT_KEEP=1, else ""
+};
+
+/**
+ * Generate, compile, and load a native executor for `plan` under
+ * `spec`.  Returns null — never throws — when the toolchain is
+ * missing, the compile fails, or the object cannot be loaded; callers
+ * keep the interpreted tape in that case.  Thread-safe; concurrent
+ * calls build independent modules (admission-level dedup is the
+ * DesignStore's job).
+ */
+std::shared_ptr<const JitModule> compileJitModule(const ExecPlan &plan,
+                                                  const JitSpec &spec);
+
+/**
+ * Whether a working C toolchain is reachable (the SPATIAL_JIT_CC
+ * environment variable, else `cc` on PATH), probed with a trivial
+ * compile once per distinct compiler and cached.
+ */
+bool toolchainAvailable();
+
+} // namespace spatial::circuit::jit
+
+#endif // SPATIAL_CIRCUIT_JIT_H

@@ -35,6 +35,25 @@ segmentationFor(const CompiledMatrix &design, const SimOptions &options,
 }
 
 /**
+ * The design's attached JIT module matching this run's configuration,
+ * or null (interpreter).  Null whenever SimOptions::jit is off, and
+ * for cold designs nobody admitted with ensureJit() — the engine never
+ * compiles inline.
+ */
+std::shared_ptr<const circuit::jit::JitModule>
+jitModuleFor(const CompiledMatrix &design, const SimOptions &options,
+             unsigned lane_words)
+{
+    if (!options.jit)
+        return nullptr;
+    return design.jitFor(
+        lane_words, options.activityGating,
+        options.activityGating ? circuit::Segmentation::opsForBudget(
+                                     options.segmentKib, lane_words)
+                               : 0);
+}
+
+/**
  * Per-worker execution context: one simulator plus the input/capture
  * planes, reused across every group the worker processes.  Product
  * paths skip toggle accounting; the activity probe turns it on.
@@ -47,7 +66,9 @@ class GroupRunner
                 const circuit::kernels::Kernel &kernel,
                 const SimOptions &options)
         : design_(design),
-          sim_(design.plan(), &kernel, segmentationFor(design, options, W)),
+          sim_(design.plan(), &kernel, segmentationFor(design, options, W),
+               jitModuleFor(design, options, W)),
+          jitRequested_(options.jit),
           planeStride_(design.rows() * W),
           planes_((static_cast<std::size_t>(design.options().inputBits) + 1) *
                       planeStride_,
@@ -178,6 +199,12 @@ class GroupRunner
         // bank this group's segment accounting now.
         stats_.segmentsExecuted += sim_.segmentsExecuted();
         stats_.segmentsSkipped += sim_.segmentsSkipped();
+        if (jitRequested_) {
+            if (sim_.jitActive())
+                ++stats_.jitGroups;
+            else
+                ++stats_.interpFallbackGroups;
+        }
     }
 
     const circuit::BlockSimulator<W, CountToggles> &sim() const
@@ -191,6 +218,7 @@ class GroupRunner
   private:
     const CompiledMatrix &design_;
     circuit::BlockSimulator<W, CountToggles> sim_;
+    bool jitRequested_;       //!< options.jit (for fallback accounting)
     std::size_t planeStride_; //!< words per input plane (rows * W)
     std::vector<std::uint64_t> planes_;
     std::vector<std::uint64_t> capture_;
@@ -389,7 +417,9 @@ measureSwitchingActivity(const CompiledMatrix &design,
 TapeGemv::TapeGemv(const CompiledMatrix &design, const SimOptions &options)
     : design_(design),
       sim_(design.plan(), &resolvedKernel(options),
-           segmentationFor(design, options, 1)),
+           segmentationFor(design, options, 1),
+           jitModuleFor(design, options, 1)),
+      jitRequested_(options.jit),
       planes_((static_cast<std::size_t>(design.options().inputBits) + 1) *
                   design.rows(),
               0),
@@ -462,6 +492,12 @@ TapeGemv::multiplyInto(const std::vector<std::int64_t> &x,
     // Bank the multiply's segment accounting before the next reset().
     stats_.segmentsExecuted += sim_.segmentsExecuted();
     stats_.segmentsSkipped += sim_.segmentsSkipped();
+    if (jitRequested_) {
+        if (sim_.jitActive())
+            ++stats_.jitGroups;
+        else
+            ++stats_.interpFallbackGroups;
+    }
 
     out.resize(cols);
     for (std::size_t c = 0; c < cols; ++c)

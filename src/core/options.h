@@ -144,6 +144,20 @@ struct SimOptions
      * acceptance workload, degrading past the L1 size.
      */
     unsigned segmentKib = 4;
+
+    /**
+     * Execute through the design's attached JIT module
+     * (circuit::jit) when one matching this configuration is present:
+     * straight-line native code generated per design — constant-folded
+     * slot offsets, per-kind specialization, the segment gating's
+     * change masks baked in — replacing the interpreted tape sweeps.
+     * The engine never compiles inline: callers admit a design with
+     * CompiledMatrix::ensureJit() (the serving DesignStore does this
+     * at admission), and any design without a matching module — cold,
+     * evicted, or on a toolchain-less host — runs the interpreted
+     * tape with identical outputs and toggle counts.
+     */
+    bool jit = false;
 };
 
 } // namespace spatial::core

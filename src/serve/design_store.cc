@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/batch_engine.h"
 #include "core/compiler.h"
 
 namespace spatial::serve
@@ -32,6 +33,52 @@ DesignStore::evictLocked()
         it = lru_.erase(it);
         evictions_.fetch_add(1, std::memory_order_relaxed);
     }
+}
+
+void
+DesignStore::setJitAdmission(const core::SimOptions &sim,
+                             std::size_t max_batch_lanes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    jitAdmission_ = sim.jit;
+    jitSim_ = sim;
+    jitMaxBatchLanes_ = std::max<std::size_t>(1, max_batch_lanes);
+}
+
+void
+DesignStore::admitJit(const core::CompiledMatrix &design)
+{
+    core::SimOptions sim;
+    std::size_t max_batch_lanes = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!jitAdmission_)
+            return;
+        sim = jitSim_;
+        max_batch_lanes = jitMaxBatchLanes_;
+    }
+
+    // The serving hot paths: W = 1 (TapeGemv sequences, small groups)
+    // and whatever W the engine resolves for a full group.  Groups in
+    // between fall back to the interpreted tape, which the engine's
+    // interpFallbackGroups counter makes visible.
+    std::vector<unsigned> lane_words{1};
+    const unsigned wide =
+        core::resolvedLaneWords(design, sim, max_batch_lanes);
+    if (wide != 1)
+        lane_words.push_back(wide);
+
+    std::size_t attached = 0;
+    for (const unsigned w : lane_words)
+        if (design.ensureJit(sim, w) != nullptr)
+            ++attached;
+    if (attached == lane_words.size())
+        jitAdmitted_.fetch_add(1, std::memory_order_relaxed);
+    else
+        jitFailed_.fetch_add(1, std::memory_order_relaxed);
+    jitCompileMicros_.fetch_add(
+        static_cast<std::uint64_t>(design.jitCompileSeconds() * 1e6),
+        std::memory_order_relaxed);
 }
 
 std::shared_ptr<const core::CompiledMatrix>
@@ -68,9 +115,13 @@ DesignStore::get(const experiments::DesignKey &key,
     }
     if (owner) {
         try {
-            promise.set_value(
-                std::make_shared<const core::CompiledMatrix>(
-                    core::MatrixCompiler(options).compile(weights)));
+            auto design = std::make_shared<const core::CompiledMatrix>(
+                core::MatrixCompiler(options).compile(weights));
+            // JIT admission happens before the future resolves, so
+            // waiters blocked on this entry also cover the native
+            // compile: one admission per design, storm or not.
+            admitJit(*design);
+            promise.set_value(std::move(design));
         } catch (...) {
             promise.set_exception(std::current_exception());
             std::lock_guard<std::mutex> lock(mutex_);
@@ -92,6 +143,12 @@ DesignStore::stats() const
     stats.cache.hits = hits_.load(std::memory_order_relaxed);
     stats.cache.misses = misses_.load(std::memory_order_relaxed);
     stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.jitAdmitted = jitAdmitted_.load(std::memory_order_relaxed);
+    stats.jitFailed = jitFailed_.load(std::memory_order_relaxed);
+    stats.jitCompileSeconds =
+        static_cast<double>(
+            jitCompileMicros_.load(std::memory_order_relaxed)) /
+        1e6;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stats.resident = entries_.size();

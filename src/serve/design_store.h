@@ -50,6 +50,22 @@ class DesignStore
 
         std::size_t evictions = 0; //!< entries dropped by the LRU
         std::size_t resident = 0;  //!< entries currently held
+
+        /** Designs that left admission with a JIT module attached. */
+        std::size_t jitAdmitted = 0;
+
+        /**
+         * Designs whose JIT admission produced no module (toolchain
+         * missing or compile failed); they serve on the interpreted
+         * tape.
+         */
+        std::size_t jitFailed = 0;
+
+        /**
+         * Total wall-clock seconds spent in admission-time JIT
+         * compiles (generation + out-of-process cc), across designs.
+         */
+        double jitCompileSeconds = 0.0;
     };
 
     /** Store holding at most `capacity` designs (min 1). */
@@ -72,6 +88,25 @@ class DesignStore
     get(const experiments::DesignKey &key, const IntMatrix &weights,
         const core::CompileOptions &options);
 
+    /**
+     * Enable admission-time JIT compilation: every design compiled
+     * after this call also gets native modules (CompiledMatrix::
+     * ensureJit) for `sim`'s execution mode at W = 1 plus the widest
+     * lane-word count the engine resolves for a full batch of
+     * `max_batch_lanes` vectors — the sequential-executor and
+     * full-group hot paths.  The JIT compile rides the store's
+     * in-flight dedup (the compile owner does it once; waiters block
+     * on the same future), so an admission storm never compiles a
+     * design's modules twice.  Admission failures are counted, not
+     * raised: the design serves on the interpreted tape.  Eviction
+     * simply drops the store's reference — when the last holder lets
+     * go, the modules' destructors dlclose their handles (the temp
+     * artifacts were already unlinked at load), so eviction storms
+     * leak neither fds nor disk.
+     */
+    void setJitAdmission(const core::SimOptions &sim,
+                         std::size_t max_batch_lanes);
+
     /** Current accounting (counters are lock-free reads). */
     Stats stats() const;
 
@@ -91,7 +126,13 @@ class DesignStore
     /** Drop least-recently-used entries beyond capacity (lock held). */
     void evictLocked();
 
+    /** Admission-time JIT compile for a freshly built design. */
+    void admitJit(const core::CompiledMatrix &design);
+
     std::size_t capacity_;
+    bool jitAdmission_ = false;        //!< guarded by mutex_
+    core::SimOptions jitSim_;          //!< guarded by mutex_
+    std::size_t jitMaxBatchLanes_ = 0; //!< guarded by mutex_
     mutable std::mutex mutex_;
     std::unordered_map<experiments::DesignKey, Entry,
                        experiments::DesignKeyHash>
@@ -101,6 +142,10 @@ class DesignStore
     std::atomic<std::size_t> hits_{0};
     std::atomic<std::size_t> misses_{0};
     std::atomic<std::size_t> evictions_{0};
+    std::atomic<std::size_t> jitAdmitted_{0};
+    std::atomic<std::size_t> jitFailed_{0};
+    /** Microseconds, so the counter can stay a lock-free integer. */
+    std::atomic<std::uint64_t> jitCompileMicros_{0};
 };
 
 } // namespace spatial::serve

@@ -383,6 +383,8 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
         << (options.serve.sim.activityGating ? "true" : "false") << ",\n";
     out << "  \"segment_kib\": " << options.serve.sim.segmentKib
         << ",\n";
+    out << "  \"jit\": " << (options.serve.sim.jit ? "true" : "false")
+        << ",\n";
     out << "  \"seed\": " << options.seed << ",\n";
     out << "  \"qps_target\": " << jsonReal(options.qps) << ",\n";
     out << "  \"completed\": " << completed << ",\n";
@@ -408,6 +410,13 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     out << "  \"store_hits\": " << stats.store.cache.hits << ",\n";
     out << "  \"store_misses\": " << stats.store.cache.misses << ",\n";
     out << "  \"store_evictions\": " << stats.store.evictions << ",\n";
+    out << "  \"jit_admitted\": " << stats.store.jitAdmitted << ",\n";
+    out << "  \"jit_failed\": " << stats.store.jitFailed << ",\n";
+    out << "  \"jit_admit_seconds\": "
+        << jsonReal(stats.store.jitCompileSeconds) << ",\n";
+    out << "  \"jit_groups\": " << stats.jitGroups << ",\n";
+    out << "  \"jit_fallback_groups\": " << stats.jitFallbackGroups
+        << ",\n";
     out << "  \"naive_seconds\": " << jsonReal(naiveSeconds) << ",\n";
     out << "  \"naive_throughput\": " << jsonReal(naiveThroughput)
         << ",\n";

@@ -12,6 +12,11 @@ namespace spatial::serve
 Server::Server(ServeOptions options) : options_(options), store_(options.storeCapacity)
 {
     options_.maxBatch = std::max<std::size_t>(1, options_.maxBatch);
+    // Group execution forces threads = 1 (see executeGroup), so the
+    // admission W must be resolved the same way.
+    core::SimOptions admit_sim = options_.sim;
+    admit_sim.threads = 1;
+    store_.setJitAdmission(admit_sim, options_.maxBatch);
     unsigned workers = options_.workers != 0
                            ? options_.workers
                            : std::thread::hardware_concurrency();
@@ -270,6 +275,8 @@ Server::executeGroup(const core::CompiledMatrix &design, Group group)
         stats_.enginePasses += (padded + pass_lanes - 1) / pass_lanes;
         stats_.segmentsExecuted += engine_stats.segmentsExecuted;
         stats_.segmentsSkipped += engine_stats.segmentsSkipped;
+        stats_.jitGroups += engine_stats.jitGroups;
+        stats_.jitFallbackGroups += engine_stats.interpFallbackGroups;
     }
 
     const auto done = Clock::now();
@@ -337,6 +344,9 @@ Server::executeSequence(const core::CompiledMatrix &design, Group group)
         stats_.sequenceSteps += steps;
         stats_.segmentsExecuted += gemv.engineStats().segmentsExecuted;
         stats_.segmentsSkipped += gemv.engineStats().segmentsSkipped;
+        stats_.jitGroups += gemv.engineStats().jitGroups;
+        stats_.jitFallbackGroups +=
+            gemv.engineStats().interpFallbackGroups;
     }
 
     Response resp;

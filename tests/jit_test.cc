@@ -1,0 +1,604 @@
+/**
+ * @file
+ * Differential suite for the per-design JIT codegen backend
+ * (circuit/jit): generated native executors must be bit-identical —
+ * outputs *and* register toggle counts — to WideSimulator and the
+ * interpreted tape across sign modes, lane widths, segment sizes, and
+ * gating on/off; a randomized netlist fuzz loop backs the directed
+ * cases.  Also pins the lifecycle guarantees: graceful interpreter
+ * fallback when no toolchain is reachable, table matching (a module
+ * never executes under a mismatched configuration), and the
+ * no-leak invariant (JitModule::liveCount returns to baseline after
+ * churn, with no temp artifacts left on disk).
+ *
+ * Every compiling test is gated on jit::toolchainAvailable() so the
+ * suite passes (as a skip) on toolchain-less hosts — where the
+ * fallback test still runs for real.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "circuit/block_simulator.h"
+#include "circuit/exec_plan.h"
+#include "circuit/jit.h"
+#include "circuit/kernels.h"
+#include "circuit/wide_simulator.h"
+#include "common/rng.h"
+#include "core/batch_engine.h"
+#include "core/compiler.h"
+#include "matrix/generate.h"
+#include "serve/design_store.h"
+
+namespace
+{
+
+using namespace spatial;
+using core::BatchStats;
+using core::CompileOptions;
+using core::MatrixCompiler;
+using core::SimOptions;
+
+/** A netlist exercising every component kind the codegen specializes. */
+circuit::Netlist
+makeKitchenSinkNetlist()
+{
+    circuit::Netlist nl;
+    const auto zero = nl.addConst0();
+    const auto one = nl.addConst1();
+    const auto a = nl.addInput(0);
+    const auto b = nl.addInput(1);
+    const auto na = nl.addNot(a);
+    const auto ab = nl.addAnd(a, b);
+    const auto sum = nl.addAdder(a, b);
+    const auto diff = nl.addSub(sum, ab);
+    const auto d1 = nl.addDff(diff);
+    const auto gated = nl.addAnd(d1, one);
+    const auto carryish = nl.addAdder(gated, na);
+    nl.addSub(zero, carryish);
+    nl.addDelay(carryish, 3);
+    return nl;
+}
+
+/**
+ * Drive a jitted BlockSimulator<W> and W WideSimulators with identical
+ * streams alternating random and frozen phases (frozen phases make
+ * gated segments skip; re-entry exercises the dense fallback and the
+ * owed-flip path), asserting every node every cycle and the exact
+ * toggle totals at the end.  `ops_per_segment` == 0 runs ungated.
+ */
+template <unsigned W>
+void
+checkJitAgainstWide(const circuit::Netlist &nl,
+                    std::size_t ops_per_segment, std::uint64_t seed)
+{
+    const circuit::ExecPlan plan(nl);
+    std::shared_ptr<const circuit::Segmentation> segmentation;
+    circuit::jit::JitSpec spec;
+    spec.laneWords = {W};
+    if (ops_per_segment != 0) {
+        segmentation = plan.segmentation(ops_per_segment);
+        spec.segmentation = segmentation;
+    }
+    const auto module = circuit::jit::compileJitModule(plan, spec);
+    ASSERT_NE(module, nullptr);
+
+    circuit::BlockSimulator<W> block(plan, nullptr, segmentation, module);
+    ASSERT_TRUE(block.jitActive())
+        << "W " << W << " ops/seg " << ops_per_segment;
+    std::vector<circuit::WideSimulator> wides(W,
+                                              circuit::WideSimulator(nl));
+
+    Rng rng(seed);
+    const std::size_t ports = nl.numInputPorts();
+    std::vector<std::uint64_t> plane(ports * W, 0);
+    const int cycles = 48;
+    for (int t = 0; t < cycles; ++t) {
+        const int phase = t % 18;
+        if (phase < 8)
+            for (auto &word : plane)
+                word = rng.next();
+
+        block.settle(plane.data(), ports);
+        for (unsigned w = 0; w < W; ++w) {
+            std::vector<std::uint64_t> words(ports);
+            for (std::size_t p = 0; p < ports; ++p)
+                words[p] = plane[p * W + w];
+            wides[w].step(words);
+            for (circuit::NodeId id = 0; id < nl.numNodes(); ++id) {
+                ASSERT_EQ(block.outputWord(id, w), wides[w].outputWord(id))
+                    << "W " << W << " ops/seg " << ops_per_segment
+                    << " cycle " << t << " word " << w << " node " << id;
+            }
+        }
+        block.commit();
+    }
+
+    std::uint64_t wide_toggles = 0;
+    for (const auto &wide : wides)
+        wide_toggles += wide.toggleCount();
+    EXPECT_EQ(block.toggleCount(), wide_toggles)
+        << "W " << W << " ops/seg " << ops_per_segment;
+    if (ops_per_segment != 0) {
+        // The frozen phases must actually exercise the gated skip path,
+        // or the per-segment generated functions went untested.
+        EXPECT_GT(block.segmentsSkipped(), 0u)
+            << "ops/seg " << ops_per_segment;
+    }
+}
+
+/** Ungated plus segment sizes that do not divide the tape. */
+template <unsigned W>
+void
+checkJitAllSegmentSizes(std::uint64_t seed)
+{
+    if (!circuit::jit::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain reachable";
+    const auto nl = makeKitchenSinkNetlist();
+    for (const std::size_t ops_per_segment : {std::size_t{0},
+                                              std::size_t{1},
+                                              std::size_t{3},
+                                              std::size_t{1000}})
+        checkJitAgainstWide<W>(nl, ops_per_segment, seed);
+}
+
+TEST(Jit, MatchesWideSimulatorEverySegmentSizeW1)
+{
+    checkJitAllSegmentSizes<1>(171);
+}
+
+TEST(Jit, MatchesWideSimulatorEverySegmentSizeW2)
+{
+    checkJitAllSegmentSizes<2>(172);
+}
+
+TEST(Jit, MatchesWideSimulatorEverySegmentSizeW4)
+{
+    checkJitAllSegmentSizes<4>(173);
+}
+
+TEST(Jit, MatchesWideSimulatorEverySegmentSizeW8)
+{
+    checkJitAllSegmentSizes<8>(174);
+}
+
+/**
+ * Randomized fuzz: random sparse signed matrices through the full
+ * compiler, each design's plan run jitted (one gated, one ungated
+ * round) against WideSimulator with random segment budgets.  Catches
+ * op/slot patterns the kitchen-sink netlist misses.
+ */
+/**
+ * A register-only netlist — adders, subtractors, DFFs, a delay line,
+ * not a single comb op: the shape every CSD-compiled design has, and
+ * the only shape eligible for the in-place gated step flavor.
+ */
+circuit::Netlist
+makeRegisterOnlyNetlist()
+{
+    circuit::Netlist nl;
+    const auto a = nl.addInput(0);
+    const auto b = nl.addInput(1);
+    const auto s1 = nl.addAdder(a, b);
+    const auto d1 = nl.addDff(s1);
+    const auto s2 = nl.addSub(d1, a);
+    const auto d2 = nl.addDff(s2);
+    const auto s3 = nl.addAdder(d2, d1);
+    nl.addDelay(s3, 4);
+    nl.addDff(b);
+    return nl;
+}
+
+/** Pins SPATIAL_JIT_INPLACE for a scope, restoring on exit even when
+ *  an ASSERT unwinds the test early. */
+struct FlavorPin
+{
+    explicit FlavorPin(const char *v)
+    {
+        ::setenv("SPATIAL_JIT_INPLACE", v, 1);
+    }
+    ~FlavorPin() { ::unsetenv("SPATIAL_JIT_INPLACE"); }
+};
+
+/**
+ * Both gated step flavors over the register-only shape: the flavor
+ * policy normally picks by working-set size, so pin it each way and
+ * require the full differential contract (every node, every cycle,
+ * exact toggles) from the pending-fused AND the in-place generated
+ * code — and prove the pin actually selected the flavor it names.
+ */
+TEST(Jit, RegisterOnlyNetlistBothStepFlavors)
+{
+    if (!circuit::jit::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain reachable";
+    const auto nl = makeRegisterOnlyNetlist();
+    const circuit::ExecPlan plan(nl);
+    ASSERT_TRUE(plan.comb().empty())
+        << "netlist is supposed to lower to a register-only tape";
+
+    for (const bool in_place : {false, true}) {
+        FlavorPin pin(in_place ? "1" : "0");
+
+        circuit::jit::JitSpec spec;
+        spec.laneWords = {2};
+        spec.segmentation = plan.segmentation(3);
+        const auto module = circuit::jit::compileJitModule(plan, spec);
+        ASSERT_NE(module, nullptr);
+        const auto *tables = module->tables(2, true, 3);
+        ASSERT_NE(tables, nullptr);
+        EXPECT_EQ(tables->inPlace, in_place);
+
+        // Small budgets only: the netlist is one long register chain,
+        // so a whole-tape segment never goes quiet inside the frozen
+        // phases and the skip-path assertion would be vacuous.
+        checkJitAgainstWide<1>(nl, 1, in_place ? 211 : 221);
+        checkJitAgainstWide<4>(nl, 3, in_place ? 212 : 222);
+        checkJitAgainstWide<8>(nl, 4, in_place ? 213 : 223);
+    }
+}
+
+TEST(Jit, RandomizedNetlistFuzz)
+{
+    if (!circuit::jit::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain reachable";
+    Rng rng(4242);
+    for (int round = 0; round < 4; ++round) {
+        const std::size_t rows = 4 + rng.uniformInt(0, 8);
+        const std::size_t cols = 4 + rng.uniformInt(0, 8);
+        const auto v = makeSignedElementSparseMatrix(
+            rows, cols, 5, 0.5, rng);
+        CompileOptions options;
+        options.inputBits = 6;
+        options.signMode = (round % 2 == 0) ? core::SignMode::Csd
+                                            : core::SignMode::PnSplit;
+        const auto design = MatrixCompiler(options).compile(v);
+        const std::size_t ops =
+            1 + rng.uniformInt(0, 40); // random, often non-dividing
+        checkJitAgainstWide<2>(design.netlist(), ops, rng.next());
+        checkJitAgainstWide<2>(design.netlist(), 0, rng.next());
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end through ensureJit + the batch engine
+// ---------------------------------------------------------------------
+
+/**
+ * multiplyBatchWide with SimOptions::jit on must agree bit-exactly
+ * with the scalar reference across lane widths and segment budgets —
+ * and must actually have executed through the module (jitGroups), not
+ * silently fallen back.
+ */
+void
+checkJitBatchEquivalence(const IntMatrix &weights, CompileOptions options,
+                         std::uint64_t seed)
+{
+    const auto design = MatrixCompiler(options).compile(weights);
+    Rng rng(seed);
+    const std::size_t batch_rows = 130; // does not divide 64*W
+    IntMatrix batch(batch_rows, weights.rows());
+    for (std::size_t b = 0; b < batch_rows; ++b)
+        for (std::size_t r = 0; r < weights.rows(); ++r)
+            batch.at(b, r) =
+                options.inputsSigned
+                    ? rng.uniformInt(-(1 << (options.inputBits - 1)),
+                                     (1 << (options.inputBits - 1)) - 1)
+                    : rng.uniformInt(0, (1 << options.inputBits) - 1);
+
+    const auto scalar = design.multiplyBatch(batch);
+    for (const bool gating : {true, false}) {
+        for (const unsigned lane_words : {1u, 4u}) {
+            SimOptions sim;
+            sim.threads = 1;
+            sim.laneWords = lane_words;
+            sim.activityGating = gating;
+            sim.jit = true;
+            ASSERT_NE(design.ensureJit(sim, lane_words), nullptr);
+            BatchStats stats;
+            ASSERT_EQ(scalar,
+                      core::runBatchWide(design, batch, sim, &stats))
+                << "gating " << gating << " W " << lane_words;
+            EXPECT_GT(stats.jitGroups, 0u)
+                << "gating " << gating << " W " << lane_words;
+            EXPECT_EQ(stats.interpFallbackGroups, 0u)
+                << "gating " << gating << " W " << lane_words;
+        }
+    }
+}
+
+TEST(Jit, BatchEquivalenceCsdSigned)
+{
+    if (!circuit::jit::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain reachable";
+    Rng rng(91);
+    const auto v = makeSignedElementSparseMatrix(24, 20, 6, 0.6, rng);
+    CompileOptions options;
+    options.inputBits = 7;
+    options.signMode = core::SignMode::Csd;
+    checkJitBatchEquivalence(v, options, 191);
+}
+
+TEST(Jit, BatchEquivalencePnUnsignedInputs)
+{
+    if (!circuit::jit::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain reachable";
+    Rng rng(92);
+    const auto v = makeSignedElementSparseMatrix(18, 22, 5, 0.4, rng);
+    CompileOptions options;
+    options.inputBits = 6;
+    options.inputsSigned = false;
+    options.signMode = core::SignMode::PnSplit;
+    checkJitBatchEquivalence(v, options, 192);
+}
+
+/**
+ * The switching-activity probe — the toggle-counting consumer of the
+ * engine — must measure the identical activity through the module as
+ * through the interpreted tape, gated and ungated.
+ */
+TEST(Jit, SwitchingActivityMatchesInterpreter)
+{
+    if (!circuit::jit::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain reachable";
+    Rng rng(93);
+    const auto v = makeSignedElementSparseMatrix(16, 14, 5, 0.5, rng);
+    CompileOptions options;
+    options.inputBits = 6;
+    const auto design = MatrixCompiler(options).compile(v);
+    IntMatrix batch(48, v.rows());
+    for (std::size_t b = 0; b < batch.rows(); ++b)
+        for (std::size_t r = 0; r < v.rows(); ++r)
+            batch.at(b, r) = rng.uniformInt(-32, 31);
+
+    for (const bool gating : {true, false}) {
+        SimOptions interp;
+        interp.activityGating = gating;
+        SimOptions jitted = interp;
+        jitted.jit = true;
+        ASSERT_NE(design.ensureJit(jitted, 1), nullptr);
+        EXPECT_EQ(core::measureSwitchingActivity(design, batch, interp),
+                  core::measureSwitchingActivity(design, batch, jitted))
+            << "gating " << gating;
+    }
+}
+
+/** TapeGemv (the sequential ESN executor) through the module. */
+TEST(Jit, TapeGemvMatchesScalarMultiply)
+{
+    if (!circuit::jit::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain reachable";
+    Rng rng(94);
+    const auto v = makeSignedElementSparseMatrix(12, 10, 5, 0.5, rng);
+    CompileOptions options;
+    options.inputBits = 6;
+    const auto design = MatrixCompiler(options).compile(v);
+    SimOptions sim;
+    sim.jit = true;
+    ASSERT_NE(design.ensureJit(sim, 1), nullptr);
+    core::TapeGemv gemv(design, sim);
+    for (int round = 0; round < 5; ++round) {
+        std::vector<std::int64_t> x(v.rows());
+        for (auto &e : x)
+            e = rng.uniformInt(-32, 31);
+        EXPECT_EQ(gemv.multiply(x), design.multiply(x));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table matching, fallback, lifecycle
+// ---------------------------------------------------------------------
+
+/**
+ * A module must never execute under a configuration it was not
+ * generated for: mismatched W, mismatched gating mode, or a different
+ * segment budget all resolve to null tables, and a BlockSimulator
+ * handed such a module runs the interpreter — still correctly.
+ */
+TEST(Jit, TableMatchingRejectsMismatchedConfigurations)
+{
+    if (!circuit::jit::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain reachable";
+    const auto nl = makeKitchenSinkNetlist();
+    const circuit::ExecPlan plan(nl);
+    const auto segmentation = plan.segmentation(4);
+
+    circuit::jit::JitSpec spec;
+    spec.segmentation = segmentation;
+    spec.laneWords = {2};
+    const auto module = circuit::jit::compileJitModule(plan, spec);
+    ASSERT_NE(module, nullptr);
+    EXPECT_TRUE(module->gated());
+    EXPECT_EQ(module->opsPerSegment(), 4u);
+
+    EXPECT_NE(module->tables(2, true, 4), nullptr);
+    EXPECT_EQ(module->tables(4, true, 4), nullptr);  // wrong W
+    EXPECT_EQ(module->tables(2, false, 0), nullptr); // wrong mode
+    EXPECT_EQ(module->tables(2, true, 8), nullptr);  // wrong budget
+
+    // Mismatched module on a simulator: interpreter fallback, correct.
+    circuit::BlockSimulator<2> sim(plan, nullptr, plan.segmentation(8),
+                                   module);
+    EXPECT_FALSE(sim.jitActive());
+    circuit::WideSimulator wide(nl);
+    Rng rng(95);
+    std::vector<std::uint64_t> plane(nl.numInputPorts() * 2, 0);
+    for (int t = 0; t < 12; ++t) {
+        for (auto &word : plane)
+            word = rng.next();
+        sim.settle(plane.data(), nl.numInputPorts());
+        std::vector<std::uint64_t> lane0(nl.numInputPorts());
+        for (std::size_t p = 0; p < lane0.size(); ++p)
+            lane0[p] = plane[p * 2];
+        wide.step(lane0);
+        for (circuit::NodeId id = 0; id < nl.numNodes(); ++id)
+            ASSERT_EQ(sim.outputWord(id, 0), wide.outputWord(id));
+        sim.commit();
+    }
+}
+
+/**
+ * With SPATIAL_JIT_CC pointing at nothing, admission returns null, the
+ * engine runs the interpreted tape, the run stays bit-exact, and the
+ * fallback is visible in the stats — exactly the toolchain-less-host
+ * contract.
+ */
+TEST(Jit, GracefulFallbackWithoutToolchain)
+{
+    ASSERT_EQ(setenv("SPATIAL_JIT_CC", "/nonexistent/spatial-no-cc", 1),
+              0);
+    EXPECT_FALSE(circuit::jit::toolchainAvailable());
+
+    Rng rng(96);
+    const auto v = makeSignedElementSparseMatrix(10, 8, 4, 0.5, rng);
+    CompileOptions options;
+    options.inputBits = 5;
+    const auto design = MatrixCompiler(options).compile(v);
+    SimOptions sim;
+    sim.threads = 1;
+    sim.jit = true;
+    EXPECT_EQ(design.ensureJit(sim, 1), nullptr);
+    EXPECT_EQ(design.jitModuleCount(), 0u);
+
+    IntMatrix batch(70, v.rows());
+    for (std::size_t b = 0; b < batch.rows(); ++b)
+        for (std::size_t r = 0; r < v.rows(); ++r)
+            batch.at(b, r) = rng.uniformInt(-16, 15);
+    BatchStats stats;
+    sim.laneWords = 1;
+    EXPECT_EQ(design.multiplyBatch(batch),
+              core::runBatchWide(design, batch, sim, &stats));
+    EXPECT_EQ(stats.jitGroups, 0u);
+    EXPECT_GT(stats.interpFallbackGroups, 0u);
+
+    ASSERT_EQ(unsetenv("SPATIAL_JIT_CC"), 0);
+}
+
+/** Temp-artifact files under the system temp dir matching our prefix. */
+std::size_t
+countJitTempEntries()
+{
+    namespace fs = std::filesystem;
+    const char *tmp = std::getenv("TMPDIR");
+    std::size_t count = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(
+             tmp != nullptr ? tmp : "/tmp", ec)) {
+        if (entry.path().filename().string().rfind("spatial-jit-", 0) ==
+            0)
+            ++count;
+    }
+    return count;
+}
+
+/**
+ * Module churn — the unit-level shape of a DesignStore eviction storm —
+ * must leak neither dlopen handles (liveCount returns to baseline) nor
+ * disk (no spatial-jit-* temp entries remain while modules are live or
+ * after they die: artifacts are eagerly unlinked at load).
+ */
+TEST(Jit, ChurnLeaksNoHandlesOrTempFiles)
+{
+    if (!circuit::jit::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain reachable";
+    const std::size_t live_before = circuit::jit::JitModule::liveCount();
+    const std::size_t temp_before = countJitTempEntries();
+
+    const auto nl = makeKitchenSinkNetlist();
+    const circuit::ExecPlan plan(nl);
+    {
+        std::vector<std::shared_ptr<const circuit::jit::JitModule>> kept;
+        for (int round = 0; round < 6; ++round) {
+            circuit::jit::JitSpec spec;
+            if (round % 2 == 0)
+                spec.segmentation = plan.segmentation(
+                    static_cast<std::size_t>(2 + round));
+            const auto module =
+                circuit::jit::compileJitModule(plan, spec);
+            ASSERT_NE(module, nullptr);
+            kept.push_back(module);
+        }
+        EXPECT_EQ(circuit::jit::JitModule::liveCount(),
+                  live_before + kept.size());
+        // Artifacts are unlinked at load, not at destruction: nothing
+        // extra on disk even while every module is still alive.
+        EXPECT_EQ(countJitTempEntries(), temp_before);
+    }
+    EXPECT_EQ(circuit::jit::JitModule::liveCount(), live_before);
+    EXPECT_EQ(countJitTempEntries(), temp_before);
+}
+
+/**
+ * A DesignStore eviction storm with JIT admission on: every admitted
+ * design gets a module, evicted designs' modules unload when the last
+ * holder lets go, and when the store itself dies nothing is left —
+ * neither dlopen handles nor temp artifacts.
+ */
+TEST(Jit, DesignStoreEvictionStormLeaksNothing)
+{
+    if (!circuit::jit::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain reachable";
+    const std::size_t live_before = circuit::jit::JitModule::liveCount();
+    const std::size_t temp_before = countJitTempEntries();
+
+    Rng rng(97);
+    CompileOptions options;
+    options.inputBits = 5;
+    {
+        serve::DesignStore store(2);
+        core::SimOptions sim;
+        sim.jit = true;
+        store.setJitAdmission(sim, 64);
+        const int designs = 5;
+        for (int i = 0; i < designs; ++i) {
+            const auto v =
+                makeSignedElementSparseMatrix(8, 6 + i, 4, 0.5, rng);
+            const auto design = store.get(v, options);
+            EXPECT_GE(design->jitModuleCount(), 1u) << "design " << i;
+            EXPECT_GT(design->jitCompileSeconds(), 0.0);
+            // The returned shared_ptr drops here; once the LRU also
+            // evicts the entry, the design and its modules die.
+        }
+        const auto stats = store.stats();
+        EXPECT_EQ(stats.jitAdmitted, static_cast<std::size_t>(designs));
+        EXPECT_EQ(stats.jitFailed, 0u);
+        EXPECT_GT(stats.jitCompileSeconds, 0.0);
+        EXPECT_GE(stats.evictions, static_cast<std::size_t>(designs) - 2);
+        // Only the resident (≤ capacity) entries still pin modules.
+        EXPECT_LE(circuit::jit::JitModule::liveCount() - live_before,
+                  2 * stats.resident);
+        EXPECT_EQ(countJitTempEntries(), temp_before);
+    }
+    EXPECT_EQ(circuit::jit::JitModule::liveCount(), live_before);
+    EXPECT_EQ(countJitTempEntries(), temp_before);
+}
+
+/**
+ * With admission pointed at a dead toolchain, the store counts the
+ * failure and the design still serves (interpreted) — no exception
+ * reaches the caller.
+ */
+TEST(Jit, DesignStoreAdmissionFailureFallsBack)
+{
+    ASSERT_EQ(setenv("SPATIAL_JIT_CC", "/nonexistent/spatial-no-cc", 1),
+              0);
+    Rng rng(98);
+    serve::DesignStore store(4);
+    core::SimOptions sim;
+    sim.jit = true;
+    store.setJitAdmission(sim, 64);
+    CompileOptions options;
+    options.inputBits = 5;
+    const auto v = makeSignedElementSparseMatrix(8, 6, 4, 0.5, rng);
+    const auto design = store.get(v, options);
+    EXPECT_EQ(design->jitModuleCount(), 0u);
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.jitAdmitted, 0u);
+    EXPECT_EQ(stats.jitFailed, 1u);
+    ASSERT_EQ(unsetenv("SPATIAL_JIT_CC"), 0);
+}
+
+} // namespace
