@@ -1,6 +1,6 @@
 /**
  * @file
- * spatial-serve: load-test the online serving layer.
+ * spatial-serve: load-test the serving layer, in-process or over TCP.
  *
  * Hosts the built-in load generator against an in-process Server:
  * open-loop Poisson arrivals at a target QPS, closed-loop clients, or
@@ -16,17 +16,114 @@
  *   spatial-serve --activity_gating=0 --segment_kib=8
  *   spatial-serve --jit=1         # JIT admission at registration
  *
+ * With --listen the same binary becomes the network front end: a
+ * NetServer over N engine-pool shards, serving the wire protocol until
+ * SIGTERM/SIGINT triggers a graceful drain.  With --remote the load
+ * generator drives such a server over TCP instead of an in-process
+ * Server — bit-identical workload for the same seed.
+ *
+ *   spatial-serve --listen --port=7411 --shards=2 --max_queue=512
+ *   spatial-serve --listen --port=0 --port_file=port.txt   # ephemeral
+ *   spatial-serve --remote=127.0.0.1:7411 --mode=drain --compare
+ *   spatial-serve --remote=... --retry_busy=0 --check_shed=1
+ *
  * --json[=path] writes BENCH_serve.json (CI trends it next to the
  * sim_throughput artifact).  --check_speedup=R exits 1 unless drain
  * mode measured a >= R batching speedup with bit-identical outputs.
+ * --check_shed=N exits 1 unless at least N requests were shed with
+ * BUSY (the overload smoke proves shedding, not latency collapse).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 
 #include "common/args.h"
 #include "common/logging.h"
 #include "serve/loadgen.h"
+#include "serve/net_server.h"
+
+namespace
+{
+
+/** The listening server a signal must stop (set before handlers). */
+spatial::serve::NetServer *g_server = nullptr;
+
+extern "C" void
+handleStopSignal(int)
+{
+    // Async-signal-safe: writes one byte down the server's wake pipe.
+    if (g_server != nullptr)
+        g_server->requestShutdown();
+}
+
+/** Run the TCP front end until a stop signal drains it. */
+int
+runListen(const spatial::Args &args,
+          const spatial::serve::LoadGenOptions &options)
+{
+    using namespace spatial;
+    using namespace spatial::serve;
+
+    NetServerOptions net;
+    const std::string host = args.getString("listen", "");
+    if (!host.empty() && host != "true")
+        net.host = host;
+    net.host = args.getString("listen_host", net.host);
+    net.port = static_cast<std::uint16_t>(args.getInt("port", 0));
+    net.shards = static_cast<std::size_t>(args.getInt("shards", 1));
+    net.maxQueue =
+        static_cast<std::size_t>(args.getInt("max_queue", 1024));
+    net.serve = options.serve;
+
+    NetServer server(net);
+    g_server = &server;
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+
+    std::printf("spatial-serve: listening on %s:%u (%zu shards, "
+                "max_queue=%zu, %u workers/shard)\n",
+                net.host.c_str(), server.port(),
+                server.options().shards, server.options().maxQueue,
+                net.serve.workers);
+    std::fflush(stdout);
+
+    // Export the resolved port for scripts racing the ephemeral bind
+    // (ctest -j, the CI smoke): write to a temp name, then rename, so
+    // a reader never sees a half-written file.
+    if (args.has("port_file")) {
+        const std::string path = args.getString("port_file", "");
+        if (path.empty() || path == "true")
+            SPATIAL_FATAL("--port_file needs a path");
+        const std::string tmp = path + ".tmp";
+        {
+            std::ofstream out(tmp);
+            if (!out)
+                SPATIAL_FATAL("cannot write ", tmp);
+            out << server.port() << "\n";
+        }
+        if (std::rename(tmp.c_str(), path.c_str()) != 0)
+            SPATIAL_FATAL("cannot rename ", tmp, " to ", path);
+    }
+
+    server.waitUntilStopped();
+    g_server = nullptr;
+
+    const NetServerStats stats = server.stats();
+    std::printf("spatial-serve: drained; %zu connections served, %zu "
+                "designs, %zu bad frames\n",
+                stats.accepted, stats.registered, stats.badFrames);
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+        const ShardStats &shard = stats.shards[s];
+        std::printf("  shard %zu: %zu submitted, %zu shed, occupancy "
+                    "%.2f, %zu groups\n",
+                    s, shard.submitted, shard.shed,
+                    shard.server.occupancy(), shard.server.groups);
+    }
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -57,6 +154,9 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(args.getInt("seed", 42));
     options.compareNaive =
         args.getBool("compare", false) || args.has("check_speedup");
+    options.remote = args.getString("remote", "");
+    options.retryBusy = args.getBool("retry_busy", true);
+    options.sloMs = args.getReal("slo_ms", 50.0);
 
     options.serve.maxBatch =
         static_cast<std::size_t>(args.getInt("max_batch", 256));
@@ -79,15 +179,24 @@ main(int argc, char **argv)
     // jit_admitted/jit_failed and jit_groups counters below).
     options.serve.sim.jit = args.getBool("jit", false);
 
+    if (args.has("listen")) {
+        if (!options.remote.empty())
+            SPATIAL_FATAL("--listen and --remote are mutually "
+                          "exclusive (server vs load-generator role)");
+        return runListen(args, options);
+    }
+
     if (options.compareNaive &&
         options.mode != LoadGenOptions::Mode::Drain)
         SPATIAL_FATAL("--compare/--check_speedup need --mode=drain "
                       "(the naive path replays the identical request "
                       "list)");
 
-    std::printf("spatial-serve: mode=%s designs=%zu dim=%zu bits=%d "
-                "max_batch=%zu max_delay=%lldus seed=%llu\n",
-                modeName(options.mode), options.designs, options.dim,
+    std::printf("spatial-serve: mode=%s%s%s designs=%zu dim=%zu "
+                "bits=%d max_batch=%zu max_delay=%lldus seed=%llu\n",
+                modeName(options.mode),
+                options.remote.empty() ? "" : " remote=",
+                options.remote.c_str(), options.designs, options.dim,
                 options.bits, options.serve.maxBatch,
                 static_cast<long long>(options.serve.maxDelay.count()),
                 static_cast<unsigned long long>(options.seed));
@@ -97,42 +206,69 @@ main(int argc, char **argv)
     std::printf("completed %zu requests in %.3fs: %.0f req/s\n",
                 result.completed, result.seconds, result.throughput);
     std::printf("latency ms: p50=%.3f p95=%.3f p99=%.3f mean=%.3f "
-                "max=%.3f\n",
+                "max=%.3f; %.1f%% within %.1fms SLO\n",
                 result.latencyMs.p50, result.latencyMs.p95,
                 result.latencyMs.p99, result.latencyMs.mean,
-                result.latencyMs.max);
-    std::printf("batching: %zu groups, %zu/%zu lanes used (occupancy "
-                "%.2f), flushes full=%zu deadline=%zu drain=%zu, "
-                "sequences=%zu\n",
-                result.stats.groups, result.stats.lanes,
-                result.stats.paddedLanes, result.stats.occupancy(),
-                result.stats.flushFull, result.stats.flushDeadline,
-                result.stats.flushDrain, result.stats.sequences);
-    std::printf("engine: %u workers, %zu passes, activity gating %s "
-                "(%llu/%llu segments skipped)\n",
-                result.workersResolved, result.stats.enginePasses,
-                options.serve.sim.activityGating ? "on" : "off",
+                result.latencyMs.max, result.sloCompliance * 100.0,
+                options.sloMs);
+    if (!options.remote.empty()) {
+        std::printf("admission: %zu shed with BUSY, %zu retries\n",
+                    result.shed, result.busyRetries);
+        for (std::size_t s = 0; s < result.shardStats.rows(); ++s) {
+            const double padded = static_cast<double>(
+                result.shardStats.at(s, wire::kStatPaddedLanes));
+            std::printf(
+                "  shard %zu: %lld requests, %lld shed, occupancy "
+                "%.2f, %lld in flight\n",
+                s,
+                static_cast<long long>(
+                    result.shardStats.at(s, wire::kStatRequests)),
+                static_cast<long long>(
+                    result.shardStats.at(s, wire::kStatShed)),
+                padded > 0.0
+                    ? static_cast<double>(result.shardStats.at(
+                          s, wire::kStatLanes)) /
+                          padded
+                    : 0.0,
+                static_cast<long long>(
+                    result.shardStats.at(s, wire::kStatInFlight)));
+        }
+    } else {
+        std::printf(
+            "batching: %zu groups, %zu/%zu lanes used (occupancy "
+            "%.2f), flushes full=%zu deadline=%zu drain=%zu, "
+            "sequences=%zu\n",
+            result.stats.groups, result.stats.lanes,
+            result.stats.paddedLanes, result.stats.occupancy(),
+            result.stats.flushFull, result.stats.flushDeadline,
+            result.stats.flushDrain, result.stats.sequences);
+        std::printf(
+            "engine: %u workers, %zu passes, activity gating %s "
+            "(%llu/%llu segments skipped)\n",
+            result.workersResolved, result.stats.enginePasses,
+            options.serve.sim.activityGating ? "on" : "off",
+            static_cast<unsigned long long>(
+                result.stats.segmentsSkipped),
+            static_cast<unsigned long long>(
+                result.stats.segmentsSkipped +
+                result.stats.segmentsExecuted));
+        std::printf("store: %zu hits / %zu misses, %zu evictions, %zu "
+                    "resident\n",
+                    result.stats.store.cache.hits,
+                    result.stats.store.cache.misses,
+                    result.stats.store.evictions,
+                    result.stats.store.resident);
+        if (options.serve.sim.jit)
+            std::printf(
+                "jit: %zu designs admitted (%zu failed) in %.2fs; "
+                "%llu groups jitted, %llu fell back\n",
+                result.stats.store.jitAdmitted,
+                result.stats.store.jitFailed,
+                result.stats.store.jitCompileSeconds,
+                static_cast<unsigned long long>(result.stats.jitGroups),
                 static_cast<unsigned long long>(
-                    result.stats.segmentsSkipped),
-                static_cast<unsigned long long>(
-                    result.stats.segmentsSkipped +
-                    result.stats.segmentsExecuted));
-    std::printf("store: %zu hits / %zu misses, %zu evictions, %zu "
-                "resident\n",
-                result.stats.store.cache.hits,
-                result.stats.store.cache.misses,
-                result.stats.store.evictions,
-                result.stats.store.resident);
-    if (options.serve.sim.jit)
-        std::printf("jit: %zu designs admitted (%zu failed) in %.2fs; "
-                    "%llu groups jitted, %llu fell back\n",
-                    result.stats.store.jitAdmitted,
-                    result.stats.store.jitFailed,
-                    result.stats.store.jitCompileSeconds,
-                    static_cast<unsigned long long>(
-                        result.stats.jitGroups),
-                    static_cast<unsigned long long>(
-                        result.stats.jitFallbackGroups));
+                    result.stats.jitFallbackGroups));
+    }
     if (options.compareNaive) {
         std::printf("naive path: %.0f req/s (%.3fs); batched speedup "
                     "%.2fx, outputs %s\n",
@@ -166,6 +302,19 @@ main(int argc, char **argv)
         }
         std::printf("OK: batching speedup %.2fx >= %.2fx\n",
                     result.speedup, want);
+    }
+    if (args.has("check_shed")) {
+        const std::size_t want = static_cast<std::size_t>(
+            args.getInt("check_shed", 1));
+        if (result.shed < want) {
+            std::fprintf(stderr,
+                         "FAIL: %zu requests shed, expected >= %zu "
+                         "(admission control never engaged)\n",
+                         result.shed, want);
+            return 1;
+        }
+        std::printf("OK: %zu requests shed with BUSY (>= %zu)\n",
+                    result.shed, want);
     }
     return 0;
 }

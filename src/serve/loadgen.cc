@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <functional>
 #include <sstream>
 #include <thread>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/batch_engine.h"
+#include "core/compiler.h"
 #include "experiments/json.h"
 #include "matrix/bits.h"
 #include "matrix/generate.h"
+#include "serve/net_client.h"
 
 namespace spatial::serve
 {
@@ -26,22 +29,30 @@ struct Workload
 {
     std::vector<IntMatrix> weights; //!< per-design matrices
     std::vector<DesignId> ids;      //!< registered design ids
+    core::CompileOptions compile;   //!< shared compile options
     /** Request templates, paired with their target design. */
     std::vector<std::pair<std::size_t, Request>> stream;
 };
 
-/** Generate designs + a request stream from one seeded Rng. */
+/**
+ * Generate designs + a request stream from one seeded Rng; the
+ * register callback hides whether the design lands in an in-process
+ * Server or travels over the wire, so both paths see byte-identical
+ * workloads for one seed.
+ */
 Workload
-makeWorkload(const LoadGenOptions &options, Server &server,
+makeWorkload(const LoadGenOptions &options,
+             const std::function<DesignId(const IntMatrix &,
+                                          const core::CompileOptions &)>
+                 &register_design,
              std::size_t stream_length)
 {
     Workload workload;
     Rng rng(options.seed);
 
-    core::CompileOptions compile;
-    compile.inputBits = options.bits;
-    compile.inputsSigned = true;
-    compile.signMode = core::SignMode::Csd;
+    workload.compile.inputBits = options.bits;
+    workload.compile.inputsSigned = true;
+    workload.compile.signMode = core::SignMode::Csd;
 
     const std::size_t designs = std::max<std::size_t>(1, options.designs);
     for (std::size_t d = 0; d < designs; ++d) {
@@ -49,7 +60,7 @@ makeWorkload(const LoadGenOptions &options, Server &server,
             options.dim, options.dim, options.bits, options.sparsity,
             rng));
         workload.ids.push_back(
-            server.registerDesign(workload.weights.back(), compile));
+            register_design(workload.weights.back(), workload.compile));
     }
 
     workload.stream.reserve(stream_length);
@@ -120,11 +131,11 @@ naiveAnswer(core::TapeGemv &gemv, const Request &request,
 
 /** Time the identical stream on per-worker TapeGemv executors. */
 double
-runNaive(Server &server, const Workload &workload,
-         std::vector<IntMatrix> &outputs)
+runNaive(const std::vector<const core::CompiledMatrix *> &designs,
+         const core::SimOptions &sim, unsigned workers,
+         const Workload &workload, std::vector<IntMatrix> &outputs)
 {
     outputs.assign(workload.stream.size(), IntMatrix());
-    const unsigned workers = server.options().workers;
     std::atomic<std::size_t> next{0};
     const auto start = Clock::now();
     auto body = [&] {
@@ -132,12 +143,11 @@ runNaive(Server &server, const Workload &workload,
         // on the run's configured engine knobs — the comparison must
         // vary only the batching dimension, not the gating mode.
         std::vector<std::unique_ptr<core::TapeGemv>> gemvs;
-        gemvs.reserve(workload.ids.size());
-        for (const DesignId id : workload.ids)
-            gemvs.push_back(std::make_unique<core::TapeGemv>(
-                server.design(id), server.options().sim));
-        const std::size_t cols =
-            server.design(workload.ids.front()).cols();
+        gemvs.reserve(designs.size());
+        for (const core::CompiledMatrix *design : designs)
+            gemvs.push_back(
+                std::make_unique<core::TapeGemv>(*design, sim));
+        const std::size_t cols = designs.front()->cols();
         for (std::size_t i = next.fetch_add(1);
              i < workload.stream.size(); i = next.fetch_add(1)) {
             const auto &[d, request] = workload.stream[i];
@@ -155,6 +165,233 @@ runNaive(Server &server, const Workload &workload,
             thread.join();
     }
     return secondsBetween(start, Clock::now());
+}
+
+/** Latency summary + SLO compliance from the collected sample. */
+void
+finishLatencies(LoadGenResult &result, const LoadGenOptions &options,
+                std::vector<double> &latencies_ms)
+{
+    // Count before summarize() sorts — either order works, but the
+    // sorted vector makes the compliance scan a partition point.
+    result.latencyMs = summarize(latencies_ms);
+    if (latencies_ms.empty()) {
+        result.sloCompliance = 1.0;
+        return;
+    }
+    const auto within = std::upper_bound(
+        latencies_ms.begin(), latencies_ms.end(), options.sloMs);
+    result.sloCompliance =
+        static_cast<double>(within - latencies_ms.begin()) /
+        static_cast<double>(latencies_ms.size());
+}
+
+/** The local reference compile of a remote run's generated designs. */
+std::vector<std::unique_ptr<core::CompiledMatrix>>
+compileLocally(const Workload &workload)
+{
+    std::vector<std::unique_ptr<core::CompiledMatrix>> designs;
+    designs.reserve(workload.weights.size());
+    const core::MatrixCompiler compiler(workload.compile);
+    for (const IntMatrix &weights : workload.weights)
+        designs.push_back(std::make_unique<core::CompiledMatrix>(
+            compiler.compile(weights)));
+    return designs;
+}
+
+/** Drive a remote NetServer through the wire protocol. */
+LoadGenResult
+runRemote(const LoadGenOptions &options)
+{
+    LoadGenResult result;
+    std::string host;
+    std::uint16_t port = 0;
+    parseEndpoint(options.remote, &host, &port);
+    NetClient client(host, port);
+
+    auto register_design = [&](const IntMatrix &weights,
+                               const core::CompileOptions &compile)
+        -> DesignId {
+        std::uint32_t id = 0;
+        const wire::Status status =
+            client.registerDesign(weights, compile, &id);
+        if (status != wire::Status::Ok)
+            SPATIAL_FATAL("remote register failed: ",
+                          wire::statusName(status));
+        return id;
+    };
+
+    std::vector<double> latencies;
+
+    if (options.mode == LoadGenOptions::Mode::Drain) {
+        auto workload =
+            makeWorkload(options, register_design, options.requests);
+        std::vector<IntMatrix> outputs(workload.stream.size());
+        std::vector<bool> done(workload.stream.size(), false);
+
+        std::vector<std::size_t> todo(workload.stream.size());
+        for (std::size_t i = 0; i < todo.size(); ++i)
+            todo[i] = i;
+
+        const auto start = Clock::now();
+        while (!todo.empty()) {
+            std::vector<std::pair<std::size_t,
+                                  std::future<RemoteResult>>>
+                futures;
+            futures.reserve(todo.size());
+            for (const std::size_t i : todo) {
+                const auto &[d, request] = workload.stream[i];
+                futures.emplace_back(
+                    i, client.submit(static_cast<std::uint32_t>(
+                                         workload.ids[d]),
+                                     Request(request)));
+            }
+            std::vector<std::size_t> again;
+            for (auto &[i, future] : futures) {
+                RemoteResult r = future.get();
+                if (r.status == wire::Status::Ok) {
+                    outputs[i] = std::move(r.output);
+                    done[i] = true;
+                    latencies.push_back(r.latencySeconds() * 1e3);
+                } else if (r.status == wire::Status::Busy) {
+                    ++result.shed;
+                    if (options.retryBusy) {
+                        again.push_back(i);
+                        ++result.busyRetries;
+                    }
+                } else {
+                    SPATIAL_FATAL("remote request failed: ",
+                                  wire::statusName(r.status));
+                }
+            }
+            todo = std::move(again);
+            if (!todo.empty())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        }
+        result.seconds = secondsBetween(start, Clock::now());
+        result.completed = latencies.size();
+
+        if (options.compareNaive) {
+            const auto local = compileLocally(workload);
+            std::vector<const core::CompiledMatrix *> refs;
+            refs.reserve(local.size());
+            for (const auto &design : local)
+                refs.push_back(design.get());
+            std::vector<IntMatrix> naive;
+            const unsigned workers =
+                std::max(1u, std::thread::hardware_concurrency());
+            result.naiveSeconds = runNaive(refs, options.serve.sim,
+                                           workers, workload, naive);
+            result.naiveThroughput =
+                static_cast<double>(workload.stream.size()) /
+                result.naiveSeconds;
+            for (std::size_t i = 0; i < naive.size(); ++i)
+                if (done[i] && !(naive[i] == outputs[i])) {
+                    result.bitExact = false;
+                    break;
+                }
+        }
+    } else if (options.mode == LoadGenOptions::Mode::Open) {
+        if (!(options.qps > 0.0))
+            SPATIAL_FATAL("open-loop load needs qps > 0, got ",
+                          options.qps);
+        const std::size_t pool =
+            std::min<std::size_t>(1024, std::max<std::size_t>(
+                                            64, options.requests));
+        auto workload = makeWorkload(options, register_design, pool);
+        Rng arrivals(options.seed ^ 0xa11afeedull);
+
+        std::vector<std::future<RemoteResult>> futures;
+        futures.reserve(static_cast<std::size_t>(
+            options.qps * options.duration * 1.2 + 64));
+        const auto start = Clock::now();
+        const auto end =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(options.duration));
+        auto next = start;
+        std::size_t i = 0;
+        for (;;) {
+            const auto now = Clock::now();
+            if (now >= end)
+                break;
+            if (now < next) {
+                std::this_thread::sleep_until(std::min(next, end));
+                continue;
+            }
+            const auto &[d, request] = workload.stream[i % pool];
+            futures.push_back(client.submit(
+                static_cast<std::uint32_t>(workload.ids[d]),
+                Request(request)));
+            ++i;
+            const double u = std::min(arrivals.uniformReal(), 0.999999);
+            next += std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(-std::log1p(-u) /
+                                              options.qps));
+        }
+        for (auto &future : futures) {
+            RemoteResult r = future.get();
+            if (r.status == wire::Status::Ok)
+                latencies.push_back(r.latencySeconds() * 1e3);
+            else if (r.status == wire::Status::Busy)
+                ++result.shed;
+            else
+                SPATIAL_FATAL("remote request failed: ",
+                              wire::statusName(r.status));
+        }
+        result.seconds = secondsBetween(start, Clock::now());
+        result.completed = latencies.size();
+    } else {
+        const std::size_t pool = 1024;
+        auto workload = makeWorkload(options, register_design, pool);
+        const unsigned clients = std::max(1u, options.clients);
+
+        std::atomic<bool> stop{false};
+        std::atomic<std::size_t> shed{0};
+        std::mutex latMutex;
+
+        const auto start = Clock::now();
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (unsigned t = 0; t < clients; ++t) {
+            threads.emplace_back([&, t] {
+                Rng pick(options.seed + 1 + t);
+                std::vector<double> local;
+                while (!stop.load(std::memory_order_relaxed)) {
+                    const auto &[d, request] = workload.stream
+                        [static_cast<std::size_t>(pick.uniformInt(
+                            0, static_cast<std::int64_t>(pool) - 1))];
+                    RemoteResult r =
+                        client
+                            .submit(static_cast<std::uint32_t>(
+                                        workload.ids[d]),
+                                    Request(request))
+                            .get();
+                    if (r.status == wire::Status::Ok)
+                        local.push_back(r.latencySeconds() * 1e3);
+                    else if (r.status == wire::Status::Busy)
+                        shed.fetch_add(1);
+                    else
+                        break; // disconnected mid-run
+                }
+                std::lock_guard<std::mutex> lock(latMutex);
+                latencies.insert(latencies.end(), local.begin(),
+                                 local.end());
+            });
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options.duration));
+        stop.store(true);
+        for (auto &thread : threads)
+            thread.join();
+        result.seconds = secondsBetween(start, Clock::now());
+        result.completed = latencies.size();
+        result.shed = shed.load();
+    }
+
+    finishLatencies(result, options, latencies);
+    client.fetchStats(&result.shardStats);
+    return result;
 }
 
 } // namespace
@@ -219,11 +456,30 @@ parseMode(const std::string &name)
 LoadGenResult
 runLoadGen(const LoadGenOptions &options)
 {
+    if (!options.remote.empty()) {
+        LoadGenResult result = runRemote(options);
+        result.throughput =
+            result.seconds > 0.0
+                ? static_cast<double>(result.completed) /
+                      result.seconds
+                : 0.0;
+        if (result.naiveThroughput > 0.0)
+            result.speedup =
+                result.throughput / result.naiveThroughput;
+        return result;
+    }
+
     LoadGenResult result;
     Server server(options.serve);
+    auto register_design = [&](const IntMatrix &weights,
+                               const core::CompileOptions &compile) {
+        return server.registerDesign(weights, compile);
+    };
+    std::vector<double> latencies;
 
     if (options.mode == LoadGenOptions::Mode::Drain) {
-        auto workload = makeWorkload(options, server, options.requests);
+        auto workload = makeWorkload(options, register_design,
+                                     options.requests);
         std::vector<std::future<Response>> futures;
         futures.reserve(workload.stream.size());
 
@@ -236,17 +492,21 @@ runLoadGen(const LoadGenOptions &options)
 
         std::vector<Response> responses;
         responses.reserve(futures.size());
-        std::vector<double> latencies;
         for (auto &future : futures) {
             responses.push_back(future.get());
             latencies.push_back(responses.back().latencySeconds() * 1e3);
         }
         result.completed = responses.size();
-        result.latencyMs = summarize(latencies);
 
         if (options.compareNaive) {
+            std::vector<const core::CompiledMatrix *> refs;
+            refs.reserve(workload.ids.size());
+            for (const DesignId id : workload.ids)
+                refs.push_back(&server.design(id));
             std::vector<IntMatrix> naive;
-            result.naiveSeconds = runNaive(server, workload, naive);
+            result.naiveSeconds =
+                runNaive(refs, server.options().sim,
+                         server.options().workers, workload, naive);
             result.naiveThroughput =
                 static_cast<double>(result.completed) /
                 result.naiveSeconds;
@@ -265,7 +525,7 @@ runLoadGen(const LoadGenOptions &options)
         const std::size_t pool =
             std::min<std::size_t>(1024, std::max<std::size_t>(
                                             64, options.requests));
-        auto workload = makeWorkload(options, server, pool);
+        auto workload = makeWorkload(options, register_design, pool);
         Rng arrivals(options.seed ^ 0xa11afeedull);
 
         std::vector<std::future<Response>> futures;
@@ -297,21 +557,18 @@ runLoadGen(const LoadGenOptions &options)
         server.drain();
         result.seconds = secondsBetween(start, Clock::now());
 
-        std::vector<double> latencies;
         latencies.reserve(futures.size());
         for (auto &future : futures)
             latencies.push_back(future.get().latencySeconds() * 1e3);
         result.completed = latencies.size();
-        result.latencyMs = summarize(latencies);
     } else {
         const std::size_t pool = 1024;
-        auto workload = makeWorkload(options, server, pool);
+        auto workload = makeWorkload(options, register_design, pool);
         const unsigned clients = std::max(1u, options.clients);
 
         std::atomic<bool> stop{false};
         std::atomic<std::size_t> completed{0};
         std::mutex latMutex;
-        std::vector<double> latencies;
 
         const auto start = Clock::now();
         std::vector<std::thread> threads;
@@ -342,9 +599,9 @@ runLoadGen(const LoadGenOptions &options)
         server.drain();
         result.seconds = secondsBetween(start, Clock::now());
         result.completed = completed.load();
-        result.latencyMs = summarize(latencies);
     }
 
+    finishLatencies(result, options, latencies);
     result.throughput = result.seconds > 0.0
                             ? static_cast<double>(result.completed) /
                                   result.seconds
@@ -363,8 +620,9 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     using experiments::jsonReal;
     std::ostringstream out;
     out << "{\n";
-    out << "  \"schema\": \"spatial-serve/v1\",\n";
+    out << "  \"schema\": \"spatial-serve/v2\",\n";
     out << "  \"mode\": " << jsonQuote(modeName(options.mode)) << ",\n";
+    out << "  \"remote\": " << jsonQuote(options.remote) << ",\n";
     out << "  \"designs\": " << options.designs << ",\n";
     out << "  \"dim\": " << options.dim << ",\n";
     out << "  \"bits\": " << options.bits << ",\n";
@@ -388,6 +646,8 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     out << "  \"seed\": " << options.seed << ",\n";
     out << "  \"qps_target\": " << jsonReal(options.qps) << ",\n";
     out << "  \"completed\": " << completed << ",\n";
+    out << "  \"shed\": " << shed << ",\n";
+    out << "  \"busy_retries\": " << busyRetries << ",\n";
     out << "  \"seconds\": " << jsonReal(seconds) << ",\n";
     out << "  \"throughput\": " << jsonReal(throughput) << ",\n";
     out << "  \"p50_ms\": " << jsonReal(latencyMs.p50) << ",\n";
@@ -395,6 +655,9 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     out << "  \"p99_ms\": " << jsonReal(latencyMs.p99) << ",\n";
     out << "  \"mean_ms\": " << jsonReal(latencyMs.mean) << ",\n";
     out << "  \"max_ms\": " << jsonReal(latencyMs.max) << ",\n";
+    out << "  \"slo_ms\": " << jsonReal(options.sloMs) << ",\n";
+    out << "  \"slo_compliance\": " << jsonReal(sloCompliance)
+        << ",\n";
     out << "  \"groups\": " << stats.groups << ",\n";
     out << "  \"lanes\": " << stats.lanes << ",\n";
     out << "  \"padded_lanes\": " << stats.paddedLanes << ",\n";
@@ -417,6 +680,33 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     out << "  \"jit_groups\": " << stats.jitGroups << ",\n";
     out << "  \"jit_fallback_groups\": " << stats.jitFallbackGroups
         << ",\n";
+    // Remote runs carry the server's own per-shard view: occupancy and
+    // shed counts per engine pool, fetched over the wire at run end.
+    out << "  \"shards\": [";
+    for (std::size_t s = 0; s < shardStats.rows(); ++s) {
+        const auto cell = [&](wire::ShardStatsCol c) {
+            return shardStats.at(s, c);
+        };
+        const double padded =
+            static_cast<double>(cell(wire::kStatPaddedLanes));
+        const double occupancy =
+            padded > 0.0
+                ? static_cast<double>(cell(wire::kStatLanes)) / padded
+                : 0.0;
+        out << (s == 0 ? "\n" : ",\n");
+        out << "    {\"shard\": " << s
+            << ", \"requests\": " << cell(wire::kStatRequests)
+            << ", \"lanes\": " << cell(wire::kStatLanes)
+            << ", \"padded_lanes\": " << cell(wire::kStatPaddedLanes)
+            << ", \"occupancy\": " << jsonReal(occupancy)
+            << ", \"groups\": " << cell(wire::kStatGroups)
+            << ", \"sequences\": " << cell(wire::kStatSequences)
+            << ", \"submitted\": " << cell(wire::kStatSubmitted)
+            << ", \"shed\": " << cell(wire::kStatShed)
+            << ", \"in_flight\": " << cell(wire::kStatInFlight)
+            << "}";
+    }
+    out << (shardStats.rows() > 0 ? "\n  ],\n" : "],\n");
     out << "  \"naive_seconds\": " << jsonReal(naiveSeconds) << ",\n";
     out << "  \"naive_throughput\": " << jsonReal(naiveThroughput)
         << ",\n";

@@ -77,7 +77,29 @@ struct LoadGenOptions
     /** Drain mode: also time the naive path and check bit-identity. */
     bool compareNaive = false;
 
-    /** Server configuration. */
+    /**
+     * Remote endpoint ("host:port").  Non-empty routes the identical
+     * workload through a NetClient over the wire protocol to a
+     * NetServer instead of an in-process Server; `serve` is then the
+     * remote process's concern and ignored here (except that
+     * compareNaive still times the naive path locally on the same
+     * generated designs, so the bit-exactness gate covers the full
+     * wire path).
+     */
+    std::string remote;
+
+    /**
+     * Remote drain mode: resubmit requests shed with Status::Busy in
+     * follow-up rounds until every request completes (the shed and
+     * retry counts are still reported).  Disable to measure shedding
+     * itself — completion then covers only admitted requests.
+     */
+    bool retryBusy = true;
+
+    /** Latency SLO target (ms) for the compliance figure. */
+    double sloMs = 50.0;
+
+    /** Server configuration (in-process mode). */
     ServeOptions serve;
 };
 
@@ -101,8 +123,26 @@ struct LoadGenResult
     ServerStats stats;          //!< server counters after the run
 
     /** Worker threads the server actually ran (the 0 = "one per
-     * hardware context" option sentinel resolved at startup). */
+     * hardware context" option sentinel resolved at startup); 0 in
+     * remote mode, where the worker pool lives in another process. */
     unsigned workersResolved = 0;
+
+    /** Requests shed with Status::Busy (remote mode). */
+    std::size_t shed = 0;
+
+    /** Resubmissions of shed requests (remote drain, retryBusy). */
+    std::size_t busyRetries = 0;
+
+    /** Fraction of completed requests within LoadGenOptions::sloMs. */
+    double sloCompliance = 1.0;
+
+    /**
+     * Remote mode: the server's per-shard counters at run end — one
+     * row per shard, columns per wire::ShardStatsCol (occupancy and
+     * shed counts per shard land in the JSON artifact).  Empty rows
+     * for in-process runs.
+     */
+    IntMatrix shardStats;
 
     /** Drain mode with compareNaive: the naive path's numbers. */
     double naiveSeconds = 0.0;

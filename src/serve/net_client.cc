@@ -1,0 +1,311 @@
+#include "serve/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace spatial::serve
+{
+
+void
+parseEndpoint(const std::string &endpoint, std::string *host,
+              std::uint16_t *port)
+{
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == endpoint.size())
+        SPATIAL_FATAL("endpoint '", endpoint,
+                      "' is not of the form host:port");
+    *host = endpoint.substr(0, colon);
+    char *end = nullptr;
+    const long value =
+        std::strtol(endpoint.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || value <= 0 || value > 65535)
+        SPATIAL_FATAL("endpoint '", endpoint, "' has a bad port");
+    *port = static_cast<std::uint16_t>(value);
+}
+
+NetClient::NetClient(const std::string &host, std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        SPATIAL_FATAL("socket(): ", std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        SPATIAL_FATAL("bad address '", host, "'");
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        SPATIAL_FATAL("connect(", host, ":", port,
+                      "): ", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connected_.store(true, std::memory_order_release);
+    reader_ = std::thread([this] { readerLoop(); });
+}
+
+NetClient::~NetClient()
+{
+    close();
+    if (reader_.joinable())
+        reader_.join();
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+NetClient::connected() const
+{
+    return connected_.load(std::memory_order_acquire);
+}
+
+void
+NetClient::close()
+{
+    if (!connected_.exchange(false))
+        return;
+    // Half-close our direction: the server sees EOF, finishes what it
+    // owes us, and the reader drains the remaining responses until the
+    // server closes its side too.
+    ::shutdown(fd_, SHUT_WR);
+}
+
+void
+NetClient::failAll()
+{
+    std::unordered_map<std::uint64_t, Pending> orphans;
+    {
+        std::lock_guard<std::mutex> lock(pendingMutex_);
+        orphans.swap(pending_);
+    }
+    for (auto &[id, pending] : orphans) {
+        RemoteResult result;
+        result.status = wire::Status::Disconnected;
+        result.submitAt = pending.submitAt;
+        result.doneAt = Clock::now();
+        pending.promise.set_value(std::move(result));
+    }
+}
+
+bool
+NetClient::sendFrame(const wire::RequestFrame &frame)
+{
+    std::vector<std::uint8_t> bytes;
+    wire::appendRequestFrame(bytes, frame);
+    std::lock_guard<std::mutex> lock(sendMutex_);
+    if (!connected())
+        return false;
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            connected_.store(false, std::memory_order_release);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::future<RemoteResult>
+NetClient::submit(std::uint32_t design, Request request)
+{
+    wire::RequestFrame frame;
+    switch (request.kind) {
+      case RequestKind::Gemv:
+        frame.kind = wire::MessageKind::Gemv;
+        break;
+      case RequestKind::GemvBatch:
+        frame.kind = wire::MessageKind::GemvBatch;
+        break;
+      case RequestKind::EsnStep:
+        frame.kind = wire::MessageKind::EsnStep;
+        break;
+      case RequestKind::EsnSequence:
+        frame.kind = wire::MessageKind::EsnSequence;
+        break;
+    }
+    frame.designId = design;
+    frame.requestId = nextId_.fetch_add(1, std::memory_order_relaxed);
+    frame.request = std::move(request);
+
+    Pending pending;
+    pending.submitAt = Clock::now();
+    auto future = pending.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(pendingMutex_);
+        pending_.emplace(frame.requestId, std::move(pending));
+    }
+    if (!sendFrame(frame)) {
+        // Resolve immediately: the reader may already be gone.
+        std::lock_guard<std::mutex> lock(pendingMutex_);
+        const auto it = pending_.find(frame.requestId);
+        if (it != pending_.end()) {
+            RemoteResult result;
+            result.status = wire::Status::Disconnected;
+            result.submitAt = it->second.submitAt;
+            result.doneAt = Clock::now();
+            it->second.promise.set_value(std::move(result));
+            pending_.erase(it);
+        }
+    }
+    return future;
+}
+
+RemoteResult
+NetClient::roundTrip(wire::RequestFrame frame)
+{
+    frame.requestId = nextId_.fetch_add(1, std::memory_order_relaxed);
+    Pending pending;
+    pending.submitAt = Clock::now();
+    auto future = pending.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(pendingMutex_);
+        pending_.emplace(frame.requestId, std::move(pending));
+    }
+    if (!sendFrame(frame)) {
+        std::lock_guard<std::mutex> lock(pendingMutex_);
+        const auto it = pending_.find(frame.requestId);
+        if (it != pending_.end()) {
+            RemoteResult result;
+            result.status = wire::Status::Disconnected;
+            it->second.promise.set_value(std::move(result));
+            pending_.erase(it);
+        }
+    }
+    return future.get();
+}
+
+wire::Status
+NetClient::registerDesign(const IntMatrix &weights,
+                          const core::CompileOptions &compile,
+                          std::uint32_t *id, std::uint32_t *shard)
+{
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::RegisterDesign;
+    frame.weights = weights;
+    frame.compile = compile;
+    RemoteResult result = roundTrip(std::move(frame));
+    if (result.status != wire::Status::Ok)
+        return result.status;
+    // The reader stashed the assigned id in output (see readerLoop):
+    // [0,0] = design id, [0,1] = shard.
+    if (result.output.rows() != 1 || result.output.cols() != 2)
+        return wire::Status::BadFrame;
+    *id = static_cast<std::uint32_t>(result.output.at(0, 0));
+    if (shard != nullptr)
+        *shard = static_cast<std::uint32_t>(result.output.at(0, 1));
+    return wire::Status::Ok;
+}
+
+wire::Status
+NetClient::ping()
+{
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::Ping;
+    return roundTrip(std::move(frame)).status;
+}
+
+wire::Status
+NetClient::fetchStats(IntMatrix *out)
+{
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::Stats;
+    RemoteResult result = roundTrip(std::move(frame));
+    if (result.status == wire::Status::Ok)
+        *out = std::move(result.output);
+    return result.status;
+}
+
+void
+NetClient::readerLoop()
+{
+    std::vector<std::uint8_t> buffer;
+    std::uint8_t chunk[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        buffer.insert(buffer.end(), chunk, chunk + n);
+
+        std::size_t consumed = 0;
+        bool fatal = false;
+        for (;;) {
+            std::size_t off = 0, size = 0, total = 0;
+            const wire::FrameResult r =
+                wire::peekFrame(buffer.data() + consumed,
+                                buffer.size() - consumed, &off, &size,
+                                &total);
+            if (r == wire::FrameResult::NeedMore)
+                break;
+            if (r == wire::FrameResult::Malformed) {
+                fatal = true;
+                break;
+            }
+            wire::ResponseFrame frame;
+            const wire::Status decoded = wire::decodeResponse(
+                buffer.data() + consumed + off, size, &frame);
+            consumed += total;
+            if (decoded != wire::Status::Ok) {
+                fatal = true;
+                break;
+            }
+            Pending pending;
+            bool found = false;
+            {
+                std::lock_guard<std::mutex> lock(pendingMutex_);
+                const auto it = pending_.find(frame.requestId);
+                if (it != pending_.end()) {
+                    pending = std::move(it->second);
+                    pending_.erase(it);
+                    found = true;
+                }
+            }
+            if (!found)
+                continue; // unsolicited; ignore
+            RemoteResult result;
+            result.status = frame.status;
+            result.submitAt = pending.submitAt;
+            result.doneAt = Clock::now();
+            if (frame.kind == wire::MessageKind::RegisterDesign &&
+                frame.status == wire::Status::Ok) {
+                // Normalize the register reply for registerDesign():
+                // [design id, shard] in one row.
+                IntMatrix info(1, 2);
+                info.at(0, 0) =
+                    static_cast<std::int64_t>(frame.designId);
+                info.at(0, 1) = frame.output.size() == 1
+                                    ? frame.output.at(0, 0)
+                                    : 0;
+                result.output = std::move(info);
+            } else {
+                result.output = std::move(frame.output);
+            }
+            pending.promise.set_value(std::move(result));
+        }
+        if (consumed > 0)
+            buffer.erase(buffer.begin(),
+                         buffer.begin() +
+                             static_cast<std::ptrdiff_t>(consumed));
+        if (fatal)
+            break;
+    }
+    connected_.store(false, std::memory_order_release);
+    failAll();
+}
+
+} // namespace spatial::serve

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Client side of the wire protocol: a connection to one NetServer.
+ *
+ * One NetClient owns one TCP connection plus a reader thread that
+ * decodes response frames and matches them to outstanding requests by
+ * correlation id, so any number of submit() calls can be in flight
+ * concurrently (the load generator pipelines thousands).  Writes are
+ * serialized by a send mutex; the socket itself is blocking, which
+ * gives the client natural backpressure if the server's socket buffers
+ * fill while its admission control is shedding.
+ *
+ * Thread-safe: submit()/registerDesign()/ping()/fetchStats() may be
+ * called from any number of threads.  If the connection drops, every
+ * outstanding and future request resolves with
+ * wire::Status::Disconnected instead of blocking forever.
+ */
+
+#ifndef SPATIAL_SERVE_NET_CLIENT_H
+#define SPATIAL_SERVE_NET_CLIENT_H
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "serve/wire.h"
+
+namespace spatial::serve
+{
+
+/** The outcome of one remote request. */
+struct RemoteResult
+{
+    /** Wire status (Ok, Busy, ... or the synthetic Disconnected). */
+    wire::Status status = wire::Status::Disconnected;
+
+    /** Output matrix; meaningful only when status == Ok. */
+    IntMatrix output;
+
+    std::chrono::time_point<Clock> submitAt{}; //!< send timestamp
+    std::chrono::time_point<Clock> doneAt{};   //!< response received
+
+    /** Client-observed round-trip latency in seconds. */
+    double latencySeconds() const
+    {
+        return std::chrono::duration<double>(doneAt - submitAt).count();
+    }
+};
+
+/** A blocking-connect client for one NetServer. */
+class NetClient
+{
+  public:
+    /** Connect to host:port; fatal on connection failure. */
+    NetClient(const std::string &host, std::uint16_t port);
+
+    /** Close the connection and join the reader. */
+    ~NetClient();
+
+    /** Non-copyable: owns the socket and reader thread. */
+    NetClient(const NetClient &) = delete;
+    /** Non-assignable (same reason). */
+    NetClient &operator=(const NetClient &) = delete;
+
+    /** True while the connection is up. */
+    bool connected() const;
+
+    /**
+     * Register a design and wait for the server's answer.  On Ok,
+     * `*id` receives the server-assigned design id and `*shard` (when
+     * non-null) the owning shard.
+     */
+    wire::Status registerDesign(const IntMatrix &weights,
+                                const core::CompileOptions &compile,
+                                std::uint32_t *id,
+                                std::uint32_t *shard = nullptr);
+
+    /**
+     * Send one compute request; the future resolves when the response
+     * frame arrives (any status, including Busy sheds).
+     */
+    std::future<RemoteResult> submit(std::uint32_t design,
+                                     Request request);
+
+    /** Round-trip an empty Ping frame. */
+    wire::Status ping();
+
+    /**
+     * Fetch the server's per-shard counters: one row per shard,
+     * columns per wire::ShardStatsCol.
+     */
+    wire::Status fetchStats(IntMatrix *out);
+
+    /**
+     * Half-close: stop sending and fail outstanding requests once the
+     * server's remaining responses have been read.  Idempotent.
+     */
+    void close();
+
+  private:
+    struct Pending
+    {
+        std::promise<RemoteResult> promise;
+        std::chrono::time_point<Clock> submitAt{};
+    };
+
+    /** Send one encoded frame; false once disconnected. */
+    bool sendFrame(const wire::RequestFrame &frame);
+
+    /** Reader thread: decode responses, resolve pending promises. */
+    void readerLoop();
+
+    /** Fail every outstanding request with Disconnected. */
+    void failAll();
+
+    /** Submit and wait for a one-shot control request. */
+    RemoteResult roundTrip(wire::RequestFrame frame);
+
+    int fd_ = -1;
+    std::atomic<bool> connected_{false};
+    std::mutex sendMutex_;
+    std::mutex pendingMutex_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    std::atomic<std::uint64_t> nextId_{1};
+    std::thread reader_;
+};
+
+/**
+ * Parse a "host:port" endpoint string (the --remote CLI syntax);
+ * fatal on malformed input.
+ */
+void parseEndpoint(const std::string &endpoint, std::string *host,
+                   std::uint16_t *port);
+
+} // namespace spatial::serve
+
+#endif // SPATIAL_SERVE_NET_CLIENT_H

@@ -1,0 +1,724 @@
+#include "serve/net_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace spatial::serve
+{
+
+namespace
+{
+
+/** Read chunk size of the event loop. */
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/** Per-connection outbound buffer cap; beyond it the peer is dropped
+ * as an unrecoverable slow reader. */
+constexpr std::size_t kMaxConnBuf = 256u << 20;
+
+/** How long the drain waits for write buffers to flush. */
+constexpr auto kFlushDeadline = std::chrono::seconds(10);
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+NetServer::NetServer(NetServerOptions options) : options_(options)
+{
+    options_.shards = std::max<std::size_t>(1, options_.shards);
+
+    // Shards first: each is a full in-process Server with its own
+    // DesignStore and worker pool.
+    shards_.reserve(options_.shards);
+    for (std::size_t s = 0; s < options_.shards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->server = std::make_unique<Server>(options_.serve);
+        shards_.push_back(std::move(shard));
+    }
+
+    // Listen socket: SO_REUSEADDR + port 0 (ephemeral by default) keep
+    // test suites parallel-safe; the resolved port is exported via
+    // port().
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        SPATIAL_FATAL("socket(): ", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) !=
+        1)
+        SPATIAL_FATAL("bad listen address '", options_.host, "'");
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        SPATIAL_FATAL("bind(", options_.host, ":", options_.port,
+                      "): ", std::strerror(errno));
+    if (::listen(listenFd_, 128) != 0)
+        SPATIAL_FATAL("listen(): ", std::strerror(errno));
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        SPATIAL_FATAL("getsockname(): ", std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+    setNonBlocking(listenFd_);
+
+    if (::pipe(wakePipe_) != 0)
+        SPATIAL_FATAL("pipe(): ", std::strerror(errno));
+    setNonBlocking(wakePipe_[0]);
+    setNonBlocking(wakePipe_[1]);
+
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        shards_[s]->reaper =
+            std::thread([this, s] { reaperLoop(s); });
+    registrar_ = std::thread([this] { registrarLoop(); });
+    loop_ = std::thread([this] { eventLoop(); });
+}
+
+NetServer::~NetServer()
+{
+    shutdown();
+}
+
+void
+NetServer::wake()
+{
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t n = ::write(wakePipe_[1], &byte, 1);
+}
+
+void
+NetServer::requestShutdown()
+{
+    shutdownRequested_.store(true, std::memory_order_release);
+    wake(); // write() is async-signal-safe; the loop does the rest
+}
+
+void
+NetServer::waitUntilStopped()
+{
+    {
+        std::unique_lock<std::mutex> lock(shutdownMutex_);
+        shutdownCv_.wait(lock, [this] {
+            return rejecting_.load() || shutdownDone_;
+        });
+    }
+    shutdown();
+}
+
+void
+NetServer::shutdown()
+{
+    {
+        std::unique_lock<std::mutex> lock(shutdownMutex_);
+        if (shutdownDone_)
+            return;
+        if (shutdownRunning_) {
+            shutdownCv_.wait(lock, [this] { return shutdownDone_; });
+            return;
+        }
+        shutdownRunning_ = true;
+    }
+
+    // 1. Stop admitting: the event loop (the only thread that
+    //    dispatches) flips rejecting_ when it sees the request, so
+    //    once we observe it no further work can enter a shard.
+    requestShutdown();
+    {
+        std::unique_lock<std::mutex> lock(shutdownMutex_);
+        shutdownCv_.wait(lock, [this] { return rejecting_.load(); });
+    }
+
+    // 2. Registrar: finish queued compiles, then stop.
+    {
+        std::lock_guard<std::mutex> lock(registrarMutex_);
+        registrarStop_ = true;
+    }
+    registrarCv_.notify_all();
+    registrar_.join();
+
+    // 3. Shards: flush open batch groups, wait for every admitted
+    //    request to be answered, then stop the reapers.
+    for (auto &shard : shards_) {
+        shard->server->drain();
+        std::unique_lock<std::mutex> lock(shard->mutex);
+        shard->cv.wait(lock, [&] {
+            return shard->completions.empty() &&
+                   shard->inFlight.load() == 0;
+        });
+        shard->stop = true;
+        shard->cv.notify_all();
+    }
+    for (auto &shard : shards_)
+        shard->reaper.join();
+
+    // 4. Event loop: flush outbound buffers, close connections, exit.
+    loopExit_.store(true, std::memory_order_release);
+    wake();
+    loop_.join();
+
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    ::close(wakePipe_[0]);
+    ::close(wakePipe_[1]);
+
+    {
+        std::lock_guard<std::mutex> lock(shutdownMutex_);
+        shutdownDone_ = true;
+    }
+    shutdownCv_.notify_all();
+}
+
+NetServerStats
+NetServer::stats() const
+{
+    NetServerStats stats;
+    stats.accepted = accepted_.load();
+    stats.badFrames = badFrames_.load();
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        stats.active = conns_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(designMutex_);
+        stats.registered = designs_.size();
+    }
+    stats.shards.reserve(shards_.size());
+    for (const auto &shard : shards_) {
+        ShardStats s;
+        s.submitted = shard->submitted.load();
+        s.shed = shard->shed.load();
+        s.inFlight = shard->inFlight.load();
+        s.server = shard->server->stats();
+        stats.shards.push_back(std::move(s));
+    }
+    return stats;
+}
+
+IntMatrix
+NetServer::statsMatrix() const
+{
+    IntMatrix m(shards_.size(), wire::kShardStatsCols);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const ServerStats server = shards_[s]->server->stats();
+        m.at(s, wire::kStatRequests) =
+            static_cast<std::int64_t>(server.requests);
+        m.at(s, wire::kStatLanes) =
+            static_cast<std::int64_t>(server.lanes);
+        m.at(s, wire::kStatPaddedLanes) =
+            static_cast<std::int64_t>(server.paddedLanes);
+        m.at(s, wire::kStatGroups) =
+            static_cast<std::int64_t>(server.groups);
+        m.at(s, wire::kStatSequences) =
+            static_cast<std::int64_t>(server.sequences);
+        m.at(s, wire::kStatSubmitted) =
+            static_cast<std::int64_t>(shards_[s]->submitted.load());
+        m.at(s, wire::kStatShed) =
+            static_cast<std::int64_t>(shards_[s]->shed.load());
+        m.at(s, wire::kStatInFlight) =
+            static_cast<std::int64_t>(shards_[s]->inFlight.load());
+    }
+    return m;
+}
+
+void
+NetServer::replyFrame(std::uint64_t conn, const wire::ResponseFrame &f)
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    const auto it = conns_.find(conn);
+    if (it == conns_.end())
+        return; // peer went away; drop the response
+    Connection &c = it->second;
+    if (c.out.size() - c.outSent > kMaxConnBuf) {
+        // Unrecoverable slow reader: stop buffering for it.
+        c.closing = true;
+        return;
+    }
+    wire::appendResponseFrame(c.out, f);
+    wake();
+}
+
+void
+NetServer::replyStatus(std::uint64_t conn, wire::Status status,
+                       wire::MessageKind kind,
+                       std::uint64_t request_id,
+                       std::uint32_t design_id)
+{
+    wire::ResponseFrame f;
+    f.status = status;
+    f.kind = kind;
+    f.requestId = request_id;
+    f.designId = design_id;
+    replyFrame(conn, f);
+}
+
+void
+NetServer::dispatch(std::uint64_t conn, wire::RequestFrame frame)
+{
+    using wire::MessageKind;
+    using wire::Status;
+
+    // Liveness and observability stay answerable during a drain.
+    if (frame.kind == MessageKind::Ping) {
+        wire::ResponseFrame f;
+        f.status = Status::Ok;
+        f.kind = frame.kind;
+        f.requestId = frame.requestId;
+        f.designId = frame.designId;
+        replyFrame(conn, f);
+        return;
+    }
+    if (frame.kind == MessageKind::Stats) {
+        wire::ResponseFrame f;
+        f.status = Status::Ok;
+        f.kind = frame.kind;
+        f.requestId = frame.requestId;
+        f.designId = frame.designId;
+        f.output = statsMatrix();
+        replyFrame(conn, f);
+        return;
+    }
+
+    if (rejecting_.load(std::memory_order_acquire)) {
+        replyStatus(conn, Status::ShuttingDown, frame.kind,
+                    frame.requestId, frame.designId);
+        return;
+    }
+
+    if (frame.kind == MessageKind::RegisterDesign) {
+        RegisterJob job;
+        job.conn = conn;
+        job.requestId = frame.requestId;
+        job.weights = std::move(frame.weights);
+        job.compile = frame.compile;
+        {
+            std::lock_guard<std::mutex> lock(designMutex_);
+            const auto key = experiments::makeDesignKey(job.weights,
+                                                        job.compile);
+            const auto it = designIds_.find(key);
+            if (it != designIds_.end() && designs_[it->second].ready) {
+                // Identical design already admitted: answer directly.
+                wire::ResponseFrame f;
+                f.status = Status::Ok;
+                f.kind = frame.kind;
+                f.requestId = frame.requestId;
+                f.designId = it->second;
+                f.output = IntMatrix(1, 1);
+                f.output.at(0, 0) = static_cast<std::int64_t>(
+                    designs_[it->second].shard);
+                replyFrame(conn, f);
+                return;
+            }
+            if (it != designIds_.end()) {
+                job.designId = it->second;
+            } else {
+                job.designId =
+                    static_cast<std::uint32_t>(designs_.size());
+                DesignRoute route;
+                route.shard = designs_.size() % shards_.size();
+                route.rows = job.weights.rows();
+                route.cols = job.weights.cols();
+                designs_.push_back(route);
+                designIds_.emplace(key, job.designId);
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(registrarMutex_);
+            registerQueue_.push_back(std::move(job));
+        }
+        registrarCv_.notify_one();
+        return;
+    }
+
+    // Compute kinds: validate against the routing table, admit or
+    // shed, and submit into the owning shard's Server.
+    DesignRoute route;
+    bool known = false;
+    {
+        std::lock_guard<std::mutex> lock(designMutex_);
+        if (frame.designId < designs_.size()) {
+            route = designs_[frame.designId];
+            known = true;
+        }
+    }
+    if (!known) {
+        replyStatus(conn, Status::UnknownDesign, frame.kind,
+                    frame.requestId, frame.designId);
+        return;
+    }
+    if (!route.ready) {
+        // Registration still compiling; the client is expected to wait
+        // for its RegisterDesign response, so this is load it can
+        // safely retry.
+        replyStatus(conn, Status::Busy, frame.kind, frame.requestId,
+                    frame.designId);
+        return;
+    }
+    const wire::Status valid =
+        wire::validateRequest(frame.request, route.rows, route.cols);
+    if (valid != Status::Ok) {
+        replyStatus(conn, valid, frame.kind, frame.requestId,
+                    frame.designId);
+        return;
+    }
+
+    Shard &shard = *shards_[route.shard];
+    if (options_.maxQueue != 0 &&
+        shard.inFlight.load(std::memory_order_relaxed) >=
+            options_.maxQueue) {
+        shard.shed.fetch_add(1, std::memory_order_relaxed);
+        replyStatus(conn, Status::Busy, frame.kind, frame.requestId,
+                    frame.designId);
+        return;
+    }
+    shard.inFlight.fetch_add(1, std::memory_order_relaxed);
+    shard.submitted.fetch_add(1, std::memory_order_relaxed);
+
+    PendingReply reply;
+    reply.conn = conn;
+    reply.requestId = frame.requestId;
+    reply.designId = frame.designId;
+    reply.kind = frame.kind;
+    reply.future =
+        shard.server->submit(route.localId, std::move(frame.request));
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.completions.push_back(std::move(reply));
+    }
+    shard.cv.notify_all();
+}
+
+void
+NetServer::reaperLoop(std::size_t shard_index)
+{
+    Shard &shard = *shards_[shard_index];
+    for (;;) {
+        PendingReply reply;
+        {
+            std::unique_lock<std::mutex> lock(shard.mutex);
+            shard.cv.wait(lock, [&] {
+                return !shard.completions.empty() || shard.stop;
+            });
+            if (shard.completions.empty() && shard.stop)
+                return;
+            reply = std::move(shard.completions.front());
+            shard.completions.pop_front();
+        }
+        // Wait outside the lock: groups complete in batches, so FIFO
+        // blocking here costs nothing — every future behind this one
+        // is already being worked on by the shard's pool.
+        Response response = reply.future.get();
+        wire::ResponseFrame f;
+        f.status = wire::Status::Ok;
+        f.kind = reply.kind;
+        f.requestId = reply.requestId;
+        f.designId = reply.designId;
+        f.output = std::move(response.output);
+        replyFrame(reply.conn, f);
+        shard.inFlight.fetch_sub(1, std::memory_order_relaxed);
+        shard.cv.notify_all(); // shutdown() waits on inFlight == 0
+    }
+}
+
+void
+NetServer::registrarLoop()
+{
+    for (;;) {
+        RegisterJob job;
+        {
+            std::unique_lock<std::mutex> lock(registrarMutex_);
+            registrarCv_.wait(lock, [this] {
+                return !registerQueue_.empty() || registrarStop_;
+            });
+            if (registerQueue_.empty()) {
+                if (registrarStop_)
+                    return;
+                continue;
+            }
+            job = std::move(registerQueue_.front());
+            registerQueue_.pop_front();
+        }
+        std::size_t shard_index;
+        {
+            std::lock_guard<std::mutex> lock(designMutex_);
+            shard_index = designs_[job.designId].shard;
+        }
+        // The compile (potentially seconds at large dims) runs here,
+        // never on the event loop.
+        const DesignId local =
+            shards_[shard_index]->server->registerDesign(job.weights,
+                                                         job.compile);
+        {
+            std::lock_guard<std::mutex> lock(designMutex_);
+            designs_[job.designId].localId = local;
+            designs_[job.designId].ready = true;
+        }
+        wire::ResponseFrame f;
+        f.status = wire::Status::Ok;
+        f.kind = wire::MessageKind::RegisterDesign;
+        f.requestId = job.requestId;
+        f.designId = job.designId;
+        f.output = IntMatrix(1, 1);
+        f.output.at(0, 0) = static_cast<std::int64_t>(shard_index);
+        replyFrame(job.conn, f);
+    }
+}
+
+void
+NetServer::processInbound(std::uint64_t id, Connection &conn)
+{
+    std::size_t consumed = 0;
+    for (;;) {
+        std::size_t payload_off = 0, payload_size = 0, frame_size = 0;
+        const wire::FrameResult r = wire::peekFrame(
+            conn.in.data() + consumed, conn.in.size() - consumed,
+            &payload_off, &payload_size, &frame_size);
+        if (r == wire::FrameResult::NeedMore)
+            break;
+        if (r == wire::FrameResult::Malformed) {
+            // Framing is lost: answer once, then drop the peer.
+            badFrames_.fetch_add(1, std::memory_order_relaxed);
+            replyStatus(id, wire::Status::BadFrame,
+                        wire::MessageKind::Ping, 0, 0);
+            conn.closing = true;
+            conn.in.clear();
+            return;
+        }
+        wire::RequestFrame frame;
+        const wire::Status decoded = wire::decodeRequest(
+            conn.in.data() + consumed + payload_off, payload_size,
+            &frame);
+        if (decoded == wire::Status::Ok) {
+            dispatch(id, std::move(frame));
+        } else {
+            replyStatus(id, decoded, frame.kind, frame.requestId,
+                        frame.designId);
+            if (decoded == wire::Status::BadFrame ||
+                decoded == wire::Status::BadVersion) {
+                // The payload contradicted its own layout; stop
+                // trusting the stream.
+                badFrames_.fetch_add(1, std::memory_order_relaxed);
+                conn.closing = true;
+                conn.in.clear();
+                return;
+            }
+        }
+        consumed += frame_size;
+    }
+    if (consumed > 0)
+        conn.in.erase(conn.in.begin(),
+                      conn.in.begin() +
+                          static_cast<std::ptrdiff_t>(consumed));
+}
+
+void
+NetServer::eventLoop()
+{
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> ids; // conn id per pollfd (0 = control)
+    bool listen_open = true;
+    bool flushing = false;
+    std::chrono::steady_clock::time_point flush_start{};
+
+    for (;;) {
+        fds.clear();
+        ids.clear();
+        if (listen_open) {
+            fds.push_back({listenFd_, POLLIN, 0});
+            ids.push_back(0);
+        }
+        fds.push_back({wakePipe_[0], POLLIN, 0});
+        ids.push_back(0);
+        bool all_flushed = true;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            for (auto &[id, conn] : conns_) {
+                short events = POLLIN;
+                if (conn.outSent < conn.out.size()) {
+                    events |= POLLOUT;
+                    all_flushed = false;
+                }
+                fds.push_back({conn.fd, events, 0});
+                ids.push_back(id);
+            }
+        }
+
+        if (loopExit_.load(std::memory_order_acquire)) {
+            if (!flushing) {
+                flushing = true;
+                flush_start = std::chrono::steady_clock::now();
+            }
+            if (all_flushed ||
+                std::chrono::steady_clock::now() - flush_start >
+                    kFlushDeadline) {
+                std::lock_guard<std::mutex> lock(connMutex_);
+                for (auto &[id, conn] : conns_)
+                    ::close(conn.fd);
+                conns_.clear();
+                return;
+            }
+        }
+
+        const int ready = ::poll(fds.data(),
+                                 static_cast<nfds_t>(fds.size()), 100);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            SPATIAL_FATAL("poll(): ", std::strerror(errno));
+        }
+
+        std::vector<std::uint64_t> dead;
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            const pollfd &p = fds[i];
+            if (p.revents == 0)
+                continue;
+            if (p.fd == wakePipe_[0]) {
+                char buf[64];
+                while (::read(wakePipe_[0], buf, sizeof(buf)) > 0) {
+                }
+                if (shutdownRequested_.load(
+                        std::memory_order_acquire) &&
+                    !rejecting_.load()) {
+                    // Stop accepting; existing traffic now gets
+                    // ShuttingDown from dispatch().
+                    rejecting_.store(true, std::memory_order_release);
+                    if (listen_open) {
+                        ::close(listenFd_);
+                        listenFd_ = -1;
+                        listen_open = false;
+                    }
+                    // Lock-then-notify so a waiter that just checked
+                    // the predicate cannot miss the wakeup.
+                    { std::lock_guard<std::mutex> lk(shutdownMutex_); }
+                    shutdownCv_.notify_all();
+                }
+                continue;
+            }
+            if (listen_open && p.fd == listenFd_) {
+                for (;;) {
+                    const int fd = ::accept(listenFd_, nullptr, nullptr);
+                    if (fd < 0)
+                        break;
+                    setNonBlocking(fd);
+                    setNoDelay(fd);
+                    accepted_.fetch_add(1, std::memory_order_relaxed);
+                    std::lock_guard<std::mutex> lock(connMutex_);
+                    Connection conn;
+                    conn.fd = fd;
+                    conns_.emplace(nextConn_++, std::move(conn));
+                }
+                continue;
+            }
+
+            const std::uint64_t id = ids[i];
+            // Only this thread inserts or erases connections, so the
+            // pointer stays valid after the lookup; `in` and `fd` are
+            // touched by this thread alone, while `out`/`outSent`/
+            // `closing` are shared with the reply paths and accessed
+            // under connMutex_.
+            Connection *conn = nullptr;
+            {
+                std::lock_guard<std::mutex> lock(connMutex_);
+                const auto it = conns_.find(id);
+                if (it == conns_.end())
+                    continue;
+                conn = &it->second;
+            }
+            bool drop = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) &&
+                        !(p.revents & POLLIN);
+            if (p.revents & POLLIN) {
+                std::uint8_t chunk[kReadChunk];
+                for (;;) {
+                    const ssize_t n =
+                        ::read(conn->fd, chunk, sizeof(chunk));
+                    if (n > 0) {
+                        conn->in.insert(conn->in.end(), chunk,
+                                        chunk + n);
+                        if (n < static_cast<ssize_t>(sizeof(chunk)))
+                            break;
+                        continue;
+                    }
+                    if (n == 0) {
+                        drop = true; // peer closed
+                        break;
+                    }
+                    if (errno == EAGAIN || errno == EWOULDBLOCK)
+                        break;
+                    drop = true;
+                    break;
+                }
+                // Parse whatever arrived before a pending EOF too:
+                // requests racing a disconnect still compute, their
+                // responses are simply dropped at reply time.
+                if (!flushing)
+                    processInbound(id, *conn);
+            }
+            bool flushed_and_closing = false;
+            {
+                std::lock_guard<std::mutex> lock(connMutex_);
+                if ((p.revents & POLLOUT) &&
+                    conn->outSent < conn->out.size()) {
+                    const ssize_t n = ::send(
+                        conn->fd, conn->out.data() + conn->outSent,
+                        conn->out.size() - conn->outSent,
+                        MSG_NOSIGNAL);
+                    if (n > 0) {
+                        conn->outSent += static_cast<std::size_t>(n);
+                        if (conn->outSent == conn->out.size()) {
+                            conn->out.clear();
+                            conn->outSent = 0;
+                        }
+                    } else if (n < 0 && errno != EAGAIN &&
+                               errno != EWOULDBLOCK) {
+                        drop = true;
+                    }
+                }
+                flushed_and_closing =
+                    conn->closing &&
+                    conn->outSent == conn->out.size();
+            }
+            if (drop || flushed_and_closing)
+                dead.push_back(id);
+        }
+        if (!dead.empty()) {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            for (const std::uint64_t id : dead) {
+                const auto it = conns_.find(id);
+                if (it == conns_.end())
+                    continue;
+                ::close(it->second.fd);
+                conns_.erase(it);
+            }
+        }
+    }
+}
+
+} // namespace spatial::serve

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * TCP front end of the serving layer: a poll()-driven accept+dispatch
+ * loop feeding per-design shard routing across N engine pools.
+ *
+ * Architecture (one NetServer):
+ *
+ *  - **event loop** (one thread): accepts connections, reads bytes,
+ *    extracts wire frames, validates them against the design table,
+ *    applies admission control, and submits compute requests straight
+ *    into the owning shard's in-process Server (submit is cheap — it
+ *    only enqueues on a batcher).  Writes are buffered per connection
+ *    and flushed as POLLOUT allows, so a slow reader never blocks the
+ *    loop or other clients.
+ *  - **N shards**: each shard is a full serve::Server — its own
+ *    DesignStore, Batcher set, deadline timer, and worker pool.
+ *    Designs are routed to shard `globalId % shards` at registration,
+ *    so one hot design's queue cannot starve another shard's pool.
+ *  - **per-shard reaper** (one thread each): waits on submitted
+ *    futures in FIFO order, encodes responses, and hands them back to
+ *    the event loop through the connection write buffers.
+ *  - **registrar** (one thread): runs RegisterDesign compiles off the
+ *    event loop, so admission of a new design never stalls traffic.
+ *
+ * Admission control: each shard counts admitted-but-unanswered
+ * requests; once the count crosses NetServerOptions::maxQueue the
+ * event loop sheds new work for that shard with Status::Busy instead
+ * of queueing it — overload degrades to fast BUSY responses, not
+ * latency collapse.  Graceful drain: shutdown() (or requestShutdown()
+ * from a signal handler) stops accepting, answers new work with
+ * ShuttingDown, completes everything already admitted, flushes the
+ * write buffers, and joins every thread.
+ */
+
+#ifndef SPATIAL_SERVE_NET_SERVER_H
+#define SPATIAL_SERVE_NET_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace spatial::serve
+{
+
+/** Configuration of one TCP serving front end. */
+struct NetServerOptions
+{
+    /** Listen address (loopback by default; "0.0.0.0" for all). */
+    std::string host = "127.0.0.1";
+
+    /** Listen port; 0 binds an ephemeral port (see NetServer::port). */
+    std::uint16_t port = 0;
+
+    /** Engine-pool shards; designs route to shard `id % shards`. */
+    std::size_t shards = 1;
+
+    /**
+     * Per-shard admission watermark: once this many admitted requests
+     * are unanswered, new work for the shard is shed with
+     * Status::Busy.  0 means unbounded (never shed).
+     */
+    std::size_t maxQueue = 1024;
+
+    /** Per-shard in-process Server configuration. */
+    ServeOptions serve;
+};
+
+/** Point-in-time counters of one shard's wire traffic. */
+struct ShardStats
+{
+    std::size_t submitted = 0; //!< wire requests admitted
+    std::size_t shed = 0;      //!< wire requests answered Busy
+    std::size_t inFlight = 0;  //!< admitted but not yet answered
+    ServerStats server;        //!< the shard Server's own counters
+};
+
+/** Point-in-time counters of the whole front end. */
+struct NetServerStats
+{
+    std::size_t accepted = 0;     //!< connections accepted
+    std::size_t active = 0;       //!< connections currently open
+    std::size_t badFrames = 0;    //!< malformed frames (conn dropped)
+    std::size_t registered = 0;   //!< designs in the routing table
+    std::vector<ShardStats> shards; //!< one entry per shard
+};
+
+/**
+ * Network-attached serving front end over N sharded Servers.
+ *
+ * The constructor binds, listens, and starts every thread; port()
+ * reports the resolved port (essential with port 0).  Thread-safe:
+ * stats(), shutdown(), and requestShutdown() may be called from any
+ * thread; requestShutdown() additionally from a signal handler.
+ */
+class NetServer
+{
+  public:
+    /** Bind + listen + start the loop, shards, reapers, registrar. */
+    explicit NetServer(NetServerOptions options = {});
+
+    /** Graceful shutdown (idempotent), then join everything. */
+    ~NetServer();
+
+    /** Non-copyable: owns sockets and threads. */
+    NetServer(const NetServer &) = delete;
+    /** Non-assignable (same reason). */
+    NetServer &operator=(const NetServer &) = delete;
+
+    /** The resolved listen port (after binding port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** The configured options (shards/maxQueue after clamping). */
+    const NetServerOptions &options() const { return options_; }
+
+    /**
+     * Async-signal-safe shutdown trigger: flags the event loop through
+     * the wake pipe.  The actual drain runs on the caller of
+     * shutdown()/waitUntilStopped()/the destructor.
+     */
+    void requestShutdown();
+
+    /**
+     * Graceful drain: stop accepting, answer new work ShuttingDown,
+     * finish everything admitted, flush responses, join all threads.
+     * Idempotent; concurrent callers block until the drain completes.
+     */
+    void shutdown();
+
+    /**
+     * Block until requestShutdown() fires (e.g. from a SIGTERM
+     * handler), then perform the graceful shutdown() and return.
+     */
+    void waitUntilStopped();
+
+    /** Counters across the loop and every shard. */
+    NetServerStats stats() const;
+
+  private:
+    /** One registered design's routing entry. */
+    struct DesignRoute
+    {
+        std::size_t shard = 0;   //!< owning shard
+        DesignId localId = 0;    //!< id inside the shard's Server
+        std::size_t rows = 0;    //!< design rows (request validation)
+        std::size_t cols = 0;    //!< design cols
+        bool ready = false;      //!< registrar finished compiling
+    };
+
+    /** A submitted request awaiting its future, FIFO per shard. */
+    struct PendingReply
+    {
+        std::uint64_t conn = 0;
+        std::uint64_t requestId = 0;
+        std::uint32_t designId = 0;
+        wire::MessageKind kind = wire::MessageKind::Ping;
+        std::future<Response> future;
+    };
+
+    /** One shard: a Server plus its completion plumbing. */
+    struct Shard
+    {
+        std::unique_ptr<Server> server;
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<PendingReply> completions;
+        bool stop = false;
+        std::atomic<std::size_t> inFlight{0};
+        std::atomic<std::size_t> submitted{0};
+        std::atomic<std::size_t> shed{0};
+        std::thread reaper;
+    };
+
+    /** A RegisterDesign job for the registrar thread. */
+    struct RegisterJob
+    {
+        std::uint64_t conn = 0;
+        std::uint64_t requestId = 0;
+        std::uint32_t designId = 0; //!< pre-assigned global id
+        IntMatrix weights;
+        core::CompileOptions compile;
+    };
+
+    /** Per-connection buffers; owned by the connection table. */
+    struct Connection
+    {
+        int fd = -1;
+        std::vector<std::uint8_t> in;   //!< unparsed inbound bytes
+        std::vector<std::uint8_t> out;  //!< unsent outbound bytes
+        std::size_t outSent = 0;        //!< bytes of `out` written
+        bool closing = false;           //!< close once `out` drains
+    };
+
+    void eventLoop();
+    void reaperLoop(std::size_t shard);
+    void registrarLoop();
+
+    /** Parse and dispatch every complete frame in `conn`'s buffer. */
+    void processInbound(std::uint64_t id, Connection &conn);
+
+    /** Route one decoded request frame (event-loop thread). */
+    void dispatch(std::uint64_t conn, wire::RequestFrame frame);
+
+    /** Queue an error/headers-only response to a connection. */
+    void replyStatus(std::uint64_t conn, wire::Status status,
+                     wire::MessageKind kind, std::uint64_t request_id,
+                     std::uint32_t design_id);
+
+    /** Queue a full response frame to a connection (any thread). */
+    void replyFrame(std::uint64_t conn, const wire::ResponseFrame &f);
+
+    /** Wake the poll loop (writable buffers or shutdown changed). */
+    void wake();
+
+    /** The per-shard stats matrix a Stats request returns. */
+    IntMatrix statsMatrix() const;
+
+    NetServerOptions options_;
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::uint16_t port_ = 0;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** Routing table; guarded by designMutex_. */
+    mutable std::mutex designMutex_;
+    std::vector<DesignRoute> designs_;
+    std::unordered_map<experiments::DesignKey, std::uint32_t,
+                       experiments::DesignKeyHash>
+        designIds_;
+
+    /** Registrar queue; guarded by registrarMutex_. */
+    std::mutex registrarMutex_;
+    std::condition_variable registrarCv_;
+    std::deque<RegisterJob> registerQueue_;
+    bool registrarStop_ = false;
+
+    /** Connection table and write buffers; guarded by connMutex_. */
+    mutable std::mutex connMutex_;
+    std::unordered_map<std::uint64_t, Connection> conns_;
+    std::uint64_t nextConn_ = 1;
+
+    std::atomic<std::size_t> accepted_{0};
+    std::atomic<std::size_t> badFrames_{0};
+
+    std::atomic<bool> shutdownRequested_{false};
+    std::atomic<bool> rejecting_{false}; //!< answer new work ShuttingDown
+    std::atomic<bool> loopExit_{false};  //!< event loop may drain+exit
+    std::mutex shutdownMutex_;
+    std::condition_variable shutdownCv_;
+    bool shutdownDone_ = false;
+    bool shutdownRunning_ = false;
+
+    std::thread registrar_;
+    std::thread loop_;
+};
+
+} // namespace spatial::serve
+
+#endif // SPATIAL_SERVE_NET_SERVER_H

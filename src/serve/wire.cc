@@ -1,0 +1,552 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+namespace spatial::serve::wire
+{
+
+namespace
+{
+
+/** Little-endian append helpers (byte-explicit, host-order free). */
+void
+putU8(std::vector<std::uint8_t> &out, std::uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putI64(std::vector<std::uint8_t> &out, std::int64_t v)
+{
+    putU64(out, static_cast<std::uint64_t>(v));
+}
+
+void
+putI64Span(std::vector<std::uint8_t> &out, const std::int64_t *v,
+           std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        putI64(out, v[i]);
+}
+
+void
+putMatrix(std::vector<std::uint8_t> &out, const IntMatrix &m)
+{
+    putU32(out, static_cast<std::uint32_t>(m.rows()));
+    putU32(out, static_cast<std::uint32_t>(m.cols()));
+    putI64Span(out, m.data().data(), m.size());
+}
+
+/**
+ * Bounds-checked little-endian reader.  Every accessor checks the
+ * remaining byte count first and latches a failure flag instead of
+ * reading; callers test ok() once at the end (or wherever a count is
+ * about to size an allocation).  This is the single funnel all decode
+ * paths go through, which is what makes "never over-reads" a local
+ * property instead of a per-message proof.
+ */
+class Cursor
+{
+  public:
+    Cursor(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    bool ok() const { return ok_; }
+    std::size_t remaining() const { return size_ - pos_; }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        if (!need(2))
+            return 0;
+        std::uint16_t v = static_cast<std::uint16_t>(
+            data_[pos_] | (data_[pos_ + 1] << 8));
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    /** Read n i64 values into `out`; fails (and clears) on shortage. */
+    bool
+    i64Span(std::vector<std::int64_t> &out, std::size_t n)
+    {
+        if (!need(n * 8)) {
+            out.clear();
+            return false;
+        }
+        out.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = i64();
+        return ok_;
+    }
+
+    /** Read an r x c i64 matrix; fails on shortage. */
+    bool
+    matrix(IntMatrix &out, std::size_t r, std::size_t c)
+    {
+        if (r != 0 && c != 0 && !need(r * c * 8))
+            return false;
+        out = IntMatrix(r, c);
+        for (std::size_t i = 0; i < r; ++i)
+            for (std::size_t j = 0; j < c; ++j)
+                out.at(i, j) = i64();
+        return ok_;
+    }
+
+  private:
+    bool
+    need(std::size_t n)
+    {
+        if (!ok_ || size_ - pos_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Dimension sanity shared by every count read off the wire. */
+bool
+dimOk(std::uint32_t v)
+{
+    return v <= kMaxDim;
+}
+
+void
+putHeader(std::vector<std::uint8_t> &out, std::uint8_t kind_or_status,
+          std::uint64_t request_id, std::uint32_t design_id)
+{
+    putU16(out, kMagic);
+    putU8(out, kVersion);
+    putU8(out, kind_or_status);
+    putU64(out, request_id);
+    putU32(out, design_id);
+}
+
+/** Patch the u32 length prefix reserved at `length_at`. */
+void
+patchLength(std::vector<std::uint8_t> &out, std::size_t length_at)
+{
+    const std::size_t payload = out.size() - (length_at + 4);
+    for (int i = 0; i < 4; ++i)
+        out[length_at + i] =
+            static_cast<std::uint8_t>(payload >> (8 * i));
+}
+
+bool
+knownKind(std::uint8_t k)
+{
+    return k >= static_cast<std::uint8_t>(MessageKind::RegisterDesign) &&
+           k <= static_cast<std::uint8_t>(MessageKind::Stats);
+}
+
+bool
+knownStatus(std::uint8_t s)
+{
+    return s <= static_cast<std::uint8_t>(Status::Internal);
+}
+
+} // namespace
+
+const char *
+messageKindName(MessageKind kind)
+{
+    switch (kind) {
+      case MessageKind::RegisterDesign:
+        return "register_design";
+      case MessageKind::Gemv:
+        return "gemv";
+      case MessageKind::GemvBatch:
+        return "gemv_batch";
+      case MessageKind::EsnStep:
+        return "esn_step";
+      case MessageKind::EsnSequence:
+        return "esn_sequence";
+      case MessageKind::Ping:
+        return "ping";
+      case MessageKind::Stats:
+        return "stats";
+    }
+    return "?";
+}
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Ok:
+        return "ok";
+      case Status::Busy:
+        return "busy";
+      case Status::BadFrame:
+        return "bad_frame";
+      case Status::BadVersion:
+        return "bad_version";
+      case Status::BadRequest:
+        return "bad_request";
+      case Status::UnknownDesign:
+        return "unknown_design";
+      case Status::ShuttingDown:
+        return "shutting_down";
+      case Status::Internal:
+        return "internal";
+      case Status::Disconnected:
+        return "disconnected";
+    }
+    return "?";
+}
+
+void
+appendRequestFrame(std::vector<std::uint8_t> &out,
+                   const RequestFrame &frame)
+{
+    const std::size_t length_at = out.size();
+    putU32(out, 0); // patched below
+    putHeader(out, static_cast<std::uint8_t>(frame.kind),
+              frame.requestId, frame.designId);
+    switch (frame.kind) {
+      case MessageKind::RegisterDesign: {
+        const core::CompileOptions &c = frame.compile;
+        putU32(out, static_cast<std::uint32_t>(frame.weights.rows()));
+        putU32(out, static_cast<std::uint32_t>(frame.weights.cols()));
+        putU8(out, static_cast<std::uint8_t>(c.inputBits));
+        putU8(out, c.inputsSigned ? 1 : 0);
+        putU8(out, static_cast<std::uint8_t>(c.signMode));
+        putU8(out, c.constantPropagation ? 1 : 0);
+        putU8(out, c.balancedTree ? 1 : 0);
+        putU8(out, c.alignOutputs ? 1 : 0);
+        putU8(out, static_cast<std::uint8_t>(c.extraOutputBits));
+        putU8(out, 0); // pad
+        putU32(out, c.broadcastFanoutLimit);
+        putU64(out, c.csdSeed);
+        putI64Span(out, frame.weights.data().data(),
+                   frame.weights.size());
+        break;
+      }
+      case MessageKind::Gemv:
+        putU32(out,
+               static_cast<std::uint32_t>(frame.request.vec.size()));
+        putI64Span(out, frame.request.vec.data(),
+                   frame.request.vec.size());
+        break;
+      case MessageKind::GemvBatch:
+        putMatrix(out, frame.request.batch);
+        break;
+      case MessageKind::EsnStep:
+        putU32(out,
+               static_cast<std::uint32_t>(frame.request.vec.size()));
+        putU32(out,
+               static_cast<std::uint32_t>(frame.request.inject.size()));
+        putU8(out, static_cast<std::uint8_t>(frame.request.postShift));
+        putU8(out, static_cast<std::uint8_t>(frame.request.stateBits));
+        putU16(out, 0); // pad
+        putI64Span(out, frame.request.vec.data(),
+                   frame.request.vec.size());
+        putI64Span(out, frame.request.inject.data(),
+                   frame.request.inject.size());
+        break;
+      case MessageKind::EsnSequence:
+        putU32(out,
+               static_cast<std::uint32_t>(frame.request.vec.size()));
+        putU8(out, static_cast<std::uint8_t>(frame.request.postShift));
+        putU8(out, static_cast<std::uint8_t>(frame.request.stateBits));
+        putU16(out, 0); // pad
+        putMatrix(out, frame.request.injectSeq);
+        putI64Span(out, frame.request.vec.data(),
+                   frame.request.vec.size());
+        break;
+      case MessageKind::Ping:
+      case MessageKind::Stats:
+        break;
+    }
+    patchLength(out, length_at);
+}
+
+void
+appendResponseFrame(std::vector<std::uint8_t> &out,
+                    const ResponseFrame &frame)
+{
+    const std::size_t length_at = out.size();
+    putU32(out, 0); // patched below
+    putHeader(out, static_cast<std::uint8_t>(frame.status),
+              frame.requestId, frame.designId);
+    putU8(out, static_cast<std::uint8_t>(frame.kind));
+    if (frame.status == Status::Ok)
+        putMatrix(out, frame.output);
+    patchLength(out, length_at);
+}
+
+FrameResult
+peekFrame(const std::uint8_t *data, std::size_t size,
+          std::size_t *payload_offset, std::size_t *payload_size,
+          std::size_t *frame_size)
+{
+    if (size < 4)
+        return FrameResult::NeedMore;
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+    if (length < kHeaderBytes || length > kMaxFrameBytes)
+        return FrameResult::Malformed;
+    if (size < 4 + static_cast<std::size_t>(length))
+        return FrameResult::NeedMore;
+    *payload_offset = 4;
+    *payload_size = length;
+    *frame_size = 4 + static_cast<std::size_t>(length);
+    return FrameResult::Ok;
+}
+
+namespace
+{
+
+/** Decode the shared 16-byte header; returns Ok or the error. */
+Status
+decodeHeader(Cursor &in, std::uint8_t *kind_or_status,
+             std::uint64_t *request_id, std::uint32_t *design_id)
+{
+    const std::uint16_t magic = in.u16();
+    const std::uint8_t version = in.u8();
+    *kind_or_status = in.u8();
+    *request_id = in.u64();
+    *design_id = in.u32();
+    if (!in.ok() || magic != kMagic)
+        return Status::BadFrame;
+    if (version != kVersion)
+        return Status::BadVersion;
+    return Status::Ok;
+}
+
+} // namespace
+
+Status
+decodeRequest(const std::uint8_t *payload, std::size_t size,
+              RequestFrame *frame)
+{
+    Cursor in(payload, size);
+    std::uint8_t kind_byte = 0;
+    const Status header = decodeHeader(in, &kind_byte,
+                                       &frame->requestId,
+                                       &frame->designId);
+    if (header != Status::Ok)
+        return header;
+    if (!knownKind(kind_byte))
+        return Status::BadFrame;
+    frame->kind = static_cast<MessageKind>(kind_byte);
+    Request &req = frame->request;
+
+    switch (frame->kind) {
+      case MessageKind::RegisterDesign: {
+        const std::uint32_t rows = in.u32();
+        const std::uint32_t cols = in.u32();
+        core::CompileOptions &c = frame->compile;
+        c.inputBits = in.u8();
+        c.inputsSigned = in.u8() != 0;
+        const std::uint8_t sign = in.u8();
+        c.constantPropagation = in.u8() != 0;
+        c.balancedTree = in.u8() != 0;
+        c.alignOutputs = in.u8() != 0;
+        c.extraOutputBits = in.u8();
+        (void)in.u8(); // pad
+        c.broadcastFanoutLimit = in.u32();
+        c.csdSeed = in.u64();
+        if (!in.ok() || !dimOk(rows) || !dimOk(cols) || rows == 0 ||
+            cols == 0)
+            return Status::BadFrame;
+        if (sign > static_cast<std::uint8_t>(core::SignMode::Csd) ||
+            c.inputBits < 1 || c.inputBits > 62)
+            return Status::BadRequest;
+        c.signMode = static_cast<core::SignMode>(sign);
+        if (!in.matrix(frame->weights, rows, cols))
+            return Status::BadFrame;
+        break;
+      }
+      case MessageKind::Gemv: {
+        req.kind = RequestKind::Gemv;
+        const std::uint32_t n = in.u32();
+        if (!in.ok() || !dimOk(n))
+            return Status::BadFrame;
+        if (!in.i64Span(req.vec, n))
+            return Status::BadFrame;
+        break;
+      }
+      case MessageKind::GemvBatch: {
+        req.kind = RequestKind::GemvBatch;
+        const std::uint32_t rows = in.u32();
+        const std::uint32_t cols = in.u32();
+        if (!in.ok() || !dimOk(rows) || !dimOk(cols))
+            return Status::BadFrame;
+        if (!in.matrix(req.batch, rows, cols))
+            return Status::BadFrame;
+        break;
+      }
+      case MessageKind::EsnStep: {
+        req.kind = RequestKind::EsnStep;
+        const std::uint32_t n = in.u32();
+        const std::uint32_t inj = in.u32();
+        req.postShift = in.u8();
+        req.stateBits = in.u8();
+        (void)in.u16(); // pad
+        if (!in.ok() || !dimOk(n) || !dimOk(inj))
+            return Status::BadFrame;
+        if (!in.i64Span(req.vec, n) || !in.i64Span(req.inject, inj))
+            return Status::BadFrame;
+        break;
+      }
+      case MessageKind::EsnSequence: {
+        req.kind = RequestKind::EsnSequence;
+        const std::uint32_t n = in.u32();
+        req.postShift = in.u8();
+        req.stateBits = in.u8();
+        (void)in.u16(); // pad
+        const std::uint32_t steps = in.u32();
+        const std::uint32_t inj_cols = in.u32();
+        if (!in.ok() || !dimOk(n) || steps > kMaxSteps ||
+            !dimOk(inj_cols))
+            return Status::BadFrame;
+        if (!in.matrix(req.injectSeq, steps, inj_cols))
+            return Status::BadFrame;
+        if (!in.i64Span(req.vec, n))
+            return Status::BadFrame;
+        break;
+      }
+      case MessageKind::Ping:
+      case MessageKind::Stats:
+        break;
+    }
+    // Trailing garbage means the sender and decoder disagree about the
+    // layout — treat it like any other malformed frame.
+    if (!in.ok() || in.remaining() != 0)
+        return Status::BadFrame;
+    return Status::Ok;
+}
+
+Status
+decodeResponse(const std::uint8_t *payload, std::size_t size,
+               ResponseFrame *frame)
+{
+    Cursor in(payload, size);
+    std::uint8_t status_byte = 0;
+    const Status header = decodeHeader(in, &status_byte,
+                                       &frame->requestId,
+                                       &frame->designId);
+    if (header != Status::Ok)
+        return header;
+    if (!knownStatus(status_byte))
+        return Status::BadFrame;
+    frame->status = static_cast<Status>(status_byte);
+    const std::uint8_t kind_byte = in.u8();
+    if (!in.ok() || !knownKind(kind_byte))
+        return Status::BadFrame;
+    frame->kind = static_cast<MessageKind>(kind_byte);
+    frame->output = IntMatrix();
+    if (frame->status == Status::Ok) {
+        const std::uint32_t rows = in.u32();
+        const std::uint32_t cols = in.u32();
+        if (!in.ok() || !dimOk(rows) || !dimOk(cols))
+            return Status::BadFrame;
+        if (!in.matrix(frame->output, rows, cols))
+            return Status::BadFrame;
+    }
+    if (!in.ok() || in.remaining() != 0)
+        return Status::BadFrame;
+    return Status::Ok;
+}
+
+Status
+validateRequest(const Request &request, std::size_t rows,
+                std::size_t cols)
+{
+    switch (request.kind) {
+      case RequestKind::Gemv:
+        if (request.vec.size() != rows)
+            return Status::BadRequest;
+        break;
+      case RequestKind::GemvBatch:
+        if (request.batch.rows() == 0 || request.batch.cols() != rows)
+            return Status::BadRequest;
+        break;
+      case RequestKind::EsnStep:
+        if (request.vec.size() != rows)
+            return Status::BadRequest;
+        if (!request.inject.empty() && request.inject.size() != cols)
+            return Status::BadRequest;
+        break;
+      case RequestKind::EsnSequence:
+        if (rows != cols)
+            return Status::BadRequest;
+        if (request.vec.size() != rows)
+            return Status::BadRequest;
+        if (request.injectSeq.rows() > 0 &&
+            request.injectSeq.cols() != cols)
+            return Status::BadRequest;
+        break;
+    }
+    if ((request.kind == RequestKind::EsnStep ||
+         request.kind == RequestKind::EsnSequence) &&
+        (request.postShift < 0 || request.postShift > 62 ||
+         request.stateBits < 1 || request.stateBits > 62))
+        return Status::BadRequest;
+    return Status::Ok;
+}
+
+} // namespace wire

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Length-prefixed binary wire protocol of the network serving layer.
+ *
+ * Every message travels as one *frame*: a little-endian `u32` payload
+ * byte count followed by the payload itself.  Payloads open with a
+ * fixed 16-byte header (magic, version, kind-or-status, request id,
+ * design id) and continue with a kind-specific body; all integers are
+ * little-endian, all vectors and matrices are flat `i64` arrays with
+ * explicit dimensions, so the same bytes decode identically on every
+ * host.  See docs/serving.md for the full layout tables.
+ *
+ * Decoding is defensive by construction: every read goes through a
+ * bounds-checked cursor, every count is validated against both a
+ * protocol cap and the actual bytes present, and a malformed frame
+ * (truncated, oversized, bit-flipped, wrong magic or version) yields a
+ * Status error — never a crash, never a read past the buffer.  The
+ * fuzz loop in tests/wire_test.cc pins this under ASan.
+ */
+
+#ifndef SPATIAL_SERVE_WIRE_H
+#define SPATIAL_SERVE_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "serve/request.h"
+
+namespace spatial::serve
+{
+
+/**
+ * @namespace spatial::serve::wire
+ * Frame codec shared by NetServer and NetClient: encode helpers append
+ * complete frames to a byte buffer; decode helpers consume exactly one
+ * frame and report malformed input as a Status instead of dying.
+ */
+namespace wire
+{
+
+/** First two payload bytes of every frame ("SW", little-endian). */
+constexpr std::uint16_t kMagic = 0x5753;
+
+/**
+ * Protocol version carried in every header.  The versioning rule:
+ * incompatible layout changes bump this and the decoder rejects
+ * mismatches with Status::BadVersion — there is no cross-version
+ * negotiation, a client and server must agree exactly.
+ */
+constexpr std::uint8_t kVersion = 1;
+
+/** Fixed payload header size (magic + version + kind + ids). */
+constexpr std::size_t kHeaderBytes = 16;
+
+/** Hard cap on one frame's payload bytes (64 MiB). */
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/** Cap on any single vector/matrix dimension in a frame. */
+constexpr std::uint32_t kMaxDim = 1u << 20;
+
+/** Cap on EsnSequence steps in a frame. */
+constexpr std::uint32_t kMaxSteps = 1u << 20;
+
+/** Columns of the per-shard stats matrix a Stats response returns. */
+constexpr std::size_t kShardStatsCols = 8;
+
+/** Column indices of the Stats response matrix (one row per shard). */
+enum ShardStatsCol : std::size_t
+{
+    kStatRequests = 0,   //!< requests the shard's Server accepted
+    kStatLanes = 1,      //!< engine lanes of real work
+    kStatPaddedLanes = 2, //!< lanes after 64-lane padding
+    kStatGroups = 3,     //!< batched groups executed
+    kStatSequences = 4,  //!< EsnSequence jobs executed
+    kStatSubmitted = 5,  //!< wire requests admitted to this shard
+    kStatShed = 6,       //!< wire requests shed with Status::Busy
+    kStatInFlight = 7,   //!< admitted-but-unanswered requests now
+};
+
+/** What a request frame asks the server to do. */
+enum class MessageKind : std::uint8_t
+{
+    /** Compile and admit a design; the response assigns its id. */
+    RegisterDesign = 1,
+    /** One o = x^T V (maps to RequestKind::Gemv). */
+    Gemv = 2,
+    /** A pre-batched GEMV block (RequestKind::GemvBatch). */
+    GemvBatch = 3,
+    /** One integer-ESN update (RequestKind::EsnStep). */
+    EsnStep = 4,
+    /** A T-step ESN trajectory (RequestKind::EsnSequence). */
+    EsnSequence = 5,
+    /** Liveness probe; empty body both ways. */
+    Ping = 6,
+    /** Per-shard server counters as an i64 matrix (kShardStatsCols). */
+    Stats = 7,
+};
+
+/** Printable kind name for logs and tests. */
+const char *messageKindName(MessageKind kind);
+
+/** Outcome code carried in every response header. */
+enum class Status : std::uint8_t
+{
+    Ok = 0,            //!< request executed; body carries the result
+    Busy = 1,          //!< shed by admission control; retry later
+    BadFrame = 2,      //!< unparseable frame; the connection is closed
+    BadVersion = 3,    //!< header version != kVersion
+    BadRequest = 4,    //!< well-formed but invalid (shape, range)
+    UnknownDesign = 5, //!< design id was never registered
+    ShuttingDown = 6,  //!< server is draining; no new work accepted
+    Internal = 7,      //!< server-side failure executing the request
+    /** Client-side synthetic status: the connection dropped before a
+     * response arrived.  Never sent on the wire. */
+    Disconnected = 255,
+};
+
+/** Printable status name for logs and tests. */
+const char *statusName(Status status);
+
+/** One decoded request frame (kind-specific members left default). */
+struct RequestFrame
+{
+    /** What the frame asks for. */
+    MessageKind kind = MessageKind::Ping;
+
+    /** Client-chosen correlation id, echoed in the response. */
+    std::uint64_t requestId = 0;
+
+    /** Target design id (ignored by RegisterDesign/Ping/Stats). */
+    std::uint32_t designId = 0;
+
+    /** Gemv/GemvBatch/EsnStep/EsnSequence: the decoded request. */
+    Request request;
+
+    /** RegisterDesign: the weight matrix to compile. */
+    IntMatrix weights;
+
+    /** RegisterDesign: the compile options. */
+    core::CompileOptions compile;
+};
+
+/** One decoded response frame. */
+struct ResponseFrame
+{
+    /** Outcome of the correlated request. */
+    Status status = Status::Ok;
+
+    /** Kind of the request this responds to (echoed). */
+    MessageKind kind = MessageKind::Ping;
+
+    /** The request's correlation id (echoed). */
+    std::uint64_t requestId = 0;
+
+    /**
+     * RegisterDesign: the assigned design id.  Request kinds: echo of
+     * the target design id.
+     */
+    std::uint32_t designId = 0;
+
+    /**
+     * Result payload, present only when status == Ok: the output
+     * matrix for compute kinds, a 1x1 [shard] matrix for
+     * RegisterDesign, the per-shard counter matrix for Stats, and
+     * empty (0x0) for Ping.
+     */
+    IntMatrix output;
+};
+
+/** Append one encoded request frame (length prefix included). */
+void appendRequestFrame(std::vector<std::uint8_t> &out,
+                        const RequestFrame &frame);
+
+/** Append one encoded response frame (length prefix included). */
+void appendResponseFrame(std::vector<std::uint8_t> &out,
+                         const ResponseFrame &frame);
+
+/** Outcome of looking for one complete frame in a byte stream. */
+enum class FrameResult : std::uint8_t
+{
+    Ok = 0,       //!< a complete frame is available
+    NeedMore = 1, //!< the stream holds only a frame prefix so far
+    Malformed = 2, //!< the length prefix itself is invalid
+};
+
+/**
+ * Inspect the start of a byte stream for one frame.  On Ok,
+ * `*payload_offset` / `*payload_size` locate the payload and
+ * `*frame_size` is the total bytes to consume (prefix + payload).  On
+ * NeedMore nothing is written.  On Malformed (payload length below the
+ * header size or above kMaxFrameBytes) the stream is unrecoverable —
+ * framing is lost — and the connection should be dropped after an
+ * error response.
+ */
+FrameResult peekFrame(const std::uint8_t *data, std::size_t size,
+                      std::size_t *payload_offset,
+                      std::size_t *payload_size,
+                      std::size_t *frame_size);
+
+/**
+ * Decode one request payload (the bytes after the length prefix).
+ * Returns Ok and fills `*frame`, or a Status error (BadFrame,
+ * BadVersion, BadRequest) without touching bytes past `size`.
+ */
+Status decodeRequest(const std::uint8_t *payload, std::size_t size,
+                     RequestFrame *frame);
+
+/**
+ * Decode one response payload.  Returns Ok (including responses whose
+ * carried status is an error — that status is in `frame->status`) or
+ * BadFrame/BadVersion when the payload itself is malformed.
+ */
+Status decodeResponse(const std::uint8_t *payload, std::size_t size,
+                      ResponseFrame *frame);
+
+/**
+ * Shared shape/range validation of a decoded compute request against
+ * its design's dimensions — the same checks Server::submit makes
+ * fatally, returned as a wire status so a network peer cannot crash
+ * the server: vector lengths vs rows, inject widths vs cols, the
+ * square-design requirement of EsnSequence, postShift/stateBits
+ * ranges, and non-empty GemvBatch blocks.
+ */
+Status validateRequest(const Request &request, std::size_t rows,
+                       std::size_t cols);
+
+} // namespace wire
+
+} // namespace spatial::serve
+
+#endif // SPATIAL_SERVE_WIRE_H

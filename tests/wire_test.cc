@@ -1,0 +1,642 @@
+// Tests of the wire codec: round trips for every message kind
+// (including edge payloads — empty batches, non-multiple-of-64 lane
+// counts, header-only error responses), the shared request validation
+// that keeps SPATIAL_FATAL off network-reachable paths, and a
+// deterministic byte-level fuzz loop proving the decoder answers
+// truncated, oversized, and bit-flipped frames with an error status
+// instead of crashing or reading past the buffer (the CI net job runs
+// this under ASan to make "past the buffer" a hard failure).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "matrix/generate.h"
+#include "serve/wire.h"
+
+namespace
+{
+
+using namespace spatial;
+using namespace spatial::serve;
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+encode(const wire::RequestFrame &frame)
+{
+    std::vector<std::uint8_t> bytes;
+    wire::appendRequestFrame(bytes, frame);
+    return bytes;
+}
+
+std::vector<std::uint8_t>
+encode(const wire::ResponseFrame &frame)
+{
+    std::vector<std::uint8_t> bytes;
+    wire::appendResponseFrame(bytes, frame);
+    return bytes;
+}
+
+// Peel the length prefix off one encoded frame and decode the payload.
+wire::Status
+decodeRequestBytes(const std::vector<std::uint8_t> &bytes,
+                   wire::RequestFrame *out)
+{
+    std::size_t off = 0, size = 0, total = 0;
+    EXPECT_EQ(wire::peekFrame(bytes.data(), bytes.size(), &off, &size,
+                              &total),
+              wire::FrameResult::Ok);
+    EXPECT_EQ(total, bytes.size());
+    return wire::decodeRequest(bytes.data() + off, size, out);
+}
+
+wire::Status
+decodeResponseBytes(const std::vector<std::uint8_t> &bytes,
+                    wire::ResponseFrame *out)
+{
+    std::size_t off = 0, size = 0, total = 0;
+    EXPECT_EQ(wire::peekFrame(bytes.data(), bytes.size(), &off, &size,
+                              &total),
+              wire::FrameResult::Ok);
+    EXPECT_EQ(total, bytes.size());
+    return wire::decodeResponse(bytes.data() + off, size, out);
+}
+
+std::vector<std::int64_t>
+testVector(std::size_t n, Rng &rng, int bits = 8)
+{
+    return makeSignedVector(n, bits, rng);
+}
+
+// ---------------------------------------------------------------------
+// Round trips, every request kind
+// ---------------------------------------------------------------------
+
+TEST(WireCodec, GemvRoundTrip)
+{
+    Rng rng(1);
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::Gemv;
+    frame.requestId = 0x1122334455667788ull;
+    frame.designId = 7;
+    frame.request = Request::gemv(testVector(129, rng)); // != 64k
+
+    wire::RequestFrame back;
+    ASSERT_EQ(decodeRequestBytes(encode(frame), &back),
+              wire::Status::Ok);
+    EXPECT_EQ(back.kind, wire::MessageKind::Gemv);
+    EXPECT_EQ(back.requestId, frame.requestId);
+    EXPECT_EQ(back.designId, 7u);
+    EXPECT_EQ(back.request.kind, RequestKind::Gemv);
+    EXPECT_EQ(back.request.vec, frame.request.vec);
+}
+
+TEST(WireCodec, GemvBatchRoundTripOddLanes)
+{
+    Rng rng(2);
+    // 65 rows: one lane past a 64-lane group boundary.
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::GemvBatch;
+    frame.requestId = 9;
+    frame.designId = 1;
+    frame.request =
+        Request::gemvBatch(makeSignedBatch(65, 33, 8, rng));
+
+    wire::RequestFrame back;
+    ASSERT_EQ(decodeRequestBytes(encode(frame), &back),
+              wire::Status::Ok);
+    EXPECT_EQ(back.request.kind, RequestKind::GemvBatch);
+    ASSERT_EQ(back.request.batch.rows(), 65u);
+    ASSERT_EQ(back.request.batch.cols(), 33u);
+    EXPECT_TRUE(back.request.batch == frame.request.batch);
+}
+
+TEST(WireCodec, EmptyBatchDecodesButFailsValidation)
+{
+    // A 0-lane batch is structurally representable (the codec carries
+    // the dimensions it was given) but semantically invalid — the
+    // shared validator rejects it, mirroring Server::submit.
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::GemvBatch;
+    frame.requestId = 1;
+    frame.request = Request::gemvBatch(IntMatrix(0, 16));
+
+    wire::RequestFrame back;
+    ASSERT_EQ(decodeRequestBytes(encode(frame), &back),
+              wire::Status::Ok);
+    EXPECT_EQ(back.request.batch.rows(), 0u);
+    EXPECT_EQ(wire::validateRequest(back.request, 16, 16),
+              wire::Status::BadRequest);
+}
+
+TEST(WireCodec, EsnStepRoundTrip)
+{
+    Rng rng(3);
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::EsnStep;
+    frame.requestId = 77;
+    frame.designId = 3;
+    frame.request = Request::esnStep(testVector(48, rng),
+                                     testVector(48, rng), 2, 8);
+
+    wire::RequestFrame back;
+    ASSERT_EQ(decodeRequestBytes(encode(frame), &back),
+              wire::Status::Ok);
+    EXPECT_EQ(back.request.kind, RequestKind::EsnStep);
+    EXPECT_EQ(back.request.vec, frame.request.vec);
+    EXPECT_EQ(back.request.inject, frame.request.inject);
+    EXPECT_EQ(back.request.postShift, 2);
+    EXPECT_EQ(back.request.stateBits, 8);
+}
+
+TEST(WireCodec, EsnStepWithoutInjectionRoundTrip)
+{
+    Rng rng(4);
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::EsnStep;
+    frame.requestId = 78;
+    frame.request =
+        Request::esnStep(testVector(16, rng), {}, 1, 10);
+
+    wire::RequestFrame back;
+    ASSERT_EQ(decodeRequestBytes(encode(frame), &back),
+              wire::Status::Ok);
+    EXPECT_TRUE(back.request.inject.empty());
+    EXPECT_EQ(back.request.stateBits, 10);
+}
+
+TEST(WireCodec, EsnSequenceRoundTrip)
+{
+    Rng rng(5);
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::EsnSequence;
+    frame.requestId = 1000;
+    frame.designId = 2;
+    frame.request = Request::esnSequence(
+        testVector(24, rng), makeSignedBatch(7, 24, 8, rng), 3, 9);
+
+    wire::RequestFrame back;
+    ASSERT_EQ(decodeRequestBytes(encode(frame), &back),
+              wire::Status::Ok);
+    EXPECT_EQ(back.request.kind, RequestKind::EsnSequence);
+    EXPECT_EQ(back.request.vec, frame.request.vec);
+    EXPECT_TRUE(back.request.injectSeq == frame.request.injectSeq);
+    EXPECT_EQ(back.request.postShift, 3);
+    EXPECT_EQ(back.request.stateBits, 9);
+}
+
+TEST(WireCodec, RegisterDesignRoundTrip)
+{
+    Rng rng(6);
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::RegisterDesign;
+    frame.requestId = 5;
+    frame.weights = makeSignedElementSparseMatrix(40, 24, 6, 0.8, rng);
+    frame.compile.inputBits = 6;
+    frame.compile.inputsSigned = false;
+    frame.compile.signMode = core::SignMode::Csd;
+    frame.compile.constantPropagation = false;
+    frame.compile.balancedTree = false;
+    frame.compile.alignOutputs = false;
+    frame.compile.extraOutputBits = 3;
+    frame.compile.broadcastFanoutLimit = 32;
+    frame.compile.csdSeed = 0xdeadbeefcafef00dull;
+
+    wire::RequestFrame back;
+    ASSERT_EQ(decodeRequestBytes(encode(frame), &back),
+              wire::Status::Ok);
+    EXPECT_TRUE(back.weights == frame.weights);
+    EXPECT_EQ(back.compile.inputBits, 6);
+    EXPECT_FALSE(back.compile.inputsSigned);
+    EXPECT_EQ(back.compile.signMode, core::SignMode::Csd);
+    EXPECT_FALSE(back.compile.constantPropagation);
+    EXPECT_FALSE(back.compile.balancedTree);
+    EXPECT_FALSE(back.compile.alignOutputs);
+    EXPECT_EQ(back.compile.extraOutputBits, 3);
+    EXPECT_EQ(back.compile.broadcastFanoutLimit, 32u);
+    EXPECT_EQ(back.compile.csdSeed, 0xdeadbeefcafef00dull);
+}
+
+TEST(WireCodec, PingAndStatsRoundTrip)
+{
+    for (const wire::MessageKind kind :
+         {wire::MessageKind::Ping, wire::MessageKind::Stats}) {
+        wire::RequestFrame frame;
+        frame.kind = kind;
+        frame.requestId = 11;
+        wire::RequestFrame back;
+        ASSERT_EQ(decodeRequestBytes(encode(frame), &back),
+                  wire::Status::Ok);
+        EXPECT_EQ(back.kind, kind);
+        EXPECT_EQ(back.requestId, 11u);
+    }
+}
+
+TEST(WireCodec, ResponseRoundTripWithOutput)
+{
+    Rng rng(7);
+    wire::ResponseFrame frame;
+    frame.status = wire::Status::Ok;
+    frame.kind = wire::MessageKind::GemvBatch;
+    frame.requestId = 0xffffffffffffffffull;
+    frame.designId = 0xffffffffu;
+    frame.output = makeSignedBatch(3, 65, 12, rng);
+
+    wire::ResponseFrame back;
+    ASSERT_EQ(decodeResponseBytes(encode(frame), &back),
+              wire::Status::Ok);
+    EXPECT_EQ(back.status, wire::Status::Ok);
+    EXPECT_EQ(back.kind, wire::MessageKind::GemvBatch);
+    EXPECT_EQ(back.requestId, frame.requestId);
+    EXPECT_EQ(back.designId, frame.designId);
+    EXPECT_TRUE(back.output == frame.output);
+}
+
+TEST(WireCodec, ErrorResponsesCarryNoBody)
+{
+    for (const wire::Status status :
+         {wire::Status::Busy, wire::Status::BadRequest,
+          wire::Status::UnknownDesign, wire::Status::ShuttingDown,
+          wire::Status::Internal}) {
+        wire::ResponseFrame frame;
+        frame.status = status;
+        frame.kind = wire::MessageKind::Gemv;
+        frame.requestId = 3;
+        frame.output = IntMatrix(4, 4); // must NOT be encoded
+
+        const auto bytes = encode(frame);
+        wire::ResponseFrame back;
+        ASSERT_EQ(decodeResponseBytes(bytes, &back), wire::Status::Ok);
+        EXPECT_EQ(back.status, status);
+        EXPECT_EQ(back.output.rows(), 0u);
+        EXPECT_EQ(back.output.cols(), 0u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared request validation (the SPATIAL_FATAL firewall)
+// ---------------------------------------------------------------------
+
+TEST(WireValidate, MirrorsServerShapeChecks)
+{
+    Rng rng(8);
+    const std::size_t rows = 16, cols = 12;
+
+    EXPECT_EQ(wire::validateRequest(
+                  Request::gemv(testVector(rows, rng)), rows, cols),
+              wire::Status::Ok);
+    EXPECT_EQ(wire::validateRequest(
+                  Request::gemv(testVector(rows + 1, rng)), rows, cols),
+              wire::Status::BadRequest);
+    EXPECT_EQ(wire::validateRequest(
+                  Request::gemvBatch(makeSignedBatch(5, rows, 8, rng)),
+                  rows, cols),
+              wire::Status::Ok);
+    EXPECT_EQ(
+        wire::validateRequest(
+            Request::gemvBatch(makeSignedBatch(5, rows - 1, 8, rng)),
+            rows, cols),
+        wire::Status::BadRequest);
+
+    // EsnStep: inject must match cols; shift/bits must be in range.
+    EXPECT_EQ(wire::validateRequest(
+                  Request::esnStep(testVector(rows, rng),
+                                   testVector(cols, rng), 2, 8),
+                  rows, cols),
+              wire::Status::Ok);
+    EXPECT_EQ(wire::validateRequest(
+                  Request::esnStep(testVector(rows, rng),
+                                   testVector(cols + 2, rng), 2, 8),
+                  rows, cols),
+              wire::Status::BadRequest);
+    EXPECT_EQ(wire::validateRequest(
+                  Request::esnStep(testVector(rows, rng), {}, 63, 8),
+                  rows, cols),
+              wire::Status::BadRequest);
+    EXPECT_EQ(wire::validateRequest(
+                  Request::esnStep(testVector(rows, rng), {}, 2, 0),
+                  rows, cols),
+              wire::Status::BadRequest);
+
+    // EsnSequence requires a square design.
+    EXPECT_EQ(wire::validateRequest(
+                  Request::esnSequence(testVector(rows, rng),
+                                       makeSignedBatch(4, rows, 8, rng),
+                                       2, 8),
+                  rows, rows),
+              wire::Status::Ok);
+    EXPECT_EQ(wire::validateRequest(
+                  Request::esnSequence(testVector(rows, rng),
+                                       makeSignedBatch(4, rows, 8, rng),
+                                       2, 8),
+                  rows, cols),
+              wire::Status::BadRequest);
+}
+
+// ---------------------------------------------------------------------
+// Framing errors
+// ---------------------------------------------------------------------
+
+TEST(WireFraming, ShortPrefixNeedsMore)
+{
+    const std::uint8_t bytes[3] = {1, 2, 3};
+    std::size_t off = 0, size = 0, total = 0;
+    EXPECT_EQ(wire::peekFrame(bytes, 0, &off, &size, &total),
+              wire::FrameResult::NeedMore);
+    EXPECT_EQ(wire::peekFrame(bytes, 3, &off, &size, &total),
+              wire::FrameResult::NeedMore);
+}
+
+TEST(WireFraming, TruncatedPayloadNeedsMore)
+{
+    Rng rng(9);
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::Gemv;
+    frame.request = Request::gemv(testVector(32, rng));
+    const auto bytes = encode(frame);
+
+    // Every proper prefix is NeedMore, never Ok, never a crash.
+    for (std::size_t n = 4; n < bytes.size(); ++n) {
+        std::size_t off = 0, size = 0, total = 0;
+        EXPECT_EQ(wire::peekFrame(bytes.data(), n, &off, &size, &total),
+                  wire::FrameResult::NeedMore)
+            << "prefix " << n;
+    }
+}
+
+TEST(WireFraming, OversizedLengthIsMalformed)
+{
+    std::uint8_t bytes[8] = {};
+    const std::uint32_t huge = wire::kMaxFrameBytes + 1;
+    std::memcpy(bytes, &huge, 4);
+    std::size_t off = 0, size = 0, total = 0;
+    EXPECT_EQ(wire::peekFrame(bytes, 8, &off, &size, &total),
+              wire::FrameResult::Malformed);
+}
+
+TEST(WireFraming, TinyLengthIsMalformed)
+{
+    // Shorter than the fixed header: framing is broken.
+    std::uint8_t bytes[8] = {};
+    const std::uint32_t tiny = wire::kHeaderBytes - 1;
+    std::memcpy(bytes, &tiny, 4);
+    std::size_t off = 0, size = 0, total = 0;
+    EXPECT_EQ(wire::peekFrame(bytes, 8, &off, &size, &total),
+              wire::FrameResult::Malformed);
+}
+
+TEST(WireDecode, RejectsWrongMagicVersionKindAndTrailingBytes)
+{
+    Rng rng(10);
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::Gemv;
+    frame.request = Request::gemv(testVector(8, rng));
+    const auto bytes = encode(frame);
+    const std::uint8_t *payload = bytes.data() + 4;
+    const std::size_t size = bytes.size() - 4;
+    wire::RequestFrame out;
+
+    auto corrupted = std::vector<std::uint8_t>(payload, payload + size);
+    corrupted[0] ^= 0xff; // magic
+    EXPECT_EQ(wire::decodeRequest(corrupted.data(), size, &out),
+              wire::Status::BadFrame);
+
+    corrupted.assign(payload, payload + size);
+    corrupted[2] ^= 0x01; // version
+    EXPECT_EQ(wire::decodeRequest(corrupted.data(), size, &out),
+              wire::Status::BadVersion);
+
+    corrupted.assign(payload, payload + size);
+    corrupted[3] = 99; // unknown kind
+    EXPECT_EQ(wire::decodeRequest(corrupted.data(), size, &out),
+              wire::Status::BadFrame);
+
+    corrupted.assign(payload, payload + size);
+    corrupted.push_back(0); // trailing garbage
+    EXPECT_EQ(wire::decodeRequest(corrupted.data(), corrupted.size(),
+                                  &out),
+              wire::Status::BadFrame);
+}
+
+TEST(WireDecode, RejectsCountLyingAboutPayloadSize)
+{
+    Rng rng(11);
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::Gemv;
+    frame.request = Request::gemv(testVector(8, rng));
+    auto bytes = encode(frame);
+    // The vector-length word sits right after the 16-byte header;
+    // inflate it so it promises more i64s than the payload holds.
+    const std::uint32_t lie = 1000;
+    std::memcpy(bytes.data() + 4 + wire::kHeaderBytes, &lie, 4);
+    wire::RequestFrame out;
+    EXPECT_EQ(wire::decodeRequest(bytes.data() + 4, bytes.size() - 4,
+                                  &out),
+              wire::Status::BadFrame);
+}
+
+TEST(WireDecode, RejectsDimensionAboveProtocolCap)
+{
+    Rng rng(12);
+    wire::RequestFrame frame;
+    frame.kind = wire::MessageKind::Gemv;
+    frame.request = Request::gemv(testVector(8, rng));
+    auto bytes = encode(frame);
+    const std::uint32_t huge = wire::kMaxDim + 1;
+    std::memcpy(bytes.data() + 4 + wire::kHeaderBytes, &huge, 4);
+    wire::RequestFrame out;
+    EXPECT_EQ(wire::decodeRequest(bytes.data() + 4, bytes.size() - 4,
+                                  &out),
+              wire::Status::BadFrame);
+}
+
+// ---------------------------------------------------------------------
+// Deterministic fuzz: the decoder never crashes, never accepts junk
+// silently as a different well-formed message
+// ---------------------------------------------------------------------
+
+struct CorpusEntry
+{
+    std::vector<std::uint8_t> bytes;
+    bool isResponse = false;
+};
+
+std::vector<CorpusEntry>
+corpusFrames()
+{
+    Rng rng(0xf022);
+    std::vector<CorpusEntry> corpus;
+    {
+        wire::RequestFrame f;
+        f.kind = wire::MessageKind::Gemv;
+        f.requestId = 1;
+        f.request = Request::gemv(makeSignedVector(19, 8, rng));
+        corpus.push_back({encode(f), false});
+    }
+    {
+        wire::RequestFrame f;
+        f.kind = wire::MessageKind::GemvBatch;
+        f.requestId = 2;
+        f.request = Request::gemvBatch(makeSignedBatch(5, 13, 8, rng));
+        corpus.push_back({encode(f), false});
+    }
+    {
+        wire::RequestFrame f;
+        f.kind = wire::MessageKind::EsnStep;
+        f.requestId = 3;
+        f.request = Request::esnStep(makeSignedVector(9, 8, rng),
+                                     makeSignedVector(9, 8, rng), 2, 8);
+        corpus.push_back({encode(f), false});
+    }
+    {
+        wire::RequestFrame f;
+        f.kind = wire::MessageKind::EsnSequence;
+        f.requestId = 4;
+        f.request = Request::esnSequence(
+            makeSignedVector(6, 8, rng), makeSignedBatch(3, 6, 8, rng),
+            2, 8);
+        corpus.push_back({encode(f), false});
+    }
+    {
+        wire::RequestFrame f;
+        f.kind = wire::MessageKind::RegisterDesign;
+        f.requestId = 5;
+        f.weights = makeSignedElementSparseMatrix(8, 8, 8, 0.5, rng);
+        corpus.push_back({encode(f), false});
+    }
+    {
+        wire::ResponseFrame f;
+        f.status = wire::Status::Ok;
+        f.kind = wire::MessageKind::Gemv;
+        f.requestId = 6;
+        f.output = makeSignedBatch(1, 19, 12, rng);
+        corpus.push_back({encode(f), true});
+    }
+    return corpus;
+}
+
+// Decode a mutated payload both ways; we only require "no crash, no
+// over-read" (ASan enforces the latter) and that the result is a
+// legal status value.
+void
+decodeBothWays(const std::uint8_t *payload, std::size_t size)
+{
+    wire::RequestFrame request;
+    const wire::Status a = wire::decodeRequest(payload, size, &request);
+    wire::ResponseFrame response;
+    const wire::Status b =
+        wire::decodeResponse(payload, size, &response);
+    (void)a;
+    (void)b;
+}
+
+TEST(WireFuzz, TruncationsNeverCrashAndNeverDecodeOk)
+{
+    for (const auto &entry : corpusFrames()) {
+        const std::uint8_t *payload = entry.bytes.data() + 4;
+        const std::size_t size = entry.bytes.size() - 4;
+        for (std::size_t n = 0; n < size; ++n) {
+            // A truncated payload can never decode Ok through its own
+            // decoder: every layout either runs out of bytes
+            // (BadFrame) or leaves declared counts unsatisfied.  The
+            // cross-direction decoder is exercised unchecked — a
+            // request prefix may alias a valid headers-only error
+            // response — purely for the no-crash/no-over-read
+            // property.
+            if (entry.isResponse) {
+                wire::ResponseFrame response;
+                EXPECT_NE(wire::decodeResponse(payload, n, &response),
+                          wire::Status::Ok)
+                    << "truncation " << n;
+            } else {
+                wire::RequestFrame request;
+                EXPECT_NE(wire::decodeRequest(payload, n, &request),
+                          wire::Status::Ok)
+                    << "truncation " << n;
+            }
+            decodeBothWays(payload, n);
+        }
+    }
+}
+
+TEST(WireFuzz, BitFlipsNeverCrash)
+{
+    Rng rng(0xbeef);
+    for (const auto &entry : corpusFrames()) {
+        for (int round = 0; round < 400; ++round) {
+            auto bytes = entry.bytes;
+            const int flips =
+                1 + static_cast<int>(rng.uniformInt(0, 2));
+            for (int f = 0; f < flips; ++f) {
+                const auto bit = static_cast<std::size_t>(
+                    rng.uniformInt(0,
+                                   static_cast<std::int64_t>(
+                                       bytes.size() * 8) -
+                                       1));
+                bytes[bit / 8] ^= static_cast<std::uint8_t>(
+                    1u << (bit % 8));
+            }
+            // Re-frame defensively: the flip may hit the length
+            // prefix, in which case peekFrame must catch it.
+            std::size_t off = 0, size = 0, total = 0;
+            const wire::FrameResult framed = wire::peekFrame(
+                bytes.data(), bytes.size(), &off, &size, &total);
+            if (framed != wire::FrameResult::Ok)
+                continue;
+            // The frame may now claim fewer bytes than the buffer
+            // holds; decode only what the prefix declares.
+            decodeBothWays(bytes.data() + off, size);
+        }
+    }
+}
+
+TEST(WireFuzz, RandomGarbageNeverCrashes)
+{
+    Rng rng(0x6a5b);
+    for (int round = 0; round < 600; ++round) {
+        const auto size = static_cast<std::size_t>(
+            rng.uniformInt(0, 512));
+        std::vector<std::uint8_t> bytes(size);
+        for (auto &b : bytes)
+            b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        std::size_t off = 0, psize = 0, total = 0;
+        const wire::FrameResult framed = wire::peekFrame(
+            bytes.data(), bytes.size(), &off, &psize, &total);
+        if (framed == wire::FrameResult::Ok)
+            decodeBothWays(bytes.data() + off, psize);
+        // Also hammer the payload decoders directly, unframed.
+        decodeBothWays(bytes.data(), bytes.size());
+    }
+}
+
+TEST(WireFuzz, GarbageWithValidHeaderNeverCrashes)
+{
+    // The hardest corpus: a correct magic/version/kind header followed
+    // by random bytes, so every body parser runs on junk.
+    Rng rng(0x51ee);
+    for (int round = 0; round < 600; ++round) {
+        wire::RequestFrame seed;
+        seed.kind = static_cast<wire::MessageKind>(
+            1 + rng.uniformInt(0, 6));
+        seed.requestId = static_cast<std::uint64_t>(round);
+        std::vector<std::uint8_t> bytes;
+        wire::appendRequestFrame(bytes, seed);
+        bytes.resize(4 + wire::kHeaderBytes); // keep prefix + header
+        const auto junk = static_cast<std::size_t>(
+            rng.uniformInt(0, 256));
+        for (std::size_t i = 0; i < junk; ++i)
+            bytes.push_back(
+                static_cast<std::uint8_t>(rng.uniformInt(0, 255)));
+        // Patch the length prefix to match the new payload size.
+        const auto payload =
+            static_cast<std::uint32_t>(bytes.size() - 4);
+        std::memcpy(bytes.data(), &payload, 4);
+        decodeBothWays(bytes.data() + 4, bytes.size() - 4);
+    }
+}
+
+} // namespace
