@@ -288,6 +288,65 @@ MatrixCompiler::MatrixCompiler(CompileOptions options) : options_(options)
                       options_.extraOutputBits);
 }
 
+const char *
+MatrixCompiler::checkCompile(const CompileOptions &options,
+                             const IntMatrix &weights)
+{
+    if (options.inputBits < 1 || options.inputBits > 32)
+        return "inputBits must be 1..32";
+    if (options.extraOutputBits < 0)
+        return "extraOutputBits must be >= 0";
+    // Output width >= inputBits(>=1) + weightBits(>=1) + 1 + extra, so
+    // 60 or more extra bits can never fit the 62-bit capture.  Bailing
+    // here also keeps the width arithmetic below overflow-free for
+    // absurd extraOutputBits values.
+    if (options.extraOutputBits > 59)
+        return "output width exceeds capture capability";
+    if (weights.rows() < 1 || weights.cols() < 1)
+        return "cannot compile an empty matrix";
+    if (options.signMode == SignMode::Unsigned &&
+        !weights.isNonNegative())
+        return "Unsigned mode requires a non-negative matrix";
+
+    // Every sign mode leaves max|w| representable on one side (P - N =
+    // w with both sides non-negative forces max(P, N) >= |w|), so the
+    // raw magnitude lower-bounds the compiled weight bitwidth.  The
+    // scan negates through uint64 — unlike pnSplit/maxAbs it is
+    // defined on INT64_MIN — and rejecting on it first keeps the exact
+    // split below inside pnSplit/toCsdDigits domain limits.
+    std::uint64_t magnitude = 0;
+    for (const auto v : weights.data()) {
+        const std::uint64_t m =
+            v < 0 ? std::uint64_t{0} - static_cast<std::uint64_t>(v)
+                  : static_cast<std::uint64_t>(v);
+        magnitude = std::max(magnitude, m);
+    }
+    const int floor_bits =
+        std::max(1, static_cast<int>(std::bit_width(magnitude)));
+    const int fixed_bits = options.inputBits +
+                           ceilLog2(weights.rows()) + 1 +
+                           options.extraOutputBits;
+    if (floor_bits > 62 - fixed_bits)
+        return "output width exceeds capture capability";
+
+    int weight_bits = floor_bits; // exact for Unsigned (P = w, N = 0)
+    switch (options.signMode) {
+      case SignMode::Unsigned:
+        break;
+      case SignMode::PnSplit:
+        weight_bits = pnSplit(weights).bitwidth();
+        break;
+      case SignMode::Csd: {
+        Rng rng(options.csdSeed);
+        weight_bits = csdSplit(weights, rng).bitwidth();
+        break;
+      }
+    }
+    if (weight_bits > 62 - fixed_bits)
+        return "output width exceeds capture capability";
+    return nullptr;
+}
+
 CompiledMatrix
 MatrixCompiler::compile(const IntMatrix &weights) const
 {

@@ -39,6 +39,22 @@ class MatrixCompiler
      */
     CompiledMatrix compilePair(const PnPair &pn) const;
 
+    /**
+     * Non-fatal precheck of `MatrixCompiler(options).compile(weights)`:
+     * returns nullptr when the compile would succeed, or a static
+     * description of the violated precondition (inputBits range,
+     * extraOutputBits range, Unsigned-mode negativity, empty matrix,
+     * or the 62-bit output-width capture bound).  The checks mirror
+     * the SPATIAL_FATALs on the compile path exactly — including the
+     * sign-mode-specific weight bitwidth — so network-facing callers
+     * can reject a bad registration with an error status where the
+     * constructor or compile() would terminate the process.  Safe on
+     * any input, including INT64_MIN weights that the split
+     * transforms themselves cannot negate.
+     */
+    static const char *checkCompile(const CompileOptions &options,
+                                    const IntMatrix &weights);
+
     const CompileOptions &options() const { return options_; }
 
   private:

@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "core/compiler.h"
 
 namespace spatial::serve
 {
@@ -257,13 +258,44 @@ NetServer::replyFrame(std::uint64_t conn, const wire::ResponseFrame &f)
     if (it == conns_.end())
         return; // peer went away; drop the response
     Connection &c = it->second;
+    if (c.closing)
+        return; // already being torn down; drop the response
     if (c.out.size() - c.outSent > kMaxConnBuf) {
-        // Unrecoverable slow reader: stop buffering for it.
+        // Unrecoverable slow reader: free its backlog right away and
+        // let the event loop's close sweep drop the socket on its next
+        // pass — waiting for a flush the peer may never perform would
+        // pin the whole buffer indefinitely.
         c.closing = true;
+        c.out.clear();
+        c.outSent = 0;
+        wake();
         return;
     }
     wire::appendResponseFrame(c.out, f);
     wake();
+}
+
+void
+NetServer::asyncBegin(std::uint64_t conn)
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    const auto it = conns_.find(conn);
+    if (it != conns_.end())
+        ++it->second.pendingReplies;
+}
+
+void
+NetServer::asyncDone(std::uint64_t conn)
+{
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        const auto it = conns_.find(conn);
+        if (it == conns_.end())
+            return;
+        if (it->second.pendingReplies > 0)
+            --it->second.pendingReplies;
+    }
+    wake(); // a half-closed peer may now be closable
 }
 
 void
@@ -350,6 +382,7 @@ NetServer::dispatch(std::uint64_t conn, wire::RequestFrame frame)
                 designIds_.emplace(key, job.designId);
             }
         }
+        asyncBegin(conn);
         {
             std::lock_guard<std::mutex> lock(registrarMutex_);
             registerQueue_.push_back(std::move(job));
@@ -364,7 +397,10 @@ NetServer::dispatch(std::uint64_t conn, wire::RequestFrame frame)
     bool known = false;
     {
         std::lock_guard<std::mutex> lock(designMutex_);
-        if (frame.designId < designs_.size()) {
+        // Rejected registrations keep their table slot (ids are dense)
+        // but never become routable.
+        if (frame.designId < designs_.size() &&
+            !designs_[frame.designId].failed) {
             route = designs_[frame.designId];
             known = true;
         }
@@ -401,6 +437,7 @@ NetServer::dispatch(std::uint64_t conn, wire::RequestFrame frame)
     }
     shard.inFlight.fetch_add(1, std::memory_order_relaxed);
     shard.submitted.fetch_add(1, std::memory_order_relaxed);
+    asyncBegin(conn);
 
     PendingReply reply;
     reply.conn = conn;
@@ -443,6 +480,7 @@ NetServer::reaperLoop(std::size_t shard_index)
         f.designId = reply.designId;
         f.output = std::move(response.output);
         replyFrame(reply.conn, f);
+        asyncDone(reply.conn);
         shard.inFlight.fetch_sub(1, std::memory_order_relaxed);
         shard.cv.notify_all(); // shutdown() waits on inFlight == 0
     }
@@ -471,6 +509,25 @@ NetServer::registrarLoop()
             std::lock_guard<std::mutex> lock(designMutex_);
             shard_index = designs_[job.designId].shard;
         }
+        // The compiler enforces its preconditions with SPATIAL_FATAL —
+        // acceptable for a local misconfiguration, not for bytes off
+        // the wire.  Re-check them non-fatally and answer BadRequest,
+        // so no remote registration can terminate the server.
+        const char *rejected =
+            core::MatrixCompiler::checkCompile(job.compile, job.weights);
+        if (rejected != nullptr) {
+            {
+                std::lock_guard<std::mutex> lock(designMutex_);
+                designs_[job.designId].failed = true;
+            }
+            SPATIAL_WARN("rejecting design registration ", job.designId,
+                         ": ", rejected);
+            replyStatus(job.conn, wire::Status::BadRequest,
+                        wire::MessageKind::RegisterDesign,
+                        job.requestId, job.designId);
+            asyncDone(job.conn);
+            continue;
+        }
         // The compile (potentially seconds at large dims) runs here,
         // never on the event loop.
         const DesignId local =
@@ -489,6 +546,7 @@ NetServer::registrarLoop()
         f.output = IntMatrix(1, 1);
         f.output.at(0, 0) = static_cast<std::int64_t>(shard_index);
         replyFrame(job.conn, f);
+        asyncDone(job.conn);
     }
 }
 
@@ -504,11 +562,17 @@ NetServer::processInbound(std::uint64_t id, Connection &conn)
         if (r == wire::FrameResult::NeedMore)
             break;
         if (r == wire::FrameResult::Malformed) {
-            // Framing is lost: answer once, then drop the peer.
+            // Framing is lost: answer once, then drop the peer.  The
+            // flag is shared with the reply paths, so flip it under
+            // connMutex_ (and after the reply — replyFrame drops
+            // frames for closing connections).
             badFrames_.fetch_add(1, std::memory_order_relaxed);
             replyStatus(id, wire::Status::BadFrame,
                         wire::MessageKind::Ping, 0, 0);
-            conn.closing = true;
+            {
+                std::lock_guard<std::mutex> lock(connMutex_);
+                conn.closing = true;
+            }
             conn.in.clear();
             return;
         }
@@ -526,7 +590,10 @@ NetServer::processInbound(std::uint64_t id, Connection &conn)
                 // The payload contradicted its own layout; stop
                 // trusting the stream.
                 badFrames_.fetch_add(1, std::memory_order_relaxed);
-                conn.closing = true;
+                {
+                    std::lock_guard<std::mutex> lock(connMutex_);
+                    conn.closing = true;
+                }
                 conn.in.clear();
                 return;
             }
@@ -560,14 +627,38 @@ NetServer::eventLoop()
         bool all_flushed = true;
         {
             std::lock_guard<std::mutex> lock(connMutex_);
+            // Close sweep: a connection leaves once its outbound bytes
+            // are flushed and either the protocol broke (closing) or
+            // the peer half-closed and every owed reply was delivered
+            // (peerEof, the NetClient::close() drain contract).  The
+            // reply paths wake() the loop, so this runs promptly after
+            // the last owed reply or pendingReplies decrement.
+            std::vector<std::uint64_t> closable;
             for (auto &[id, conn] : conns_) {
-                short events = POLLIN;
-                if (conn.outSent < conn.out.size()) {
+                const bool flushed = conn.outSent == conn.out.size();
+                if (flushed &&
+                    (conn.closing ||
+                     (conn.peerEof && conn.pendingReplies == 0))) {
+                    closable.push_back(id);
+                    continue;
+                }
+                // No POLLIN once the stream is done (EOF would fire
+                // forever) or distrusted; POLLERR/POLLHUP still
+                // surface a fully-gone peer even with no event bits.
+                short events = 0;
+                if (!conn.closing && !conn.peerEof)
+                    events |= POLLIN;
+                if (!flushed) {
                     events |= POLLOUT;
                     all_flushed = false;
                 }
                 fds.push_back({conn.fd, events, 0});
                 ids.push_back(id);
+            }
+            for (const std::uint64_t id : closable) {
+                const auto it = conns_.find(id);
+                ::close(it->second.fd);
+                conns_.erase(it);
             }
         }
 
@@ -654,6 +745,7 @@ NetServer::eventLoop()
             }
             bool drop = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) &&
                         !(p.revents & POLLIN);
+            bool eof = false;
             if (p.revents & POLLIN) {
                 std::uint8_t chunk[kReadChunk];
                 for (;;) {
@@ -667,7 +759,7 @@ NetServer::eventLoop()
                         continue;
                     }
                     if (n == 0) {
-                        drop = true; // peer closed
+                        eof = true; // peer finished sending
                         break;
                     }
                     if (errno == EAGAIN || errno == EWOULDBLOCK)
@@ -675,13 +767,18 @@ NetServer::eventLoop()
                     drop = true;
                     break;
                 }
-                // Parse whatever arrived before a pending EOF too:
-                // requests racing a disconnect still compute, their
-                // responses are simply dropped at reply time.
+                // Parse whatever arrived before a pending EOF too: a
+                // half-closing peer is owed responses for everything
+                // it sent (NetClient::close() drains them), so those
+                // requests dispatch normally and the close sweep holds
+                // the connection until their replies flush.
                 if (!flushing)
                     processInbound(id, *conn);
+                if (eof) {
+                    std::lock_guard<std::mutex> lock(connMutex_);
+                    conn->peerEof = true;
+                }
             }
-            bool flushed_and_closing = false;
             {
                 std::lock_guard<std::mutex> lock(connMutex_);
                 if ((p.revents & POLLOUT) &&
@@ -701,11 +798,10 @@ NetServer::eventLoop()
                         drop = true;
                     }
                 }
-                flushed_and_closing =
-                    conn->closing &&
-                    conn->outSent == conn->out.size();
             }
-            if (drop || flushed_and_closing)
+            // Flushed closing/peerEof connections are reaped by the
+            // close sweep at the top of the next iteration.
+            if (drop)
                 dead.push_back(id);
         }
         if (!dead.empty()) {

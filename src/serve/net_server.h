@@ -11,7 +11,10 @@
  *    into the owning shard's in-process Server (submit is cheap — it
  *    only enqueues on a batcher).  Writes are buffered per connection
  *    and flushed as POLLOUT allows, so a slow reader never blocks the
- *    loop or other clients.
+ *    loop or other clients; a reader whose backlog crosses the buffer
+ *    cap is dropped outright.  A peer that half-closes (shutdown(WR))
+ *    keeps its connection until every reply it is owed has been
+ *    delivered and flushed — the NetClient::close() drain contract.
  *  - **N shards**: each shard is a full serve::Server — its own
  *    DesignStore, Batcher set, deadline timer, and worker pool.
  *    Designs are routed to shard `globalId % shards` at registration,
@@ -21,6 +24,10 @@
  *    the event loop through the connection write buffers.
  *  - **registrar** (one thread): runs RegisterDesign compiles off the
  *    event loop, so admission of a new design never stalls traffic.
+ *    Every compile precondition is re-checked non-fatally first
+ *    (core::MatrixCompiler::checkCompile), so a registration that
+ *    would trip a compiler SPATIAL_FATAL is answered BadRequest
+ *    instead — a network peer cannot terminate the process.
  *
  * Admission control: each shard counts admitted-but-unanswered
  * requests; once the count crosses NetServerOptions::maxQueue the
@@ -155,6 +162,7 @@ class NetServer
         std::size_t rows = 0;    //!< design rows (request validation)
         std::size_t cols = 0;    //!< design cols
         bool ready = false;      //!< registrar finished compiling
+        bool failed = false;     //!< registrar rejected the compile
     };
 
     /** A submitted request awaiting its future, FIFO per shard. */
@@ -191,14 +199,29 @@ class NetServer
         core::CompileOptions compile;
     };
 
-    /** Per-connection buffers; owned by the connection table. */
+    /**
+     * Per-connection buffers; owned by the connection table.  `fd` and
+     * `in` are touched by the event loop alone; `out`, `outSent`,
+     * `closing`, `peerEof`, and `pendingReplies` are shared with the
+     * reaper/registrar reply paths and guarded by connMutex_.
+     */
     struct Connection
     {
         int fd = -1;
         std::vector<std::uint8_t> in;   //!< unparsed inbound bytes
         std::vector<std::uint8_t> out;  //!< unsent outbound bytes
         std::size_t outSent = 0;        //!< bytes of `out` written
-        bool closing = false;           //!< close once `out` drains
+        /** Protocol lost or unrecoverable slow reader: stop reading,
+         * drop late replies, close as soon as `out` drains. */
+        bool closing = false;
+        /** Peer half-closed its send side: stop reading, but keep the
+         * connection until every owed reply (pendingReplies) has been
+         * queued and `out` has flushed — the NetClient::close()
+         * contract. */
+        bool peerEof = false;
+        /** Admitted requests whose replies are still owed (shard
+         * futures in flight plus queued RegisterDesign compiles). */
+        std::size_t pendingReplies = 0;
     };
 
     void eventLoop();
@@ -218,6 +241,12 @@ class NetServer
 
     /** Queue a full response frame to a connection (any thread). */
     void replyFrame(std::uint64_t conn, const wire::ResponseFrame &f);
+
+    /** Record that `conn` is owed one more async reply (event loop). */
+    void asyncBegin(std::uint64_t conn);
+
+    /** Record that one owed async reply was delivered (any thread). */
+    void asyncDone(std::uint64_t conn);
 
     /** Wake the poll loop (writable buffers or shutdown changed). */
     void wake();

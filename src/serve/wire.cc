@@ -412,12 +412,23 @@ decodeRequest(const std::uint8_t *payload, std::size_t size,
         if (!in.ok() || !dimOk(rows) || !dimOk(cols) || rows == 0 ||
             cols == 0)
             return Status::BadFrame;
+        // Compiler preconditions checkable without the weights: the
+        // engine's input planes encode at most 32 input bits, and 60+
+        // extra output bits can never fit the 62-bit capture.  The
+        // weight-dependent preconditions (Unsigned negativity, the
+        // exact output-width bound) are enforced by
+        // core::MatrixCompiler::checkCompile before the registrar
+        // compiles — nothing on this path may reach a SPATIAL_FATAL.
         if (sign > static_cast<std::uint8_t>(core::SignMode::Csd) ||
-            c.inputBits < 1 || c.inputBits > 62)
+            c.inputBits < 1 || c.inputBits > 32 ||
+            c.extraOutputBits > 59)
             return Status::BadRequest;
         c.signMode = static_cast<core::SignMode>(sign);
         if (!in.matrix(frame->weights, rows, cols))
             return Status::BadFrame;
+        if (c.signMode == core::SignMode::Unsigned &&
+            !frame->weights.isNonNegative())
+            return Status::BadRequest;
         break;
       }
       case MessageKind::Gemv: {

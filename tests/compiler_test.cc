@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 
 #include "circuit/stats.h"
@@ -341,6 +342,115 @@ TEST(CompilerStructure, ExtremeValuesNoOverflow)
     expectMatchesReference(design, v, a);
     std::vector<std::int64_t> b(rows, 127);
     expectMatchesReference(design, v, b);
+}
+
+// ---------------------------------------------------------------------
+// Non-fatal precondition checking (the network registration path)
+// ---------------------------------------------------------------------
+
+TEST(CompilerCheck, AcceptsEverythingCompileAccepts)
+{
+    Rng rng(23);
+    for (const SignMode mode :
+         {SignMode::Unsigned, SignMode::PnSplit, SignMode::Csd}) {
+        CompileOptions opt;
+        opt.inputBits = 8;
+        opt.signMode = mode;
+        const IntMatrix v =
+            mode == SignMode::Unsigned
+                ? makeElementSparseMatrix(24, 16, 6, 0.8, rng)
+                : makeSignedElementSparseMatrix(24, 16, 6, 0.8, rng);
+        EXPECT_EQ(MatrixCompiler::checkCompile(opt, v), nullptr);
+        // checkCompile passing means compile() must not fatal.
+        (void)MatrixCompiler(opt).compile(v);
+    }
+}
+
+TEST(CompilerCheck, RejectsEveryFatalPrecondition)
+{
+    Rng rng(24);
+    const IntMatrix v = makeSignedElementSparseMatrix(16, 8, 6, 0.8, rng);
+    {
+        CompileOptions opt;
+        opt.inputBits = 33;
+        EXPECT_NE(MatrixCompiler::checkCompile(opt, v), nullptr);
+    }
+    {
+        CompileOptions opt;
+        opt.inputBits = 0;
+        EXPECT_NE(MatrixCompiler::checkCompile(opt, v), nullptr);
+    }
+    {
+        CompileOptions opt;
+        opt.extraOutputBits = -1;
+        EXPECT_NE(MatrixCompiler::checkCompile(opt, v), nullptr);
+    }
+    {
+        // Output width past the 62-bit capture bound.
+        CompileOptions opt;
+        opt.inputBits = 8;
+        opt.extraOutputBits = 50;
+        EXPECT_NE(MatrixCompiler::checkCompile(opt, v), nullptr);
+    }
+    {
+        CompileOptions opt;
+        EXPECT_NE(MatrixCompiler::checkCompile(opt, IntMatrix(0, 0)),
+                  nullptr);
+    }
+    {
+        CompileOptions opt;
+        opt.signMode = SignMode::Unsigned;
+        IntMatrix negative = v;
+        negative.at(0, 0) = -3;
+        EXPECT_NE(MatrixCompiler::checkCompile(opt, negative), nullptr);
+    }
+}
+
+TEST(CompilerCheck, ExtremeWeightMagnitudesRejectedWithoutOverflow)
+{
+    // Magnitudes the split transforms themselves cannot safely touch
+    // (INT64_MIN has no int64 negation; 61+-bit values overflow the
+    // CSD domain).  checkCompile must reject them on the magnitude
+    // bound without undefined behavior, in every sign mode.
+    for (const SignMode mode :
+         {SignMode::PnSplit, SignMode::Csd, SignMode::Unsigned}) {
+        for (const std::int64_t w :
+             {std::numeric_limits<std::int64_t>::min(),
+              std::numeric_limits<std::int64_t>::max(),
+              std::int64_t{1} << 61}) {
+            if (mode == SignMode::Unsigned && w < 0)
+                continue;
+            CompileOptions opt;
+            opt.inputBits = 1;
+            opt.signMode = mode;
+            IntMatrix big(1, 1);
+            big.at(0, 0) = w;
+            EXPECT_NE(MatrixCompiler::checkCompile(opt, big), nullptr)
+                << "mode " << core::signModeName(mode) << " weight "
+                << w;
+        }
+    }
+}
+
+TEST(CompilerCheck, WidthBoundIsExactPerSignMode)
+{
+    // The output-width check must use the sign-mode-specific compiled
+    // weight bitwidth: CSD can carry one bit more than the PN split
+    // (e.g. all-ones values become +2^b - 1).  Pick a width where that
+    // single bit is the difference between fitting and fatal.
+    IntMatrix ones(1, 1);
+    ones.at(0, 0) = (std::int64_t{1} << 40) - 1; // 40 bits, 41 as CSD
+    CompileOptions opt;
+    opt.inputBits = 21; // 21 + 40 + 0 + 1 + 0 = 62 <= 62 for PN
+    opt.signMode = SignMode::PnSplit;
+    EXPECT_EQ(MatrixCompiler::checkCompile(opt, ones), nullptr);
+    (void)MatrixCompiler(opt).compile(ones);
+
+    opt.signMode = SignMode::Csd; // 21 + 41 + 0 + 1 + 0 = 63 > 62
+    EXPECT_NE(MatrixCompiler::checkCompile(opt, ones), nullptr);
+    opt.inputBits = 20; // 20 + 41 + 0 + 1 + 0 = 62: fits again
+    EXPECT_EQ(MatrixCompiler::checkCompile(opt, ones), nullptr);
+    (void)MatrixCompiler(opt).compile(ones);
 }
 
 } // namespace

@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <limits>
 #include <thread>
 
 #include "common/rng.h"
@@ -145,6 +146,13 @@ class RawConn
         }
     }
 
+    /** Half-close the send side (the NetClient::close() handshake). */
+    void
+    shutdownWrite()
+    {
+        ::shutdown(fd_, SHUT_WR);
+    }
+
     /** Abrupt close (no half-close handshake). */
     void
     drop()
@@ -228,6 +236,56 @@ TEST(NetServe, UnknownDesignAndBadShapesAreStatusesNotCrashes)
         id, Request::gemv(makeSignedVector(17, 8, rng)));
     EXPECT_EQ(bad.get().status, wire::Status::BadRequest);
     // The connection survives an invalid request.
+    auto good = client.submit(
+        id, Request::gemv(makeSignedVector(16, 8, rng)));
+    EXPECT_EQ(good.get().status, wire::Status::Ok);
+}
+
+TEST(NetServe, HostileRegistrationsRejectedServerSurvives)
+{
+    NetServer server(quickServer());
+    NetClient client("127.0.0.1", server.port());
+    Rng rng(24);
+
+    // Registrar-level rejections: frames that decode cleanly but whose
+    // compile would SPATIAL_FATAL locally.  Each must come back
+    // BadRequest with the process intact.
+    {
+        // Output width past the 62-bit capture bound.
+        core::CompileOptions opt = testCompileOptions();
+        opt.extraOutputBits = 50;
+        std::uint32_t id = 0;
+        EXPECT_EQ(client.registerDesign(testWeights(16, 25), opt, &id),
+                  wire::Status::BadRequest);
+    }
+    {
+        // INT64_MIN weight: no int64 negation exists for the splits.
+        IntMatrix evil(4, 4);
+        evil.at(1, 2) = std::numeric_limits<std::int64_t>::min();
+        std::uint32_t id = 0;
+        EXPECT_EQ(client.registerDesign(evil, testCompileOptions(),
+                                        &id),
+                  wire::Status::BadRequest);
+    }
+    {
+        // Decode-level rejection: inputBits the engine cannot encode.
+        core::CompileOptions opt = testCompileOptions();
+        opt.inputBits = 40;
+        std::uint32_t id = 0;
+        EXPECT_EQ(client.registerDesign(testWeights(8, 26), opt, &id),
+                  wire::Status::BadRequest);
+    }
+
+    // The failed registrations' table slots never become routable.
+    auto orphan = client.submit(
+        0, Request::gemv(makeSignedVector(16, 8, rng)));
+    EXPECT_EQ(orphan.get().status, wire::Status::UnknownDesign);
+
+    // And the server still compiles and serves honest designs.
+    std::uint32_t id = 0;
+    ASSERT_EQ(client.registerDesign(testWeights(16, 27),
+                                    testCompileOptions(), &id),
+              wire::Status::Ok);
     auto good = client.submit(
         id, Request::gemv(makeSignedVector(16, 8, rng)));
     EXPECT_EQ(good.get().status, wire::Status::Ok);
@@ -397,6 +455,77 @@ TEST(NetServe, SlowReaderGetsEveryResponseBuffered)
     }
     for (int i = 0; i < kRequests; ++i)
         EXPECT_TRUE(seen[i]) << "missing response " << i + 1;
+}
+
+TEST(NetServe, HalfCloseStillDeliversOwedResponses)
+{
+    NetServerOptions net = quickServer();
+    // Deadline-only flushing keeps the burst unanswered until well
+    // after the EOF lands, so delivery depends on the half-close drain
+    // contract, not on the replies racing the shutdown.
+    net.serve.maxBatch = 1024;
+    net.serve.maxDelay = std::chrono::milliseconds(50);
+    NetServer server(net);
+
+    NetClient control("127.0.0.1", server.port());
+    std::uint32_t id = 0;
+    ASSERT_EQ(control.registerDesign(testWeights(32, 22),
+                                     testCompileOptions(), &id),
+              wire::Status::Ok);
+
+    RawConn conn(server.port());
+    Rng rng(23);
+    const int kRequests = 8;
+    for (int i = 0; i < kRequests; ++i) {
+        wire::RequestFrame frame;
+        frame.kind = wire::MessageKind::Gemv;
+        frame.requestId = static_cast<std::uint64_t>(i) + 1;
+        frame.designId = id;
+        frame.request = Request::gemv(makeSignedVector(32, 8, rng));
+        std::vector<std::uint8_t> bytes;
+        wire::appendRequestFrame(bytes, frame);
+        conn.sendAll(bytes);
+    }
+    conn.shutdownWrite(); // half-close with the whole burst in flight
+
+    // The server owes kRequests responses and must deliver every one
+    // before closing its side (NetClient::close() relies on this).
+    std::vector<bool> seen(kRequests, false);
+    std::vector<std::uint8_t> buffer;
+    std::uint8_t chunk[64 * 1024];
+    int got = 0;
+    while (got < kRequests) {
+        std::size_t off = 0, size = 0, total = 0;
+        const wire::FrameResult r = wire::peekFrame(
+            buffer.data(), buffer.size(), &off, &size, &total);
+        if (r == wire::FrameResult::Ok) {
+            wire::ResponseFrame response;
+            ASSERT_EQ(wire::decodeResponse(buffer.data() + off, size,
+                                           &response),
+                      wire::Status::Ok);
+            EXPECT_EQ(response.status, wire::Status::Ok);
+            ASSERT_GE(response.requestId, 1u);
+            ASSERT_LE(response.requestId,
+                      static_cast<std::uint64_t>(kRequests));
+            seen[response.requestId - 1] = true;
+            buffer.erase(buffer.begin(),
+                         buffer.begin() +
+                             static_cast<std::ptrdiff_t>(total));
+            ++got;
+            continue;
+        }
+        ASSERT_EQ(r, wire::FrameResult::NeedMore);
+        const ssize_t n = ::read(conn.fd(), chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        ASSERT_GT(n, 0) << "server closed with " << got << "/"
+                        << kRequests << " owed responses delivered";
+        buffer.insert(buffer.end(), chunk, chunk + n);
+    }
+    for (int i = 0; i < kRequests; ++i)
+        EXPECT_TRUE(seen[i]) << "missing response " << i + 1;
+    // ... and only then closes its side: clean EOF, no stray bytes.
+    EXPECT_TRUE(conn.recvUpTo(1).empty());
 }
 
 // ---------------------------------------------------------------------

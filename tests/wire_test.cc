@@ -221,6 +221,53 @@ TEST(WireCodec, RegisterDesignRoundTrip)
     EXPECT_EQ(back.compile.csdSeed, 0xdeadbeefcafef00dull);
 }
 
+TEST(WireCodec, RegisterDesignRejectsCompilerFatalOptions)
+{
+    Rng rng(19);
+    wire::RequestFrame base;
+    base.kind = wire::MessageKind::RegisterDesign;
+    base.requestId = 6;
+    base.weights = makeSignedElementSparseMatrix(8, 8, 6, 0.8, rng);
+    base.compile.inputBits = 8;
+
+    // Options the compiler would SPATIAL_FATAL on must decode to
+    // BadRequest, never reach the registrar: the engine encodes at
+    // most 32 input bits, and 60+ extra output bits cannot fit the
+    // 62-bit capture.
+    for (const int bits : {0, 33, 62}) {
+        wire::RequestFrame frame = base;
+        frame.compile.inputBits = bits;
+        wire::RequestFrame back;
+        EXPECT_EQ(decodeRequestBytes(encode(frame), &back),
+                  wire::Status::BadRequest)
+            << "inputBits " << bits;
+    }
+    {
+        wire::RequestFrame frame = base;
+        frame.compile.extraOutputBits = 200;
+        wire::RequestFrame back;
+        EXPECT_EQ(decodeRequestBytes(encode(frame), &back),
+                  wire::Status::BadRequest);
+    }
+    {
+        // Unsigned mode with any negative weight.
+        wire::RequestFrame frame = base;
+        frame.compile.signMode = core::SignMode::Unsigned;
+        frame.weights.at(3, 4) = -1;
+        wire::RequestFrame back;
+        EXPECT_EQ(decodeRequestBytes(encode(frame), &back),
+                  wire::Status::BadRequest);
+    }
+    {
+        // The boundary cases stay admissible.
+        wire::RequestFrame frame = base;
+        frame.compile.inputBits = 32;
+        wire::RequestFrame back;
+        EXPECT_EQ(decodeRequestBytes(encode(frame), &back),
+                  wire::Status::Ok);
+    }
+}
+
 TEST(WireCodec, PingAndStatsRoundTrip)
 {
     for (const wire::MessageKind kind :
