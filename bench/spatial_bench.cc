@@ -63,6 +63,10 @@ usage()
         "                       C toolchain)\n"
         "  --seed=N             workload-stream seed override (0 =\n"
         "                       each experiment's built-in stream)\n"
+        "  --check_load_speedup=R  exit 1 unless every row with\n"
+        "                       [dim] >= --check_load_dim (default\n"
+        "                       2048) has [load x] >= R (the\n"
+        "                       large_matrix cold-load gate)\n"
         "  --quiet              suppress tables (summaries only)\n"
         "  --<param>=v1,v2      override a grid axis; lo:hi:step ranges\n"
         "                       expand inclusively\n");
@@ -153,7 +157,8 @@ runRun(const Args &args)
     const std::set<std::string> reserved = {
         "all",  "json",          "csv",         "threads",
         "sim-threads", "lane-words", "activity-gating", "segment-kib",
-        "jit",  "seed", "quiet"};
+        "jit",  "seed", "quiet", "check_load_speedup",
+        "check_load_dim"};
 
     // Which experiments.
     const bool allSelected = args.getBool("all", false);
@@ -227,6 +232,16 @@ runRun(const Args &args)
         return std::filesystem::path(dir);
     };
 
+    // The cold-load latency gate (CI): every reported row at or above
+    // the dim floor must have loaded at least `want` times faster than
+    // it compiled.  Applies to any experiment reporting [dim] and
+    // [load x] columns (the large_matrix schema).
+    const bool gateLoad = args.has("check_load_speedup");
+    const double gateWant = args.getReal("check_load_speedup", 5.0);
+    const std::int64_t gateDim = args.getInt("check_load_dim", 2048);
+    std::size_t gateRows = 0;
+    bool gateFailed = false;
+
     SweepEngine engine(options);
     for (const auto *exp : selected) {
         std::vector<GridOverride> applicable;
@@ -262,6 +277,51 @@ runRun(const Args &args)
             result.writeCsv(out);
             std::printf("wrote %s\n", path.string().c_str());
         }
+        if (gateLoad) {
+            std::size_t dimCol = result.columns.size();
+            std::size_t loadCol = result.columns.size();
+            for (std::size_t c = 0; c < result.columns.size(); ++c) {
+                if (result.columns[c] == "dim")
+                    dimCol = c;
+                else if (result.columns[c] == "load x")
+                    loadCol = c;
+            }
+            if (dimCol == result.columns.size() ||
+                loadCol == result.columns.size())
+                continue;
+            for (const auto &row : result.rows) {
+                const std::int64_t dim = asInt(row[dimCol].value);
+                if (dim < gateDim)
+                    continue;
+                ++gateRows;
+                const double got = asReal(row[loadCol].value);
+                if (got < gateWant) {
+                    gateFailed = true;
+                    std::fprintf(stderr,
+                                 "FAIL: %s dim=%lld cold-load "
+                                 "speedup %.2fx below required "
+                                 "%.2fx\n",
+                                 result.name.c_str(),
+                                 static_cast<long long>(dim), got,
+                                 gateWant);
+                }
+            }
+        }
+    }
+    if (gateLoad) {
+        if (gateRows == 0) {
+            std::fprintf(stderr,
+                         "FAIL: --check_load_speedup matched no rows "
+                         "with [dim] >= %lld and a [load x] column\n",
+                         static_cast<long long>(gateDim));
+            return 1;
+        }
+        if (gateFailed)
+            return 1;
+        std::printf("OK: cold-load speedup >= %.2fx on %zu rows at "
+                    "dim >= %lld\n",
+                    gateWant, gateRows,
+                    static_cast<long long>(gateDim));
     }
     const auto total = engine.cache().stats();
     if (selected.size() > 1)

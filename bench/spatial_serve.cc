@@ -15,6 +15,8 @@
  *   spatial-serve --mode=drain --compare --check_speedup=3 --json
  *   spatial-serve --activity_gating=0 --segment_kib=8
  *   spatial-serve --jit=1         # JIT admission at registration
+ *   spatial-serve --spill_dir=/tmp/spill --store_capacity=2
+ *   spatial-serve --dim=4096 --tile_budget=262144  # column tiling
  *
  * With --listen the same binary becomes the network front end: a
  * NetServer over N engine-pool shards, serving the wire protocol until
@@ -74,6 +76,12 @@ runListen(const spatial::Args &args,
     net.shards = static_cast<std::size_t>(args.getInt("shards", 1));
     net.maxQueue =
         static_cast<std::size_t>(args.getInt("max_queue", 1024));
+    net.maxRegisterDim = static_cast<std::size_t>(args.getInt(
+        "max_register_dim",
+        static_cast<std::int64_t>(net.maxRegisterDim)));
+    net.maxFrameBytes = static_cast<std::uint32_t>(args.getInt(
+        "max_frame_bytes",
+        static_cast<std::int64_t>(net.maxFrameBytes)));
     net.serve = options.serve;
 
     NetServer server(net);
@@ -168,6 +176,14 @@ main(int argc, char **argv)
         static_cast<unsigned>(args.getInt("workers", 0));
     options.serve.storeCapacity =
         static_cast<std::size_t>(args.getInt("store_capacity", 64));
+    // Memory tiering: with a spill directory, designs evicted from
+    // the hot tier demote to disk and rematerialize on their next
+    // request instead of recompiling (docs/store.md).
+    options.serve.storeSpillDir = args.getString("spill_dir", "");
+    options.serve.tile.onesBudget = static_cast<std::size_t>(
+        args.getInt("tile_budget",
+                    static_cast<std::int64_t>(
+                        options.serve.tile.onesBudget)));
     options.serve.sim.laneWords =
         static_cast<unsigned>(args.getInt("lane-words", 0));
     options.serve.sim.activityGating =
@@ -258,6 +274,14 @@ main(int argc, char **argv)
                     result.stats.store.cache.misses,
                     result.stats.store.evictions,
                     result.stats.store.resident);
+        if (!options.serve.storeSpillDir.empty())
+            std::printf("tiering: %zu demotions, %zu promotions, %zu "
+                        "cold fallbacks; compile %.2fs vs load %.2fs\n",
+                        result.stats.store.demotions,
+                        result.stats.store.promotions,
+                        result.stats.store.coldFallbacks,
+                        result.stats.store.compileSeconds,
+                        result.stats.store.loadSeconds);
         if (options.serve.sim.jit)
             std::printf(
                 "jit: %zu designs admitted (%zu failed) in %.2fs; "

@@ -28,6 +28,11 @@ namespace spatial::circuit::jit
 class JitModule;
 } // namespace spatial::circuit::jit
 
+namespace spatial::store
+{
+class DesignSerializer;
+} // namespace spatial::store
+
 namespace spatial::core
 {
 
@@ -160,6 +165,8 @@ class CompiledMatrix
 
   private:
     friend class MatrixCompiler;
+    /** The store's load path rebuilds designs field-by-field. */
+    friend class spatial::store::DesignSerializer;
 
     /** JIT modules attached to this design, shared across copies. */
     struct JitAttachment

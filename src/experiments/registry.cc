@@ -16,6 +16,7 @@ Registry::instance()
         registerEsnExperiments(*r);
         registerPerfExperiments(*r);
         registerServeExperiments(*r);
+        registerLargeMatrixExperiments(*r);
         return r;
     }();
     return *registry;

@@ -45,6 +45,7 @@ void registerBaselineExperiments(Registry &registry);   //!< fig13-23
 void registerEsnExperiments(Registry &registry);        //!< ESN scenarios
 void registerPerfExperiments(Registry &registry);       //!< sim_throughput
 void registerServeExperiments(Registry &registry);      //!< serving_throughput
+void registerLargeMatrixExperiments(Registry &registry); //!< large_matrix
 ///@}
 
 } // namespace spatial::experiments

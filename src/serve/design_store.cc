@@ -3,36 +3,71 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/logging.h"
 #include "core/batch_engine.h"
-#include "core/compiler.h"
 
 namespace spatial::serve
 {
 
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
 DesignStore::DesignStore(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(1, capacity))
+    : DesignStore(StoreOptions{capacity, {}, {}})
 {}
 
+DesignStore::DesignStore(StoreOptions options)
+    : options_(std::move(options))
+{
+    options_.capacity = std::max<std::size_t>(1, options_.capacity);
+    if (!options_.spillDir.empty())
+        cold_ = std::make_unique<store::ColdTier>(options_.spillDir);
+}
+
 void
-DesignStore::evictLocked()
+DesignStore::evictLocked(std::vector<Demotion> *demote)
 {
     // Evict least-recently-used first, but never an entry whose
-    // compilation is still in flight: evicting it would let a
+    // materialization is still in flight: evicting it would let a
     // concurrent request start a duplicate compile, and would leave
     // the owner's error-cleanup erasing someone else's entry.  If
     // everything over budget is in flight, capacity is exceeded
     // transiently and the next get() retries.
     auto it = lru_.end();
-    while (entries_.size() > capacity_ && it != lru_.begin()) {
+    while (entries_.size() > options_.capacity && it != lru_.begin()) {
         --it;
         const auto entry = entries_.find(*it);
         if (entry->second.future.wait_for(std::chrono::seconds(0)) !=
             std::future_status::ready)
             continue;
+        if (cold_ != nullptr)
+            demote->emplace_back(entry->first,
+                                 entry->second.future.get());
         entries_.erase(entry);
         it = lru_.erase(it);
         evictions_.fetch_add(1, std::memory_order_relaxed);
     }
+}
+
+void
+DesignStore::demote(std::vector<Demotion> demotions)
+{
+    // Serialization is file I/O over potentially tens of megabytes;
+    // it must not run under the store mutex.  Overwriting a file the
+    // key already has is harmless (same bytes, atomic rename).
+    for (const auto &[key, design] : demotions)
+        if (cold_->put(key, *design))
+            demotions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -46,7 +81,7 @@ DesignStore::setJitAdmission(const core::SimOptions &sim,
 }
 
 void
-DesignStore::admitJit(const core::CompiledMatrix &design)
+DesignStore::admitJit(const core::TiledDesign &design)
 {
     core::SimOptions sim;
     std::size_t max_batch_lanes = 0;
@@ -58,21 +93,25 @@ DesignStore::admitJit(const core::CompiledMatrix &design)
         max_batch_lanes = jitMaxBatchLanes_;
     }
 
-    // The serving hot paths: W = 1 (TapeGemv sequences, small groups)
-    // and whatever W the engine resolves for a full group.  Groups in
-    // between fall back to the interpreted tape, which the engine's
-    // interpFallbackGroups counter makes visible.
-    std::vector<unsigned> lane_words{1};
-    const unsigned wide =
-        core::resolvedLaneWords(design, sim, max_batch_lanes);
-    if (wide != 1)
-        lane_words.push_back(wide);
-
+    // The serving hot paths per tile: W = 1 (TiledGemv sequences,
+    // small groups) and whatever W the engine resolves for a full
+    // group.  Groups in between fall back to the interpreted tape,
+    // which the engine's interpFallbackGroups counter makes visible.
     std::size_t attached = 0;
-    for (const unsigned w : lane_words)
-        if (design.ensureJit(sim, w) != nullptr)
-            ++attached;
-    if (attached == lane_words.size())
+    std::size_t wanted = 0;
+    for (std::size_t i = 0; i < design.tileCount(); ++i) {
+        const core::CompiledMatrix &tile = design.tile(i);
+        std::vector<unsigned> lane_words{1};
+        const unsigned wide =
+            core::resolvedLaneWords(tile, sim, max_batch_lanes);
+        if (wide != 1)
+            lane_words.push_back(wide);
+        wanted += lane_words.size();
+        for (const unsigned w : lane_words)
+            if (tile.ensureJit(sim, w) != nullptr)
+                ++attached;
+    }
+    if (attached == wanted)
         jitAdmitted_.fetch_add(1, std::memory_order_relaxed);
     else
         jitFailed_.fetch_add(1, std::memory_order_relaxed);
@@ -81,7 +120,7 @@ DesignStore::admitJit(const core::CompiledMatrix &design)
         std::memory_order_relaxed);
 }
 
-std::shared_ptr<const core::CompiledMatrix>
+std::shared_ptr<const core::TiledDesign>
 DesignStore::get(const IntMatrix &weights,
                  const core::CompileOptions &options)
 {
@@ -89,14 +128,15 @@ DesignStore::get(const IntMatrix &weights,
                options);
 }
 
-std::shared_ptr<const core::CompiledMatrix>
+std::shared_ptr<const core::TiledDesign>
 DesignStore::get(const experiments::DesignKey &key,
                  const IntMatrix &weights,
                  const core::CompileOptions &options)
 {
     Future future;
-    std::promise<std::shared_ptr<const core::CompiledMatrix>> promise;
+    std::promise<std::shared_ptr<const core::TiledDesign>> promise;
     bool owner = false;
+    std::vector<Demotion> pending_demotions;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = entries_.find(key);
@@ -110,13 +150,48 @@ DesignStore::get(const experiments::DesignKey &key,
             future = promise.get_future().share();
             lru_.push_front(key);
             entries_.emplace(key, Entry{future, lru_.begin()});
-            evictLocked();
+            evictLocked(&pending_demotions);
         }
     }
+    if (!pending_demotions.empty())
+        demote(std::move(pending_demotions));
     if (owner) {
         try {
-            auto design = std::make_shared<const core::CompiledMatrix>(
-                core::MatrixCompiler(options).compile(weights));
+            std::shared_ptr<const core::TiledDesign> design;
+
+            // Cold tier first: a demoted design rematerializes from
+            // its spill file — netlist replay plus plan rebuild, not
+            // a recompile.  Any validation failure falls back.
+            if (cold_ != nullptr) {
+                const auto start = std::chrono::steady_clock::now();
+                const auto status = cold_->get(key, &design);
+                if (status == store::LoadStatus::Ok) {
+                    promotions_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                    loadMicros_.fetch_add(
+                        static_cast<std::uint64_t>(
+                            secondsSince(start) * 1e6),
+                        std::memory_order_relaxed);
+                } else if (status != store::LoadStatus::NotFound) {
+                    coldFallbacks_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    SPATIAL_WARN(
+                        "store: cold design ", cold_->pathFor(key),
+                        " unusable (",
+                        store::loadStatusName(status),
+                        "); recompiling");
+                }
+            }
+            if (design == nullptr) {
+                const auto start = std::chrono::steady_clock::now();
+                design = std::make_shared<const core::TiledDesign>(
+                    core::TiledDesign::compile(weights, options,
+                                               options_.tile));
+                compileMicros_.fetch_add(
+                    static_cast<std::uint64_t>(secondsSince(start) *
+                                               1e6),
+                    std::memory_order_relaxed);
+            }
             // JIT admission happens before the future resolves, so
             // waiters blocked on this entry also cover the native
             // compile: one admission per design, storm or not.
@@ -143,6 +218,18 @@ DesignStore::stats() const
     stats.cache.hits = hits_.load(std::memory_order_relaxed);
     stats.cache.misses = misses_.load(std::memory_order_relaxed);
     stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.demotions = demotions_.load(std::memory_order_relaxed);
+    stats.promotions = promotions_.load(std::memory_order_relaxed);
+    stats.coldFallbacks =
+        coldFallbacks_.load(std::memory_order_relaxed);
+    stats.compileSeconds =
+        static_cast<double>(
+            compileMicros_.load(std::memory_order_relaxed)) /
+        1e6;
+    stats.loadSeconds =
+        static_cast<double>(
+            loadMicros_.load(std::memory_order_relaxed)) /
+        1e6;
     stats.jitAdmitted = jitAdmitted_.load(std::memory_order_relaxed);
     stats.jitFailed = jitFailed_.load(std::memory_order_relaxed);
     stats.jitCompileSeconds =
@@ -154,6 +241,12 @@ DesignStore::stats() const
         stats.resident = entries_.size();
     }
     return stats;
+}
+
+store::ColdTierStats
+DesignStore::coldStats() const
+{
+    return cold_ != nullptr ? cold_->stats() : store::ColdTierStats{};
 }
 
 } // namespace spatial::serve

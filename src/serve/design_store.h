@@ -1,23 +1,37 @@
 /**
  * @file
- * LRU store of hot compiled designs for the serving layer.
+ * The memory-tiered design store for the serving layer: an LRU hot
+ * tier of live TiledDesigns over an optional on-disk cold tier.
  *
  * Serving traffic references a working set of models that changes over
  * time; unlike an offline sweep (experiments::DesignCache, which only
- * ever grows), the serving compile cache must be bounded.  The store
- * keys on the exact same identity as the sweep cache —
- * experiments::DesignKey, the matrix FNV content hash plus
- * CompileOptions — so "same design" means the same thing online and
- * offline, and reuses DesignCache::Stats as its hit/miss snapshot.
- * Note the bound is on the *cache*: callers holding a returned
- * shared_ptr (e.g. a Server, which pins every registered design for
- * its lifetime) keep evicted designs alive until they let go.
+ * ever grows), the serving store must be bounded.  The store keys on
+ * the exact same identity as the sweep cache — experiments::DesignKey,
+ * the matrix FNV content hash plus CompileOptions — so "same design"
+ * means the same thing online and offline, and reuses
+ * DesignCache::Stats as its hit/miss snapshot.
  *
- * Thread-safe.  Concurrent get()s for one key compile once: the first
- * requester owns the compilation and everyone else blocks on its
- * shared future (in-flight dedup).  Eviction is strict LRU over
- * completed entries; evicted designs stay alive for holders of the
- * returned shared_ptr.
+ * Tiering (FlashX-style in-memory vs. external backends): when a
+ * spill directory is configured, LRU eviction *demotes* the design —
+ * it is serialized to the cold tier (store::ColdTier) before the hot
+ * entry drops — and a later request for the key *promotes* it back by
+ * loading the file instead of recompiling, several times faster at
+ * the dims where compiles take seconds.  A cold file that fails
+ * validation (truncated, checksum mismatch, wrong version) falls back
+ * to a recompile with a logged warning; tiering is an optimization,
+ * never a correctness dependency.  Without a spill directory,
+ * eviction drops the entry outright (the pre-tiering behavior).
+ *
+ * Designs are compiled as column-strip tiles under StoreOptions::tile
+ * (core::TiledDesign), so a dim-8192 registration works exactly like
+ * a dim-64 one — it just produces more tiles.
+ *
+ * Thread-safe.  Concurrent get()s for one key materialize once: the
+ * first requester owns the load-or-compile and everyone else blocks
+ * on its shared future (in-flight dedup).  Eviction is strict LRU
+ * over completed entries; evicted designs stay alive for holders of
+ * the returned shared_ptr.  Demotion serialization runs outside the
+ * store mutex.
  */
 
 #ifndef SPATIAL_SERVE_DESIGN_STORE_H
@@ -29,27 +43,70 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
-#include "core/compiled_matrix.h"
+#include "core/tiled_design.h"
 #include "experiments/design_cache.h"
 #include "matrix/dense.h"
+#include "store/cold_tier.h"
 
 namespace spatial::serve
 {
 
-/** Bounded LRU of compiled designs with in-flight compile dedup. */
+/** Configuration of one DesignStore. */
+struct StoreOptions
+{
+    /** Hot-tier capacity: resident designs (min 1). */
+    std::size_t capacity = 64;
+
+    /**
+     * Cold-tier directory; empty disables tiering (eviction then
+     * drops designs outright instead of demoting them).
+     */
+    std::string spillDir;
+
+    /** Column-tiling budget every design is compiled under. */
+    core::TileOptions tile;
+};
+
+/** Memory-tiered LRU of compiled designs with in-flight dedup. */
 class DesignStore
 {
   public:
     /** Snapshot of the store's accounting. */
     struct Stats
     {
-        /** Hit/miss counters (same struct the sweep cache exposes). */
+        /**
+         * Hot-tier hit/miss counters (same struct the sweep cache
+         * exposes).  A miss that promotes from the cold tier still
+         * counts as a miss — `promotions` splits the misses into
+         * loaded-vs-compiled.
+         */
         experiments::DesignCache::Stats cache;
 
-        std::size_t evictions = 0; //!< entries dropped by the LRU
-        std::size_t resident = 0;  //!< entries currently held
+        std::size_t evictions = 0; //!< hot entries dropped by the LRU
+        std::size_t resident = 0;  //!< hot entries currently held
+
+        /** Evictions serialized into the cold tier. */
+        std::size_t demotions = 0;
+
+        /** Misses served by loading a cold-tier file. */
+        std::size_t promotions = 0;
+
+        /**
+         * Cold files rejected (checksum/corruption/version) and
+         * recompiled instead; each leaves a logged warning.
+         */
+        std::size_t coldFallbacks = 0;
+
+        /** Wall-clock seconds spent compiling on misses. */
+        double compileSeconds = 0.0;
+
+        /** Wall-clock seconds spent loading cold designs. */
+        double loadSeconds = 0.0;
 
         /** Designs that left admission with a JIT module attached. */
         std::size_t jitAdmitted = 0;
@@ -68,15 +125,20 @@ class DesignStore
         double jitCompileSeconds = 0.0;
     };
 
-    /** Store holding at most `capacity` designs (min 1). */
+    /** Hot-only store holding at most `capacity` designs (min 1). */
     explicit DesignStore(std::size_t capacity = 64);
 
+    /** Fully configured store (capacity, cold tier, tiling). */
+    explicit DesignStore(StoreOptions options);
+
     /**
-     * The compiled design for (weights, options), compiling on first
-     * request.  Never returns null; rethrows the owner's compile error
-     * to every waiter and evicts the entry so later calls retry.
+     * The design for (weights, options), materializing on first
+     * request: cold-tier load when a valid spill file exists,
+     * compile otherwise.  Never returns null; rethrows the owner's
+     * error to every waiter and evicts the entry so later calls
+     * retry.
      */
-    std::shared_ptr<const core::CompiledMatrix>
+    std::shared_ptr<const core::TiledDesign>
     get(const IntMatrix &weights, const core::CompileOptions &options);
 
     /**
@@ -84,25 +146,21 @@ class DesignStore
      * re-hashing the matrix); `key` must equal
      * makeDesignKey(weights, options).
      */
-    std::shared_ptr<const core::CompiledMatrix>
+    std::shared_ptr<const core::TiledDesign>
     get(const experiments::DesignKey &key, const IntMatrix &weights,
         const core::CompileOptions &options);
 
     /**
-     * Enable admission-time JIT compilation: every design compiled
+     * Enable admission-time JIT compilation: every design materialized
      * after this call also gets native modules (CompiledMatrix::
-     * ensureJit) for `sim`'s execution mode at W = 1 plus the widest
-     * lane-word count the engine resolves for a full batch of
+     * ensureJit per tile) for `sim`'s execution mode at W = 1 plus the
+     * widest lane-word count the engine resolves for a full batch of
      * `max_batch_lanes` vectors — the sequential-executor and
-     * full-group hot paths.  The JIT compile rides the store's
-     * in-flight dedup (the compile owner does it once; waiters block
-     * on the same future), so an admission storm never compiles a
-     * design's modules twice.  Admission failures are counted, not
-     * raised: the design serves on the interpreted tape.  Eviction
-     * simply drops the store's reference — when the last holder lets
-     * go, the modules' destructors dlclose their handles (the temp
-     * artifacts were already unlinked at load), so eviction storms
-     * leak neither fds nor disk.
+     * full-group hot paths.  Promotions re-admit (JIT attachments are
+     * not serialized).  The JIT compile rides the store's in-flight
+     * dedup, so an admission storm never compiles a design's modules
+     * twice.  Admission failures are counted, not raised: the design
+     * serves on the interpreted tape.
      */
     void setJitAdmission(const core::SimOptions &sim,
                          std::size_t max_batch_lanes);
@@ -110,12 +168,18 @@ class DesignStore
     /** Current accounting (counters are lock-free reads). */
     Stats stats() const;
 
+    /** Cold-tier traffic counters; zeros when tiering is disabled. */
+    store::ColdTierStats coldStats() const;
+
     /** The configured capacity. */
-    std::size_t capacity() const { return capacity_; }
+    std::size_t capacity() const { return options_.capacity; }
+
+    /** The full configuration. */
+    const StoreOptions &options() const { return options_; }
 
   private:
     using Future =
-        std::shared_future<std::shared_ptr<const core::CompiledMatrix>>;
+        std::shared_future<std::shared_ptr<const core::TiledDesign>>;
 
     struct Entry
     {
@@ -123,13 +187,26 @@ class DesignStore
         std::list<experiments::DesignKey>::iterator lruIt;
     };
 
-    /** Drop least-recently-used entries beyond capacity (lock held). */
-    void evictLocked();
+    /** A ready design extracted by eviction for cold-tier demotion. */
+    using Demotion =
+        std::pair<experiments::DesignKey,
+                  std::shared_ptr<const core::TiledDesign>>;
 
-    /** Admission-time JIT compile for a freshly built design. */
-    void admitJit(const core::CompiledMatrix &design);
+    /**
+     * Drop least-recently-used entries beyond capacity (lock held).
+     * Ready victims are appended to `demote` for the caller to spill
+     * outside the lock when a cold tier is configured.
+     */
+    void evictLocked(std::vector<Demotion> *demote);
 
-    std::size_t capacity_;
+    /** Spill demotion victims to the cold tier (outside the lock). */
+    void demote(std::vector<Demotion> demotions);
+
+    /** Admission-time JIT compile for a materialized design. */
+    void admitJit(const core::TiledDesign &design);
+
+    StoreOptions options_;
+    std::unique_ptr<store::ColdTier> cold_; //!< null when disabled
     bool jitAdmission_ = false;        //!< guarded by mutex_
     core::SimOptions jitSim_;          //!< guarded by mutex_
     std::size_t jitMaxBatchLanes_ = 0; //!< guarded by mutex_
@@ -142,9 +219,14 @@ class DesignStore
     std::atomic<std::size_t> hits_{0};
     std::atomic<std::size_t> misses_{0};
     std::atomic<std::size_t> evictions_{0};
+    std::atomic<std::size_t> demotions_{0};
+    std::atomic<std::size_t> promotions_{0};
+    std::atomic<std::size_t> coldFallbacks_{0};
+    /** Microseconds, so the counters stay lock-free integers. */
+    std::atomic<std::uint64_t> compileMicros_{0};
+    std::atomic<std::uint64_t> loadMicros_{0};
     std::atomic<std::size_t> jitAdmitted_{0};
     std::atomic<std::size_t> jitFailed_{0};
-    /** Microseconds, so the counter can stay a lock-free integer. */
     std::atomic<std::uint64_t> jitCompileMicros_{0};
 };
 

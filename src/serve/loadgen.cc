@@ -10,7 +10,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/batch_engine.h"
-#include "core/compiler.h"
+#include "core/tiled_design.h"
 #include "experiments/json.h"
 #include "matrix/bits.h"
 #include "matrix/generate.h"
@@ -96,7 +96,7 @@ secondsBetween(std::chrono::time_point<Clock> a,
 
 /** The naive path's answer to one request (one multiply per vector). */
 IntMatrix
-naiveAnswer(core::TapeGemv &gemv, const Request &request,
+naiveAnswer(core::TiledGemv &gemv, const Request &request,
             std::size_t cols)
 {
     if (request.kind == RequestKind::GemvBatch) {
@@ -129,11 +129,12 @@ naiveAnswer(core::TapeGemv &gemv, const Request &request,
     return out;
 }
 
-/** Time the identical stream on per-worker TapeGemv executors. */
+/** Time the identical stream on per-worker sequential executors. */
 double
-runNaive(const std::vector<const core::CompiledMatrix *> &designs,
-         const core::SimOptions &sim, unsigned workers,
-         const Workload &workload, std::vector<IntMatrix> &outputs)
+runNaive(
+    const std::vector<std::shared_ptr<const core::TiledDesign>> &designs,
+    const core::SimOptions &sim, unsigned workers,
+    const Workload &workload, std::vector<IntMatrix> &outputs)
 {
     outputs.assign(workload.stream.size(), IntMatrix());
     std::atomic<std::size_t> next{0};
@@ -142,11 +143,11 @@ runNaive(const std::vector<const core::CompiledMatrix *> &designs,
         // One persistent single-vector executor per (worker, design),
         // on the run's configured engine knobs — the comparison must
         // vary only the batching dimension, not the gating mode.
-        std::vector<std::unique_ptr<core::TapeGemv>> gemvs;
+        std::vector<std::unique_ptr<core::TiledGemv>> gemvs;
         gemvs.reserve(designs.size());
-        for (const core::CompiledMatrix *design : designs)
+        for (const auto &design : designs)
             gemvs.push_back(
-                std::make_unique<core::TapeGemv>(*design, sim));
+                std::make_unique<core::TiledGemv>(*design, sim));
         const std::size_t cols = designs.front()->cols();
         for (std::size_t i = next.fetch_add(1);
              i < workload.stream.size(); i = next.fetch_add(1)) {
@@ -187,15 +188,15 @@ finishLatencies(LoadGenResult &result, const LoadGenOptions &options,
 }
 
 /** The local reference compile of a remote run's generated designs. */
-std::vector<std::unique_ptr<core::CompiledMatrix>>
-compileLocally(const Workload &workload)
+std::vector<std::shared_ptr<const core::TiledDesign>>
+compileLocally(const Workload &workload, const core::TileOptions &tile)
 {
-    std::vector<std::unique_ptr<core::CompiledMatrix>> designs;
+    std::vector<std::shared_ptr<const core::TiledDesign>> designs;
     designs.reserve(workload.weights.size());
-    const core::MatrixCompiler compiler(workload.compile);
     for (const IntMatrix &weights : workload.weights)
-        designs.push_back(std::make_unique<core::CompiledMatrix>(
-            compiler.compile(weights)));
+        designs.push_back(std::make_shared<const core::TiledDesign>(
+            core::TiledDesign::compile(weights, workload.compile,
+                                       tile)));
     return designs;
 }
 
@@ -273,15 +274,12 @@ runRemote(const LoadGenOptions &options)
         result.completed = latencies.size();
 
         if (options.compareNaive) {
-            const auto local = compileLocally(workload);
-            std::vector<const core::CompiledMatrix *> refs;
-            refs.reserve(local.size());
-            for (const auto &design : local)
-                refs.push_back(design.get());
+            const auto local =
+                compileLocally(workload, options.serve.tile);
             std::vector<IntMatrix> naive;
             const unsigned workers =
                 std::max(1u, std::thread::hardware_concurrency());
-            result.naiveSeconds = runNaive(refs, options.serve.sim,
+            result.naiveSeconds = runNaive(local, options.serve.sim,
                                            workers, workload, naive);
             result.naiveThroughput =
                 static_cast<double>(workload.stream.size()) /
@@ -499,10 +497,10 @@ runLoadGen(const LoadGenOptions &options)
         result.completed = responses.size();
 
         if (options.compareNaive) {
-            std::vector<const core::CompiledMatrix *> refs;
+            std::vector<std::shared_ptr<const core::TiledDesign>> refs;
             refs.reserve(workload.ids.size());
             for (const DesignId id : workload.ids)
-                refs.push_back(&server.design(id));
+                refs.push_back(server.design(id));
             std::vector<IntMatrix> naive;
             result.naiveSeconds =
                 runNaive(refs, server.options().sim,
@@ -673,6 +671,15 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     out << "  \"store_hits\": " << stats.store.cache.hits << ",\n";
     out << "  \"store_misses\": " << stats.store.cache.misses << ",\n";
     out << "  \"store_evictions\": " << stats.store.evictions << ",\n";
+    out << "  \"store_demotions\": " << stats.store.demotions << ",\n";
+    out << "  \"store_promotions\": " << stats.store.promotions
+        << ",\n";
+    out << "  \"store_cold_fallbacks\": " << stats.store.coldFallbacks
+        << ",\n";
+    out << "  \"store_compile_seconds\": "
+        << jsonReal(stats.store.compileSeconds) << ",\n";
+    out << "  \"store_load_seconds\": "
+        << jsonReal(stats.store.loadSeconds) << ",\n";
     out << "  \"jit_admitted\": " << stats.store.jitAdmitted << ",\n";
     out << "  \"jit_failed\": " << stats.store.jitFailed << ",\n";
     out << "  \"jit_admit_seconds\": "

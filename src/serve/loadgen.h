@@ -10,8 +10,9 @@
  * batch-saturating ceiling) — and reports throughput, latency
  * percentiles, and batching behaviour.  Drain mode can additionally
  * execute the identical request list on the naive
- * one-request-per-multiply path (per-worker core::TapeGemv) to measure
- * the batching speedup, verifying both sides bit-identical first.
+ * one-request-per-multiply path (per-worker core::TiledGemv) to
+ * measure the batching speedup, verifying both sides bit-identical
+ * first.
  */
 
 #ifndef SPATIAL_SERVE_LOADGEN_H

@@ -52,6 +52,10 @@ setNoDelay(int fd)
 NetServer::NetServer(NetServerOptions options) : options_(options)
 {
     options_.shards = std::max<std::size_t>(1, options_.shards);
+    options_.maxFrameBytes = std::min(
+        std::max(options_.maxFrameBytes,
+                 static_cast<std::uint32_t>(wire::kHeaderBytes)),
+        wire::kMaxFrameBytes);
 
     // Shards first: each is a full in-process Server with its own
     // DesignStore and worker pool.
@@ -246,6 +250,14 @@ NetServer::statsMatrix() const
             static_cast<std::int64_t>(shards_[s]->shed.load());
         m.at(s, wire::kStatInFlight) =
             static_cast<std::int64_t>(shards_[s]->inFlight.load());
+        m.at(s, wire::kStatStoreHits) =
+            static_cast<std::int64_t>(server.store.cache.hits);
+        m.at(s, wire::kStatStoreMisses) =
+            static_cast<std::int64_t>(server.store.cache.misses);
+        m.at(s, wire::kStatStorePromotions) =
+            static_cast<std::int64_t>(server.store.promotions);
+        m.at(s, wire::kStatStoreDemotions) =
+            static_cast<std::int64_t>(server.store.demotions);
     }
     return m;
 }
@@ -346,6 +358,16 @@ NetServer::dispatch(std::uint64_t conn, wire::RequestFrame frame)
     }
 
     if (frame.kind == MessageKind::RegisterDesign) {
+        // Admission budget: an over-dim design is rejected before its
+        // (potentially enormous) compile can be queued; the client
+        // gets a clean BadRequest instead of a dropped connection.
+        if (options_.maxRegisterDim != 0 &&
+            (frame.weights.rows() > options_.maxRegisterDim ||
+             frame.weights.cols() > options_.maxRegisterDim)) {
+            replyStatus(conn, Status::BadRequest, frame.kind,
+                        frame.requestId, frame.designId);
+            return;
+        }
         RegisterJob job;
         job.conn = conn;
         job.requestId = frame.requestId;
@@ -558,7 +580,8 @@ NetServer::processInbound(std::uint64_t id, Connection &conn)
         std::size_t payload_off = 0, payload_size = 0, frame_size = 0;
         const wire::FrameResult r = wire::peekFrame(
             conn.in.data() + consumed, conn.in.size() - consumed,
-            &payload_off, &payload_size, &frame_size);
+            &payload_off, &payload_size, &frame_size,
+            options_.maxFrameBytes);
         if (r == wire::FrameResult::NeedMore)
             break;
         if (r == wire::FrameResult::Malformed) {

@@ -79,6 +79,23 @@ struct NetServerOptions
      */
     std::size_t maxQueue = 1024;
 
+    /**
+     * Largest design dimension (rows or cols) a RegisterDesign is
+     * admitted with; anything larger is answered Status::BadRequest
+     * before it reaches the registrar.  The default covers the
+     * large-matrix envelope (dim 8192, a 512 MiB dense weight frame);
+     * 0 means unbounded (the frame cap still applies).
+     */
+    std::size_t maxRegisterDim = 8192;
+
+    /**
+     * Largest inbound frame payload accepted on a connection (bytes);
+     * a length prefix above this is Malformed and drops the
+     * connection.  Clamped to wire::kMaxFrameBytes.  The default
+     * admits a dense maxRegisterDim registration.
+     */
+    std::uint32_t maxFrameBytes = wire::kMaxFrameBytes;
+
     /** Per-shard in-process Server configuration. */
     ServeOptions serve;
 };

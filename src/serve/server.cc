@@ -9,7 +9,10 @@
 namespace spatial::serve
 {
 
-Server::Server(ServeOptions options) : options_(options), store_(options.storeCapacity)
+Server::Server(ServeOptions options)
+    : options_(options),
+      store_(StoreOptions{options.storeCapacity, options.storeSpillDir,
+                          options.tile})
 {
     options_.maxBatch = std::max<std::size_t>(1, options_.maxBatch);
     // Group execution forces threads = 1 (see executeGroup), so the
@@ -54,10 +57,12 @@ Server::registerDesign(const IntMatrix &weights,
         if (it != designIds_.end())
             return it->second;
     }
-    // Compile outside the scheduling lock; the store dedups concurrent
-    // compilations of the same design (and reuses the key computed
-    // above instead of re-hashing the matrix).
-    auto design = store_.get(key, weights, options);
+    // Materialize outside the scheduling lock; the store dedups
+    // concurrent compilations of the same design (and reuses the key
+    // computed above instead of re-hashing the matrix).  The returned
+    // pointer is dropped on purpose: entries do not pin designs, the
+    // tiered store owns residency.
+    store_.get(key, weights, options);
 
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = designIds_.find(key);
@@ -65,8 +70,8 @@ Server::registerDesign(const IntMatrix &weights,
         return it->second;
     const DesignId id = designs_.size();
     BatchPolicy policy{options_.maxBatch, options_.maxDelay};
-    designs_.push_back(
-        std::make_unique<DesignEntry>(id, std::move(design), policy));
+    designs_.push_back(std::make_unique<DesignEntry>(
+        id, key, weights, options, policy));
     designIds_.emplace(key, id);
     return id;
 }
@@ -83,40 +88,39 @@ Server::submit(DesignId id, Request request)
     if (id >= designs_.size())
         SPATIAL_FATAL("submit to unregistered design ", id);
     DesignEntry &entry = *designs_[id];
-    const auto &design = *entry.design;
+    const std::size_t rows = entry.weights.rows();
+    const std::size_t cols = entry.weights.cols();
     const Request &req = pending.request;
 
     switch (req.kind) {
       case RequestKind::Gemv:
-        if (req.vec.size() != design.rows())
+        if (req.vec.size() != rows)
             SPATIAL_FATAL("gemv input length ", req.vec.size(),
-                          " != design rows ", design.rows());
+                          " != design rows ", rows);
         break;
       case RequestKind::GemvBatch:
-        if (req.batch.rows() == 0 || req.batch.cols() != design.rows())
+        if (req.batch.rows() == 0 || req.batch.cols() != rows)
             SPATIAL_FATAL("gemv batch shape ", req.batch.rows(), "x",
-                          req.batch.cols(), " vs design rows ",
-                          design.rows());
+                          req.batch.cols(), " vs design rows ", rows);
         break;
       case RequestKind::EsnStep:
-        if (req.vec.size() != design.rows())
+        if (req.vec.size() != rows)
             SPATIAL_FATAL("esn state length ", req.vec.size(),
-                          " != design rows ", design.rows());
-        if (!req.inject.empty() && req.inject.size() != design.cols())
+                          " != design rows ", rows);
+        if (!req.inject.empty() && req.inject.size() != cols)
             SPATIAL_FATAL("esn inject length ", req.inject.size(),
-                          " != design cols ", design.cols());
+                          " != design cols ", cols);
         break;
       case RequestKind::EsnSequence:
-        if (design.rows() != design.cols())
+        if (rows != cols)
             SPATIAL_FATAL("esn sequence needs a square design, got ",
-                          design.rows(), "x", design.cols());
-        if (req.vec.size() != design.rows())
+                          rows, "x", cols);
+        if (req.vec.size() != rows)
             SPATIAL_FATAL("esn state length ", req.vec.size(),
-                          " != design rows ", design.rows());
-        if (req.injectSeq.rows() > 0 &&
-            req.injectSeq.cols() != design.cols())
+                          " != design rows ", rows);
+        if (req.injectSeq.rows() > 0 && req.injectSeq.cols() != cols)
             SPATIAL_FATAL("esn inject width ", req.injectSeq.cols(),
-                          " != design cols ", design.cols());
+                          " != design cols ", cols);
         break;
     }
     if ((req.kind == RequestKind::EsnStep ||
@@ -212,9 +216,14 @@ Server::workerLoop()
         if (!group)
             continue;
         ++inFlight_;
-        // Pin the design across the unlocked execution window.
-        auto design = designs_[group->design]->design;
+        // Materialize the design outside the lock: a hot design is a
+        // map lookup; a demoted one reloads from the cold tier (or
+        // recompiles).  The shared_ptr pins it across execution even
+        // if the LRU demotes it meanwhile.
+        DesignEntry &entry = *designs_[group->design];
         lock.unlock();
+        auto design =
+            store_.get(entry.key, entry.weights, entry.compile);
         if (!group->requests.empty() &&
             group->requests.front().request.kind ==
                 RequestKind::EsnSequence)
@@ -229,7 +238,7 @@ Server::workerLoop()
 }
 
 void
-Server::executeGroup(const core::CompiledMatrix &design, Group group)
+Server::executeGroup(const core::TiledDesign &design, Group group)
 {
     const std::size_t rows = design.rows();
     const std::size_t cols = design.cols();
@@ -254,16 +263,25 @@ Server::executeGroup(const core::CompiledMatrix &design, Group group)
     SPATIAL_ASSERT(lane == group.lanes, "lane accounting");
 
     // One worker, one group: intra-group threading would fight the
-    // pool's group-level parallelism.  The engine sizes its lane-words
-    // to the dispatched SIMD kernel and this group's padded size, so a
-    // full 256-lane group is one AVX2 pass instead of four.
+    // pool's group-level parallelism — except across tiles, where the
+    // strips are independent and a multi-tile design would otherwise
+    // serialize its strips on one core.  The engine sizes its
+    // lane-words to the dispatched SIMD kernel and this group's padded
+    // size, so a full 256-lane group is one AVX2 pass instead of four.
     core::SimOptions sim = options_.sim;
-    sim.threads = 1;
-    const std::size_t pass_lanes =
-        64 * core::resolvedLaneWords(design, sim, padded);
+    sim.threads = design.tiled() ? options_.workers : 1;
+    core::SimOptions pass_sim = sim;
+    pass_sim.threads = 1;
+    std::size_t passes = 0;
+    for (std::size_t i = 0; i < design.tileCount(); ++i) {
+        const std::size_t pass_lanes =
+            64 * core::resolvedLaneWords(design.tile(i), pass_sim,
+                                         padded);
+        passes += (padded + pass_lanes - 1) / pass_lanes;
+    }
     core::BatchStats engine_stats;
     const IntMatrix out =
-        core::runBatchWide(design, batch, sim, &engine_stats);
+        design.multiplyBatchWide(batch, sim, &engine_stats);
 
     // Book the group's counters before fulfilling any promise: a
     // client that synchronizes on its future must observe them.
@@ -272,7 +290,7 @@ Server::executeGroup(const core::CompiledMatrix &design, Group group)
         ++stats_.groups;
         stats_.lanes += group.lanes;
         stats_.paddedLanes += padded;
-        stats_.enginePasses += (padded + pass_lanes - 1) / pass_lanes;
+        stats_.enginePasses += passes;
         stats_.segmentsExecuted += engine_stats.segmentsExecuted;
         stats_.segmentsSkipped += engine_stats.segmentsSkipped;
         stats_.jitGroups += engine_stats.jitGroups;
@@ -317,14 +335,14 @@ Server::executeGroup(const core::CompiledMatrix &design, Group group)
 }
 
 void
-Server::executeSequence(const core::CompiledMatrix &design, Group group)
+Server::executeSequence(const core::TiledDesign &design, Group group)
 {
     auto &p = group.requests.front();
     const Request &req = p.request;
     const std::size_t cols = design.cols();
     const std::size_t steps = req.injectSeq.rows();
 
-    core::TapeGemv gemv(design, options_.sim);
+    core::TiledGemv gemv(design, options_.sim);
     std::vector<std::int64_t> state = req.vec;
     std::vector<std::int64_t> product(cols);
     IntMatrix trajectory(steps, cols);
@@ -338,15 +356,15 @@ Server::executeSequence(const core::CompiledMatrix &design, Group group)
         }
     }
 
+    const core::BatchStats seq_stats = gemv.engineStats();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.sequences;
         stats_.sequenceSteps += steps;
-        stats_.segmentsExecuted += gemv.engineStats().segmentsExecuted;
-        stats_.segmentsSkipped += gemv.engineStats().segmentsSkipped;
-        stats_.jitGroups += gemv.engineStats().jitGroups;
-        stats_.jitFallbackGroups +=
-            gemv.engineStats().interpFallbackGroups;
+        stats_.segmentsExecuted += seq_stats.segmentsExecuted;
+        stats_.segmentsSkipped += seq_stats.segmentsSkipped;
+        stats_.jitGroups += seq_stats.jitGroups;
+        stats_.jitFallbackGroups += seq_stats.interpFallbackGroups;
     }
 
     Response resp;
@@ -355,8 +373,8 @@ Server::executeSequence(const core::CompiledMatrix &design, Group group)
     resp.doneAt = Clock::now();
     resp.groupLanes = 1;
     resp.flushReason = FlushReason::Direct;
-    resp.segmentsExecuted = gemv.engineStats().segmentsExecuted;
-    resp.segmentsSkipped = gemv.engineStats().segmentsSkipped;
+    resp.segmentsExecuted = seq_stats.segmentsExecuted;
+    resp.segmentsSkipped = seq_stats.segmentsSkipped;
     resp.output = std::move(trajectory);
     p.promise.set_value(std::move(resp));
 }
@@ -415,13 +433,18 @@ Server::stats() const
     return stats;
 }
 
-const core::CompiledMatrix &
-Server::design(DesignId id) const
+std::shared_ptr<const core::TiledDesign>
+Server::design(DesignId id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (id >= designs_.size())
-        SPATIAL_FATAL("unknown design ", id);
-    return *designs_[id]->design;
+    DesignEntry *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (id >= designs_.size())
+            SPATIAL_FATAL("unknown design ", id);
+        entry = designs_[id].get();
+    }
+    // Outside the lock: may hit the cold tier or recompile.
+    return store_.get(entry->key, entry->weights, entry->compile);
 }
 
 std::size_t

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "core/tiled_design.h"
 #include "serve/batcher.h"
 #include "serve/design_store.h"
 #include "serve/request.h"
@@ -57,8 +58,25 @@ struct ServeOptions
     /** Execution workers; 0 = one per hardware context. */
     unsigned workers = 0;
 
-    /** DesignStore capacity (resident compiled designs). */
+    /** DesignStore hot-tier capacity (resident compiled designs). */
     std::size_t storeCapacity = 64;
+
+    /**
+     * Cold-tier spill directory for the DesignStore; empty disables
+     * tiering.  With a cold tier, designs evicted from the hot tier
+     * are serialized to disk and rematerialized (loaded, not
+     * recompiled) on their next request — see docs/store.md.
+     */
+    std::string storeSpillDir;
+
+    /**
+     * Column-tiling budget for registered designs: matrices whose
+     * compiled ones-cost exceeds TileOptions::onesBudget are compiled
+     * and executed as column-strip tiles (core::TiledDesign), so
+     * dim 1024-8192 designs serve through the same paths as small
+     * ones.
+     */
+    core::TileOptions tile;
 
     /**
      * Engine knobs for group execution.  `threads` is ignored: each
@@ -121,10 +139,12 @@ class Server
 
     /**
      * Register (weights, options) for serving, compiling through the
-     * LRU store on first sight.  Re-registering an identical design
-     * returns the existing id (requests then share its batcher).  A
-     * registered design stays resident for the server's lifetime —
-     * the store's LRU bounds compile-cache churn, not registrations.
+     * tiered store on first sight.  Re-registering an identical
+     * design returns the existing id (requests then share its
+     * batcher).  A registration is permanent but its compiled design
+     * is not pinned: the store's LRU may demote it (to the cold tier
+     * when one is configured), and the next request rematerializes
+     * it.
      */
     DesignId registerDesign(const IntMatrix &weights,
                             const core::CompileOptions &options);
@@ -142,8 +162,13 @@ class Server
     /** Current counters. */
     ServerStats stats() const;
 
-    /** The compiled design behind an id (for reference checks). */
-    const core::CompiledMatrix &design(DesignId id) const;
+    /**
+     * The compiled design behind an id (for reference checks).
+     * Materializes through the store — a demoted design is reloaded
+     * from the cold tier (or recompiled) on the spot, so the returned
+     * pointer is always live, but the call may block on that load.
+     */
+    std::shared_ptr<const core::TiledDesign> design(DesignId id);
 
     /** Number of registered designs. */
     std::size_t designCount() const;
@@ -152,16 +177,27 @@ class Server
     const ServeOptions &options() const { return options_; }
 
   private:
+    /**
+     * One registered design's scheduling state.  The entry does NOT
+     * pin the compiled design: workers materialize it through the
+     * store per group, so the hot tier's LRU can really demote a cold
+     * design to disk and promote it back on its next request.  The
+     * identity (key), the weights, and the compile options are kept
+     * so a promotion that finds a corrupt spill file can recompile.
+     */
     struct DesignEntry
     {
-        std::shared_ptr<const core::CompiledMatrix> design;
+        experiments::DesignKey key;
+        IntMatrix weights;
+        core::CompileOptions compile;
         Batcher batcher;
         std::deque<Group> ready;
 
-        DesignEntry(DesignId id,
-                    std::shared_ptr<const core::CompiledMatrix> d,
+        DesignEntry(DesignId id, experiments::DesignKey k,
+                    IntMatrix w, const core::CompileOptions &c,
                     const BatchPolicy &policy)
-            : design(std::move(d)), batcher(id, policy)
+            : key(std::move(k)), weights(std::move(w)), compile(c),
+              batcher(id, policy)
         {}
     };
 
@@ -175,10 +211,10 @@ class Server
     void pushGroupsLocked(std::vector<Group> groups);
 
     /** Execute one group outside the lock and fulfill its futures. */
-    void executeGroup(const core::CompiledMatrix &design, Group group);
+    void executeGroup(const core::TiledDesign &design, Group group);
 
     /** Run one EsnSequence request on a persistent tape executor. */
-    void executeSequence(const core::CompiledMatrix &design, Group group);
+    void executeSequence(const core::TiledDesign &design, Group group);
 
     ServeOptions options_;
     DesignStore store_;

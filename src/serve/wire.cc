@@ -1,5 +1,6 @@
 #include "serve/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace spatial::serve::wire
@@ -339,14 +340,15 @@ appendResponseFrame(std::vector<std::uint8_t> &out,
 FrameResult
 peekFrame(const std::uint8_t *data, std::size_t size,
           std::size_t *payload_offset, std::size_t *payload_size,
-          std::size_t *frame_size)
+          std::size_t *frame_size, std::uint32_t max_payload)
 {
     if (size < 4)
         return FrameResult::NeedMore;
     std::uint32_t length = 0;
     for (int i = 0; i < 4; ++i)
         length |= static_cast<std::uint32_t>(data[i]) << (8 * i);
-    if (length < kHeaderBytes || length > kMaxFrameBytes)
+    if (length < kHeaderBytes ||
+        length > std::min(max_payload, kMaxFrameBytes))
         return FrameResult::Malformed;
     if (size < 4 + static_cast<std::size_t>(length))
         return FrameResult::NeedMore;

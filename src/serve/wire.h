@@ -47,15 +47,24 @@ constexpr std::uint16_t kMagic = 0x5753;
  * Protocol version carried in every header.  The versioning rule:
  * incompatible layout changes bump this and the decoder rejects
  * mismatches with Status::BadVersion — there is no cross-version
- * negotiation, a client and server must agree exactly.
+ * negotiation, a client and server must agree exactly.  v2 widened
+ * the Stats matrix to kShardStatsCols = 12 (design-store tier
+ * counters) and raised kMaxFrameBytes for large-matrix registration.
  */
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersion = 2;
 
 /** Fixed payload header size (magic + version + kind + ids). */
 constexpr std::size_t kHeaderBytes = 16;
 
-/** Hard cap on one frame's payload bytes (64 MiB). */
-constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+/**
+ * Hard cap on one frame's payload bytes (1 GiB).  Sized so a dense
+ * dim-8192 RegisterDesign frame (8192^2 i64 weights = 512 MiB) fits:
+ * the protocol itself no longer bounds design dimension — the
+ * server's admission budget does (NetServerOptions::maxRegisterDim /
+ * maxFrameBytes, answered with Status::BadRequest or a dropped
+ * connection).  peekFrame() callers pass their own tighter budget.
+ */
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
 
 /** Cap on any single vector/matrix dimension in a frame. */
 constexpr std::uint32_t kMaxDim = 1u << 20;
@@ -64,7 +73,7 @@ constexpr std::uint32_t kMaxDim = 1u << 20;
 constexpr std::uint32_t kMaxSteps = 1u << 20;
 
 /** Columns of the per-shard stats matrix a Stats response returns. */
-constexpr std::size_t kShardStatsCols = 8;
+constexpr std::size_t kShardStatsCols = 12;
 
 /** Column indices of the Stats response matrix (one row per shard). */
 enum ShardStatsCol : std::size_t
@@ -77,6 +86,10 @@ enum ShardStatsCol : std::size_t
     kStatSubmitted = 5,  //!< wire requests admitted to this shard
     kStatShed = 6,       //!< wire requests shed with Status::Busy
     kStatInFlight = 7,   //!< admitted-but-unanswered requests now
+    kStatStoreHits = 8,  //!< design-store hot-tier hits
+    kStatStoreMisses = 9, //!< design-store misses (compiled or loaded)
+    kStatStorePromotions = 10, //!< misses served from the cold tier
+    kStatStoreDemotions = 11,  //!< evictions spilled to the cold tier
 };
 
 /** What a request frame asks the server to do. */
@@ -190,14 +203,17 @@ enum class FrameResult : std::uint8_t
  * `*payload_offset` / `*payload_size` locate the payload and
  * `*frame_size` is the total bytes to consume (prefix + payload).  On
  * NeedMore nothing is written.  On Malformed (payload length below the
- * header size or above kMaxFrameBytes) the stream is unrecoverable —
+ * header size or above `max_payload`) the stream is unrecoverable —
  * framing is lost — and the connection should be dropped after an
- * error response.
+ * error response.  `max_payload` lets a server cap inbound frames
+ * below the protocol maximum (NetServerOptions::maxFrameBytes); it is
+ * clamped to kMaxFrameBytes.
  */
 FrameResult peekFrame(const std::uint8_t *data, std::size_t size,
                       std::size_t *payload_offset,
                       std::size_t *payload_size,
-                      std::size_t *frame_size);
+                      std::size_t *frame_size,
+                      std::uint32_t max_payload = kMaxFrameBytes);
 
 /**
  * Decode one request payload (the bytes after the length prefix).

@@ -1,0 +1,102 @@
+#include "store/cold_tier.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.h"
+
+namespace spatial::store
+{
+
+namespace fs = std::filesystem;
+
+ColdTier::ColdTier(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        SPATIAL_FATAL("cold tier path ", dir_,
+                      " is not a usable directory",
+                      ec ? ": " : "", ec ? ec.message().c_str() : "");
+}
+
+std::string
+ColdTier::pathFor(const experiments::DesignKey &key) const
+{
+    // Filename from the key hash plus the raw content hash: two
+    // distinct designs land on one file only if both 64-bit values
+    // collide, and even then the stored identity check catches it.
+    char name[48];
+    std::snprintf(name, sizeof name, "%016zx-%016llx.sptd",
+                  experiments::DesignKeyHash{}(key),
+                  static_cast<unsigned long long>(key.contentHash));
+    return (fs::path(dir_) / name).string();
+}
+
+bool
+ColdTier::put(const experiments::DesignKey &key,
+              const core::TiledDesign &design)
+{
+    const std::string path = pathFor(key);
+    if (!saveDesignFile(path, key, design)) {
+        writeFailures_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    if (!ec)
+        bytesWritten_.fetch_add(size, std::memory_order_relaxed);
+    return true;
+}
+
+LoadStatus
+ColdTier::get(const experiments::DesignKey &key,
+              std::shared_ptr<const core::TiledDesign> *design)
+{
+    experiments::DesignKey stored;
+    const LoadStatus status =
+        loadDesignFile(pathFor(key), design, &stored);
+    if (status == LoadStatus::NotFound)
+        return status;
+    if (status != LoadStatus::Ok) {
+        loadFailures_.fetch_add(1, std::memory_order_relaxed);
+        return status;
+    }
+    if (!(stored == key)) {
+        loadFailures_.fetch_add(1, std::memory_order_relaxed);
+        design->reset();
+        return LoadStatus::Corrupt;
+    }
+    loads_.fetch_add(1, std::memory_order_relaxed);
+    return LoadStatus::Ok;
+}
+
+bool
+ColdTier::contains(const experiments::DesignKey &key) const
+{
+    std::error_code ec;
+    return fs::exists(pathFor(key), ec);
+}
+
+void
+ColdTier::erase(const experiments::DesignKey &key)
+{
+    std::error_code ec;
+    fs::remove(pathFor(key), ec);
+}
+
+ColdTierStats
+ColdTier::stats() const
+{
+    ColdTierStats stats;
+    stats.writes = writes_.load(std::memory_order_relaxed);
+    stats.writeFailures =
+        writeFailures_.load(std::memory_order_relaxed);
+    stats.loads = loads_.load(std::memory_order_relaxed);
+    stats.loadFailures = loadFailures_.load(std::memory_order_relaxed);
+    stats.bytesWritten = bytesWritten_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+} // namespace spatial::store

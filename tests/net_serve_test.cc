@@ -291,6 +291,31 @@ TEST(NetServe, HostileRegistrationsRejectedServerSurvives)
     EXPECT_EQ(good.get().status, wire::Status::Ok);
 }
 
+TEST(NetServe, RegisterDimBudgetAnswersBadRequest)
+{
+    NetServerOptions net = quickServer();
+    net.maxRegisterDim = 24;
+    NetServer server(net);
+    NetClient client("127.0.0.1", server.port());
+
+    // Exactly at the bound: accepted and served.
+    std::uint32_t id = 0;
+    ASSERT_EQ(client.registerDesign(testWeights(24, 30),
+                                    testCompileOptions(), &id),
+              wire::Status::Ok);
+    Rng rng(31);
+    auto ok = client.submit(
+        id, Request::gemv(makeSignedVector(24, 8, rng)));
+    EXPECT_EQ(ok.get().status, wire::Status::Ok);
+
+    // One past the bound: a clean BadRequest before the registrar
+    // ever sees it, with the connection intact afterwards.
+    EXPECT_EQ(client.registerDesign(testWeights(25, 32),
+                                    testCompileOptions(), &id),
+              wire::Status::BadRequest);
+    EXPECT_EQ(client.ping(), wire::Status::Ok);
+}
+
 // ---------------------------------------------------------------------
 // Bit-exactness against the in-process Server
 // ---------------------------------------------------------------------

@@ -254,7 +254,7 @@ TEST(Server, ScatteredOutputsBitExactWithDirectEngine)
             all.at(b, r) = v[r];
     }
     const IntMatrix expected =
-        server.design(id).multiplyBatchWide(all);
+        server.design(id)->multiplyBatchWide(all);
 
     // Submit the same rows as 37 singles plus one 8-row block.
     std::vector<std::future<Response>> futures;
@@ -367,7 +367,7 @@ TEST(Server, PartialGroupPadsToLaneBoundaryBitExactly)
     server.drain();
 
     const IntMatrix expected =
-        server.design(id).multiplyBatchWide(direct);
+        server.design(id)->multiplyBatchWide(direct);
     for (std::size_t b = 0; b < 3; ++b) {
         const auto resp = futures[b].get();
         EXPECT_EQ(resp.flushReason, FlushReason::Drain);
@@ -379,6 +379,53 @@ TEST(Server, PartialGroupPadsToLaneBoundaryBitExactly)
     EXPECT_EQ(stats.lanes, 3u);
     EXPECT_EQ(stats.paddedLanes, 64u);
     EXPECT_EQ(stats.flushDrain, 1u);
+}
+
+TEST(Server, TiledDesignServesBitExactly)
+{
+    // A tiny tile budget forces the registered design to compile as
+    // several column strips; every request kind must still come back
+    // bit-identical to the untiled reference compile.
+    const std::size_t dim = 48;
+    const auto weights = testWeights(dim, 45, 8, 0.5);
+    const auto compile = testCompileOptions();
+
+    ServeOptions options;
+    options.maxBatch = 64;
+    options.maxDelay = std::chrono::milliseconds(100);
+    options.workers = 2;
+    options.tile.onesBudget = 200; // far below the design's ones-cost
+    Server server(options);
+    const DesignId id = server.registerDesign(weights, compile);
+    const auto design = server.design(id);
+    ASSERT_TRUE(design->tiled());
+    ASSERT_GT(design->tileCount(), 2u);
+
+    const auto untiled = core::TiledDesign::compile(weights, compile);
+    ASSERT_FALSE(untiled.tiled());
+
+    Rng rng(46);
+    IntMatrix all(20, dim);
+    std::vector<std::future<Response>> futures;
+    for (std::size_t b = 0; b < all.rows(); ++b) {
+        const auto x = makeSignedVector(dim, 8, rng);
+        for (std::size_t r = 0; r < dim; ++r)
+            all.at(b, r) = x[r];
+        futures.push_back(server.submit(id, Request::gemv(x)));
+    }
+    auto esn = server.submit(
+        id, Request::esnStep(makeSignedVector(dim, 8, rng),
+                             makeSignedVector(dim, 8, rng), 2, 8));
+    server.drain();
+
+    const IntMatrix expected = untiled.multiplyBatchWide(all);
+    for (std::size_t b = 0; b < all.rows(); ++b) {
+        const auto resp = futures[b].get();
+        for (std::size_t c = 0; c < dim; ++c)
+            ASSERT_EQ(resp.output.at(0, c), expected.at(b, c))
+                << "request " << b << " col " << c;
+    }
+    esn.get(); // fulfilled; value checked by EsnStepMatchesManualUpdate
 }
 
 // ---------------------------------------------------------------------
@@ -406,7 +453,8 @@ TEST(Server, EsnStepMatchesManualUpdate)
     server.drain();
     const auto resp = future.get();
 
-    core::TapeGemv gemv(server.design(id));
+    const auto design = server.design(id);
+    core::TiledGemv gemv(*design);
     const auto product = gemv.multiply(state);
     const std::int64_t lo = minSigned(stateBits);
     const std::int64_t hi = maxSigned(stateBits);
@@ -443,7 +491,8 @@ TEST(Server, EsnSequenceMatchesSequentialReference)
     EXPECT_EQ(resp.flushReason, FlushReason::Direct);
 
     // Reference: the same recurrence on a persistent tape executor.
-    core::TapeGemv gemv(server.design(id));
+    const auto design = server.design(id);
+    core::TiledGemv gemv(*design);
     auto state = state0;
     const std::int64_t lo = minSigned(stateBits);
     const std::int64_t hi = maxSigned(stateBits);
@@ -551,7 +600,7 @@ TEST(DesignStore, ConcurrentRequestsCompileOnce)
     const auto compile = testCompileOptions();
     const auto weights = testWeights(16, 91);
 
-    std::vector<std::shared_ptr<const core::CompiledMatrix>> results(8);
+    std::vector<std::shared_ptr<const core::TiledDesign>> results(8);
     std::vector<std::thread> threads;
     for (int t = 0; t < 8; ++t)
         threads.emplace_back([&, t] {
@@ -654,7 +703,7 @@ TEST(Server, JitServingBitExactWithAdmissionStats)
         EXPECT_EQ(stats.store.jitFailed, 0u);
         EXPECT_GT(stats.store.jitCompileSeconds, 0.0);
     }
-    EXPECT_GE(server.design(id).jitModuleCount(), 1u);
+    EXPECT_GE(server.design(id)->jitModuleCount(), 1u);
 
     const std::size_t requests = 70; // > one group, odd padding
     IntMatrix all(requests, dim);
@@ -664,7 +713,7 @@ TEST(Server, JitServingBitExactWithAdmissionStats)
         for (std::size_t r = 0; r < dim; ++r)
             all.at(b, r) = v[r];
     }
-    const IntMatrix expected = server.design(id).multiplyBatch(all);
+    const IntMatrix expected = server.design(id)->multiplyBatch(all);
 
     std::vector<std::future<Response>> futures;
     for (std::size_t b = 0; b < requests; ++b) {

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "core/compiler.h"
+#include "core/tiled_design.h"
 #include "core/tiling.h"
 #include "matrix/generate.h"
 
@@ -104,6 +105,81 @@ TEST(Tiling, SliceColumnsExtractsExactRange)
     for (std::size_t r = 0; r < 6; ++r)
         for (std::size_t c = 0; c < 4; ++c)
             EXPECT_EQ(slice.at(r, c), v.at(r, c + 3));
+}
+
+TEST(Tiling, SingleColumnMatrixIsOneTile)
+{
+    Rng rng(6);
+    const auto v = makeSignedElementSparseMatrix(12, 1, 8, 0.0, rng);
+    const auto plan = planColumnTiles(pnSplit(v), 1);
+    ASSERT_EQ(plan.passes(), 1u);
+    EXPECT_EQ(plan.tiles[0].colBegin, 0u);
+    EXPECT_EQ(plan.tiles[0].colEnd, 1u);
+}
+
+TEST(Tiling, MaxTileColsCapsStripWidth)
+{
+    Rng rng(7);
+    const auto v = makeSignedElementSparseMatrix(16, 20, 8, 0.5, rng);
+    core::TileOptions tile;
+    tile.onesBudget = 1'000'000; // budget alone would make one tile
+    tile.maxTileCols = 4;
+    const auto design =
+        core::TiledDesign::compile(v, CompileOptions{}, tile);
+    EXPECT_EQ(design.tileCount(), 5u);
+    for (std::size_t i = 0; i < design.tileCount(); ++i)
+        EXPECT_LE(design.plan().tiles[i].colEnd -
+                      design.plan().tiles[i].colBegin,
+                  4u);
+}
+
+TEST(Tiling, TiledDesignMatchesUntiledBitExactly)
+{
+    Rng rng(8);
+    const auto v = makeSignedElementSparseMatrix(28, 36, 8, 0.4, rng);
+    CompileOptions opt;
+    opt.inputBits = 8;
+    opt.inputsSigned = true;
+
+    const auto untiled = core::TiledDesign::compile(v, opt);
+    ASSERT_FALSE(untiled.tiled());
+    core::TileOptions tile;
+    tile.onesBudget = 500;
+    const auto tiled = core::TiledDesign::compile(v, opt, tile);
+    ASSERT_TRUE(tiled.tiled());
+    ASSERT_GT(tiled.tileCount(), 2u);
+    EXPECT_EQ(tiled.weightOnes(), untiled.weightOnes());
+
+    const auto x = makeSignedVector(28, 8, rng);
+    EXPECT_EQ(tiled.multiply(x), untiled.multiply(x));
+    EXPECT_EQ(tiled.multiply(x), gemvRef(x, v));
+    const auto batch = makeSignedBatch(10, 28, 8, rng);
+    EXPECT_TRUE(tiled.multiplyBatch(batch) ==
+                untiled.multiplyBatch(batch));
+    EXPECT_TRUE(tiled.multiplyBatchWide(batch) ==
+                untiled.multiplyBatchWide(batch));
+}
+
+TEST(Tiling, TiledGemvMatchesDesignMultiply)
+{
+    Rng rng(9);
+    const auto v = makeSignedElementSparseMatrix(24, 32, 8, 0.4, rng);
+    CompileOptions opt;
+    opt.inputBits = 8;
+    opt.inputsSigned = true;
+    core::TileOptions tile;
+    tile.onesBudget = 400;
+    const auto design = core::TiledDesign::compile(v, opt, tile);
+    ASSERT_TRUE(design.tiled());
+
+    core::TiledGemv gemv(design);
+    for (int i = 0; i < 5; ++i) {
+        const auto x = makeSignedVector(24, 8, rng);
+        EXPECT_EQ(gemv.multiply(x), design.multiply(x));
+        std::vector<std::int64_t> out;
+        gemv.multiplyInto(x, out);
+        EXPECT_EQ(out, design.multiply(x));
+    }
 }
 
 TEST(Tiling, LatencyAccountsReconfigBetweenPasses)

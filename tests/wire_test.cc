@@ -425,6 +425,30 @@ TEST(WireFraming, OversizedLengthIsMalformed)
               wire::FrameResult::Malformed);
 }
 
+TEST(WireFraming, CallerBudgetTightensButNeverWidensTheCap)
+{
+    std::uint8_t bytes[8] = {};
+    std::size_t off = 0, size = 0, total = 0;
+
+    // A frame under the protocol cap but over the caller's budget is
+    // Malformed for that caller, NeedMore for one that accepts it.
+    const std::uint32_t length = 4096;
+    std::memcpy(bytes, &length, 4);
+    EXPECT_EQ(wire::peekFrame(bytes, 8, &off, &size, &total,
+                              /*max_payload=*/1024),
+              wire::FrameResult::Malformed);
+    EXPECT_EQ(wire::peekFrame(bytes, 8, &off, &size, &total,
+                              /*max_payload=*/4096),
+              wire::FrameResult::NeedMore);
+
+    // A budget above kMaxFrameBytes cannot widen the protocol cap.
+    const std::uint32_t huge = wire::kMaxFrameBytes + 1;
+    std::memcpy(bytes, &huge, 4);
+    EXPECT_EQ(wire::peekFrame(bytes, 8, &off, &size, &total,
+                              /*max_payload=*/0xffffffffu),
+              wire::FrameResult::Malformed);
+}
+
 TEST(WireFraming, TinyLengthIsMalformed)
 {
     // Shorter than the fixed header: framing is broken.
