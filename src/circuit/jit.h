@@ -285,6 +285,16 @@ std::shared_ptr<const JitModule> compileJitModule(const ExecPlan &plan,
  */
 bool toolchainAvailable();
 
+/**
+ * The C translation unit compileJitModule() would compile for
+ * (plan, spec) — generation only, no toolchain required.  Exposed for
+ * static analysis: the verifier parses the emitted statements and the
+ * `spatial_jit_desc_v3` descriptor and reconciles them against the
+ * plan (see analysis::verifyJitSource).  Returns an empty string when
+ * the spec requests no valid lane-word count.
+ */
+std::string generateJitSource(const ExecPlan &plan, const JitSpec &spec);
+
 } // namespace spatial::circuit::jit
 
 #endif // SPATIAL_CIRCUIT_JIT_H

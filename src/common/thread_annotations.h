@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute macros.
+ *
+ * These wrap the `-Wthread-safety` annotations so the locking
+ * discipline documented in the serve/store headers ("guarded by
+ * mutex_") is machine-checked instead of comment-checked.  Under
+ * clang the macros expand to the analysis attributes; under GCC and
+ * MSVC they vanish, so annotated code compiles everywhere while the
+ * dedicated clang CI job promotes violations to errors.
+ *
+ * Conventions used across the repo:
+ *  - Members carry SPATIAL_GUARDED_BY(mutex_) matching their doc
+ *    comment; pointer members whose *pointee* is guarded use
+ *    SPATIAL_PT_GUARDED_BY.
+ *  - Private `*Locked()` helpers that expect the caller to hold the
+ *    lock carry SPATIAL_REQUIRES(mutex_).
+ *  - Public entry points that must NOT be called with the lock held
+ *    (they take it themselves) carry SPATIAL_EXCLUDES(mutex_).
+ *
+ * The raw std::mutex / std::lock_guard types carry no attributes on
+ * libstdc++, so annotated code must lock through the spatial::Mutex /
+ * spatial::MutexLock wrappers in common/sync.h — see that header.
+ */
+
+#ifndef SPATIAL_COMMON_THREAD_ANNOTATIONS_H
+#define SPATIAL_COMMON_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SPATIAL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SPATIAL_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define SPATIAL_CAPABILITY(x) SPATIAL_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define SPATIAL_SCOPED_CAPABILITY SPATIAL_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding the given mutex. */
+#define SPATIAL_GUARDED_BY(x) SPATIAL_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointed-to data is guarded by the mutex. */
+#define SPATIAL_PT_GUARDED_BY(x) SPATIAL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the caller to already hold the mutex(es). */
+#define SPATIAL_REQUIRES(...)                                                \
+    SPATIAL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function must be called WITHOUT the mutex(es) held (it locks them). */
+#define SPATIAL_EXCLUDES(...)                                                \
+    SPATIAL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function acquires the mutex(es) and holds them on return. */
+#define SPATIAL_ACQUIRE(...)                                                 \
+    SPATIAL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the mutex(es) it was holding. */
+#define SPATIAL_RELEASE(...)                                                 \
+    SPATIAL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function tries to acquire; returns `ret` on success. */
+#define SPATIAL_TRY_ACQUIRE(ret, ...)                                        \
+    SPATIAL_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/** Returns a reference to the capability guarding this object. */
+#define SPATIAL_RETURN_CAPABILITY(x)                                         \
+    SPATIAL_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: body is exempt from analysis (justify at the site). */
+#define SPATIAL_NO_THREAD_SAFETY_ANALYSIS                                    \
+    SPATIAL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // SPATIAL_COMMON_THREAD_ANNOTATIONS_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "analysis/verifier.h"
 #include "common/logging.h"
 #include "core/batch_engine.h"
 
@@ -74,7 +75,7 @@ void
 DesignStore::setJitAdmission(const core::SimOptions &sim,
                              std::size_t max_batch_lanes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     jitAdmission_ = sim.jit;
     jitSim_ = sim;
     jitMaxBatchLanes_ = std::max<std::size_t>(1, max_batch_lanes);
@@ -86,7 +87,7 @@ DesignStore::admitJit(const core::TiledDesign &design)
     core::SimOptions sim;
     std::size_t max_batch_lanes = 0;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!jitAdmission_)
             return;
         sim = jitSim_;
@@ -138,7 +139,7 @@ DesignStore::get(const experiments::DesignKey &key,
     bool owner = false;
     std::vector<Demotion> pending_demotions;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
             hits_.fetch_add(1, std::memory_order_relaxed);
@@ -181,6 +182,27 @@ DesignStore::get(const experiments::DesignKey &key,
                         store::loadStatusName(status),
                         "); recompiling");
                 }
+#ifndef NDEBUG
+                // Debug builds statically verify every rematerialized
+                // design; a checksum-valid file whose artifacts break
+                // an invariant falls back to a recompile exactly like
+                // a Corrupt load status.
+                if (design != nullptr) {
+                    const analysis::Report report =
+                        analysis::verifyDesign(*design);
+                    if (!report.ok()) {
+                        design = nullptr;
+                        coldFallbacks_.fetch_add(
+                            1, std::memory_order_relaxed);
+                        SPATIAL_WARN(
+                            "store: cold design ",
+                            cold_->pathFor(key),
+                            " failed verification (",
+                            report.diagnostics.front().rule,
+                            "); recompiling");
+                    }
+                }
+#endif
             }
             if (design == nullptr) {
                 const auto start = std::chrono::steady_clock::now();
@@ -191,6 +213,18 @@ DesignStore::get(const experiments::DesignKey &key,
                     static_cast<std::uint64_t>(secondsSince(start) *
                                                1e6),
                     std::memory_order_relaxed);
+#ifndef NDEBUG
+                // A freshly compiled design failing static
+                // verification is a compiler bug, not bad input —
+                // surface it at the source instead of as a downstream
+                // miscompare.
+                if (const analysis::Report report =
+                        analysis::verifyDesign(*design);
+                    !report.ok())
+                    SPATIAL_PANIC(
+                        "store: compiled design failed verification: ",
+                        report.diagnostics.front().str());
+#endif
             }
             // JIT admission happens before the future resolves, so
             // waiters blocked on this entry also cover the native
@@ -199,7 +233,7 @@ DesignStore::get(const experiments::DesignKey &key,
             promise.set_value(std::move(design));
         } catch (...) {
             promise.set_exception(std::current_exception());
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             const auto it = entries_.find(key);
             if (it != entries_.end()) {
                 lru_.erase(it->second.lruIt);
@@ -237,7 +271,7 @@ DesignStore::stats() const
             jitCompileMicros_.load(std::memory_order_relaxed)) /
         1e6;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stats.resident = entries_.size();
     }
     return stats;

@@ -42,12 +42,12 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/tiled_design.h"
 #include "experiments/design_cache.h"
 #include "matrix/dense.h"
@@ -197,25 +197,28 @@ class DesignStore
      * Ready victims are appended to `demote` for the caller to spill
      * outside the lock when a cold tier is configured.
      */
-    void evictLocked(std::vector<Demotion> *demote);
+    void evictLocked(std::vector<Demotion> *demote)
+        SPATIAL_REQUIRES(mutex_);
 
     /** Spill demotion victims to the cold tier (outside the lock). */
-    void demote(std::vector<Demotion> demotions);
+    void demote(std::vector<Demotion> demotions)
+        SPATIAL_EXCLUDES(mutex_);
 
     /** Admission-time JIT compile for a materialized design. */
-    void admitJit(const core::TiledDesign &design);
+    void admitJit(const core::TiledDesign &design)
+        SPATIAL_EXCLUDES(mutex_);
 
     StoreOptions options_;
     std::unique_ptr<store::ColdTier> cold_; //!< null when disabled
-    bool jitAdmission_ = false;        //!< guarded by mutex_
-    core::SimOptions jitSim_;          //!< guarded by mutex_
-    std::size_t jitMaxBatchLanes_ = 0; //!< guarded by mutex_
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
+    bool jitAdmission_ SPATIAL_GUARDED_BY(mutex_) = false;
+    core::SimOptions jitSim_ SPATIAL_GUARDED_BY(mutex_);
+    std::size_t jitMaxBatchLanes_ SPATIAL_GUARDED_BY(mutex_) = 0;
     std::unordered_map<experiments::DesignKey, Entry,
                        experiments::DesignKeyHash>
-        entries_;
+        entries_ SPATIAL_GUARDED_BY(mutex_);
     /** Keys in recency order, most recent first. */
-    std::list<experiments::DesignKey> lru_;
+    std::list<experiments::DesignKey> lru_ SPATIAL_GUARDED_BY(mutex_);
     std::atomic<std::size_t> hits_{0};
     std::atomic<std::size_t> misses_{0};
     std::atomic<std::size_t> evictions_{0};

@@ -84,7 +84,7 @@ NetClient::failAll()
 {
     std::unordered_map<std::uint64_t, Pending> orphans;
     {
-        std::lock_guard<std::mutex> lock(pendingMutex_);
+        MutexLock lock(pendingMutex_);
         orphans.swap(pending_);
     }
     for (auto &[id, pending] : orphans) {
@@ -101,7 +101,7 @@ NetClient::sendFrame(const wire::RequestFrame &frame)
 {
     std::vector<std::uint8_t> bytes;
     wire::appendRequestFrame(bytes, frame);
-    std::lock_guard<std::mutex> lock(sendMutex_);
+    MutexLock lock(sendMutex_);
     if (!connected())
         return false;
     std::size_t sent = 0;
@@ -145,12 +145,12 @@ NetClient::submit(std::uint32_t design, Request request)
     pending.submitAt = Clock::now();
     auto future = pending.promise.get_future();
     {
-        std::lock_guard<std::mutex> lock(pendingMutex_);
+        MutexLock lock(pendingMutex_);
         pending_.emplace(frame.requestId, std::move(pending));
     }
     if (!sendFrame(frame)) {
         // Resolve immediately: the reader may already be gone.
-        std::lock_guard<std::mutex> lock(pendingMutex_);
+        MutexLock lock(pendingMutex_);
         const auto it = pending_.find(frame.requestId);
         if (it != pending_.end()) {
             RemoteResult result;
@@ -172,11 +172,11 @@ NetClient::roundTrip(wire::RequestFrame frame)
     pending.submitAt = Clock::now();
     auto future = pending.promise.get_future();
     {
-        std::lock_guard<std::mutex> lock(pendingMutex_);
+        MutexLock lock(pendingMutex_);
         pending_.emplace(frame.requestId, std::move(pending));
     }
     if (!sendFrame(frame)) {
-        std::lock_guard<std::mutex> lock(pendingMutex_);
+        MutexLock lock(pendingMutex_);
         const auto it = pending_.find(frame.requestId);
         if (it != pending_.end()) {
             RemoteResult result;
@@ -267,7 +267,7 @@ NetClient::readerLoop()
             Pending pending;
             bool found = false;
             {
-                std::lock_guard<std::mutex> lock(pendingMutex_);
+                MutexLock lock(pendingMutex_);
                 const auto it = pending_.find(frame.requestId);
                 if (it != pending_.end()) {
                     pending = std::move(it->second);

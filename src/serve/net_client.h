@@ -22,11 +22,11 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "serve/wire.h"
 
 namespace spatial::serve
@@ -109,22 +109,24 @@ class NetClient
     };
 
     /** Send one encoded frame; false once disconnected. */
-    bool sendFrame(const wire::RequestFrame &frame);
+    bool sendFrame(const wire::RequestFrame &frame)
+        SPATIAL_EXCLUDES(sendMutex_);
 
     /** Reader thread: decode responses, resolve pending promises. */
-    void readerLoop();
+    void readerLoop() SPATIAL_EXCLUDES(pendingMutex_);
 
     /** Fail every outstanding request with Disconnected. */
-    void failAll();
+    void failAll() SPATIAL_EXCLUDES(pendingMutex_);
 
     /** Submit and wait for a one-shot control request. */
     RemoteResult roundTrip(wire::RequestFrame frame);
 
-    int fd_ = -1;
+    int fd_ = -1; //!< immutable while the reader thread lives
     std::atomic<bool> connected_{false};
-    std::mutex sendMutex_;
-    std::mutex pendingMutex_;
-    std::unordered_map<std::uint64_t, Pending> pending_;
+    Mutex sendMutex_;    //!< serializes whole-frame socket writes
+    Mutex pendingMutex_;
+    std::unordered_map<std::uint64_t, Pending> pending_
+        SPATIAL_GUARDED_BY(pendingMutex_);
     std::atomic<std::uint64_t> nextId_{1};
     std::thread reader_;
 };

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "analysis/verifier.h"
 #include "common/logging.h"
 #include "core/compiler.h"
 
@@ -129,10 +130,9 @@ void
 NetServer::waitUntilStopped()
 {
     {
-        std::unique_lock<std::mutex> lock(shutdownMutex_);
-        shutdownCv_.wait(lock, [this] {
-            return rejecting_.load() || shutdownDone_;
-        });
+        MutexLock lock(shutdownMutex_);
+        while (!rejecting_.load() && !shutdownDone_)
+            shutdownCv_.wait(shutdownMutex_);
     }
     shutdown();
 }
@@ -141,11 +141,12 @@ void
 NetServer::shutdown()
 {
     {
-        std::unique_lock<std::mutex> lock(shutdownMutex_);
+        MutexLock lock(shutdownMutex_);
         if (shutdownDone_)
             return;
         if (shutdownRunning_) {
-            shutdownCv_.wait(lock, [this] { return shutdownDone_; });
+            while (!shutdownDone_)
+                shutdownCv_.wait(shutdownMutex_);
             return;
         }
         shutdownRunning_ = true;
@@ -156,13 +157,14 @@ NetServer::shutdown()
     //    once we observe it no further work can enter a shard.
     requestShutdown();
     {
-        std::unique_lock<std::mutex> lock(shutdownMutex_);
-        shutdownCv_.wait(lock, [this] { return rejecting_.load(); });
+        MutexLock lock(shutdownMutex_);
+        while (!rejecting_.load())
+            shutdownCv_.wait(shutdownMutex_);
     }
 
     // 2. Registrar: finish queued compiles, then stop.
     {
-        std::lock_guard<std::mutex> lock(registrarMutex_);
+        MutexLock lock(registrarMutex_);
         registrarStop_ = true;
     }
     registrarCv_.notify_all();
@@ -172,11 +174,10 @@ NetServer::shutdown()
     //    request to be answered, then stop the reapers.
     for (auto &shard : shards_) {
         shard->server->drain();
-        std::unique_lock<std::mutex> lock(shard->mutex);
-        shard->cv.wait(lock, [&] {
-            return shard->completions.empty() &&
-                   shard->inFlight.load() == 0;
-        });
+        MutexLock lock(shard->mutex);
+        while (!shard->completions.empty() ||
+               shard->inFlight.load() != 0)
+            shard->cv.wait(shard->mutex);
         shard->stop = true;
         shard->cv.notify_all();
     }
@@ -196,7 +197,7 @@ NetServer::shutdown()
     ::close(wakePipe_[1]);
 
     {
-        std::lock_guard<std::mutex> lock(shutdownMutex_);
+        MutexLock lock(shutdownMutex_);
         shutdownDone_ = true;
     }
     shutdownCv_.notify_all();
@@ -209,11 +210,11 @@ NetServer::stats() const
     stats.accepted = accepted_.load();
     stats.badFrames = badFrames_.load();
     {
-        std::lock_guard<std::mutex> lock(connMutex_);
+        MutexLock lock(connMutex_);
         stats.active = conns_.size();
     }
     {
-        std::lock_guard<std::mutex> lock(designMutex_);
+        MutexLock lock(designMutex_);
         stats.registered = designs_.size();
     }
     stats.shards.reserve(shards_.size());
@@ -265,7 +266,7 @@ NetServer::statsMatrix() const
 void
 NetServer::replyFrame(std::uint64_t conn, const wire::ResponseFrame &f)
 {
-    std::lock_guard<std::mutex> lock(connMutex_);
+    MutexLock lock(connMutex_);
     const auto it = conns_.find(conn);
     if (it == conns_.end())
         return; // peer went away; drop the response
@@ -290,7 +291,7 @@ NetServer::replyFrame(std::uint64_t conn, const wire::ResponseFrame &f)
 void
 NetServer::asyncBegin(std::uint64_t conn)
 {
-    std::lock_guard<std::mutex> lock(connMutex_);
+    MutexLock lock(connMutex_);
     const auto it = conns_.find(conn);
     if (it != conns_.end())
         ++it->second.pendingReplies;
@@ -300,7 +301,7 @@ void
 NetServer::asyncDone(std::uint64_t conn)
 {
     {
-        std::lock_guard<std::mutex> lock(connMutex_);
+        MutexLock lock(connMutex_);
         const auto it = conns_.find(conn);
         if (it == conns_.end())
             return;
@@ -374,7 +375,7 @@ NetServer::dispatch(std::uint64_t conn, wire::RequestFrame frame)
         job.weights = std::move(frame.weights);
         job.compile = frame.compile;
         {
-            std::lock_guard<std::mutex> lock(designMutex_);
+            MutexLock lock(designMutex_);
             const auto key = experiments::makeDesignKey(job.weights,
                                                         job.compile);
             const auto it = designIds_.find(key);
@@ -406,7 +407,7 @@ NetServer::dispatch(std::uint64_t conn, wire::RequestFrame frame)
         }
         asyncBegin(conn);
         {
-            std::lock_guard<std::mutex> lock(registrarMutex_);
+            MutexLock lock(registrarMutex_);
             registerQueue_.push_back(std::move(job));
         }
         registrarCv_.notify_one();
@@ -418,7 +419,7 @@ NetServer::dispatch(std::uint64_t conn, wire::RequestFrame frame)
     DesignRoute route;
     bool known = false;
     {
-        std::lock_guard<std::mutex> lock(designMutex_);
+        MutexLock lock(designMutex_);
         // Rejected registrations keep their table slot (ids are dense)
         // but never become routable.
         if (frame.designId < designs_.size() &&
@@ -469,7 +470,7 @@ NetServer::dispatch(std::uint64_t conn, wire::RequestFrame frame)
     reply.future =
         shard.server->submit(route.localId, std::move(frame.request));
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         shard.completions.push_back(std::move(reply));
     }
     shard.cv.notify_all();
@@ -482,10 +483,9 @@ NetServer::reaperLoop(std::size_t shard_index)
     for (;;) {
         PendingReply reply;
         {
-            std::unique_lock<std::mutex> lock(shard.mutex);
-            shard.cv.wait(lock, [&] {
-                return !shard.completions.empty() || shard.stop;
-            });
+            MutexLock lock(shard.mutex);
+            while (shard.completions.empty() && !shard.stop)
+                shard.cv.wait(shard.mutex);
             if (shard.completions.empty() && shard.stop)
                 return;
             reply = std::move(shard.completions.front());
@@ -514,10 +514,9 @@ NetServer::registrarLoop()
     for (;;) {
         RegisterJob job;
         {
-            std::unique_lock<std::mutex> lock(registrarMutex_);
-            registrarCv_.wait(lock, [this] {
-                return !registerQueue_.empty() || registrarStop_;
-            });
+            MutexLock lock(registrarMutex_);
+            while (registerQueue_.empty() && !registrarStop_)
+                registrarCv_.wait(registrarMutex_);
             if (registerQueue_.empty()) {
                 if (registrarStop_)
                     return;
@@ -528,22 +527,23 @@ NetServer::registrarLoop()
         }
         std::size_t shard_index;
         {
-            std::lock_guard<std::mutex> lock(designMutex_);
+            MutexLock lock(designMutex_);
             shard_index = designs_[job.designId].shard;
         }
         // The compiler enforces its preconditions with SPATIAL_FATAL —
         // acceptable for a local misconfiguration, not for bytes off
-        // the wire.  Re-check them non-fatally and answer BadRequest,
+        // the wire.  Re-check them non-fatally through the static
+        // verifier and answer BadRequest with the named diagnostic,
         // so no remote registration can terminate the server.
-        const char *rejected =
-            core::MatrixCompiler::checkCompile(job.compile, job.weights);
-        if (rejected != nullptr) {
+        const analysis::Report rejected =
+            analysis::verifyCompileRequest(job.compile, job.weights);
+        if (!rejected.ok()) {
             {
-                std::lock_guard<std::mutex> lock(designMutex_);
+                MutexLock lock(designMutex_);
                 designs_[job.designId].failed = true;
             }
             SPATIAL_WARN("rejecting design registration ", job.designId,
-                         ": ", rejected);
+                         ": ", rejected.diagnostics.front().str());
             replyStatus(job.conn, wire::Status::BadRequest,
                         wire::MessageKind::RegisterDesign,
                         job.requestId, job.designId);
@@ -556,7 +556,7 @@ NetServer::registrarLoop()
             shards_[shard_index]->server->registerDesign(job.weights,
                                                          job.compile);
         {
-            std::lock_guard<std::mutex> lock(designMutex_);
+            MutexLock lock(designMutex_);
             designs_[job.designId].localId = local;
             designs_[job.designId].ready = true;
         }
@@ -593,7 +593,7 @@ NetServer::processInbound(std::uint64_t id, Connection &conn)
             replyStatus(id, wire::Status::BadFrame,
                         wire::MessageKind::Ping, 0, 0);
             {
-                std::lock_guard<std::mutex> lock(connMutex_);
+                MutexLock lock(connMutex_);
                 conn.closing = true;
             }
             conn.in.clear();
@@ -614,7 +614,7 @@ NetServer::processInbound(std::uint64_t id, Connection &conn)
                 // trusting the stream.
                 badFrames_.fetch_add(1, std::memory_order_relaxed);
                 {
-                    std::lock_guard<std::mutex> lock(connMutex_);
+                    MutexLock lock(connMutex_);
                     conn.closing = true;
                 }
                 conn.in.clear();
@@ -649,7 +649,7 @@ NetServer::eventLoop()
         ids.push_back(0);
         bool all_flushed = true;
         {
-            std::lock_guard<std::mutex> lock(connMutex_);
+            MutexLock lock(connMutex_);
             // Close sweep: a connection leaves once its outbound bytes
             // are flushed and either the protocol broke (closing) or
             // the peer half-closed and every owed reply was delivered
@@ -693,7 +693,7 @@ NetServer::eventLoop()
             if (all_flushed ||
                 std::chrono::steady_clock::now() - flush_start >
                     kFlushDeadline) {
-                std::lock_guard<std::mutex> lock(connMutex_);
+                MutexLock lock(connMutex_);
                 for (auto &[id, conn] : conns_)
                     ::close(conn.fd);
                 conns_.clear();
@@ -731,7 +731,7 @@ NetServer::eventLoop()
                     }
                     // Lock-then-notify so a waiter that just checked
                     // the predicate cannot miss the wakeup.
-                    { std::lock_guard<std::mutex> lk(shutdownMutex_); }
+                    { MutexLock lk(shutdownMutex_); }
                     shutdownCv_.notify_all();
                 }
                 continue;
@@ -744,7 +744,7 @@ NetServer::eventLoop()
                     setNonBlocking(fd);
                     setNoDelay(fd);
                     accepted_.fetch_add(1, std::memory_order_relaxed);
-                    std::lock_guard<std::mutex> lock(connMutex_);
+                    MutexLock lock(connMutex_);
                     Connection conn;
                     conn.fd = fd;
                     conns_.emplace(nextConn_++, std::move(conn));
@@ -760,7 +760,7 @@ NetServer::eventLoop()
             // under connMutex_.
             Connection *conn = nullptr;
             {
-                std::lock_guard<std::mutex> lock(connMutex_);
+                MutexLock lock(connMutex_);
                 const auto it = conns_.find(id);
                 if (it == conns_.end())
                     continue;
@@ -798,12 +798,12 @@ NetServer::eventLoop()
                 if (!flushing)
                     processInbound(id, *conn);
                 if (eof) {
-                    std::lock_guard<std::mutex> lock(connMutex_);
+                    MutexLock lock(connMutex_);
                     conn->peerEof = true;
                 }
             }
             {
-                std::lock_guard<std::mutex> lock(connMutex_);
+                MutexLock lock(connMutex_);
                 if ((p.revents & POLLOUT) &&
                     conn->outSent < conn->out.size()) {
                     const ssize_t n = ::send(
@@ -828,7 +828,7 @@ NetServer::eventLoop()
                 dead.push_back(id);
         }
         if (!dead.empty()) {
-            std::lock_guard<std::mutex> lock(connMutex_);
+            MutexLock lock(connMutex_);
             for (const std::uint64_t id : dead) {
                 const auto it = conns_.find(id);
                 if (it == conns_.end())

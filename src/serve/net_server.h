@@ -43,17 +43,16 @@
 #define SPATIAL_SERVE_NET_SERVER_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "serve/server.h"
 #include "serve/wire.h"
 
@@ -196,10 +195,10 @@ class NetServer
     struct Shard
     {
         std::unique_ptr<Server> server;
-        std::mutex mutex;
-        std::condition_variable cv;
-        std::deque<PendingReply> completions;
-        bool stop = false;
+        Mutex mutex;
+        CondVar cv;
+        std::deque<PendingReply> completions SPATIAL_GUARDED_BY(mutex);
+        bool stop SPATIAL_GUARDED_BY(mutex) = false;
         std::atomic<std::size_t> inFlight{0};
         std::atomic<std::size_t> submitted{0};
         std::atomic<std::size_t> shed{0};
@@ -246,24 +245,28 @@ class NetServer
     void registrarLoop();
 
     /** Parse and dispatch every complete frame in `conn`'s buffer. */
-    void processInbound(std::uint64_t id, Connection &conn);
+    void processInbound(std::uint64_t id, Connection &conn)
+        SPATIAL_EXCLUDES(connMutex_);
 
     /** Route one decoded request frame (event-loop thread). */
-    void dispatch(std::uint64_t conn, wire::RequestFrame frame);
+    void dispatch(std::uint64_t conn, wire::RequestFrame frame)
+        SPATIAL_EXCLUDES(designMutex_, registrarMutex_, connMutex_);
 
     /** Queue an error/headers-only response to a connection. */
     void replyStatus(std::uint64_t conn, wire::Status status,
                      wire::MessageKind kind, std::uint64_t request_id,
-                     std::uint32_t design_id);
+                     std::uint32_t design_id)
+        SPATIAL_EXCLUDES(connMutex_);
 
     /** Queue a full response frame to a connection (any thread). */
-    void replyFrame(std::uint64_t conn, const wire::ResponseFrame &f);
+    void replyFrame(std::uint64_t conn, const wire::ResponseFrame &f)
+        SPATIAL_EXCLUDES(connMutex_);
 
     /** Record that `conn` is owed one more async reply (event loop). */
-    void asyncBegin(std::uint64_t conn);
+    void asyncBegin(std::uint64_t conn) SPATIAL_EXCLUDES(connMutex_);
 
     /** Record that one owed async reply was delivered (any thread). */
-    void asyncDone(std::uint64_t conn);
+    void asyncDone(std::uint64_t conn) SPATIAL_EXCLUDES(connMutex_);
 
     /** Wake the poll loop (writable buffers or shutdown changed). */
     void wake();
@@ -279,22 +282,24 @@ class NetServer
     std::vector<std::unique_ptr<Shard>> shards_;
 
     /** Routing table; guarded by designMutex_. */
-    mutable std::mutex designMutex_;
-    std::vector<DesignRoute> designs_;
+    mutable Mutex designMutex_;
+    std::vector<DesignRoute> designs_ SPATIAL_GUARDED_BY(designMutex_);
     std::unordered_map<experiments::DesignKey, std::uint32_t,
                        experiments::DesignKeyHash>
-        designIds_;
+        designIds_ SPATIAL_GUARDED_BY(designMutex_);
 
     /** Registrar queue; guarded by registrarMutex_. */
-    std::mutex registrarMutex_;
-    std::condition_variable registrarCv_;
-    std::deque<RegisterJob> registerQueue_;
-    bool registrarStop_ = false;
+    Mutex registrarMutex_;
+    CondVar registrarCv_;
+    std::deque<RegisterJob> registerQueue_
+        SPATIAL_GUARDED_BY(registrarMutex_);
+    bool registrarStop_ SPATIAL_GUARDED_BY(registrarMutex_) = false;
 
     /** Connection table and write buffers; guarded by connMutex_. */
-    mutable std::mutex connMutex_;
-    std::unordered_map<std::uint64_t, Connection> conns_;
-    std::uint64_t nextConn_ = 1;
+    mutable Mutex connMutex_;
+    std::unordered_map<std::uint64_t, Connection> conns_
+        SPATIAL_GUARDED_BY(connMutex_);
+    std::uint64_t nextConn_ SPATIAL_GUARDED_BY(connMutex_) = 1;
 
     std::atomic<std::size_t> accepted_{0};
     std::atomic<std::size_t> badFrames_{0};
@@ -302,10 +307,10 @@ class NetServer
     std::atomic<bool> shutdownRequested_{false};
     std::atomic<bool> rejecting_{false}; //!< answer new work ShuttingDown
     std::atomic<bool> loopExit_{false};  //!< event loop may drain+exit
-    std::mutex shutdownMutex_;
-    std::condition_variable shutdownCv_;
-    bool shutdownDone_ = false;
-    bool shutdownRunning_ = false;
+    Mutex shutdownMutex_;
+    CondVar shutdownCv_;
+    bool shutdownDone_ SPATIAL_GUARDED_BY(shutdownMutex_) = false;
+    bool shutdownRunning_ SPATIAL_GUARDED_BY(shutdownMutex_) = false;
 
     std::thread registrar_;
     std::thread loop_;

@@ -36,7 +36,7 @@ Server::~Server()
 {
     drain();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     workCv_.notify_all();
@@ -52,7 +52,7 @@ Server::registerDesign(const IntMatrix &weights,
 {
     const auto key = experiments::makeDesignKey(weights, options);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = designIds_.find(key);
         if (it != designIds_.end())
             return it->second;
@@ -64,7 +64,7 @@ Server::registerDesign(const IntMatrix &weights,
     // tiered store owns residency.
     store_.get(key, weights, options);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = designIds_.find(key);
     if (it != designIds_.end())
         return it->second;
@@ -84,7 +84,7 @@ Server::submit(DesignId id, Request request)
     pending.submitAt = Clock::now();
     auto future = pending.promise.get_future();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (id >= designs_.size())
         SPATIAL_FATAL("submit to unregistered design ", id);
     DesignEntry &entry = *designs_[id];
@@ -206,10 +206,10 @@ Server::popGroupLocked()
 void
 Server::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
-        workCv_.wait(lock,
-                     [this] { return readyGroups_ > 0 || stopping_; });
+        while (readyGroups_ == 0 && !stopping_)
+            workCv_.wait(mutex_);
         if (stopping_ && readyGroups_ == 0)
             return;
         auto group = popGroupLocked();
@@ -286,7 +286,7 @@ Server::executeGroup(const core::TiledDesign &design, Group group)
     // Book the group's counters before fulfilling any promise: a
     // client that synchronizes on its future must observe them.
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++stats_.groups;
         stats_.lanes += group.lanes;
         stats_.paddedLanes += padded;
@@ -358,7 +358,7 @@ Server::executeSequence(const core::TiledDesign &design, Group group)
 
     const core::BatchStats seq_stats = gemv.engineStats();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++stats_.sequences;
         stats_.sequenceSteps += steps;
         stats_.segmentsExecuted += seq_stats.segmentsExecuted;
@@ -382,7 +382,7 @@ Server::executeSequence(const core::TiledDesign &design, Group group)
 void
 Server::timerLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     while (!stopping_) {
         // Earliest pending deadline across all batchers.
         std::optional<std::chrono::time_point<Clock>> earliest;
@@ -392,10 +392,10 @@ Server::timerLoop()
                 earliest = d;
         }
         if (!earliest) {
-            timerCv_.wait(lock);
+            timerCv_.wait(mutex_);
             continue;
         }
-        if (timerCv_.wait_until(lock, *earliest) ==
+        if (timerCv_.wait_until(mutex_, *earliest) ==
             std::cv_status::no_timeout)
             continue; // new submit or stop: recompute the horizon
         const auto now = Clock::now();
@@ -410,15 +410,15 @@ Server::timerLoop()
 void
 Server::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto now = Clock::now();
     std::vector<Group> flushed;
     for (const auto &entry : designs_)
         if (auto group = entry->batcher.flush(FlushReason::Drain, now))
             flushed.push_back(std::move(*group));
     pushGroupsLocked(std::move(flushed));
-    idleCv_.wait(lock,
-                 [this] { return readyGroups_ == 0 && inFlight_ == 0; });
+    while (readyGroups_ != 0 || inFlight_ != 0)
+        idleCv_.wait(mutex_);
 }
 
 ServerStats
@@ -426,7 +426,7 @@ Server::stats() const
 {
     ServerStats stats;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stats = stats_;
     }
     stats.store = store_.stats();
@@ -438,7 +438,7 @@ Server::design(DesignId id)
 {
     DesignEntry *entry = nullptr;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (id >= designs_.size())
             SPATIAL_FATAL("unknown design ", id);
         entry = designs_[id].get();
@@ -450,7 +450,7 @@ Server::design(DesignId id)
 std::size_t
 Server::designCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return designs_.size();
 }
 

@@ -27,16 +27,15 @@
 #ifndef SPATIAL_SERVE_SERVER_H
 #define SPATIAL_SERVE_SERVER_H
 
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/options.h"
 #include "core/tiled_design.h"
 #include "serve/batcher.h"
@@ -184,12 +183,18 @@ class Server
      * design to disk and promote it back on its next request.  The
      * identity (key), the weights, and the compile options are kept
      * so a promotion that finds a corrupt spill file can recompile.
+     *
+     * key/weights/compile are const — workers read them after
+     * dropping the scheduling lock (see workerLoop), which is safe
+     * exactly because nothing can write them after construction.
+     * batcher and ready are mutable scheduling state and only ever
+     * touched under the Server's mutex_.
      */
     struct DesignEntry
     {
-        experiments::DesignKey key;
-        IntMatrix weights;
-        core::CompileOptions compile;
+        const experiments::DesignKey key;
+        const IntMatrix weights;
+        const core::CompileOptions compile;
         Batcher batcher;
         std::deque<Group> ready;
 
@@ -201,39 +206,51 @@ class Server
         {}
     };
 
-    void workerLoop();
-    void timerLoop();
+    void workerLoop() SPATIAL_EXCLUDES(mutex_);
+    void timerLoop() SPATIAL_EXCLUDES(mutex_);
 
     /** Pop the next ready group round-robin; nullopt when idle. */
-    std::optional<Group> popGroupLocked();
+    std::optional<Group> popGroupLocked() SPATIAL_REQUIRES(mutex_);
 
     /** Enqueue flushed groups and account their flush reason. */
-    void pushGroupsLocked(std::vector<Group> groups);
+    void pushGroupsLocked(std::vector<Group> groups)
+        SPATIAL_REQUIRES(mutex_);
 
     /** Execute one group outside the lock and fulfill its futures. */
-    void executeGroup(const core::TiledDesign &design, Group group);
+    void executeGroup(const core::TiledDesign &design, Group group)
+        SPATIAL_EXCLUDES(mutex_);
 
     /** Run one EsnSequence request on a persistent tape executor. */
-    void executeSequence(const core::TiledDesign &design, Group group);
+    void executeSequence(const core::TiledDesign &design, Group group)
+        SPATIAL_EXCLUDES(mutex_);
 
     ServeOptions options_;
     DesignStore store_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable workCv_;  //!< workers: ready or stopping
-    std::condition_variable timerCv_; //!< timer: deadlines changed
-    std::condition_variable idleCv_;  //!< drain(): all work finished
+    mutable Mutex mutex_;
+    CondVar workCv_;  //!< workers: ready or stopping
+    CondVar timerCv_; //!< timer: deadlines changed
+    CondVar idleCv_;  //!< drain(): all work finished
 
-    std::vector<std::unique_ptr<DesignEntry>> designs_;
+    /**
+     * Registered designs; the vector (and each entry's batcher/ready
+     * queue) is guarded, but the heap DesignEntry objects themselves
+     * outlive any reallocation, so a worker may hold a reference to
+     * one across an unlock and keep reading its const identity
+     * fields.
+     */
+    std::vector<std::unique_ptr<DesignEntry>> designs_
+        SPATIAL_GUARDED_BY(mutex_);
     std::unordered_map<experiments::DesignKey, DesignId,
                        experiments::DesignKeyHash>
-        designIds_;
-    std::size_t rrCursor_ = 0;  //!< round-robin design cursor
-    std::size_t readyGroups_ = 0;
-    std::size_t inFlight_ = 0;
-    bool stopping_ = false;
+        designIds_ SPATIAL_GUARDED_BY(mutex_);
+    /** Round-robin design cursor. */
+    std::size_t rrCursor_ SPATIAL_GUARDED_BY(mutex_) = 0;
+    std::size_t readyGroups_ SPATIAL_GUARDED_BY(mutex_) = 0;
+    std::size_t inFlight_ SPATIAL_GUARDED_BY(mutex_) = 0;
+    bool stopping_ SPATIAL_GUARDED_BY(mutex_) = false;
 
-    ServerStats stats_;
+    ServerStats stats_ SPATIAL_GUARDED_BY(mutex_);
 
     std::vector<std::thread> workers_;
     std::thread timer_;
