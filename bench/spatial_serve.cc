@@ -28,6 +28,9 @@
  *   spatial-serve --listen --port=0 --port_file=port.txt   # ephemeral
  *   spatial-serve --remote=127.0.0.1:7411 --mode=drain --compare
  *   spatial-serve --remote=... --retry_busy=0 --check_shed=1
+ *   spatial-serve --remote=... --request_timeout_ms=200 --reconnects=3
+ *   spatial-serve --listen --drain_timeout_ms=2000 \
+ *                 --max_queue_age_ms=50 --slow_worker_ms=250
  *
  * --json[=path] writes BENCH_serve.json (CI trends it next to the
  * sim_throughput artifact).  --check_speedup=R exits 1 unless drain
@@ -82,6 +85,10 @@ runListen(const spatial::Args &args,
     net.maxFrameBytes = static_cast<std::uint32_t>(args.getInt(
         "max_frame_bytes",
         static_cast<std::int64_t>(net.maxFrameBytes)));
+    // Degradation knobs: a bounded SIGTERM drain, plus the per-shard
+    // queue-age watchdog and slow-worker detector (docs/robustness.md).
+    net.drainTimeout =
+        std::chrono::milliseconds(args.getInt("drain_timeout_ms", 0));
     net.serve = options.serve;
 
     NetServer server(net);
@@ -165,6 +172,12 @@ main(int argc, char **argv)
     options.remote = args.getString("remote", "");
     options.retryBusy = args.getBool("retry_busy", true);
     options.sloMs = args.getReal("slo_ms", 50.0);
+    // Client-side degradation (remote mode): per-request deadlines
+    // and reconnect-and-replay after a dropped connection.
+    options.requestTimeout = std::chrono::milliseconds(
+        args.getInt("request_timeout_ms", 0));
+    options.reconnects =
+        static_cast<unsigned>(args.getInt("reconnects", 0));
 
     options.serve.maxBatch =
         static_cast<std::size_t>(args.getInt("max_batch", 256));
@@ -194,6 +207,12 @@ main(int argc, char **argv)
     // interpreted tape when no toolchain is reachable (visible in the
     // jit_admitted/jit_failed and jit_groups counters below).
     options.serve.sim.jit = args.getBool("jit", false);
+    // Queue-age watchdog: sheds batched work older than the bound and
+    // flags workers stuck past the slow-worker threshold.
+    options.serve.maxQueueAge = std::chrono::milliseconds(
+        args.getInt("max_queue_age_ms", 0));
+    options.serve.slowWorkerAfter = std::chrono::milliseconds(
+        args.getInt("slow_worker_ms", 0));
 
     if (args.has("listen")) {
         if (!options.remote.empty())
@@ -230,6 +249,15 @@ main(int argc, char **argv)
     if (!options.remote.empty()) {
         std::printf("admission: %zu shed with BUSY, %zu retries\n",
                     result.shed, result.busyRetries);
+        if (result.timeouts + result.lost + result.reconnects +
+                result.watchdogShed + result.faultsInjected >
+            0)
+            std::printf("degradation: %zu timeouts, %zu lost, %zu "
+                        "reconnects, %zu watchdog shed, %zu faults "
+                        "injected\n",
+                        result.timeouts, result.lost,
+                        result.reconnects, result.watchdogShed,
+                        result.faultsInjected);
         for (std::size_t s = 0; s < result.shardStats.rows(); ++s) {
             const double padded = static_cast<double>(
                 result.shardStats.at(s, wire::kStatPaddedLanes));
@@ -274,6 +302,15 @@ main(int argc, char **argv)
                     result.stats.store.cache.misses,
                     result.stats.store.evictions,
                     result.stats.store.resident);
+        if (result.watchdogShed + result.stats.slowWorkerFlags +
+                result.faultsInjected >
+            0)
+            std::printf("watchdog: %zu shed, %zu slow-worker flags, "
+                        "%zu faults injected\n",
+                        result.watchdogShed,
+                        static_cast<std::size_t>(
+                            result.stats.slowWorkerFlags),
+                        result.faultsInjected);
         if (!options.serve.storeSpillDir.empty())
             std::printf("tiering: %zu demotions, %zu promotions, %zu "
                         "cold fallbacks; compile %.2fs vs load %.2fs\n",

@@ -1,0 +1,211 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace spatial::fault
+{
+
+namespace
+{
+
+/** Spec names, indexed by Site. */
+constexpr std::array<const char *, kSiteCount> kSiteNames = {
+    "serve.worker:stall",  "store.compile:fail", "store.compile:delay",
+    "cold.write:fail",     "cold.write:short",   "cold.read:fail",
+    "cold.read:corrupt",   "net.accept:delay",   "net.conn:drop",
+    "net.write:partial",   "client.read:stall",
+};
+
+/**
+ * Per-site default magnitudes (used when a rule's param is 0):
+ * milliseconds for the stall/delay sites, bytes for the partial-write
+ * cap, 1 for the pure pass/fail sites so a firing site never reports
+ * a zero (which injectFaultParam reserves for "did not fire").
+ */
+constexpr std::array<std::uint64_t, kSiteCount> kDefaultParam = {
+    10,  // serve.worker:stall (ms)
+    1,   // store.compile:fail
+    10,  // store.compile:delay (ms)
+    1,   // cold.write:fail
+    1,   // cold.write:short
+    1,   // cold.read:fail
+    1,   // cold.read:corrupt
+    5,   // net.accept:delay (ms)
+    1,   // net.conn:drop
+    128, // net.write:partial (bytes)
+    5,   // client.read:stall (ms)
+};
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t end = text.find(sep, start);
+        if (end == std::string::npos) {
+            parts.push_back(text.substr(start));
+            return parts;
+        }
+        parts.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+}
+
+bool
+parseReal(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(text.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+parseU64(const std::string &text, std::uint64_t *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtoull(text.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+lookupSite(const std::string &name, Site *out)
+{
+    for (std::size_t i = 0; i < kSiteCount; ++i)
+        if (name == kSiteNames[i]) {
+            *out = static_cast<Site>(i);
+            return true;
+        }
+    return false;
+}
+
+} // namespace
+
+const char *
+siteName(Site site)
+{
+    return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+FaultPlan::FaultPlan()
+{
+    const char *spec = std::getenv("SPATIAL_FAULTS");
+    if (spec == nullptr || spec[0] == '\0')
+        return;
+    std::string error;
+    if (!configureFromSpec(spec, &error))
+        SPATIAL_FATAL("fault: bad SPATIAL_FAULTS: ", error);
+    SPATIAL_INFORM("fault: plan installed from SPATIAL_FAULTS (", spec,
+                   ")");
+}
+
+FaultPlan &
+FaultPlan::instance()
+{
+    static FaultPlan plan;
+    return plan;
+}
+
+void
+FaultPlan::configure(Site site, const Rule &rule)
+{
+    MutexLock lock(mutex_);
+    SiteConfig &config = sites_[static_cast<std::size_t>(site)];
+    config.enabled = true;
+    config.rule = rule;
+    config.rng = Rng(rule.seed);
+    active_.store(true, std::memory_order_relaxed);
+}
+
+bool
+FaultPlan::configureFromSpec(const std::string &spec, std::string *error)
+{
+    const auto fail = [error](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    for (const std::string &entry : splitOn(spec, ',')) {
+        if (entry.empty())
+            continue;
+        // site names contain one ':' themselves ("cold.read:fail"),
+        // so an entry splits into site, kind, rate, seed[, param].
+        const std::vector<std::string> fields = splitOn(entry, ':');
+        if (fields.size() != 4 && fields.size() != 5)
+            return fail("entry '" + entry +
+                        "' is not site:kind:rate:seed[:param]");
+        Site site;
+        const std::string name = fields[0] + ":" + fields[1];
+        if (!lookupSite(name, &site))
+            return fail("unknown site '" + name + "'");
+        Rule rule;
+        if (!parseReal(fields[2], &rule.rate) || rule.rate < 0.0 ||
+            rule.rate > 1.0)
+            return fail("bad rate '" + fields[2] + "' in '" + entry +
+                        "' (want a real in [0,1])");
+        if (!parseU64(fields[3], &rule.seed))
+            return fail("bad seed '" + fields[3] + "' in '" + entry +
+                        "'");
+        if (fields.size() == 5 && !parseU64(fields[4], &rule.param))
+            return fail("bad param '" + fields[4] + "' in '" + entry +
+                        "'");
+        configure(site, rule);
+    }
+    return true;
+}
+
+void
+FaultPlan::clear()
+{
+    MutexLock lock(mutex_);
+    for (SiteConfig &config : sites_)
+        config = SiteConfig{};
+    for (std::atomic<std::uint64_t> &count : counts_)
+        count.store(0, std::memory_order_relaxed);
+    active_.store(false, std::memory_order_relaxed);
+}
+
+bool
+FaultPlan::shouldInject(Site site)
+{
+    return shouldInjectParam(site) != 0;
+}
+
+std::uint64_t
+FaultPlan::shouldInjectParam(Site site)
+{
+    const std::size_t index = static_cast<std::size_t>(site);
+    MutexLock lock(mutex_);
+    SiteConfig &config = sites_[index];
+    if (!config.enabled || !config.rng.bernoulli(config.rule.rate))
+        return 0;
+    counts_[index].fetch_add(1, std::memory_order_relaxed);
+    return config.rule.param != 0 ? config.rule.param
+                                  : kDefaultParam[index];
+}
+
+std::uint64_t
+FaultPlan::injected(Site site) const
+{
+    return counts_[static_cast<std::size_t>(site)].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+FaultPlan::injectedTotal() const
+{
+    std::uint64_t total = 0;
+    for (const std::atomic<std::uint64_t> &count : counts_)
+        total += count.load(std::memory_order_relaxed);
+    return total;
+}
+
+} // namespace spatial::fault

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the serving stack.
+ *
+ * A process-wide FaultPlan holds one rule per named injection site:
+ * a firing probability, a seed, and an optional magnitude parameter
+ * (a stall duration in milliseconds, a write-size cap in bytes —
+ * whatever the site documents).  Sites are threaded through the
+ * stack — the server worker pool, DesignStore admission, the cold
+ * tier's file I/O, and both ends of the wire — and each consults the
+ * plan at the moment the fault would occur:
+ *
+ * | site                  | effect when it fires                      |
+ * |-----------------------|-------------------------------------------|
+ * | `serve.worker:stall`  | worker sleeps `param` ms before a group   |
+ * | `store.compile:fail`  | admission compile fails transiently       |
+ * | `store.compile:delay` | admission sleeps `param` ms (cold cache)  |
+ * | `cold.write:fail`     | spill write fails outright (ENOSPC model) |
+ * | `cold.write:short`    | spill file is truncated after the rename  |
+ * | `cold.read:fail`      | cold load reports an I/O error            |
+ * | `cold.read:corrupt`   | cold load returns corrupted artifacts     |
+ * | `net.accept:delay`    | event loop sleeps `param` ms on accept    |
+ * | `net.conn:drop`       | server drops the connection on dispatch   |
+ * | `net.write:partial`   | server sends at most `param` bytes/pass   |
+ * | `client.read:stall`   | client reader sleeps `param` ms per read  |
+ *
+ * Determinism: each site owns its own Rng seeded from its rule, and
+ * every decision consumes exactly one Bernoulli draw from that
+ * stream, so for a fixed plan and a fixed per-site visit order the
+ * fire/skip sequence is identical run to run.  (Cross-site
+ * interleaving may still vary with thread scheduling; determinism is
+ * per site, which is what the chaos tests key on.)
+ *
+ * Zero cost when idle: the plan keeps an atomic `active` flag that is
+ * false whenever no rule is configured, and the inline injectFault /
+ * injectFaultParam helpers check it before taking any lock — an
+ * empty plan costs one relaxed atomic load per site visit.
+ *
+ * Configuration: programmatically via FaultPlan::configure, or from
+ * the environment at first use via
+ * `SPATIAL_FAULTS=site:kind:rate:seed[:param],...` — e.g.
+ * `SPATIAL_FAULTS=serve.worker:stall:0.25:7:40,net.conn:drop:0.05:3`.
+ * A malformed spec is fatal: a chaos run with a mistyped plan should
+ * die loudly, not silently measure the happy path.
+ *
+ * See docs/robustness.md for the fault model and the degradation
+ * machinery each site exercises.
+ */
+
+#ifndef SPATIAL_COMMON_FAULT_H
+#define SPATIAL_COMMON_FAULT_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+namespace spatial::fault
+{
+
+/** Named injection sites (spec names in the table above). */
+enum class Site : std::uint8_t
+{
+    ServeWorkerStall = 0, //!< `serve.worker:stall`
+    StoreCompileFail,     //!< `store.compile:fail`
+    StoreCompileDelay,    //!< `store.compile:delay`
+    ColdWriteFail,        //!< `cold.write:fail`
+    ColdWriteShort,       //!< `cold.write:short`
+    ColdReadFail,         //!< `cold.read:fail`
+    ColdReadCorrupt,      //!< `cold.read:corrupt`
+    NetAcceptDelay,       //!< `net.accept:delay`
+    NetConnDrop,          //!< `net.conn:drop`
+    NetWritePartial,      //!< `net.write:partial`
+    ClientReadStall,      //!< `client.read:stall`
+};
+
+/** Number of sites in the catalog (array sizing). */
+constexpr std::size_t kSiteCount = 11;
+
+/** The spec name of `site`, e.g. "serve.worker:stall". */
+const char *siteName(Site site);
+
+/** One site's injection rule. */
+struct Rule
+{
+    /** Firing probability per visit, in [0, 1]. */
+    double rate = 0.0;
+    /** Seed for this site's private decision stream. */
+    std::uint64_t seed = 1;
+    /**
+     * Site-specific magnitude: milliseconds for the stall/delay
+     * sites, a byte cap for `net.write:partial`; 0 picks the site's
+     * default.  Ignored by the pure pass/fail sites.
+     */
+    std::uint64_t param = 0;
+};
+
+/**
+ * The process-wide fault plan.  Thread-safe: decisions serialize on
+ * an internal mutex (irrelevant for performance — a non-empty plan
+ * only exists in chaos runs), counters are atomics readable without
+ * it, and the `active` fast path is a single relaxed load.
+ */
+class FaultPlan
+{
+  public:
+    /**
+     * The singleton.  The first call parses `SPATIAL_FAULTS` from the
+     * environment (fatal on a malformed spec); programmatic
+     * configure()/clear() calls override it afterwards.
+     */
+    static FaultPlan &instance();
+
+    /** Install (or replace) the rule for one site. */
+    void configure(Site site, const Rule &rule);
+
+    /**
+     * Parse and install a `site:kind:rate:seed[:param],...` spec on
+     * top of the current plan.  Returns false and fills `*error`
+     * (when non-null) on a malformed spec, leaving already-parsed
+     * entries installed.
+     */
+    bool configureFromSpec(const std::string &spec, std::string *error);
+
+    /** Remove every rule; also resets the per-site counters. */
+    void clear();
+
+    /** True when at least one site has a rule installed. */
+    bool active() const
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Draw this site's next decision: true when the fault fires.
+     * Counts the injection.  Call through injectFault() so the empty
+     * plan stays lock-free.
+     */
+    bool shouldInject(Site site);
+
+    /**
+     * Like shouldInject, but returns the site's magnitude parameter
+     * (>= 1) when the fault fires and 0 when it does not.
+     */
+    std::uint64_t shouldInjectParam(Site site);
+
+    /** Number of times `site` has fired since the last clear(). */
+    std::uint64_t injected(Site site) const;
+
+    /** Total fires across every site since the last clear(). */
+    std::uint64_t injectedTotal() const;
+
+  private:
+    FaultPlan();
+
+    struct SiteConfig
+    {
+        bool enabled = false;
+        Rule rule;
+        Rng rng{0}; //!< this site's private decision stream
+    };
+
+    mutable Mutex mutex_;
+    std::array<SiteConfig, kSiteCount> sites_ SPATIAL_GUARDED_BY(mutex_);
+    std::array<std::atomic<std::uint64_t>, kSiteCount> counts_{};
+    std::atomic<bool> active_{false};
+};
+
+/**
+ * Should the fault at `site` fire now?  The one-liner every
+ * injection site calls; a relaxed load and nothing else when no plan
+ * is configured.
+ */
+inline bool
+injectFault(Site site)
+{
+    FaultPlan &plan = FaultPlan::instance();
+    return plan.active() && plan.shouldInject(site);
+}
+
+/**
+ * Parameterized flavor: 0 when the fault does not fire, the site's
+ * magnitude (>= 1; milliseconds or bytes per the catalog) when it
+ * does.
+ */
+inline std::uint64_t
+injectFaultParam(Site site)
+{
+    FaultPlan &plan = FaultPlan::instance();
+    return plan.active() ? plan.shouldInjectParam(site) : 0;
+}
+
+} // namespace spatial::fault
+
+#endif // SPATIAL_COMMON_FAULT_H

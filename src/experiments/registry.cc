@@ -17,6 +17,7 @@ Registry::instance()
         registerPerfExperiments(*r);
         registerServeExperiments(*r);
         registerLargeMatrixExperiments(*r);
+        registerChaosExperiments(*r);
         return r;
     }();
     return *registry;

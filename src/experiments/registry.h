@@ -46,6 +46,7 @@ void registerEsnExperiments(Registry &registry);        //!< ESN scenarios
 void registerPerfExperiments(Registry &registry);       //!< sim_throughput
 void registerServeExperiments(Registry &registry);      //!< serving_throughput
 void registerLargeMatrixExperiments(Registry &registry); //!< large_matrix
+void registerChaosExperiments(Registry &registry);       //!< chaos
 ///@}
 
 } // namespace spatial::experiments

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "analysis/verifier.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "core/batch_engine.h"
 
@@ -205,6 +207,32 @@ DesignStore::get(const experiments::DesignKey &key,
 #endif
             }
             if (design == nullptr) {
+                // Injection sites: an admission latency spike, and a
+                // transient compile failure.  Real compile errors
+                // propagate to every waiter as an exception; an
+                // injected failure models a transient toolchain
+                // hiccup on a compilable design, which admission
+                // rides out with a bounded backoff-retry loop — the
+                // request is delayed, never failed, and never
+                // escapes as an exception into the worker pool.
+                if (const std::uint64_t spike_ms =
+                        fault::injectFaultParam(
+                            fault::Site::StoreCompileDelay)) {
+                    faultsInjected_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(spike_ms));
+                }
+                for (int attempt = 0;
+                     attempt < 4 &&
+                     fault::injectFault(
+                         fault::Site::StoreCompileFail);
+                     ++attempt) {
+                    faultsInjected_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1LL << attempt));
+                }
                 const auto start = std::chrono::steady_clock::now();
                 design = std::make_shared<const core::TiledDesign>(
                     core::TiledDesign::compile(weights, options,
@@ -270,6 +298,8 @@ DesignStore::stats() const
         static_cast<double>(
             jitCompileMicros_.load(std::memory_order_relaxed)) /
         1e6;
+    stats.faultsInjected =
+        faultsInjected_.load(std::memory_order_relaxed);
     {
         MutexLock lock(mutex_);
         stats.resident = entries_.size();

@@ -123,6 +123,13 @@ class DesignStore
          * compiles (generation + out-of-process cc), across designs.
          */
         double jitCompileSeconds = 0.0;
+
+        /**
+         * Injected admission faults absorbed (compile failures ridden
+         * out by the bounded retry, plus injected latency spikes);
+         * always 0 outside chaos runs.  See common/fault.h.
+         */
+        std::uint64_t faultsInjected = 0;
     };
 
     /** Hot-only store holding at most `capacity` designs (min 1). */
@@ -231,6 +238,7 @@ class DesignStore
     std::atomic<std::size_t> jitAdmitted_{0};
     std::atomic<std::size_t> jitFailed_{0};
     std::atomic<std::uint64_t> jitCompileMicros_{0};
+    std::atomic<std::uint64_t> faultsInjected_{0};
 };
 
 } // namespace spatial::serve

@@ -208,7 +208,10 @@ runRemote(const LoadGenOptions &options)
     std::string host;
     std::uint16_t port = 0;
     parseEndpoint(options.remote, &host, &port);
-    NetClient client(host, port);
+    NetClientOptions copts;
+    copts.requestTimeout = options.requestTimeout;
+    copts.maxReconnects = options.reconnects;
+    NetClient client(host, port, copts);
 
     auto register_design = [&](const IntMatrix &weights,
                                const core::CompileOptions &compile)
@@ -234,8 +237,16 @@ runRemote(const LoadGenOptions &options)
         for (std::size_t i = 0; i < todo.size(); ++i)
             todo[i] = i;
 
+        // Inter-round pacing: jittered exponential backoff that resets
+        // whenever a round completes at least one request, so a
+        // briefly saturated server is repolled politely instead of
+        // hammered on a fixed 1ms cadence.
+        Rng backoff_rng(options.seed ^ 0x0b0ff5eedULL);
+        unsigned stall_rounds = 0;
+        bool client_dead = false;
+
         const auto start = Clock::now();
-        while (!todo.empty()) {
+        while (!todo.empty() && !client_dead) {
             std::vector<std::pair<std::size_t,
                                   std::future<RemoteResult>>>
                 futures;
@@ -254,21 +265,36 @@ runRemote(const LoadGenOptions &options)
                     outputs[i] = std::move(r.output);
                     done[i] = true;
                     latencies.push_back(r.latencySeconds() * 1e3);
-                } else if (r.status == wire::Status::Busy) {
-                    ++result.shed;
+                } else if (r.status == wire::Status::Busy ||
+                           r.status == wire::Status::TimedOut) {
+                    if (r.status == wire::Status::Busy)
+                        ++result.shed;
+                    else
+                        ++result.timeouts;
                     if (options.retryBusy) {
                         again.push_back(i);
                         ++result.busyRetries;
                     }
+                } else if (r.status == wire::Status::Disconnected &&
+                           options.reconnects > 0) {
+                    // The reconnect budget is exhausted: the client is
+                    // dead for good, so everything unanswered is lost
+                    // — report it rather than spinning forever.
+                    ++result.lost;
+                    client_dead = true;
                 } else {
                     SPATIAL_FATAL("remote request failed: ",
                                   wire::statusName(r.status));
                 }
             }
+            stall_rounds = again.size() == todo.size()
+                               ? stall_rounds + 1
+                               : 0;
             todo = std::move(again);
-            if (!todo.empty())
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(1));
+            if (!todo.empty() && !client_dead)
+                std::this_thread::sleep_for(jitteredBackoff(
+                    stall_rounds, std::chrono::milliseconds(1),
+                    std::chrono::milliseconds(100), backoff_rng));
         }
         result.seconds = secondsBetween(start, Clock::now());
         result.completed = latencies.size();
@@ -333,6 +359,11 @@ runRemote(const LoadGenOptions &options)
                 latencies.push_back(r.latencySeconds() * 1e3);
             else if (r.status == wire::Status::Busy)
                 ++result.shed;
+            else if (r.status == wire::Status::TimedOut)
+                ++result.timeouts;
+            else if (r.status == wire::Status::Disconnected &&
+                     options.reconnects > 0)
+                ++result.lost; // budget exhausted; open loop is lossy
             else
                 SPATIAL_FATAL("remote request failed: ",
                               wire::statusName(r.status));
@@ -346,6 +377,8 @@ runRemote(const LoadGenOptions &options)
 
         std::atomic<bool> stop{false};
         std::atomic<std::size_t> shed{0};
+        std::atomic<std::size_t> timedOut{0};
+        std::atomic<std::size_t> lost{0};
         std::mutex latMutex;
 
         const auto start = Clock::now();
@@ -365,12 +398,16 @@ runRemote(const LoadGenOptions &options)
                                         workload.ids[d]),
                                     Request(request))
                             .get();
-                    if (r.status == wire::Status::Ok)
+                    if (r.status == wire::Status::Ok) {
                         local.push_back(r.latencySeconds() * 1e3);
-                    else if (r.status == wire::Status::Busy)
+                    } else if (r.status == wire::Status::Busy) {
                         shed.fetch_add(1);
-                    else
+                    } else if (r.status == wire::Status::TimedOut) {
+                        timedOut.fetch_add(1);
+                    } else {
+                        lost.fetch_add(1);
                         break; // disconnected mid-run
+                    }
                 }
                 std::lock_guard<std::mutex> lock(latMutex);
                 latencies.insert(latencies.end(), local.begin(),
@@ -385,10 +422,22 @@ runRemote(const LoadGenOptions &options)
         result.seconds = secondsBetween(start, Clock::now());
         result.completed = latencies.size();
         result.shed = shed.load();
+        result.timeouts = timedOut.load();
+        result.lost = lost.load();
     }
 
     finishLatencies(result, options, latencies);
-    client.fetchStats(&result.shardStats);
+    const NetClientStats client_stats = client.stats();
+    result.reconnects = client_stats.reconnects;
+    if (client.fetchStats(&result.shardStats) == wire::Status::Ok &&
+        result.shardStats.cols() >= wire::kShardStatsCols) {
+        for (std::size_t s = 0; s < result.shardStats.rows(); ++s) {
+            result.watchdogShed += static_cast<std::size_t>(
+                result.shardStats.at(s, wire::kStatWatchdogShed));
+            result.faultsInjected += static_cast<std::size_t>(
+                result.shardStats.at(s, wire::kStatFaultsInjected));
+        }
+    }
     return result;
 }
 
@@ -492,9 +541,15 @@ runLoadGen(const LoadGenOptions &options)
         responses.reserve(futures.size());
         for (auto &future : futures) {
             responses.push_back(future.get());
-            latencies.push_back(responses.back().latencySeconds() * 1e3);
+            // Watchdog sheds resolve with shed=true and no output;
+            // they count as shed, not completed.
+            if (responses.back().shed)
+                ++result.shed;
+            else
+                latencies.push_back(
+                    responses.back().latencySeconds() * 1e3);
         }
-        result.completed = responses.size();
+        result.completed = responses.size() - result.shed;
 
         if (options.compareNaive) {
             std::vector<std::shared_ptr<const core::TiledDesign>> refs;
@@ -509,7 +564,8 @@ runLoadGen(const LoadGenOptions &options)
                 static_cast<double>(result.completed) /
                 result.naiveSeconds;
             for (std::size_t i = 0; i < naive.size(); ++i)
-                if (!(naive[i] == responses[i].output)) {
+                if (!responses[i].shed &&
+                    !(naive[i] == responses[i].output)) {
                     result.bitExact = false;
                     break;
                 }
@@ -556,8 +612,13 @@ runLoadGen(const LoadGenOptions &options)
         result.seconds = secondsBetween(start, Clock::now());
 
         latencies.reserve(futures.size());
-        for (auto &future : futures)
-            latencies.push_back(future.get().latencySeconds() * 1e3);
+        for (auto &future : futures) {
+            const Response response = future.get();
+            if (response.shed)
+                ++result.shed;
+            else
+                latencies.push_back(response.latencySeconds() * 1e3);
+        }
         result.completed = latencies.size();
     } else {
         const std::size_t pool = 1024;
@@ -566,6 +627,7 @@ runLoadGen(const LoadGenOptions &options)
 
         std::atomic<bool> stop{false};
         std::atomic<std::size_t> completed{0};
+        std::atomic<std::size_t> shedCount{0};
         std::mutex latMutex;
 
         const auto start = Clock::now();
@@ -581,7 +643,12 @@ runLoadGen(const LoadGenOptions &options)
                             0, static_cast<std::int64_t>(pool) - 1))];
                     auto future = server.submit(workload.ids[d],
                                                 Request(request));
-                    local.push_back(future.get().latencySeconds() * 1e3);
+                    const Response response = future.get();
+                    if (response.shed)
+                        shedCount.fetch_add(1);
+                    else
+                        local.push_back(response.latencySeconds() *
+                                        1e3);
                 }
                 completed.fetch_add(local.size());
                 std::lock_guard<std::mutex> lock(latMutex);
@@ -597,6 +664,7 @@ runLoadGen(const LoadGenOptions &options)
         server.drain();
         result.seconds = secondsBetween(start, Clock::now());
         result.completed = completed.load();
+        result.shed = shedCount.load();
     }
 
     finishLatencies(result, options, latencies);
@@ -607,6 +675,8 @@ runLoadGen(const LoadGenOptions &options)
     if (result.naiveThroughput > 0.0)
         result.speedup = result.throughput / result.naiveThroughput;
     result.stats = server.stats();
+    result.watchdogShed = result.stats.watchdogShed;
+    result.faultsInjected = result.stats.faultsInjected;
     result.workersResolved = server.options().workers;
     return result;
 }
@@ -618,7 +688,7 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     using experiments::jsonReal;
     std::ostringstream out;
     out << "{\n";
-    out << "  \"schema\": \"spatial-serve/v2\",\n";
+    out << "  \"schema\": \"spatial-serve/v3\",\n";
     out << "  \"mode\": " << jsonQuote(modeName(options.mode)) << ",\n";
     out << "  \"remote\": " << jsonQuote(options.remote) << ",\n";
     out << "  \"designs\": " << options.designs << ",\n";
@@ -646,6 +716,13 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
     out << "  \"completed\": " << completed << ",\n";
     out << "  \"shed\": " << shed << ",\n";
     out << "  \"busy_retries\": " << busyRetries << ",\n";
+    out << "  \"request_timeout_ms\": " << options.requestTimeout.count()
+        << ",\n";
+    out << "  \"timeouts\": " << timeouts << ",\n";
+    out << "  \"lost\": " << lost << ",\n";
+    out << "  \"reconnects\": " << reconnects << ",\n";
+    out << "  \"watchdog_shed\": " << watchdogShed << ",\n";
+    out << "  \"faults_injected\": " << faultsInjected << ",\n";
     out << "  \"seconds\": " << jsonReal(seconds) << ",\n";
     out << "  \"throughput\": " << jsonReal(throughput) << ",\n";
     out << "  \"p50_ms\": " << jsonReal(latencyMs.p50) << ",\n";
@@ -711,7 +788,9 @@ LoadGenResult::toJson(const LoadGenOptions &options) const
             << ", \"submitted\": " << cell(wire::kStatSubmitted)
             << ", \"shed\": " << cell(wire::kStatShed)
             << ", \"in_flight\": " << cell(wire::kStatInFlight)
-            << "}";
+            << ", \"watchdog_shed\": " << cell(wire::kStatWatchdogShed)
+            << ", \"faults_injected\": "
+            << cell(wire::kStatFaultsInjected) << "}";
     }
     out << (shardStats.rows() > 0 ? "\n  ],\n" : "],\n");
     out << "  \"naive_seconds\": " << jsonReal(naiveSeconds) << ",\n";

@@ -90,12 +90,29 @@ struct LoadGenOptions
     std::string remote;
 
     /**
-     * Remote drain mode: resubmit requests shed with Status::Busy in
-     * follow-up rounds until every request completes (the shed and
-     * retry counts are still reported).  Disable to measure shedding
+     * Remote drain mode: resubmit requests shed with Status::Busy (or
+     * expired with TimedOut) in follow-up rounds until every request
+     * completes (the shed and retry counts are still reported).  The
+     * inter-round sleep is a jittered exponential backoff that resets
+     * whenever a round makes progress.  Disable to measure shedding
      * itself — completion then covers only admitted requests.
      */
     bool retryBusy = true;
+
+    /**
+     * Remote mode: per-request deadline forwarded to the NetClient;
+     * expired requests resolve TimedOut and are retried (drain mode
+     * with retryBusy) or counted (open/closed).  0 disables.
+     */
+    std::chrono::milliseconds requestTimeout{0};
+
+    /**
+     * Remote mode: NetClient reconnect budget after an unexpected
+     * disconnect (outstanding requests are replayed on the fresh
+     * connection).  0 keeps the legacy fail-fast behavior, where a
+     * mid-run disconnect is fatal.
+     */
+    unsigned reconnects = 0;
 
     /** Latency SLO target (ms) for the compliance figure. */
     double sloMs = 50.0;
@@ -133,6 +150,21 @@ struct LoadGenResult
 
     /** Resubmissions of shed requests (remote drain, retryBusy). */
     std::size_t busyRetries = 0;
+
+    /** Requests that expired client-side (Status::TimedOut). */
+    std::size_t timeouts = 0;
+
+    /** Requests lost to a dead connection (Status::Disconnected). */
+    std::size_t lost = 0;
+
+    /** Successful client redials during the run (remote mode). */
+    std::size_t reconnects = 0;
+
+    /** Requests shed by the server's queue-age watchdog. */
+    std::size_t watchdogShed = 0;
+
+    /** Faults the server injected during the run (chaos runs only). */
+    std::size_t faultsInjected = 0;
 
     /** Fraction of completed requests within LoadGenOptions::sloMs. */
     double sloCompliance = 1.0;

@@ -6,14 +6,58 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace spatial::serve
 {
+
+namespace
+{
+
+/**
+ * Open a blocking TCP connection; returns -1 on failure when
+ * `fatal` is false (the reconnect path — failure is expected there).
+ */
+int
+openSocket(const std::string &host, std::uint16_t port, bool fatal)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (fatal)
+            SPATIAL_FATAL("socket(): ", std::strerror(errno));
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        if (fatal)
+            SPATIAL_FATAL("bad address '", host, "'");
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        if (fatal)
+            SPATIAL_FATAL("connect(", host, ":", port,
+                          "): ", std::strerror(errno));
+        return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+} // namespace
 
 void
 parseEndpoint(const std::string &endpoint, std::string *host,
@@ -33,24 +77,35 @@ parseEndpoint(const std::string &endpoint, std::string *host,
     *port = static_cast<std::uint16_t>(value);
 }
 
-NetClient::NetClient(const std::string &host, std::uint16_t port)
+std::chrono::milliseconds
+jitteredBackoff(unsigned attempt, std::chrono::milliseconds base,
+                std::chrono::milliseconds cap, Rng &rng)
 {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0)
-        SPATIAL_FATAL("socket(): ", std::strerror(errno));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
-        SPATIAL_FATAL("bad address '", host, "'");
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0)
-        SPATIAL_FATAL("connect(", host, ":", port,
-                      "): ", std::strerror(errno));
-    int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const double base_ms =
+        static_cast<double>(std::max<std::int64_t>(1, base.count()));
+    const double cap_ms = std::max(
+        base_ms, static_cast<double>(std::max<std::int64_t>(
+                     1, cap.count())));
+    // base << attempt, computed in doubles so a huge attempt count
+    // saturates at the cap instead of overflowing.
+    const double nominal =
+        std::min(cap_ms, std::ldexp(base_ms, std::min(attempt, 40u)));
+    const double jittered =
+        std::min(cap_ms, nominal * rng.uniformReal(0.5, 1.5));
+    return std::chrono::milliseconds(
+        std::max<std::int64_t>(1, std::llround(jittered)));
+}
+
+NetClient::NetClient(const std::string &host, std::uint16_t port,
+                     NetClientOptions options)
+    : host_(host), port_(port), options_(options)
+{
+    fd_.store(openSocket(host, port, /*fatal=*/true),
+              std::memory_order_release);
     connected_.store(true, std::memory_order_release);
     reader_ = std::thread([this] { readerLoop(); });
+    if (options_.requestTimeout.count() > 0)
+        timeout_ = std::thread([this] { timeoutLoop(); });
 }
 
 NetClient::~NetClient()
@@ -58,8 +113,16 @@ NetClient::~NetClient()
     close();
     if (reader_.joinable())
         reader_.join();
-    if (fd_ >= 0)
-        ::close(fd_);
+    {
+        MutexLock lock(pendingMutex_);
+        timeoutStop_ = true;
+    }
+    timeoutCv_.notify_all();
+    if (timeout_.joinable())
+        timeout_.join();
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd >= 0)
+        ::close(fd);
 }
 
 bool
@@ -68,15 +131,34 @@ NetClient::connected() const
     return connected_.load(std::memory_order_acquire);
 }
 
+NetClientStats
+NetClient::stats() const
+{
+    NetClientStats stats;
+    stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+    stats.reconnects = reconnects_.load(std::memory_order_relaxed);
+    stats.replays = replays_.load(std::memory_order_relaxed);
+    return stats;
+}
+
 void
 NetClient::close()
 {
+    // Order matters: the reader checks closing_ before redialing, so
+    // setting it first guarantees no reconnect races past a close.
+    closing_.store(true, std::memory_order_release);
+    // The descriptor swap and the connected_ flip both happen under
+    // sendMutex_ in the reconnect path, so taking it here makes this
+    // atomic with respect to a reconnect: either we shut down the
+    // (possibly fresh) live socket, or the reader sees closing_ and
+    // never installs one.
+    MutexLock lock(sendMutex_);
     if (!connected_.exchange(false))
         return;
     // Half-close our direction: the server sees EOF, finishes what it
     // owes us, and the reader drains the remaining responses until the
     // server closes its side too.
-    ::shutdown(fd_, SHUT_WR);
+    ::shutdown(fd_.load(std::memory_order_acquire), SHUT_WR);
 }
 
 void
@@ -97,16 +179,15 @@ NetClient::failAll()
 }
 
 bool
-NetClient::sendFrame(const wire::RequestFrame &frame)
+NetClient::sendBytes(const std::vector<std::uint8_t> &bytes)
 {
-    std::vector<std::uint8_t> bytes;
-    wire::appendRequestFrame(bytes, frame);
     MutexLock lock(sendMutex_);
     if (!connected())
         return false;
+    const int fd = fd_.load(std::memory_order_acquire);
     std::size_t sent = 0;
     while (sent < bytes.size()) {
-        const ssize_t n = ::send(fd_, bytes.data() + sent,
+        const ssize_t n = ::send(fd, bytes.data() + sent,
                                  bytes.size() - sent, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
@@ -117,6 +198,44 @@ NetClient::sendFrame(const wire::RequestFrame &frame)
         sent += static_cast<std::size_t>(n);
     }
     return true;
+}
+
+std::future<RemoteResult>
+NetClient::enqueueAndSend(wire::RequestFrame frame, bool applyTimeout)
+{
+    frame.requestId = nextId_.fetch_add(1, std::memory_order_relaxed);
+    auto bytes = std::make_shared<std::vector<std::uint8_t>>();
+    wire::appendRequestFrame(*bytes, frame);
+
+    Pending pending;
+    pending.submitAt = Clock::now();
+    if (applyTimeout && options_.requestTimeout.count() > 0)
+        pending.deadline = pending.submitAt + options_.requestTimeout;
+    if (options_.maxReconnects > 0)
+        pending.frame = bytes;
+    auto future = pending.promise.get_future();
+    {
+        MutexLock lock(pendingMutex_);
+        pending_.emplace(frame.requestId, std::move(pending));
+    }
+    if (!sendBytes(*bytes)) {
+        // With a reconnect budget and a live reader, leave the entry
+        // in place: the reader will redial and replay it.  Otherwise
+        // resolve here — the reader may already be gone.
+        MutexLock lock(pendingMutex_);
+        if (options_.maxReconnects == 0 || !readerActive_) {
+            const auto it = pending_.find(frame.requestId);
+            if (it != pending_.end()) {
+                RemoteResult result;
+                result.status = wire::Status::Disconnected;
+                result.submitAt = it->second.submitAt;
+                result.doneAt = Clock::now();
+                it->second.promise.set_value(std::move(result));
+                pending_.erase(it);
+            }
+        }
+    }
+    return future;
 }
 
 std::future<RemoteResult>
@@ -138,54 +257,40 @@ NetClient::submit(std::uint32_t design, Request request)
         break;
     }
     frame.designId = design;
-    frame.requestId = nextId_.fetch_add(1, std::memory_order_relaxed);
     frame.request = std::move(request);
+    return enqueueAndSend(std::move(frame), /*applyTimeout=*/true);
+}
 
-    Pending pending;
-    pending.submitAt = Clock::now();
-    auto future = pending.promise.get_future();
-    {
-        MutexLock lock(pendingMutex_);
-        pending_.emplace(frame.requestId, std::move(pending));
+RemoteResult
+NetClient::submitRetry(std::uint32_t design, const Request &request,
+                       unsigned maxAttempts)
+{
+    maxAttempts = std::max(1u, maxAttempts);
+    // A private jitter stream per call: decorrelates concurrent
+    // retriers while staying reproducible for a fixed seed and
+    // submission order.
+    Rng rng(options_.backoffSeed ^
+            (nextId_.load(std::memory_order_relaxed) *
+             0x9e3779b97f4a7c15ULL));
+    RemoteResult result;
+    for (unsigned attempt = 0;; ++attempt) {
+        result = submit(design, Request(request)).get();
+        const bool retryable =
+            result.status == wire::Status::Busy ||
+            result.status == wire::Status::TimedOut;
+        if (!retryable || attempt + 1 >= maxAttempts)
+            return result;
+        std::this_thread::sleep_for(
+            jitteredBackoff(attempt, options_.backoffBase,
+                            options_.backoffCap, rng));
     }
-    if (!sendFrame(frame)) {
-        // Resolve immediately: the reader may already be gone.
-        MutexLock lock(pendingMutex_);
-        const auto it = pending_.find(frame.requestId);
-        if (it != pending_.end()) {
-            RemoteResult result;
-            result.status = wire::Status::Disconnected;
-            result.submitAt = it->second.submitAt;
-            result.doneAt = Clock::now();
-            it->second.promise.set_value(std::move(result));
-            pending_.erase(it);
-        }
-    }
-    return future;
 }
 
 RemoteResult
 NetClient::roundTrip(wire::RequestFrame frame)
 {
-    frame.requestId = nextId_.fetch_add(1, std::memory_order_relaxed);
-    Pending pending;
-    pending.submitAt = Clock::now();
-    auto future = pending.promise.get_future();
-    {
-        MutexLock lock(pendingMutex_);
-        pending_.emplace(frame.requestId, std::move(pending));
-    }
-    if (!sendFrame(frame)) {
-        MutexLock lock(pendingMutex_);
-        const auto it = pending_.find(frame.requestId);
-        if (it != pending_.end()) {
-            RemoteResult result;
-            result.status = wire::Status::Disconnected;
-            it->second.promise.set_value(std::move(result));
-            pending_.erase(it);
-        }
-    }
-    return future.get();
+    return enqueueAndSend(std::move(frame), /*applyTimeout=*/false)
+        .get();
 }
 
 wire::Status
@@ -200,7 +305,7 @@ NetClient::registerDesign(const IntMatrix &weights,
     RemoteResult result = roundTrip(std::move(frame));
     if (result.status != wire::Status::Ok)
         return result.status;
-    // The reader stashed the assigned id in output (see readerLoop):
+    // The reader stashed the assigned id in output (see runReader):
     // [0,0] = design id, [0,1] = shard.
     if (result.output.rows() != 1 || result.output.cols() != 2)
         return wire::Status::BadFrame;
@@ -230,16 +335,50 @@ NetClient::fetchStats(IntMatrix *out)
 }
 
 void
-NetClient::readerLoop()
+NetClient::replayPending()
 {
+    // Snapshot the outstanding frames; ids are monotonic, so sorting
+    // by id replays in the original submit order.
+    std::vector<std::pair<
+        std::uint64_t, std::shared_ptr<const std::vector<std::uint8_t>>>>
+        frames;
+    {
+        MutexLock lock(pendingMutex_);
+        frames.reserve(pending_.size());
+        for (const auto &[id, pending] : pending_)
+            if (pending.frame != nullptr)
+                frames.emplace_back(id, pending.frame);
+    }
+    std::sort(frames.begin(), frames.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[id, bytes] : frames) {
+        if (!sendBytes(*bytes))
+            return; // connection died again; the next redial retries
+        replays_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+NetClient::runReader()
+{
+    const int fd = fd_.load(std::memory_order_acquire);
     std::vector<std::uint8_t> buffer;
     std::uint8_t chunk[64 * 1024];
     for (;;) {
-        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        // Injection site: a stalled reader — the client stops
+        // draining its socket while the server keeps answering,
+        // filling the server's per-connection out buffer.
+        if (const std::uint64_t stall_ms = fault::injectFaultParam(
+                fault::Site::ClientReadStall))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(stall_ms));
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
         if (n < 0 && errno == EINTR)
             continue;
         if (n <= 0)
-            break;
+            return;
         buffer.insert(buffer.end(), chunk, chunk + n);
 
         std::size_t consumed = 0;
@@ -276,7 +415,7 @@ NetClient::readerLoop()
                 }
             }
             if (!found)
-                continue; // unsolicited; ignore
+                continue; // unsolicited, or timed out meanwhile; drop
             RemoteResult result;
             result.status = frame.status;
             result.submitAt = pending.submitAt;
@@ -302,10 +441,107 @@ NetClient::readerLoop()
                          buffer.begin() +
                              static_cast<std::ptrdiff_t>(consumed));
         if (fatal)
+            return;
+    }
+}
+
+void
+NetClient::readerLoop()
+{
+    Rng backoff(options_.backoffSeed);
+    unsigned attempts = 0;
+    for (;;) {
+        runReader();
+        connected_.store(false, std::memory_order_release);
+        if (closing_.load(std::memory_order_acquire) ||
+            options_.maxReconnects == 0)
             break;
+
+        // Reconnect-and-replay: redial with jittered exponential
+        // backoff (the budget is cumulative, not per-drop), swap the
+        // descriptor under the send mutex, and resend every
+        // outstanding frame.  Requests answered before the drop were
+        // already resolved; the rest get a second life instead of a
+        // Disconnected.
+        bool reconnected = false;
+        while (attempts < options_.maxReconnects &&
+               !closing_.load(std::memory_order_acquire)) {
+            const auto delay =
+                jitteredBackoff(attempts, options_.backoffBase,
+                                options_.backoffCap, backoff);
+            ++attempts;
+            std::this_thread::sleep_for(delay);
+            if (closing_.load(std::memory_order_acquire))
+                break;
+            const int nfd = openSocket(host_, port_, /*fatal=*/false);
+            if (nfd < 0)
+                continue;
+            {
+                MutexLock lock(sendMutex_);
+                if (closing_.load(std::memory_order_acquire)) {
+                    ::close(nfd);
+                    break;
+                }
+                const int old =
+                    fd_.exchange(nfd, std::memory_order_acq_rel);
+                if (old >= 0)
+                    ::close(old);
+                connected_.store(true, std::memory_order_release);
+            }
+            reconnects_.fetch_add(1, std::memory_order_relaxed);
+            replayPending();
+            reconnected = true;
+            break;
+        }
+        if (!reconnected)
+            break;
+    }
+    {
+        MutexLock lock(pendingMutex_);
+        readerActive_ = false;
     }
     connected_.store(false, std::memory_order_release);
     failAll();
+}
+
+void
+NetClient::timeoutLoop()
+{
+    const auto period =
+        std::max(std::chrono::milliseconds(1),
+                 options_.requestTimeout / 4);
+    MutexLock lock(pendingMutex_);
+    while (!timeoutStop_) {
+        timeoutCv_.wait_for(pendingMutex_, period);
+        if (timeoutStop_)
+            return;
+        const auto now = Clock::now();
+        std::vector<Pending> expired;
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->second.deadline.time_since_epoch().count() != 0 &&
+                now >= it->second.deadline) {
+                expired.push_back(std::move(it->second));
+                it = pending_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (expired.empty())
+            continue;
+        timeouts_.fetch_add(expired.size(),
+                            std::memory_order_relaxed);
+        // Fulfill outside the lock: a waiter continuation must not
+        // run under pendingMutex_.
+        lock.unlock();
+        for (auto &pending : expired) {
+            RemoteResult result;
+            result.status = wire::Status::TimedOut;
+            result.submitAt = pending.submitAt;
+            result.doneAt = now;
+            pending.promise.set_value(std::move(result));
+        }
+        lock.lock();
+    }
 }
 
 } // namespace spatial::serve

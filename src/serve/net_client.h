@@ -10,8 +10,27 @@
  * gives the client natural backpressure if the server's socket buffers
  * fill while its admission control is shedding.
  *
+ * Degradation machinery (all off by default, see NetClientOptions):
+ *
+ * - **Per-request timeouts**: a monitor thread resolves compute
+ *   requests older than `requestTimeout` with the client-synthetic
+ *   wire::Status::TimedOut instead of letting a stalled server hold
+ *   the future forever; a late response for a timed-out id is
+ *   discarded on arrival.
+ * - **Reconnect-and-replay**: with `maxReconnects > 0`, an unexpected
+ *   disconnect makes the reader redial (jittered exponential backoff
+ *   between attempts) and replay every outstanding request frame in
+ *   submit order on the fresh connection.  Compute requests and
+ *   registrations are idempotent — re-executing a GEMV or
+ *   re-registering a design is harmless — which is what makes blind
+ *   replay sound.
+ * - **submitRetry()**: a blocking convenience that retries Busy/
+ *   TimedOut responses with jittered exponential backoff, the polite
+ *   way to drain work through an overloaded server.
+ *
  * Thread-safe: submit()/registerDesign()/ping()/fetchStats() may be
- * called from any number of threads.  If the connection drops, every
+ * called from any number of threads.  If the connection drops for
+ * good (no reconnect budget, or close() was called), every
  * outstanding and future request resolves with
  * wire::Status::Disconnected instead of blocking forever.
  */
@@ -22,10 +41,13 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/sync.h"
 #include "serve/wire.h"
 
@@ -35,7 +57,7 @@ namespace spatial::serve
 /** The outcome of one remote request. */
 struct RemoteResult
 {
-    /** Wire status (Ok, Busy, ... or the synthetic Disconnected). */
+    /** Wire status (Ok, Busy, ... or synthetic TimedOut/Disconnected). */
     wire::Status status = wire::Status::Disconnected;
 
     /** Output matrix; meaningful only when status == Ok. */
@@ -51,12 +73,64 @@ struct RemoteResult
     }
 };
 
+/** Client-side degradation knobs (defaults keep legacy behavior). */
+struct NetClientOptions
+{
+    /**
+     * Per-request deadline for compute submits: an outstanding
+     * request older than this resolves with wire::Status::TimedOut.
+     * Control round trips (register/ping/stats) are exempt — a
+     * registration legitimately blocks on a long compile.  0
+     * disables (no monitor thread is started).
+     */
+    std::chrono::milliseconds requestTimeout{0};
+
+    /**
+     * Reconnect attempts after an unexpected disconnect before the
+     * client gives up and fails outstanding work with Disconnected.
+     * The budget is cumulative across the connection's lifetime, and
+     * every successful reconnect replays the outstanding frames.
+     * 0 disables reconnecting entirely.
+     */
+    unsigned maxReconnects = 0;
+
+    /** First backoff step (doubles per attempt, jittered 0.5-1.5x). */
+    std::chrono::milliseconds backoffBase{2};
+
+    /** Ceiling on one backoff sleep. */
+    std::chrono::milliseconds backoffCap{250};
+
+    /** Seed for the backoff jitter streams (determinism in tests). */
+    std::uint64_t backoffSeed = 0x0b0ff5eedULL;
+};
+
+/** Client-side degradation counters (point-in-time snapshot). */
+struct NetClientStats
+{
+    std::uint64_t timeouts = 0;   //!< requests resolved TimedOut
+    std::uint64_t reconnects = 0; //!< successful redials
+    std::uint64_t replays = 0;    //!< frames resent after a redial
+};
+
+/**
+ * One jittered-exponential-backoff delay: `base << attempt`, capped
+ * at `cap`, scaled by a uniform 0.5-1.5 draw from `rng` so a
+ * thundering herd of retriers decorrelates.  Never less than 1ms.
+ * Shared by NetClient, the load generator's --retry_busy loop, and
+ * the chaos experiment.
+ */
+std::chrono::milliseconds jitteredBackoff(unsigned attempt,
+                                          std::chrono::milliseconds base,
+                                          std::chrono::milliseconds cap,
+                                          Rng &rng);
+
 /** A blocking-connect client for one NetServer. */
 class NetClient
 {
   public:
     /** Connect to host:port; fatal on connection failure. */
-    NetClient(const std::string &host, std::uint16_t port);
+    NetClient(const std::string &host, std::uint16_t port,
+              NetClientOptions options = {});
 
     /** Close the connection and join the reader. */
     ~NetClient();
@@ -81,10 +155,22 @@ class NetClient
 
     /**
      * Send one compute request; the future resolves when the response
-     * frame arrives (any status, including Busy sheds).
+     * frame arrives (any status, including Busy sheds), when the
+     * per-request timeout expires, or when the connection is lost for
+     * good — never never.
      */
     std::future<RemoteResult> submit(std::uint32_t design,
                                      Request request);
+
+    /**
+     * Blocking submit that retries Busy and TimedOut responses with
+     * jittered exponential backoff, up to `maxAttempts` submissions
+     * total.  Returns the final result (which may still be Busy or
+     * TimedOut when the budget runs out, or any terminal status).
+     */
+    RemoteResult submitRetry(std::uint32_t design,
+                             const Request &request,
+                             unsigned maxAttempts = 8);
 
     /** Round-trip an empty Ping frame. */
     wire::Status ping();
@@ -95,9 +181,13 @@ class NetClient
      */
     wire::Status fetchStats(IntMatrix *out);
 
+    /** Client-side degradation counters. */
+    NetClientStats stats() const;
+
     /**
-     * Half-close: stop sending and fail outstanding requests once the
-     * server's remaining responses have been read.  Idempotent.
+     * Half-close: stop sending (and reconnecting) and fail
+     * outstanding requests once the server's remaining responses have
+     * been read.  Idempotent.
      */
     void close();
 
@@ -106,14 +196,32 @@ class NetClient
     {
         std::promise<RemoteResult> promise;
         std::chrono::time_point<Clock> submitAt{};
+        /** Timeout deadline; epoch (= 0) when exempt. */
+        std::chrono::time_point<Clock> deadline{};
+        /** Encoded frame for replay; null when reconnect is off. */
+        std::shared_ptr<const std::vector<std::uint8_t>> frame;
     };
 
-    /** Send one encoded frame; false once disconnected. */
-    bool sendFrame(const wire::RequestFrame &frame)
+    /** Enqueue a pending entry and send its frame. */
+    std::future<RemoteResult> enqueueAndSend(wire::RequestFrame frame,
+                                             bool applyTimeout)
+        SPATIAL_EXCLUDES(pendingMutex_, sendMutex_);
+
+    /** Send raw frame bytes; false once disconnected. */
+    bool sendBytes(const std::vector<std::uint8_t> &bytes)
         SPATIAL_EXCLUDES(sendMutex_);
 
-    /** Reader thread: decode responses, resolve pending promises. */
+    /** Reader thread: decode/resolve, reconnect-and-replay on drop. */
     void readerLoop() SPATIAL_EXCLUDES(pendingMutex_);
+
+    /** One connection's read-decode-resolve loop; returns on error. */
+    void runReader() SPATIAL_EXCLUDES(pendingMutex_);
+
+    /** Resend every outstanding frame in submit (id) order. */
+    void replayPending() SPATIAL_EXCLUDES(pendingMutex_, sendMutex_);
+
+    /** Timeout monitor thread: expire overdue pendings. */
+    void timeoutLoop() SPATIAL_EXCLUDES(pendingMutex_);
 
     /** Fail every outstanding request with Disconnected. */
     void failAll() SPATIAL_EXCLUDES(pendingMutex_);
@@ -121,14 +229,34 @@ class NetClient
     /** Submit and wait for a one-shot control request. */
     RemoteResult roundTrip(wire::RequestFrame frame);
 
-    int fd_ = -1; //!< immutable while the reader thread lives
+    const std::string host_;   //!< redial target
+    const std::uint16_t port_; //!< redial target
+    NetClientOptions options_;
+
+    /**
+     * The socket.  Replaced only by the reader thread during a
+     * reconnect, under sendMutex_, so a sender never writes into a
+     * half-swapped descriptor; reads happen on the reader thread
+     * between swaps.
+     */
+    std::atomic<int> fd_{-1};
     std::atomic<bool> connected_{false};
+    std::atomic<bool> closing_{false}; //!< close() called; stop redialing
     Mutex sendMutex_;    //!< serializes whole-frame socket writes
     Mutex pendingMutex_;
     std::unordered_map<std::uint64_t, Pending> pending_
         SPATIAL_GUARDED_BY(pendingMutex_);
+    /** False once the reader has failed everything and exited; a
+     * failed send after that must self-resolve its pending. */
+    bool readerActive_ SPATIAL_GUARDED_BY(pendingMutex_) = true;
+    bool timeoutStop_ SPATIAL_GUARDED_BY(pendingMutex_) = false;
+    CondVar timeoutCv_; //!< wakes the monitor for shutdown
     std::atomic<std::uint64_t> nextId_{1};
+    std::atomic<std::uint64_t> timeouts_{0};
+    std::atomic<std::uint64_t> reconnects_{0};
+    std::atomic<std::uint64_t> replays_{0};
     std::thread reader_;
+    std::thread timeout_; //!< started only when requestTimeout > 0
 };
 
 /**

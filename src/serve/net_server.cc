@@ -12,8 +12,10 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "analysis/verifier.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "core/compiler.h"
 
@@ -171,13 +173,52 @@ NetServer::shutdown()
     registrar_.join();
 
     // 3. Shards: flush open batch groups, wait for every admitted
-    //    request to be answered, then stop the reapers.
+    //    request to be answered, then stop the reapers.  With a
+    //    drain deadline configured the wait is bounded: once it
+    //    expires, the reapers abandon the remaining futures and
+    //    answer them ShuttingDown, so a wedged or fault-stalled
+    //    worker cannot pin the shutdown forever.
+    const bool bounded = options_.drainTimeout.count() > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.drainTimeout;
     for (auto &shard : shards_) {
-        shard->server->drain();
+        if (bounded) {
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+            if (!shard->server->drainFor(
+                    std::max(std::chrono::milliseconds(0), left)))
+                SPATIAL_WARN("drain deadline expired with shard work ",
+                             "still queued; abandoning it");
+        } else {
+            shard->server->drain();
+        }
         MutexLock lock(shard->mutex);
         while (!shard->completions.empty() ||
-               shard->inFlight.load() != 0)
-            shard->cv.wait(shard->mutex);
+               shard->inFlight.load() != 0) {
+            if (!bounded) {
+                shard->cv.wait(shard->mutex);
+                continue;
+            }
+            if (shard->abandon.load(std::memory_order_acquire)) {
+                // Deadline already declared; the reaper is flushing
+                // ShuttingDown answers — keep waiting for inFlight
+                // to reach zero (bounded by the reaper's 50ms wait
+                // slices, not by the stalled work itself).
+                shard->cv.wait(shard->mutex);
+                continue;
+            }
+            if (shard->cv.wait_until(shard->mutex, deadline) ==
+                    std::cv_status::timeout &&
+                (!shard->completions.empty() ||
+                 shard->inFlight.load() != 0)) {
+                SPATIAL_WARN("drain deadline expired; answering ",
+                             shard->inFlight.load(),
+                             " in-flight request(s) ShuttingDown");
+                shard->abandon.store(true, std::memory_order_release);
+                shard->cv.notify_all();
+            }
+        }
         shard->stop = true;
         shard->cv.notify_all();
     }
@@ -259,6 +300,10 @@ NetServer::statsMatrix() const
             static_cast<std::int64_t>(server.store.promotions);
         m.at(s, wire::kStatStoreDemotions) =
             static_cast<std::int64_t>(server.store.demotions);
+        m.at(s, wire::kStatWatchdogShed) =
+            static_cast<std::int64_t>(server.watchdogShed);
+        m.at(s, wire::kStatFaultsInjected) =
+            static_cast<std::int64_t>(server.faultsInjected);
     }
     return m;
 }
@@ -330,6 +375,23 @@ NetServer::dispatch(std::uint64_t conn, wire::RequestFrame frame)
 {
     using wire::MessageKind;
     using wire::Status;
+
+    // Injection site: the connection dies mid-request (peer crash /
+    // network partition model).  The frame is swallowed and the
+    // socket torn down exactly as the slow-reader path does it; the
+    // client sees a dropped connection and its outstanding requests
+    // resolve Disconnected (or replay, with reconnect enabled).
+    if (fault::injectFault(fault::Site::NetConnDrop)) {
+        MutexLock lock(connMutex_);
+        const auto it = conns_.find(conn);
+        if (it != conns_.end()) {
+            it->second.closing = true;
+            it->second.out.clear();
+            it->second.outSent = 0;
+        }
+        wake();
+        return;
+    }
 
     // Liveness and observability stay answerable during a drain.
     if (frame.kind == MessageKind::Ping) {
@@ -493,14 +555,34 @@ NetServer::reaperLoop(std::size_t shard_index)
         }
         // Wait outside the lock: groups complete in batches, so FIFO
         // blocking here costs nothing — every future behind this one
-        // is already being worked on by the shard's pool.
-        Response response = reply.future.get();
+        // is already being worked on by the shard's pool.  The wait
+        // is sliced so an expired drain deadline (abandon) can cut
+        // in: the peer then gets ShuttingDown now instead of a reply
+        // that would arrive only if a wedged worker recovers.
         wire::ResponseFrame f;
-        f.status = wire::Status::Ok;
         f.kind = reply.kind;
         f.requestId = reply.requestId;
         f.designId = reply.designId;
-        f.output = std::move(response.output);
+        bool abandoned =
+            shard.abandon.load(std::memory_order_acquire);
+        while (!abandoned &&
+               reply.future.wait_for(std::chrono::milliseconds(50)) !=
+                   std::future_status::ready)
+            abandoned = shard.abandon.load(std::memory_order_acquire);
+        if (abandoned) {
+            f.status = wire::Status::ShuttingDown;
+        } else {
+            Response response = reply.future.get();
+            if (response.shed) {
+                // Watchdog sheds travel in-process as Response::shed;
+                // on the wire they are ordinary Busy answers the
+                // client is free to retry.
+                f.status = wire::Status::Busy;
+            } else {
+                f.status = wire::Status::Ok;
+                f.output = std::move(response.output);
+            }
+        }
         replyFrame(reply.conn, f);
         asyncDone(reply.conn);
         shard.inFlight.fetch_sub(1, std::memory_order_relaxed);
@@ -737,6 +819,14 @@ NetServer::eventLoop()
                 continue;
             }
             if (listen_open && p.fd == listenFd_) {
+                // Injection site: a stalled accept path (overloaded
+                // kernel / SYN backlog model).  The sleep happens on
+                // the event loop on purpose — that is exactly what a
+                // slow accept costs a single-threaded front end.
+                if (const std::uint64_t delay_ms = fault::injectFaultParam(
+                        fault::Site::NetAcceptDelay))
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(delay_ms));
                 for (;;) {
                     const int fd = ::accept(listenFd_, nullptr, nullptr);
                     if (fd < 0)
@@ -806,10 +896,18 @@ NetServer::eventLoop()
                 MutexLock lock(connMutex_);
                 if ((p.revents & POLLOUT) &&
                     conn->outSent < conn->out.size()) {
+                    std::size_t chunk = conn->out.size() - conn->outSent;
+                    // Injection site: the kernel accepts only a few
+                    // bytes per send (tiny socket buffer model), so
+                    // responses trickle out across many poll rounds
+                    // and clients exercise their partial-frame
+                    // reassembly.
+                    if (const std::uint64_t cap = fault::injectFaultParam(
+                            fault::Site::NetWritePartial))
+                        chunk = std::min<std::size_t>(chunk, cap);
                     const ssize_t n = ::send(
                         conn->fd, conn->out.data() + conn->outSent,
-                        conn->out.size() - conn->outSent,
-                        MSG_NOSIGNAL);
+                        chunk, MSG_NOSIGNAL);
                     if (n > 0) {
                         conn->outSent += static_cast<std::size_t>(n);
                         if (conn->outSent == conn->out.size()) {

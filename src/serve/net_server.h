@@ -43,6 +43,7 @@
 #define SPATIAL_SERVE_NET_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -94,6 +95,15 @@ struct NetServerOptions
      * admits a dense maxRegisterDim registration.
      */
     std::uint32_t maxFrameBytes = wire::kMaxFrameBytes;
+
+    /**
+     * Deadline for the graceful drain: once shutdown() has waited
+     * this long for admitted work to finish, the remaining in-flight
+     * requests are abandoned and answered Status::ShuttingDown so the
+     * process can exit promptly even with a wedged worker.  0 means
+     * wait forever (the legacy drain contract).
+     */
+    std::chrono::milliseconds drainTimeout{0};
 
     /** Per-shard in-process Server configuration. */
     ServeOptions serve;
@@ -199,6 +209,9 @@ class NetServer
         CondVar cv;
         std::deque<PendingReply> completions SPATIAL_GUARDED_BY(mutex);
         bool stop SPATIAL_GUARDED_BY(mutex) = false;
+        /** Drain deadline expired: the reaper stops waiting on
+         * futures and answers everything left ShuttingDown. */
+        std::atomic<bool> abandon{false};
         std::atomic<std::size_t> inFlight{0};
         std::atomic<std::size_t> submitted{0};
         std::atomic<std::size_t> shed{0};

@@ -178,6 +178,13 @@ struct Response
     /** Segments the engine skipped as provably quiescent. */
     std::uint64_t segmentsSkipped = 0;
 
+    /**
+     * True when the queue-age watchdog shed this request instead of
+     * executing it: `output` is empty and the wire front end answers
+     * Status::Busy.  See ServeOptions::maxQueueAge.
+     */
+    bool shed = false;
+
     /** End-to-end latency in seconds (submit to scatter). */
     double latencySeconds() const
     {

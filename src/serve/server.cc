@@ -1,7 +1,9 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "core/batch_engine.h"
 #include "matrix/bits.h"
@@ -26,10 +28,18 @@ Server::Server(ServeOptions options)
     workers = std::max(1u, workers);
     options_.workers = workers;
 
+    workerBusyUs_ =
+        std::make_unique<std::atomic<std::int64_t>[]>(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workerBusyUs_[i].store(0, std::memory_order_relaxed);
+
     workers_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
     timer_ = std::thread([this] { timerLoop(); });
+    if (options_.maxQueueAge.count() > 0 ||
+        options_.slowWorkerAfter.count() > 0)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 Server::~Server()
@@ -41,9 +51,12 @@ Server::~Server()
     }
     workCv_.notify_all();
     timerCv_.notify_all();
+    watchdogCv_.notify_all();
     for (auto &worker : workers_)
         worker.join();
     timer_.join();
+    if (watchdog_.joinable())
+        watchdog_.join();
 }
 
 DesignId
@@ -204,7 +217,7 @@ Server::popGroupLocked()
 }
 
 void
-Server::workerLoop()
+Server::workerLoop(unsigned index)
 {
     MutexLock lock(mutex_);
     for (;;) {
@@ -222,6 +235,21 @@ Server::workerLoop()
         // if the LRU demotes it meanwhile.
         DesignEntry &entry = *designs_[group->design];
         lock.unlock();
+        workerBusyUs_[index].store(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now().time_since_epoch())
+                .count(),
+            std::memory_order_release);
+        // Injection site: a stalled/slow worker holds its group for
+        // `param` ms while the queue behind it ages — exactly what
+        // the queue-age watchdog and the wire front end's shed path
+        // are there to absorb.
+        if (const std::uint64_t stall_ms = fault::injectFaultParam(
+                fault::Site::ServeWorkerStall)) {
+            workerFaults_.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(stall_ms));
+        }
         auto design =
             store_.get(entry.key, entry.weights, entry.compile);
         if (!group->requests.empty() &&
@@ -230,10 +258,108 @@ Server::workerLoop()
             executeSequence(*design, std::move(*group));
         else
             executeGroup(*design, std::move(*group));
+        workerBusyUs_[index].store(0, std::memory_order_release);
         lock.lock();
         --inFlight_;
         if (readyGroups_ == 0 && inFlight_ == 0)
             idleCv_.notify_all();
+    }
+}
+
+void
+Server::fulfillShed(std::vector<Group> shed)
+{
+    const auto done = Clock::now();
+    for (auto &group : shed)
+        for (auto &p : group.requests) {
+            Response resp;
+            resp.submitAt = p.submitAt;
+            resp.flushAt = group.flushAt;
+            resp.doneAt = done;
+            resp.groupLanes =
+                static_cast<std::uint32_t>(group.lanes);
+            resp.flushReason = group.reason;
+            resp.shed = true;
+            p.promise.set_value(std::move(resp));
+        }
+}
+
+void
+Server::watchdogLoop()
+{
+    // Scan period: fine enough to catch expiry promptly, coarse
+    // enough to stay invisible — a quarter of the tightest enabled
+    // threshold, floored at 1ms.
+    auto period = std::chrono::milliseconds::max();
+    if (options_.maxQueueAge.count() > 0)
+        period = std::min(period, options_.maxQueueAge);
+    if (options_.slowWorkerAfter.count() > 0)
+        period = std::min(period, options_.slowWorkerAfter);
+    period = std::max(std::chrono::milliseconds(1), period / 4);
+
+    std::vector<bool> flagged(options_.workers, false);
+    MutexLock lock(mutex_);
+    while (!stopping_) {
+        watchdogCv_.wait_for(mutex_, period);
+        if (stopping_)
+            return;
+
+        std::vector<Group> expired;
+        if (options_.maxQueueAge.count() > 0) {
+            const auto cutoff = Clock::now() - options_.maxQueueAge;
+            for (const auto &entry : designs_) {
+                auto &ready = entry->ready;
+                // Ready queues are FIFO per design, so the front
+                // group holds the oldest submit; stop at the first
+                // young one.
+                while (!ready.empty() &&
+                       !ready.front().requests.empty() &&
+                       ready.front().requests.front().submitAt <
+                           cutoff) {
+                    stats_.watchdogShed +=
+                        ready.front().requests.size();
+                    expired.push_back(std::move(ready.front()));
+                    ready.pop_front();
+                    --readyGroups_;
+                }
+            }
+            if (!expired.empty() && readyGroups_ == 0 &&
+                inFlight_ == 0)
+                idleCv_.notify_all();
+        }
+
+        if (options_.slowWorkerAfter.count() > 0) {
+            const std::int64_t now_us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now().time_since_epoch())
+                    .count();
+            const std::int64_t limit_us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    options_.slowWorkerAfter)
+                    .count();
+            for (unsigned w = 0; w < options_.workers; ++w) {
+                const std::int64_t busy =
+                    workerBusyUs_[w].load(std::memory_order_acquire);
+                if (busy != 0 && now_us - busy > limit_us) {
+                    // One flag per busy episode, not per scan.
+                    if (!flagged[w]) {
+                        flagged[w] = true;
+                        ++stats_.slowWorkerFlags;
+                        SPATIAL_WARN("serve: worker ", w,
+                                     " busy on one group for ",
+                                     (now_us - busy) / 1000, "ms");
+                    }
+                } else {
+                    flagged[w] = false;
+                }
+            }
+        }
+
+        if (!expired.empty()) {
+            lock.unlock();
+            fulfillShed(std::move(expired));
+            lock.lock();
+        }
     }
 }
 
@@ -408,17 +534,38 @@ Server::timerLoop()
 }
 
 void
-Server::drain()
+Server::flushAllLocked()
 {
-    MutexLock lock(mutex_);
     const auto now = Clock::now();
     std::vector<Group> flushed;
     for (const auto &entry : designs_)
         if (auto group = entry->batcher.flush(FlushReason::Drain, now))
             flushed.push_back(std::move(*group));
     pushGroupsLocked(std::move(flushed));
+}
+
+void
+Server::drain()
+{
+    MutexLock lock(mutex_);
+    flushAllLocked();
     while (readyGroups_ != 0 || inFlight_ != 0)
         idleCv_.wait(mutex_);
+}
+
+bool
+Server::drainFor(std::chrono::milliseconds timeout)
+{
+    const auto deadline = Clock::now() + timeout;
+    MutexLock lock(mutex_);
+    flushAllLocked();
+    while (readyGroups_ != 0 || inFlight_ != 0) {
+        if (idleCv_.wait_until(mutex_, deadline) ==
+                std::cv_status::timeout &&
+            (readyGroups_ != 0 || inFlight_ != 0))
+            return false;
+    }
+    return true;
 }
 
 ServerStats
@@ -430,6 +577,9 @@ Server::stats() const
         stats = stats_;
     }
     stats.store = store_.stats();
+    stats.faultsInjected =
+        workerFaults_.load(std::memory_order_relaxed) +
+        stats.store.faultsInjected;
     return stats;
 }
 

@@ -27,6 +27,8 @@
 #ifndef SPATIAL_SERVE_SERVER_H
 #define SPATIAL_SERVE_SERVER_H
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -83,6 +85,23 @@ struct ServeOptions
      * from the pool running independent groups.
      */
     core::SimOptions sim;
+
+    /**
+     * Queue-age watchdog: a ready group whose oldest request has been
+     * queued longer than this is shed — its futures resolve
+     * immediately with Response::shed set (the wire front end maps
+     * that to Status::Busy) instead of waiting behind a stalled
+     * worker.  0 disables the watchdog (no thread is started).
+     */
+    std::chrono::milliseconds maxQueueAge{0};
+
+    /**
+     * Slow-worker detection: a worker busy on one group longer than
+     * this is flagged (counted in ServerStats::slowWorkerFlags and
+     * warned once per episode).  0 disables.  Only meaningful when
+     * the watchdog is running, i.e. maxQueueAge or this is non-zero.
+     */
+    std::chrono::milliseconds slowWorkerAfter{0};
 };
 
 /** Cumulative server counters (point-in-time snapshot). */
@@ -103,6 +122,11 @@ struct ServerStats
     std::uint64_t jitFallbackGroups = 0; //!< JIT requested, interpreter ran
     std::size_t sequences = 0;     //!< EsnSequence jobs executed
     std::size_t sequenceSteps = 0; //!< total sequential ESN steps
+    std::size_t watchdogShed = 0;  //!< requests shed by the watchdog
+    std::size_t slowWorkerFlags = 0; //!< slow-worker episodes flagged
+    /** Injected faults observed by this server and its store (worker
+     * stalls plus admission compile faults; see common/fault.h). */
+    std::uint64_t faultsInjected = 0;
     DesignStore::Stats store;      //!< compile cache accounting
 
     /** Fraction of padded engine lanes carrying real work. */
@@ -158,6 +182,16 @@ class Server
     /** Flush every open group and wait until all work has executed. */
     void drain();
 
+    /**
+     * Bounded drain: flush every open group and wait at most
+     * `timeout` for outstanding work to finish.  Returns true when
+     * the server went idle, false on timeout — queued and in-flight
+     * work then remains pending (the destructor still waits for it;
+     * a net front end abandons its replies instead, see
+     * NetServerOptions::drainTimeout).
+     */
+    bool drainFor(std::chrono::milliseconds timeout);
+
     /** Current counters. */
     ServerStats stats() const;
 
@@ -206,8 +240,15 @@ class Server
         {}
     };
 
-    void workerLoop() SPATIAL_EXCLUDES(mutex_);
+    void workerLoop(unsigned index) SPATIAL_EXCLUDES(mutex_);
     void timerLoop() SPATIAL_EXCLUDES(mutex_);
+    void watchdogLoop() SPATIAL_EXCLUDES(mutex_);
+
+    /** Flush every batcher (Drain reason) and enqueue the groups. */
+    void flushAllLocked() SPATIAL_REQUIRES(mutex_);
+
+    /** Resolve every request in `shed` with Response::shed set. */
+    static void fulfillShed(std::vector<Group> shed);
 
     /** Pop the next ready group round-robin; nullopt when idle. */
     std::optional<Group> popGroupLocked() SPATIAL_REQUIRES(mutex_);
@@ -231,6 +272,7 @@ class Server
     CondVar workCv_;  //!< workers: ready or stopping
     CondVar timerCv_; //!< timer: deadlines changed
     CondVar idleCv_;  //!< drain(): all work finished
+    CondVar watchdogCv_; //!< watchdog: stop requested
 
     /**
      * Registered designs; the vector (and each entry's batcher/ready
@@ -252,8 +294,20 @@ class Server
 
     ServerStats stats_ SPATIAL_GUARDED_BY(mutex_);
 
+    /** Worker-stall faults injected (see common/fault.h); kept
+     * outside stats_ so the hot path books it without the lock. */
+    std::atomic<std::uint64_t> workerFaults_{0};
+
+    /**
+     * Per-worker busy-since timestamps (microseconds since the steady
+     * epoch; 0 = idle), written by the owning worker around group
+     * execution and read by the watchdog for slow-worker flags.
+     */
+    std::unique_ptr<std::atomic<std::int64_t>[]> workerBusyUs_;
+
     std::vector<std::thread> workers_;
     std::thread timer_;
+    std::thread watchdog_; //!< started only when the watchdog is on
 };
 
 } // namespace spatial::serve

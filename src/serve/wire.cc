@@ -251,6 +251,8 @@ statusName(Status status)
         return "shutting_down";
       case Status::Internal:
         return "internal";
+      case Status::TimedOut:
+        return "timed_out";
       case Status::Disconnected:
         return "disconnected";
     }

@@ -49,9 +49,10 @@ constexpr std::uint16_t kMagic = 0x5753;
  * mismatches with Status::BadVersion — there is no cross-version
  * negotiation, a client and server must agree exactly.  v2 widened
  * the Stats matrix to kShardStatsCols = 12 (design-store tier
- * counters) and raised kMaxFrameBytes for large-matrix registration.
+ * counters) and raised kMaxFrameBytes for large-matrix registration;
+ * v3 widened it again to 14 (watchdog sheds, injected-fault count).
  */
-constexpr std::uint8_t kVersion = 2;
+constexpr std::uint8_t kVersion = 3;
 
 /** Fixed payload header size (magic + version + kind + ids). */
 constexpr std::size_t kHeaderBytes = 16;
@@ -73,7 +74,7 @@ constexpr std::uint32_t kMaxDim = 1u << 20;
 constexpr std::uint32_t kMaxSteps = 1u << 20;
 
 /** Columns of the per-shard stats matrix a Stats response returns. */
-constexpr std::size_t kShardStatsCols = 12;
+constexpr std::size_t kShardStatsCols = 14;
 
 /** Column indices of the Stats response matrix (one row per shard). */
 enum ShardStatsCol : std::size_t
@@ -90,6 +91,8 @@ enum ShardStatsCol : std::size_t
     kStatStoreMisses = 9, //!< design-store misses (compiled or loaded)
     kStatStorePromotions = 10, //!< misses served from the cold tier
     kStatStoreDemotions = 11,  //!< evictions spilled to the cold tier
+    kStatWatchdogShed = 12,    //!< requests shed by the queue-age watchdog
+    kStatFaultsInjected = 13,  //!< injected faults observed by the shard
 };
 
 /** What a request frame asks the server to do. */
@@ -125,6 +128,10 @@ enum class Status : std::uint8_t
     UnknownDesign = 5, //!< design id was never registered
     ShuttingDown = 6,  //!< server is draining; no new work accepted
     Internal = 7,      //!< server-side failure executing the request
+    /** Client-side synthetic status: the per-request timeout expired
+     * before a response arrived (NetClientOptions::requestTimeout).
+     * Never sent on the wire. */
+    TimedOut = 254,
     /** Client-side synthetic status: the connection dropped before a
      * response arrived.  Never sent on the wire. */
     Disconnected = 255,

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace spatial::store
@@ -18,6 +19,24 @@ ColdTier::ColdTier(std::string dir) : dir_(std::move(dir))
         SPATIAL_FATAL("cold tier path ", dir_,
                       " is not a usable directory",
                       ec ? ": " : "", ec ? ec.message().c_str() : "");
+
+    // Crash cleanup: a process killed mid-spill leaves a `*.tmp`
+    // behind.  The rename that would have published it never ran, so
+    // nothing references the file — sweep it.
+    std::size_t orphans = 0;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file(ec) ||
+            entry.path().extension() != ".tmp")
+            continue;
+        std::error_code remove_ec;
+        if (fs::remove(entry.path(), remove_ec))
+            ++orphans;
+    }
+    if (orphans != 0) {
+        orphansRemoved_.store(orphans, std::memory_order_relaxed);
+        SPATIAL_INFORM("cold tier: removed ", orphans,
+                       " orphaned temp file(s) from ", dir_);
+    }
 }
 
 std::string
@@ -38,12 +57,32 @@ ColdTier::put(const experiments::DesignKey &key,
               const core::TiledDesign &design)
 {
     const std::string path = pathFor(key);
-    if (!saveDesignFile(path, key, design)) {
+    // Injection site: the spill device is full / erroring (ENOSPC
+    // model).  The design simply is not demoted; its next request
+    // recompiles — the same contract as any real write failure.
+    if (fault::injectFault(fault::Site::ColdWriteFail)) {
+        SPATIAL_WARN("cold tier: injected write failure for ", path);
         writeFailures_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
+    bool synced = false;
+    if (!saveDesignFile(path, key, design, &synced)) {
+        writeFailures_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (synced)
+        syncs_.fetch_add(1, std::memory_order_relaxed);
     std::error_code ec;
     const auto size = fs::file_size(path, ec);
+    // Injection site: a torn write that survived a crash — the
+    // published file is truncated, so the next load reports
+    // Truncated and the store falls back to a recompile.
+    if (fault::injectFault(fault::Site::ColdWriteShort) && !ec &&
+        size > kHeaderBytes) {
+        std::error_code resize_ec;
+        fs::resize_file(path, size / 2, resize_ec);
+        SPATIAL_WARN("cold tier: injected short write for ", path);
+    }
     writes_.fetch_add(1, std::memory_order_relaxed);
     if (!ec)
         bytesWritten_.fetch_add(size, std::memory_order_relaxed);
@@ -64,6 +103,21 @@ ColdTier::get(const experiments::DesignKey &key,
         return status;
     }
     if (!(stored == key)) {
+        loadFailures_.fetch_add(1, std::memory_order_relaxed);
+        design->reset();
+        return LoadStatus::Corrupt;
+    }
+    // Injection sites, applied only to loads that really succeeded
+    // (a fault on a never-spilled key would just shadow NotFound):
+    // a read I/O error, and post-load corruption — artifacts damaged
+    // in a way the checksum did not catch.  Both degrade to the
+    // caller's recompile fallback.
+    if (fault::injectFault(fault::Site::ColdReadFail)) {
+        loadFailures_.fetch_add(1, std::memory_order_relaxed);
+        design->reset();
+        return LoadStatus::Truncated;
+    }
+    if (fault::injectFault(fault::Site::ColdReadCorrupt)) {
         loadFailures_.fetch_add(1, std::memory_order_relaxed);
         design->reset();
         return LoadStatus::Corrupt;
@@ -96,6 +150,9 @@ ColdTier::stats() const
     stats.loads = loads_.load(std::memory_order_relaxed);
     stats.loadFailures = loadFailures_.load(std::memory_order_relaxed);
     stats.bytesWritten = bytesWritten_.load(std::memory_order_relaxed);
+    stats.syncs = syncs_.load(std::memory_order_relaxed);
+    stats.orphansRemoved =
+        orphansRemoved_.load(std::memory_order_relaxed);
     return stats;
 }
 

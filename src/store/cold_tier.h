@@ -40,6 +40,9 @@ struct ColdTierStats
     std::size_t loads = 0;         //!< designs rematerialized
     std::size_t loadFailures = 0;  //!< load attempts that failed
     std::uint64_t bytesWritten = 0; //!< serialized bytes spilled
+    std::size_t syncs = 0;         //!< spills fsync'd before rename
+    /** Orphaned `*.tmp` files (a crash mid-spill) swept at startup. */
+    std::size_t orphansRemoved = 0;
 };
 
 /** Directory-backed cold tier of serialized designs. */
@@ -48,7 +51,10 @@ class ColdTier
   public:
     /**
      * Bind to `dir`, creating it (and parents) if needed; fatal only
-     * when the path exists and is not a directory.
+     * when the path exists and is not a directory.  Sweeps orphaned
+     * `*.tmp` files a killed process may have left mid-spill — they
+     * are unreferenced by construction (a completed spill renames its
+     * temp file away) and would otherwise accumulate forever.
      */
     explicit ColdTier(std::string dir);
 
@@ -90,6 +96,8 @@ class ColdTier
     std::atomic<std::size_t> loads_{0};
     std::atomic<std::size_t> loadFailures_{0};
     std::atomic<std::uint64_t> bytesWritten_{0};
+    std::atomic<std::size_t> syncs_{0};
+    std::atomic<std::size_t> orphansRemoved_{0};
 };
 
 } // namespace spatial::store

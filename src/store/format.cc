@@ -1,9 +1,13 @@
 #include "store/format.h"
 
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "circuit/exec_plan.h"
 #include "circuit/netlist.h"
@@ -449,9 +453,12 @@ deserializeDesign(const std::uint8_t *data, std::size_t size,
 bool
 saveDesignFile(const std::string &path,
                const experiments::DesignKey &key,
-               const core::TiledDesign &design)
+               const core::TiledDesign &design,
+               bool *fsynced)
 {
     namespace fs = std::filesystem;
+    if (fsynced != nullptr)
+        *fsynced = false;
     std::error_code ec;
     const fs::path target(path);
     if (target.has_parent_path()) {
@@ -465,16 +472,43 @@ saveDesignFile(const std::string &path,
     }
     const auto bytes = serializeDesign(key, design);
     const fs::path tmp(path + ".tmp");
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out ||
-            !out.write(reinterpret_cast<const char *>(bytes.data()),
-                       static_cast<std::streamsize>(bytes.size()))) {
-            SPATIAL_WARN("store: cannot write ", tmp.string());
+    // POSIX I/O instead of ofstream: the crash-safety contract needs
+    // an fsync between the last write and the rename, and iostreams
+    // expose no file descriptor.  Without the fsync, a power cut
+    // after the rename could publish a durable name pointing at
+    // not-yet-durable bytes — a torn file with a valid path.
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+        SPATIAL_WARN("store: cannot open ", tmp.string(), ": ",
+                     std::strerror(errno));
+        return false;
+    }
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + written,
+                    bytes.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            SPATIAL_WARN("store: cannot write ", tmp.string(), ": ",
+                         std::strerror(errno));
+            ::close(fd);
             fs::remove(tmp, ec);
             return false;
         }
+        written += static_cast<std::size_t>(n);
     }
+    if (::fsync(fd) != 0) {
+        SPATIAL_WARN("store: cannot fsync ", tmp.string(), ": ",
+                     std::strerror(errno));
+        ::close(fd);
+        fs::remove(tmp, ec);
+        return false;
+    }
+    ::close(fd);
     fs::rename(tmp, target, ec);
     if (ec) {
         SPATIAL_WARN("store: cannot rename ", tmp.string(), " -> ",
@@ -482,6 +516,8 @@ saveDesignFile(const std::string &path,
         fs::remove(tmp, ec);
         return false;
     }
+    if (fsynced != nullptr)
+        *fsynced = true;
     return true;
 }
 

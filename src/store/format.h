@@ -100,14 +100,19 @@ LoadStatus deserializeDesign(const std::uint8_t *data, std::size_t size,
                              experiments::DesignKey *key = nullptr);
 
 /**
- * Write `design` to `path` atomically (temp file + rename), creating
- * parent directories as needed.  Returns false (with a logged
- * warning) on any I/O failure — spilling is an optimization, never a
- * correctness requirement.
+ * Write `design` to `path` atomically and durably: the bytes go to a
+ * temp file which is fsync'd before the rename, so a crash at any
+ * point leaves either the old file or the complete new one — never a
+ * torn file — and parent directories are created as needed.  Returns
+ * false (with a logged warning) on any I/O failure, including a
+ * failed fsync — spilling is an optimization, never a correctness
+ * requirement.  `*fsynced` (when non-null) reports whether the data
+ * was fsync'd, i.e. it is true on every successful save.
  */
 bool saveDesignFile(const std::string &path,
                     const experiments::DesignKey &key,
-                    const core::TiledDesign &design);
+                    const core::TiledDesign &design,
+                    bool *fsynced = nullptr);
 
 /** Read and deserialize `path`; NotFound when the file is absent. */
 LoadStatus loadDesignFile(const std::string &path,

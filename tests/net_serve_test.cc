@@ -16,10 +16,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <thread>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "matrix/generate.h"
 #include "serve/net_client.h"
@@ -59,6 +61,22 @@ quickServer(std::size_t shards = 1)
     net.serve.workers = 2;
     return net;
 }
+
+/** Installs fault rules for a scope; clears the plan on exit. */
+struct FaultGuard
+{
+    explicit FaultGuard(
+        std::initializer_list<std::pair<fault::Site, fault::Rule>>
+            rules)
+    {
+        auto &plan = fault::FaultPlan::instance();
+        plan.clear();
+        for (const auto &[site, rule] : rules)
+            plan.configure(site, rule);
+    }
+
+    ~FaultGuard() { fault::FaultPlan::instance().clear(); }
+};
 
 /** A raw blocking TCP connection for byte-level chaos tests. */
 class RawConn
@@ -728,6 +746,226 @@ TEST(NetServe, ShutdownAnswersNewWorkShuttingDown)
         << wire::statusName(status);
     EXPECT_EQ(held.get().status, wire::Status::Ok);
     drain.join();
+}
+
+// ---------------------------------------------------------------------
+// Injected faults: watchdog shedding, timeouts, reconnect-and-replay,
+// partial writes, bounded drain
+// ---------------------------------------------------------------------
+
+TEST(NetServeChaos, WatchdogShedsExpiredWorkInsteadOfStalling)
+{
+    NetServerOptions net = quickServer();
+    net.maxQueue = 64;
+    // One request per group so the backlog is many small groups the
+    // watchdog can age out individually.
+    net.serve.maxBatch = 1;
+    net.serve.maxQueueAge = std::chrono::milliseconds(20);
+    net.serve.slowWorkerAfter = std::chrono::milliseconds(10);
+    NetServer server(net);
+    NetClient client("127.0.0.1", server.port());
+    std::uint32_t id = 0;
+    ASSERT_EQ(client.registerDesign(testWeights(24, 501),
+                                    testCompileOptions(), &id),
+              wire::Status::Ok);
+
+    Rng rng(502);
+    std::size_t ok = 0, busy = 0;
+    {
+        // Every group stalls its worker 60ms: with a 20ms queue-age
+        // cutoff the backlog must shed, not wait its turn.
+        const FaultGuard faults({{fault::Site::ServeWorkerStall,
+                                  fault::Rule{1.0, 503, 60}}});
+        std::vector<std::future<RemoteResult>> futures;
+        for (int i = 0; i < 24; ++i)
+            futures.push_back(client.submit(
+                id, Request::gemv(makeSignedVector(24, 8, rng))));
+        for (auto &future : futures) {
+            const wire::Status status = future.get().status;
+            if (status == wire::Status::Ok)
+                ++ok;
+            else if (status == wire::Status::Busy)
+                ++busy;
+            else
+                FAIL() << "unexpected status "
+                       << wire::statusName(status);
+        }
+    }
+    // Every future resolved; work the workers reached completed, the
+    // aged-out remainder was shed by the watchdog.
+    EXPECT_EQ(ok + busy, 24u);
+    EXPECT_GE(ok, 1u);
+    EXPECT_GE(busy, 1u);
+
+    IntMatrix stats;
+    ASSERT_EQ(client.fetchStats(&stats), wire::Status::Ok);
+    ASSERT_EQ(stats.cols(), wire::kShardStatsCols);
+    EXPECT_GE(stats.at(0, wire::kStatWatchdogShed), 1);
+    EXPECT_GE(stats.at(0, wire::kStatFaultsInjected), 1);
+}
+
+TEST(NetServeChaos, RequestTimeoutResolvesPromptlyAndConnectionLives)
+{
+    NetServer server(quickServer());
+    NetClientOptions copts;
+    copts.requestTimeout = std::chrono::milliseconds(40);
+    NetClient client("127.0.0.1", server.port(), copts);
+    std::uint32_t id = 0;
+    ASSERT_EQ(client.registerDesign(testWeights(24, 511),
+                                    testCompileOptions(), &id),
+              wire::Status::Ok);
+
+    Rng rng(512);
+    const auto start = std::chrono::steady_clock::now();
+    {
+        // The worker sleeps 500ms on the one group; the 40ms client
+        // timeout must resolve the future long before the server
+        // answers.
+        const FaultGuard faults({{fault::Site::ServeWorkerStall,
+                                  fault::Rule{1.0, 513, 500}}});
+        auto slow = client.submit(
+            id, Request::gemv(makeSignedVector(24, 8, rng)));
+        ASSERT_EQ(slow.wait_for(std::chrono::seconds(5)),
+                  std::future_status::ready);
+        EXPECT_EQ(slow.get().status, wire::Status::TimedOut);
+    }
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    EXPECT_LT(elapsed.count(), 450) << "timeout did not fire early";
+    EXPECT_GE(client.stats().timeouts, 1u);
+    // Control traffic is exempt and the connection stays healthy; the
+    // late server answer for the timed-out id is discarded silently.
+    EXPECT_EQ(client.ping(), wire::Status::Ok);
+    // Let the stalled worker finish its 500ms sleep, then verify the
+    // same connection still serves fresh work within the timeout.
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    auto after = client.submit(
+        id, Request::gemv(makeSignedVector(24, 8, rng)));
+    EXPECT_EQ(after.get().status, wire::Status::Ok);
+}
+
+TEST(NetServeChaos, ReconnectReplayCompletesBitExact)
+{
+    const std::size_t dim = 32;
+    const IntMatrix weights = testWeights(dim, 521);
+    const core::CompileOptions compile = testCompileOptions();
+
+    NetServerOptions net = quickServer();
+    NetServer server(net);
+    NetClientOptions copts;
+    copts.maxReconnects = 100;
+    copts.backoffBase = std::chrono::milliseconds(1);
+    copts.backoffCap = std::chrono::milliseconds(20);
+    NetClient client("127.0.0.1", server.port(), copts);
+    std::uint32_t id = 0;
+    ASSERT_EQ(client.registerDesign(weights, compile, &id),
+              wire::Status::Ok);
+
+    Server local(net.serve);
+    const DesignId localId = local.registerDesign(weights, compile);
+
+    Rng rng(522);
+    {
+        // Roughly every third dispatched frame tears the connection
+        // down server-side; reconnect-and-replay must land every
+        // request anyway, bit-exactly.
+        const FaultGuard faults(
+            {{fault::Site::NetConnDrop, fault::Rule{0.3, 523, 0}}});
+        for (int i = 0; i < 16; ++i) {
+            const Request request =
+                Request::gemv(makeSignedVector(dim, 8, rng));
+            RemoteResult over_wire =
+                client.submitRetry(id, Request(request));
+            ASSERT_EQ(over_wire.status, wire::Status::Ok) << i;
+            Response in_process =
+                local.submit(localId, Request(request)).get();
+            EXPECT_TRUE(over_wire.output == in_process.output) << i;
+        }
+    }
+    EXPECT_GE(client.stats().reconnects, 1u);
+    EXPECT_GE(client.stats().replays, 1u);
+}
+
+TEST(NetServeChaos, PartialWritesStillDeliverBitExact)
+{
+    const std::size_t dim = 48;
+    const IntMatrix weights = testWeights(dim, 531);
+    const core::CompileOptions compile = testCompileOptions();
+
+    NetServerOptions net = quickServer();
+    NetServer server(net);
+    NetClient client("127.0.0.1", server.port());
+    std::uint32_t id = 0;
+    ASSERT_EQ(client.registerDesign(weights, compile, &id),
+              wire::Status::Ok);
+
+    Server local(net.serve);
+    const DesignId localId = local.registerDesign(weights, compile);
+
+    Rng rng(532);
+    // Every outbound pass is clamped to 64 bytes, so each multi-KiB
+    // batch response crosses the wire in hundreds of fragments.
+    const FaultGuard faults({{fault::Site::NetWritePartial,
+                              fault::Rule{1.0, 533, 64}}});
+    for (int i = 0; i < 4; ++i) {
+        const Request request =
+            Request::gemvBatch(makeSignedBatch(64, dim, 8, rng));
+        RemoteResult over_wire =
+            client.submit(id, Request(request)).get();
+        ASSERT_EQ(over_wire.status, wire::Status::Ok) << i;
+        Response in_process =
+            local.submit(localId, Request(request)).get();
+        EXPECT_TRUE(over_wire.output == in_process.output) << i;
+    }
+}
+
+TEST(NetServeChaos, DrainTimeoutBoundsShutdownUnderStalledWorkers)
+{
+    NetServerOptions net = quickServer();
+    net.serve.maxBatch = 1;
+    net.drainTimeout = std::chrono::milliseconds(200);
+    NetServer server(net);
+    NetClient client("127.0.0.1", server.port());
+    std::uint32_t id = 0;
+    ASSERT_EQ(client.registerDesign(testWeights(24, 541),
+                                    testCompileOptions(), &id),
+              wire::Status::Ok);
+
+    Rng rng(542);
+    // Workers stall 1.5s per group — far past the 200ms drain
+    // deadline — with several groups queued behind them.
+    const FaultGuard faults(
+        {{fault::Site::ServeWorkerStall, fault::Rule{1.0, 543, 1500}}});
+    std::vector<std::future<RemoteResult>> futures;
+    for (int i = 0; i < 6; ++i)
+        futures.push_back(client.submit(
+            id, Request::gemv(makeSignedVector(24, 8, rng))));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    const auto start = std::chrono::steady_clock::now();
+    server.shutdown();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    // Unbounded drain would sit through ~3 rounds of 1.5s stalls;
+    // the deadline must cut that to the 200ms budget plus the
+    // reaper's 50ms wait slices and teardown overhead.
+    EXPECT_LT(elapsed.count(), 1200)
+        << "drain deadline did not bound shutdown";
+
+    // Every future resolves: completed work Ok, abandoned in-flight
+    // work ShuttingDown, shed backlog Busy — never a hang.
+    for (auto &future : futures) {
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+                  std::future_status::ready);
+        const wire::Status status = future.get().status;
+        EXPECT_TRUE(status == wire::Status::Ok ||
+                    status == wire::Status::Busy ||
+                    status == wire::Status::ShuttingDown ||
+                    status == wire::Status::Disconnected)
+            << wire::statusName(status);
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "core/tiled_design.h"
 #include "matrix/bits.h"
@@ -46,6 +47,22 @@ testWeights(std::size_t dim, std::uint64_t seed, double sparsity = 0.6)
     Rng rng(seed);
     return makeSignedElementSparseMatrix(dim, dim, 8, sparsity, rng);
 }
+
+/** Installs fault rules for a scope; clears the plan on exit. */
+struct FaultGuard
+{
+    explicit FaultGuard(
+        std::initializer_list<std::pair<fault::Site, fault::Rule>>
+            rules)
+    {
+        auto &plan = fault::FaultPlan::instance();
+        plan.clear();
+        for (const auto &[site, rule] : rules)
+            plan.configure(site, rule);
+    }
+
+    ~FaultGuard() { fault::FaultPlan::instance().clear(); }
+};
 
 /** A per-test scratch directory, removed on destruction. */
 struct TempDir
@@ -385,6 +402,163 @@ TEST(TieredStore, NoSpillDirEvictsOutright)
     const auto cold = store.coldStats();
     EXPECT_EQ(cold.writes, 0u);
     EXPECT_EQ(cold.loads, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Crash safety and injected cold-tier faults
+// ---------------------------------------------------------------------
+
+TEST(ColdTier, SpillsAreFsyncedBeforeRename)
+{
+    TempDir dir("coldtier-sync");
+    store::ColdTier tier(dir.path.string());
+    const auto weights = testWeights(16, 411);
+    const auto options = testCompileOptions();
+    const auto key = experiments::makeDesignKey(weights, options);
+    ASSERT_TRUE(
+        tier.put(key, core::TiledDesign::compile(weights, options)));
+    const auto stats = tier.stats();
+    EXPECT_EQ(stats.writes, 1u);
+    EXPECT_EQ(stats.syncs, 1u);
+    EXPECT_EQ(stats.orphansRemoved, 0u);
+}
+
+TEST(ColdTier, OrphanTempFilesSweptAtStartup)
+{
+    TempDir dir("coldtier-orphan");
+    // A crash mid-spill leaves *.tmp files behind; a completed spill
+    // renames its temp away, so anything still named .tmp is garbage.
+    const fs::path orphan = dir.path / "deadbeef.sptd.tmp";
+    const fs::path keeper = dir.path / "cafef00d.sptd";
+    std::ofstream(orphan) << "torn write";
+    std::ofstream(keeper) << "not a temp file";
+    store::ColdTier tier(dir.path.string());
+    EXPECT_EQ(tier.stats().orphansRemoved, 1u);
+    EXPECT_FALSE(fs::exists(orphan));
+    EXPECT_TRUE(fs::exists(keeper));
+}
+
+TEST(ColdTier, InjectedWriteFailureIsCounted)
+{
+    TempDir dir("coldtier-wfail");
+    store::ColdTier tier(dir.path.string());
+    const auto weights = testWeights(16, 421);
+    const auto options = testCompileOptions();
+    const auto key = experiments::makeDesignKey(weights, options);
+    const FaultGuard faults(
+        {{fault::Site::ColdWriteFail, fault::Rule{1.0, 1, 0}}});
+    EXPECT_FALSE(
+        tier.put(key, core::TiledDesign::compile(weights, options)));
+    EXPECT_FALSE(tier.contains(key));
+    EXPECT_EQ(tier.stats().writeFailures, 1u);
+    EXPECT_EQ(fault::FaultPlan::instance().injected(
+                  fault::Site::ColdWriteFail),
+              1u);
+}
+
+TEST(ColdTier, InjectedShortWriteLoadsAsTruncated)
+{
+    TempDir dir("coldtier-short");
+    store::ColdTier tier(dir.path.string());
+    const auto weights = testWeights(16, 431);
+    const auto options = testCompileOptions();
+    const auto key = experiments::makeDesignKey(weights, options);
+    {
+        const FaultGuard faults(
+            {{fault::Site::ColdWriteShort, fault::Rule{1.0, 1, 0}}});
+        // The torn write still "succeeds" — the damage is only
+        // discovered at load time, like a real crash mid-flush.
+        ASSERT_TRUE(tier.put(
+            key, core::TiledDesign::compile(weights, options)));
+    }
+    EXPECT_TRUE(tier.contains(key));
+    std::shared_ptr<const core::TiledDesign> loaded;
+    EXPECT_EQ(tier.get(key, &loaded), store::LoadStatus::Truncated);
+    EXPECT_EQ(loaded, nullptr);
+    EXPECT_EQ(tier.stats().loadFailures, 1u);
+}
+
+TEST(ColdTier, InjectedReadFaultsDegradeToLoadFailures)
+{
+    TempDir dir("coldtier-rfault");
+    store::ColdTier tier(dir.path.string());
+    const auto weights = testWeights(16, 441);
+    const auto options = testCompileOptions();
+    const auto key = experiments::makeDesignKey(weights, options);
+    ASSERT_TRUE(
+        tier.put(key, core::TiledDesign::compile(weights, options)));
+
+    std::shared_ptr<const core::TiledDesign> loaded;
+    {
+        const FaultGuard faults(
+            {{fault::Site::ColdReadFail, fault::Rule{1.0, 1, 0}}});
+        EXPECT_EQ(tier.get(key, &loaded),
+                  store::LoadStatus::Truncated);
+        EXPECT_EQ(loaded, nullptr);
+    }
+    {
+        const FaultGuard faults(
+            {{fault::Site::ColdReadCorrupt, fault::Rule{1.0, 1, 0}}});
+        EXPECT_EQ(tier.get(key, &loaded), store::LoadStatus::Corrupt);
+        EXPECT_EQ(loaded, nullptr);
+    }
+    EXPECT_EQ(tier.stats().loadFailures, 2u);
+    // With the plan cleared the very same file loads fine: the file
+    // was never the problem.
+    ASSERT_EQ(tier.get(key, &loaded), store::LoadStatus::Ok);
+    Rng rng(442);
+    const auto x = makeSignedVector(16, 8, rng);
+    EXPECT_EQ(loaded->multiply(x), referenceMultiply(weights, x));
+}
+
+TEST(TieredStore, InjectedColdCorruptionFallsBackToRecompile)
+{
+    TempDir dir("tier-chaos");
+    serve::StoreOptions options;
+    options.capacity = 1;
+    options.spillDir = dir.path.string();
+    serve::DesignStore store(options);
+    const auto compile = testCompileOptions();
+    const auto a = testWeights(16, 451);
+    const auto b = testWeights(16, 452);
+
+    store.get(a, compile);
+    store.get(b, compile); // demotes a to a valid spill file
+
+    // Every promotion attempt sees corrupted artifacts: the store
+    // must recompile and still serve bit-exactly.
+    const FaultGuard faults(
+        {{fault::Site::ColdReadCorrupt, fault::Rule{1.0, 1, 0}}});
+    const auto design = store.get(a, compile);
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.promotions, 0u);
+    EXPECT_GE(stats.coldFallbacks, 1u);
+    Rng rng(453);
+    const auto x = makeSignedVector(16, 8, rng);
+    EXPECT_EQ(design->multiply(x), referenceMultiply(a, x));
+}
+
+TEST(TieredStore, InjectedCompileFaultsRetryTransparently)
+{
+    serve::DesignStore store(4);
+    const auto compile = testCompileOptions();
+    const auto a = testWeights(16, 461);
+    // Half the compile attempts fail transiently and every admission
+    // sleeps a bit; the bounded retry loop must still land the
+    // design, and the injected count shows the site actually fired.
+    const FaultGuard faults(
+        {{fault::Site::StoreCompileFail, fault::Rule{0.5, 9, 0}},
+         {fault::Site::StoreCompileDelay, fault::Rule{1.0, 9, 1}}});
+    const auto design = store.get(a, compile);
+    ASSERT_NE(design, nullptr);
+    Rng rng(462);
+    const auto x = makeSignedVector(16, 8, rng);
+    EXPECT_EQ(design->multiply(x), referenceMultiply(a, x));
+    EXPECT_GE(fault::FaultPlan::instance().injected(
+                  fault::Site::StoreCompileDelay),
+              1u);
+    EXPECT_EQ(store.stats().faultsInjected,
+              fault::FaultPlan::instance().injectedTotal());
 }
 
 // ---------------------------------------------------------------------
